@@ -1,0 +1,54 @@
+"""Table emission for the benchmark harness.
+
+Each experiment prints its paper-vs-measured table and also writes it
+to ``benchmarks/results/<experiment>.txt`` so the numbers survive
+pytest's output capture.  EXPERIMENTS.md is the curated summary of
+these files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def emit_table(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Print the table and persist it under benchmarks/results/."""
+    text = format_table(title, headers, rows)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    if experiment in _written_this_run:
+        path.write_text(path.read_text() + text + "\n\n")
+    else:
+        path.write_text(text + "\n\n")
+        _written_this_run.add(experiment)
+    return text
+
+
+_written_this_run: set[str] = set()

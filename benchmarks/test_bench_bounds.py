@@ -1,0 +1,100 @@
+"""EXP-BOUNDS: tightness of the sound lower bounds.
+
+The library certifies NO-side costs with machine-checkable lower
+bounds.  This experiment measures how tight each bound is against the
+exact optimum across instance families: the Lemma 8 generalization is
+within one alpha-granule on the uniform reduction instances, while the
+generic dominance bound degrades on heterogeneous statistics — which
+is exactly why the reduction makes its instances uniform.
+"""
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.core.reductions.clique_to_qon import clique_to_qon
+from repro.joinopt.bounds import (
+    dominance_lower_bound,
+    first_join_lower_bound,
+    lemma8_style_lower_bound,
+)
+from repro.joinopt.optimizers import dp_optimal
+from repro.utils.lognum import log2_of
+from repro.workloads.gaps import turan_graph
+from repro.workloads.queries import random_query
+
+
+def test_bound_tightness_table(benchmark):
+    def build():
+        rows = []
+        # Uniform reduction instances (Lemma 8 bound applies).
+        for n, parts in [(8, 2), (8, 4), (9, 3)]:
+            graph = turan_graph(n, parts)
+            k_no = parts + (n - parts) % 2
+            reduction = clique_to_qon(graph, k_yes=n, k_no=k_no, alpha=4)
+            optimum = dp_optimal(reduction.instance)
+            lemma8 = lemma8_style_lower_bound(reduction, parts)
+            dominance = max(
+                dominance_lower_bound(reduction.instance, p)
+                for p in range(2, n)
+            )
+            first = first_join_lower_bound(reduction.instance)
+            rows.append(
+                (
+                    f"f_N(Turan {n}/{parts})",
+                    f"{log2_of(optimum.cost):.1f}",
+                    f"{log2_of(lemma8):.1f}",
+                    f"{log2_of(dominance):.1f}",
+                    f"{log2_of(first):.1f}",
+                )
+            )
+        # Heterogeneous workload instances (generic bounds only).
+        for seed in (0, 1):
+            instance = random_query(7, rng=seed)
+            optimum = dp_optimal(instance)
+            dominance = max(
+                dominance_lower_bound(instance, p) for p in range(2, 7)
+            )
+            first = first_join_lower_bound(instance)
+            rows.append(
+                (
+                    f"random n=7 seed={seed}",
+                    f"{log2_of(optimum.cost):.1f}",
+                    "-",
+                    f"{log2_of(dominance):.1f}",
+                    f"{log2_of(first):.1f}",
+                )
+            )
+        return emit_table(
+            "EXP-BOUNDS",
+            "Lower-bound tightness (log2): optimum vs Lemma-8 / dominance / first-join",
+            ["instance", "optimum", "Lemma 8", "dominance", "first join"],
+            rows,
+        )
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+
+def test_lemma8_within_one_granule(benchmark):
+    """On Turan-based f_N instances the Lemma 8 bound tracks the
+    optimum within a handful of alpha-doublings."""
+
+    def check():
+        graph = turan_graph(8, 2)
+        reduction = clique_to_qon(graph, k_yes=8, k_no=2, alpha=4)
+        optimum = dp_optimal(reduction.instance)
+        bound = lemma8_style_lower_bound(reduction, 2)
+        assert bound <= optimum.cost
+        gap_doublings = log2_of(optimum.cost) - log2_of(bound)
+        assert gap_doublings <= 10 * reduction.alpha_log2
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_bench_dominance_bound(benchmark):
+    instance = random_query(10, rng=2)
+    benchmark(lambda: dominance_lower_bound(instance, 5))
+
+
+def test_bench_lemma8_bound(benchmark):
+    reduction = clique_to_qon(turan_graph(10, 2), k_yes=10, k_no=2, alpha=4)
+    benchmark(lambda: lemma8_style_lower_bound(reduction, 2))

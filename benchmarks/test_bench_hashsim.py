@@ -1,0 +1,81 @@
+"""EXP-HMODEL: the abstract h(m, b_R, b_S) vs mechanical hybrid-hash I/O.
+
+The QO_H cost function is an abstraction; the page-level simulator
+derives I/O from spill mechanics.  This experiment sweeps the memory
+axis and compares the two: identical endpoints (one scan when the
+inner is resident; Theta(b_R + b_S) at minimum memory), both linear
+and decreasing in between, correlation ~1.
+"""
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.analysis import fit_power_law
+from repro.engine.hashsim import model_join_cost, simulate_hash_join
+from repro.hashjoin.cost_model import HashJoinCostModel
+
+
+def test_memory_sweep_table(benchmark):
+    def build():
+        model = HashJoinCostModel()
+        inner, outer = 400, 1600
+        floor = model.hjmin(inner)
+        rows = []
+        points = []
+        for step in range(6):
+            memory = floor + (inner - floor) * step // 5
+            abstract = model_join_cost(model, memory, outer, inner)
+            mechanical = simulate_hash_join(memory, outer, inner).total_io
+            points.append((float(abstract), float(mechanical)))
+            rows.append(
+                (
+                    memory,
+                    f"{float(abstract):.0f}",
+                    f"{float(mechanical):.0f}",
+                    f"{float(mechanical) / float(abstract):.2f}",
+                )
+            )
+        # Pearson correlation across the sweep.
+        n = len(points)
+        mean_a = sum(a for a, _ in points) / n
+        mean_m = sum(m for _, m in points) / n
+        cov = sum((a - mean_a) * (m - mean_m) for a, m in points)
+        var_a = sum((a - mean_a) ** 2 for a, _ in points) ** 0.5
+        var_m = sum((m - mean_m) ** 2 for _, m in points) ** 0.5
+        correlation = cov / (var_a * var_m)
+        rows.append(("corr", f"{correlation:.4f}", "-", "-"))
+        table = emit_table(
+            "EXP-HMODEL",
+            "Abstract h vs mechanical hybrid-hash I/O (b_S=400, b_R=1600)",
+            ["memory", "h (model)", "io (simulated)", "ratio"],
+            rows,
+        )
+        assert correlation > 0.999
+        return table
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+
+def test_endpoints_agree(benchmark):
+    def check():
+        model = HashJoinCostModel()
+        for inner, outer in [(100, 50), (256, 4096), (1000, 1000)]:
+            # Resident inner: both are exactly one scan.
+            assert (
+                simulate_hash_join(inner, outer, inner).total_io
+                == model_join_cost(model, inner, outer, inner)
+                == inner
+            )
+            # Starved inner: both are Theta(b_R + b_S).
+            floor = model.hjmin(inner)
+            simulated = float(simulate_hash_join(floor, outer, inner).total_io)
+            abstract = float(model_join_cost(model, floor, outer, inner))
+            scale = inner + outer
+            assert scale / 2 <= simulated <= 3 * scale
+            assert scale / 2 <= abstract <= 3 * scale
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_bench_simulator(benchmark):
+    benchmark(lambda: simulate_hash_join(123, 5000, 400))

@@ -1,0 +1,123 @@
+"""EXP-HEUR: the paper's implication, measured.
+
+Theorem 9 says no polynomial-time algorithm can guarantee a
+competitive ratio within any polylog of the optimum.  We drive the
+library's polynomial heuristics over (a) benign workloads, where they
+sit within small constant factors of the exact optimum, and (b) the
+gap family, where every plan they find is provably (Lemma 8) at least
+alpha^{dn/2 - 1} above the YES-side cost — far beyond the polylog
+budget already at modest n.
+"""
+
+from statistics import mean
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.core.certificates import qon_certificate_sequence
+from repro.core.gap import polylog_budget_log2
+from repro.joinopt.cost import total_cost
+from repro.joinopt.optimizers import (
+    dp_optimal,
+    genetic_algorithm,
+    greedy_min_cost,
+    greedy_min_size,
+    iterative_improvement,
+    random_sampling,
+    simulated_annealing,
+)
+from repro.utils.lognum import log2_of
+from repro.workloads.gaps import qon_gap_pair
+from repro.workloads.queries import chain_query, clique_query, cycle_query, random_query
+
+HEURISTICS = [
+    ("greedy-min-cost", lambda inst, seed: greedy_min_cost(inst)),
+    ("greedy-min-size", lambda inst, seed: greedy_min_size(inst)),
+    ("iter-improve", lambda inst, seed: iterative_improvement(inst, restarts=5, rng=seed)),
+    ("sim-anneal", lambda inst, seed: simulated_annealing(inst, rng=seed)),
+    ("sampling", lambda inst, seed: random_sampling(inst, samples=100, rng=seed)),
+    ("genetic", lambda inst, seed: genetic_algorithm(inst, generations=15, rng=seed)),
+]
+
+
+def test_benign_ratio_table(benchmark):
+    def build():
+        rows = []
+        for label, factory in [
+            ("chain", chain_query),
+            ("cycle", cycle_query),
+            ("clique", clique_query),
+            ("random", random_query),
+        ]:
+            ratios = {name: [] for name, _ in HEURISTICS}
+            for seed in range(4):
+                instance = factory(8, rng=seed)
+                optimum = dp_optimal(instance).cost
+                for name, run in HEURISTICS:
+                    ratios[name].append(run(instance, seed).ratio_to(optimum))
+            rows.append(
+                [label]
+                + [f"{mean(ratios[name]):.3f}" for name, _ in HEURISTICS]
+            )
+        return emit_table(
+            "EXP-HEUR",
+            "Benign workloads (n=8): mean competitive ratio vs exact optimum",
+            ["workload"] + [name for name, _ in HEURISTICS],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    # On benign workloads everything stays within a small factor.
+    assert table  # ratios are recorded in the table
+
+
+def test_gap_family_table(benchmark):
+    def build():
+        rows = []
+        for n in (8, 10, 12):
+            k_yes = n - 2
+            k_no = 2 + (k_yes % 2)
+            pair = qon_gap_pair(n, k_yes, k_no, alpha=4**n)
+            certificate = qon_certificate_sequence(
+                pair.yes_reduction, pair.yes_clique
+            )
+            cert_log2 = log2_of(
+                total_cost(pair.yes_reduction.instance.to_log_domain(), certificate)
+            )
+            floor_log2 = log2_of(pair.no_reduction.no_cost_lower_bound())
+            k_log2 = log2_of(pair.yes_reduction.yes_cost_bound())
+            budget = polylog_budget_log2(k_log2, delta=0.5)
+            instance = pair.no_reduction.instance.to_log_domain()
+            row = [n, f"{floor_log2 - cert_log2:.0f}", f"{budget:.0f}"]
+            beats = True
+            for name, run in HEURISTICS:
+                found = log2_of(run(instance, 0).cost) - cert_log2
+                row.append(f"{found:.0f}")
+                beats = beats and found > budget
+            row.append("gap >> budget" if beats else "check")
+            rows.append(row)
+        return emit_table(
+            "EXP-HEUR",
+            "Gap family (alpha=4^n): log2 ratio to YES certificate vs 2^{log^{1/2} K} budget",
+            ["n", "provable floor", "polylog budget"]
+            + [name for name, _ in HEURISTICS]
+            + ["verdict"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "check" not in table
+
+
+def test_bench_greedy_gap_instance(benchmark):
+    pair = qon_gap_pair(12, 10, 2, alpha=4**12)
+    instance = pair.no_reduction.instance.to_log_domain()
+    benchmark(lambda: greedy_min_cost(instance))
+
+
+def test_bench_annealing_gap_instance(benchmark):
+    pair = qon_gap_pair(12, 10, 2, alpha=4**12)
+    instance = pair.no_reduction.instance.to_log_domain()
+    benchmark.pedantic(
+        lambda: simulated_annealing(instance, rng=0), rounds=2, iterations=1
+    )

@@ -1,0 +1,104 @@
+"""EXP-L3: Lemma 3 — the 3SAT -> CLIQUE gap, measured.
+
+Paper claim: satisfiable 3SAT(13) formulas map to graphs with
+omega >= cn; formulas with at most (1-theta) satisfiable clauses map
+to graphs with omega <= (c-d)n, where cn = 5v + 4m and dn = theta*m.
+
+We regenerate the claim with exact clique computation on both promise
+sides, and ablate the clique-search strategy (exact branch-and-bound
+vs the greedy heuristic the certificates could have used).
+"""
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.core.reductions.sat_to_clique import sat_to_clique
+from repro.graphs.clique import greedy_clique, max_clique_size
+from repro.sat.gapfamilies import no_instance, yes_instance
+
+
+def _family():
+    return [
+        ("YES v=3 m=6", yes_instance(3, 6, rng=0)),
+        ("YES v=4 m=8", yes_instance(4, 8, rng=1)),
+        ("NO  1 core", no_instance(1)),
+        ("NO  2 cores", no_instance(2)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    rows = []
+    for label, gap in _family():
+        reduction = sat_to_clique(gap)
+        omega = max_clique_size(reduction.graph)
+        greedy = len(greedy_clique(reduction.graph))
+        claim = (
+            f"omega >= {reduction.clique_if_satisfiable}"
+            if gap.satisfiable
+            else f"omega <= {reduction.clique_bound_if_gap}"
+        )
+        holds = (
+            omega >= reduction.clique_if_satisfiable
+            if gap.satisfiable
+            else omega <= reduction.clique_bound_if_gap
+        )
+        rows.append(
+            (
+                label,
+                reduction.graph.num_vertices,
+                omega,
+                greedy,
+                claim,
+                "OK" if holds else "VIOLATED",
+            )
+        )
+    return rows
+
+
+def test_lemma3_gap_table(measurements, benchmark):
+    table = benchmark.pedantic(
+        lambda: emit_table(
+            "EXP-L3",
+            "Lemma 3: SAT->CLIQUE promise vs exact omega",
+            ["family", "n", "omega(exact)", "omega(greedy)", "paper claim", "verdict"],
+            measurements,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert "VIOLATED" not in table
+
+
+def test_lemma3_greedy_ablation(measurements, benchmark):
+    """Ablation: on the dense padded graphs the greedy clique gets
+    within a few vertices of the exact optimum (the universal padding
+    is always picked up), so certificate construction could fall back
+    to it — but the YES-side *equality* needs the witness mapping."""
+
+    def check():
+        for label, n, omega, greedy, claim, verdict in measurements:
+            assert greedy <= omega
+            if label.startswith("YES"):
+                # Greedy always captures the universal padding plus a
+                # maximal core clique: within 10% of omega here.
+                assert greedy >= omega - max(2, omega // 10)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_bench_reduction_build(benchmark):
+    gap = yes_instance(4, 8, rng=2)
+    benchmark(lambda: sat_to_clique(gap))
+
+
+def test_bench_exact_clique(benchmark):
+    gap = yes_instance(3, 6, rng=3)
+    graph = sat_to_clique(gap).graph
+    benchmark(lambda: max_clique_size(graph))
+
+
+def test_bench_greedy_clique(benchmark):
+    gap = yes_instance(3, 6, rng=3)
+    graph = sat_to_clique(gap).graph
+    benchmark(lambda: greedy_clique(graph))

@@ -1,0 +1,87 @@
+"""Numerics ablation: exact big-int/Fraction costs vs log2-domain.
+
+The hardness instances manipulate numbers with thousands of bits; the
+library supports both exact arithmetic (default) and a log2-domain
+float representation.  This bench quantifies the trade:
+
+* agreement — the log-domain exponent matches the exact one to float
+  precision, and plan *rankings* agree;
+* speed — log-domain cost evaluation is orders of magnitude faster on
+  large instances.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.core.certificates import qon_certificate_sequence
+from repro.joinopt.cost import total_cost
+from repro.utils.lognum import log2_of
+from repro.workloads.gaps import qon_gap_pair
+from repro.workloads.queries import random_query
+
+
+def test_agreement_table(benchmark):
+    def build():
+        rows = []
+        for n, alpha_exp in [(8, 8), (12, 24), (16, 32)]:
+            pair = qon_gap_pair(n, n - 2, 2, alpha=4**alpha_exp)
+            cert = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
+            exact = total_cost(pair.yes_reduction.instance, cert)
+            logged = total_cost(pair.yes_reduction.instance.to_log_domain(), cert)
+            exact_log2 = log2_of(exact)
+            error = abs(exact_log2 - logged.log2)
+            rows.append(
+                (
+                    n,
+                    f"4^{alpha_exp}",
+                    f"{exact_log2:.3f}",
+                    f"{logged.log2:.3f}",
+                    f"{error:.2e}",
+                    "OK" if error < 1e-6 * max(1.0, exact_log2) else "DRIFT",
+                )
+            )
+        return emit_table(
+            "EXP-NUM",
+            "Exact vs log-domain certificate cost (log2 exponents)",
+            ["n", "alpha", "exact", "log-domain", "abs err", "verdict"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "DRIFT" not in table
+
+
+def test_ranking_agreement(benchmark):
+    """Plan orderings agree between the two representations."""
+
+    def check():
+        instance = random_query(6, rng=3)
+        logged = instance.to_log_domain()
+        plans = list(itertools.permutations(range(6)))[:120]
+        exact_order = sorted(plans, key=lambda z: total_cost(instance, z))
+        log_order = sorted(plans, key=lambda z: total_cost(logged, z).log2)
+        # Identical up to float ties: compare cost sequences.
+        exact_costs = [total_cost(instance, z) for z in exact_order]
+        log_costs = [total_cost(instance, z) for z in log_order]
+        assert exact_costs == log_costs
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def big_pair():
+    return qon_gap_pair(40, 36, 4, alpha=4**40)
+
+
+def test_bench_exact_cost_big(benchmark, big_pair):
+    cert = qon_certificate_sequence(big_pair.yes_reduction, big_pair.yes_clique)
+    instance = big_pair.yes_reduction.instance
+    benchmark.pedantic(lambda: total_cost(instance, cert), rounds=3, iterations=1)
+
+
+def test_bench_log_cost_big(benchmark, big_pair):
+    cert = qon_certificate_sequence(big_pair.yes_reduction, big_pair.yes_clique)
+    instance = big_pair.yes_reduction.instance.to_log_domain()
+    benchmark(lambda: total_cost(instance, cert))

@@ -1,0 +1,94 @@
+"""EXP-L10: optimal pipeline memory allocation (Lemma 10), measured.
+
+Paper claim, for M = (n/3 - 1) t + 2 hjmin(t):
+
+* pipelines with <= n/3 - 1 joins: all hash tables resident, cost
+  O(N_{i-1} + N_k);
+* pipelines with n/3 joins: exactly one join starved (the smallest
+  outer), adding one O(N_{j-1} + t) term;
+* pipelines with n/3 + 1 joins: exactly two starved joins.
+"""
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.core.reductions.clique_to_qoh import clique_to_qoh
+from repro.graphs.generators import complete_graph
+from repro.hashjoin.allocation import allocate_memory
+from repro.hashjoin.pipeline import Pipeline, pipeline_allocation
+
+
+@pytest.fixture(scope="module")
+def reduction():
+    return clique_to_qoh(complete_graph(9), alpha=4**9)
+
+
+def test_lemma10_starvation_table(reduction, benchmark):
+    def build():
+        sequence = tuple(range(10))
+        n = 9
+        rows = []
+        cases = [
+            ("n/3 - 1 joins", Pipeline(2, 2 + n // 3 - 2)),
+            ("n/3 joins", Pipeline(2, 2 + n // 3 - 1)),
+            ("n/3 + 1 joins", Pipeline(2, 2 + n // 3)),
+        ]
+        for label, pipeline in cases:
+            allocation = pipeline_allocation(reduction.instance, sequence, pipeline)
+            expected = {
+                "n/3 - 1 joins": 0,
+                "n/3 joins": 1,
+                "n/3 + 1 joins": 2,
+            }[label]
+            starved = len(allocation.starved) if allocation else "infeasible"
+            rows.append(
+                (
+                    label,
+                    pipeline.num_joins,
+                    starved,
+                    expected,
+                    "OK" if starved == expected else "VIOLATED",
+                )
+            )
+        return emit_table(
+            "EXP-L10",
+            "Lemma 10: starved joins per pipeline length (n=9, M=(n/3-1)t+2hjmin)",
+            ["pipeline", "#joins", "starved (measured)", "starved (paper)", "verdict"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "VIOLATED" not in table
+
+
+def test_lemma10_starves_smallest_outers(reduction, benchmark):
+    def check():
+        sequence = tuple(range(10))
+        pipeline = Pipeline(2, 2 + 9 // 3)  # n/3 + 1 joins
+        allocation = pipeline_allocation(reduction.instance, sequence, pipeline)
+        outers = reduction.instance.intermediate_sizes(sequence)
+        pipeline_outers = [
+            outers[j - 1] for j in range(pipeline.first_join, pipeline.last_join + 1)
+        ]
+        starved_outers = {pipeline_outers[i] for i in allocation.starved}
+        fed_outers = {
+            pipeline_outers[i]
+            for i in range(pipeline.num_joins)
+            if i not in allocation.starved
+        }
+        assert max(starved_outers) <= min(fed_outers)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_bench_allocator(benchmark, reduction):
+    from fractions import Fraction
+
+    t = reduction.satellite_size
+    outers = [Fraction(10**k) for k in range(3, 9)]
+    inners = [t] * 6
+    benchmark(
+        lambda: allocate_memory(
+            reduction.instance.model, outers, inners, reduction.instance.memory * 3
+        )
+    )

@@ -1,0 +1,92 @@
+"""EXP-L5 / EXP-L7: structural lemmas of the QO_N analysis, measured.
+
+* Lemma 5: on an f_N instance without cartesian products, the join
+  costs decay by at least a factor alpha^... >= 2 per step beyond
+  position cn (we measure the per-step decay exponent).
+* Lemma 7: |E| <= n(n-1)/2 - n + omega — measured against Turan
+  graphs, where both sides are known in closed form.
+"""
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.core.certificates import qon_certificate_sequence
+from repro.core.reductions.clique_to_qon import clique_to_qon
+from repro.graphs.generators import complete_graph
+from repro.graphs.properties import lemma7_edge_bound
+from repro.joinopt.cost import join_costs
+from repro.utils.lognum import log2_of
+from repro.workloads.gaps import turan_graph
+
+
+@pytest.fixture(scope="module")
+def decay_profile():
+    """Join-cost decay along the Lemma 6 certificate of K_30."""
+    graph = complete_graph(30)
+    reduction = clique_to_qon(graph, k_yes=28, k_no=2, alpha=4)
+    sequence = qon_certificate_sequence(reduction, list(range(28)))
+    costs = join_costs(reduction.instance, sequence)
+    logs = [log2_of(c) for c in costs]
+    return reduction, logs
+
+
+def test_lemma5_decay_table(decay_profile, benchmark):
+    def build():
+        reduction, logs = decay_profile
+        c_position = reduction.k_yes
+        rows = []
+        for i in range(len(logs) - 1):
+            region = "clique" if i + 1 < c_position else "tail (Lemma 5)"
+            rows.append((i + 1, f"{logs[i]:.1f}", f"{logs[i + 1] - logs[i]:+.1f}", region))
+        return emit_table(
+            "EXP-L5",
+            "Lemma 5: log2 H_i profile along the certificate (K_30, alpha=4)",
+            ["join i", "log2 H_i", "step", "region"],
+            rows[::3],  # thin the table for readability
+        )
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+
+def test_lemma5_tail_halves(decay_profile, benchmark):
+    """Beyond position cn every step decays by >= 1 doubling."""
+
+    def check():
+        reduction, logs = decay_profile
+        for i in range(reduction.k_yes, len(logs) - 1):
+            assert logs[i + 1] <= logs[i] - 1.0
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_lemma7_turan_table(benchmark):
+    def build():
+        rows = []
+        for n, parts in [(9, 3), (12, 4), (15, 5), (20, 4)]:
+            graph = turan_graph(n, parts)
+            bound = lemma7_edge_bound(n, parts)
+            rows.append(
+                (
+                    f"T({n},{parts})",
+                    parts,
+                    graph.num_edges,
+                    bound,
+                    "OK" if graph.num_edges <= bound else "VIOLATED",
+                )
+            )
+        return emit_table(
+            "EXP-L7",
+            "Lemma 7: |E| <= n(n-1)/2 - n + omega on Turan graphs",
+            ["graph", "omega", "|E|", "bound", "verdict"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "VIOLATED" not in table
+
+
+def test_bench_join_costs_kernel(benchmark):
+    graph = complete_graph(24)
+    reduction = clique_to_qon(graph, k_yes=22, k_no=2, alpha=4)
+    sequence = qon_certificate_sequence(reduction, list(range(22)))
+    benchmark(lambda: join_costs(reduction.instance, sequence))

@@ -1,0 +1,96 @@
+"""EXP-SQO: SQO-CP optimizer ablation and appendix-instance scaling.
+
+Supports the Appendix A/B experiments: the subset-DP optimizer agrees
+with exhaustive search while scaling past it, which is what makes the
+EXP-B verification affordable.
+"""
+
+import time
+from fractions import Fraction
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.core.reductions.sppcs_to_sqocp import sppcs_to_sqocp
+from repro.starqo.dp import dp_best_plan
+from repro.starqo.instance import SQOCPInstance
+from repro.starqo.optimizer import best_plan
+from repro.starqo.sppcs import SPPCSInstance
+
+
+def _random_instance(seed: int, m: int) -> SQOCPInstance:
+    import random
+
+    rng = random.Random(seed)
+    tuples = [rng.randint(10, 500) for _ in range(m + 1)]
+    pages = [max(1, t // rng.randint(1, 4)) for t in tuples]
+    return SQOCPInstance(
+        num_satellites=m,
+        sort_passes=4,
+        page_size=8,
+        tuples=tuples,
+        pages=pages,
+        sort_costs=[p * 4 for p in pages],
+        selectivities=[
+            Fraction(1, rng.randint(1, tuples[i + 1])) for i in range(m)
+        ],
+        satellite_access=[rng.randint(1, 50) for _ in range(m)],
+        center_access=[rng.randint(1, 500) for _ in range(m)],
+    )
+
+
+def test_dp_vs_exhaustive_table(benchmark):
+    def build():
+        rows = []
+        for m in (3, 4, 5, 6):
+            instance = _random_instance(m, m)
+            start = time.perf_counter()
+            exhaustive_cost, _ = best_plan(instance)
+            exhaustive_ms = (time.perf_counter() - start) * 1e3
+            start = time.perf_counter()
+            dp_cost, _ = dp_best_plan(instance)
+            dp_ms = (time.perf_counter() - start) * 1e3
+            rows.append(
+                (
+                    m,
+                    f"{exhaustive_ms:.1f}",
+                    f"{dp_ms:.1f}",
+                    "OK" if dp_cost == exhaustive_cost else "MISMATCH",
+                )
+            )
+        return emit_table(
+            "EXP-SQO",
+            "SQO-CP ablation: exhaustive plan search vs subset DP (ms)",
+            ["satellites", "exhaustive ms", "DP ms", "agreement"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "MISMATCH" not in table
+
+
+def test_dp_on_appendix_instances(benchmark):
+    """The DP reproduces the EXP-B decisions at a fraction of the cost."""
+
+    def check():
+        pairs = [(2, 2), (2, 3), (3, 1)]
+        from repro.starqo.sppcs import sppcs_best_subset
+
+        optimum, _ = sppcs_best_subset(SPPCSInstance(pairs, 0))
+        for bound, expected in [(optimum, True), (optimum - 1, False)]:
+            reduction = sppcs_to_sqocp(SPPCSInstance(pairs, bound))
+            cost, _ = dp_best_plan(reduction.instance)
+            assert (cost <= reduction.threshold) == expected
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("m", [4, 6, 8])
+def test_bench_dp(benchmark, m):
+    instance = _random_instance(m, m)
+    benchmark.pedantic(lambda: dp_best_plan(instance), rounds=3, iterations=1)
+
+
+def test_bench_exhaustive(benchmark):
+    instance = _random_instance(5, 5)
+    benchmark.pedantic(lambda: best_plan(instance), rounds=2, iterations=1)

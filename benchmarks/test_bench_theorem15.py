@@ -1,0 +1,204 @@
+"""EXP-L11/L13/T15: the QO_H hardness gap (Theorem 15), measured.
+
+* Lemma 11: along the certificate sequence the materialized
+  intermediates N_1, N_{n/3}, N_{2n/3}, N_{n-1}, N_n are all O(L);
+* Lemma 13: on clique-free instances the mid-sequence intermediates
+  N_{n/3+j} are Omega(G);
+* Theorem 15: exact YES/NO separation at n = 6 (exhaustive), and
+  certificate-vs-search separation at n = 9, 12;
+* ablation: the five-pipeline certificate decomposition vs single
+  pipeline vs fully materialized.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.core.certificates import qoh_certificate_plan
+from repro.hashjoin.optimizer import best_decomposition, qoh_greedy, qoh_optimal
+from repro.hashjoin.pipeline import PipelineDecomposition, decomposition_cost
+from repro.utils.lognum import log2_of
+from repro.utils.rng import make_rng
+from repro.workloads.gaps import qoh_gap_pair
+
+
+@pytest.fixture(scope="module")
+def pair6():
+    return qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+
+
+def test_lemma11_intermediates_table(pair6, benchmark):
+    def build():
+        reduction = pair6.yes_reduction
+        n = reduction.n
+        plan = qoh_certificate_plan(reduction, pair6.yes_clique)
+        sizes = reduction.instance.intermediate_sizes(plan.sequence)
+        l_log2 = float(reduction.l_bound_log2())
+        rows = []
+        for label, index in [
+            ("N_1", 1),
+            (f"N_{n // 3}", n // 3),
+            (f"N_{2 * n // 3}", 2 * n // 3),
+            (f"N_{n - 1}", n - 1),
+            (f"N_{n}", n),
+        ]:
+            value = float(log2_of(sizes[index]))
+            rows.append(
+                (
+                    label,
+                    f"{value:.1f}",
+                    f"{l_log2:.1f}",
+                    "OK" if value <= l_log2 + 2 else "VIOLATED",
+                )
+            )
+        return emit_table(
+            "EXP-T15",
+            "Lemma 11: materialized intermediates are O(L) on the YES side (n=6)",
+            ["intermediate", "log2 size", "log2 L", "verdict"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "VIOLATED" not in table
+
+
+def test_lemma13_no_side_intermediates(pair6, benchmark):
+    """On the NO instance, the mid-sequence intermediates exceed the
+    YES-side L bound for every feasible sequence prefix we sample."""
+
+    def check():
+        reduction = pair6.no_reduction
+        n = reduction.n
+        l_log2 = float(pair6.yes_reduction.l_bound_log2())
+        rng = make_rng(0)
+        for _ in range(50):
+            order = [0] + [1 + v for v in rng.sample(range(n), n)]
+            sizes = reduction.instance.intermediate_sizes(order)
+            mid = min(
+                float(log2_of(sizes[n // 3 + j])) for j in range(1, n // 3 + 1)
+            )
+            assert mid >= l_log2 - 2
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_theorem15_exact_separation_table(pair6, benchmark):
+    def build():
+        yes_plan = qoh_optimal(pair6.yes_reduction.instance)
+        no_plan = qoh_optimal(pair6.no_reduction.instance)
+        cert = qoh_certificate_plan(pair6.yes_reduction, pair6.yes_clique)
+        rows = [
+            (
+                "YES (K6 source)",
+                f"{log2_of(yes_plan.cost):.1f}",
+                f"{log2_of(cert.cost):.1f}",
+                f"{float(pair6.yes_reduction.l_bound_log2()):.1f}",
+            ),
+            (
+                "NO (Turan source)",
+                f"{log2_of(no_plan.cost):.1f}",
+                "-",
+                f"{float(pair6.no_reduction.g_bound_log2()):.1f}",
+            ),
+        ]
+        table = emit_table(
+            "EXP-T15",
+            "Theorem 15 exact (n=6, alpha=4^6): log2 optimum vs certificate vs bound",
+            ["side", "optimum", "certificate", "L / G bound"],
+            rows,
+        )
+        assert no_plan.cost > yes_plan.cost
+        return table
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+
+def test_decomposition_ablation_table(pair6, benchmark):
+    def build():
+        reduction = pair6.yes_reduction
+        cert = qoh_certificate_plan(reduction, pair6.yes_clique)
+        sequence = cert.sequence
+        n = reduction.n
+        rows = []
+        candidates = [
+            ("five-pipeline (Lemma 12)", cert.decomposition),
+            ("single pipeline", PipelineDecomposition.single(n)),
+            ("fully materialized", PipelineDecomposition.fully_materialized(n)),
+        ]
+        best = best_decomposition(reduction.instance, sequence)
+        for label, decomposition in candidates:
+            cost = decomposition_cost(reduction.instance, sequence, decomposition)
+            rows.append(
+                (
+                    label,
+                    f"{log2_of(cost):.1f}" if cost is not None else "infeasible",
+                )
+            )
+        rows.append(("optimal (DP over breaks)", f"{log2_of(best.cost):.1f}"))
+        return emit_table(
+            "EXP-T15",
+            "Ablation: decomposition strategies on the certificate sequence (n=6)",
+            ["decomposition", "log2 cost"],
+            rows,
+        )
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+
+def test_search_scale_table(benchmark):
+    """n = 9, 12: YES certificate vs the best NO plan that greedy, beam
+    search, annealing and random sampling can find between them."""
+
+    def build():
+        from repro.hashjoin.annealing import qoh_simulated_annealing
+        from repro.hashjoin.search import qoh_beam_search
+
+        rows = []
+        for n in (9, 12):
+            pair = qoh_gap_pair(n, Fraction(1, 2), alpha=4**n)
+            cert = qoh_certificate_plan(pair.yes_reduction, pair.yes_clique)
+            instance = pair.no_reduction.instance
+            candidates = [
+                qoh_greedy(instance),
+                qoh_beam_search(instance, beam_width=8, rng=1),
+                qoh_simulated_annealing(
+                    instance, steps_per_temperature=4, rng=1
+                ),
+            ]
+            rng = make_rng(1)
+            for _ in range(20):
+                order = [0] + [1 + v for v in rng.sample(range(n), n)]
+                candidates.append(best_decomposition(instance, order))
+            costs = [plan.cost for plan in candidates if plan is not None]
+            no_found = min(costs)
+            gap = log2_of(no_found) - log2_of(cert.cost)
+            rows.append(
+                (
+                    n,
+                    f"{log2_of(cert.cost):.1f}",
+                    f"{log2_of(no_found):.1f}",
+                    f"{gap:+.1f}",
+                    "OK" if gap > 0 else "NO SEPARATION",
+                )
+            )
+        return emit_table(
+            "EXP-T15",
+            "Theorem 15 at search scale: YES certificate vs best NO plan found",
+            ["n", "YES cert (log2)", "NO best found (log2)", "gap (doublings)", "verdict"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "NO SEPARATION" not in table
+
+
+def test_bench_decomposition_dp(pair6, benchmark):
+    sequence = tuple(range(7))
+    benchmark(lambda: best_decomposition(pair6.yes_reduction.instance, sequence))
+
+
+def test_bench_qoh_exhaustive(pair6, benchmark):
+    benchmark.pedantic(
+        lambda: qoh_optimal(pair6.no_reduction.instance), rounds=1, iterations=1
+    )

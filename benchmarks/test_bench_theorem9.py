@@ -1,0 +1,166 @@
+"""EXP-L6/L8/T9: the QO_N hardness gap (Theorem 9), measured.
+
+Three layers:
+
+1. exact small scale (n <= 10): the YES certificate stays below
+   K_{c,d} *computed exactly*, and the exhaustive/DP optimum of the
+   matched NO instance stays above the Lemma 8 floor;
+2. certificate scale (n up to 60, log domain): certificate cost vs K,
+   floor vs best heuristic plan on the NO side;
+3. the asymptotic table: log K = Theta(n^2 log alpha) and the gap
+   exponent vs the 2^{log^{1-delta} K} budget, as delta shrinks.
+"""
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.core.certificates import qon_certificate_sequence
+from repro.core.gap import (
+    default_alpha_exponent,
+    exceeds_every_polylog,
+    gap_factor_log2,
+    k_cd_log2,
+    polylog_budget_log2,
+)
+from repro.joinopt.cost import total_cost
+from repro.joinopt.optimizers import dp_optimal, greedy_min_cost
+from repro.utils.lognum import log2_of
+from repro.workloads.gaps import qon_gap_pair
+
+
+def test_exact_small_scale_table(benchmark):
+    def build():
+        rows = []
+        for n, k_yes, k_no in [(8, 6, 2), (9, 7, 3), (10, 8, 2)]:
+            pair = qon_gap_pair(n, k_yes, k_no, alpha=4)
+            cert = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
+            yes_cost = total_cost(pair.yes_reduction.instance, cert)
+            k_bound = pair.yes_reduction.yes_cost_bound()
+            no_cost = dp_optimal(pair.no_reduction.instance).cost
+            floor = pair.no_reduction.no_cost_lower_bound()
+            ok = yes_cost <= k_bound and no_cost >= floor and no_cost > yes_cost
+            rows.append(
+                (
+                    n,
+                    k_yes,
+                    k_no,
+                    f"{log2_of(yes_cost):.1f}",
+                    f"{log2_of(k_bound):.1f}",
+                    f"{log2_of(no_cost):.1f}",
+                    f"{log2_of(floor):.1f}",
+                    "OK" if ok else "VIOLATED",
+                )
+            )
+        return emit_table(
+            "EXP-T9",
+            "Theorem 9 exact (alpha=4): log2 of certificate / K / NO-optimum / floor",
+            ["n", "k_yes", "k_no", "cert", "K_{c,d}", "NO opt", "floor", "verdict"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "VIOLATED" not in table
+
+
+def test_certificate_scale_table(benchmark):
+    def build():
+        rows = []
+        for n in (20, 40, 60):
+            k_yes, k_no = n - 4, 4 if (n - 4 + 4) % 2 == 0 else 5
+            pair = qon_gap_pair(n, k_yes, k_no, alpha=4**n)
+            cert = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
+            log_instance = pair.yes_reduction.instance.to_log_domain()
+            cert_log2 = log2_of(total_cost(log_instance, cert))
+            fn = pair.yes_reduction
+            k_log2 = float(
+                k_cd_log2(
+                    fn.alpha_log2, log2_of(fn.edge_access_cost), fn.k_yes, fn.k_no
+                )
+            )
+            no_log = pair.no_reduction.instance.to_log_domain()
+            heuristic_log2 = log2_of(greedy_min_cost(no_log).cost)
+            floor_log2 = k_log2 + float(
+                gap_factor_log2(fn.alpha_log2, fn.k_yes, fn.k_no)
+            )
+            ok = cert_log2 <= k_log2 + 1 and heuristic_log2 >= floor_log2
+            rows.append(
+                (
+                    n,
+                    f"{cert_log2:.0f}",
+                    f"{k_log2:.0f}",
+                    f"{floor_log2:.0f}",
+                    f"{heuristic_log2:.0f}",
+                    "OK" if ok else "VIOLATED",
+                )
+            )
+        return emit_table(
+            "EXP-T9",
+            "Theorem 9 at certificate scale (alpha=4^n, log2 costs)",
+            ["n", "cert", "K_{c,d}", "Lemma 8 floor", "greedy on NO", "verdict"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "VIOLATED" not in table
+
+
+def test_asymptotic_budget_table(benchmark):
+    """log K = Theta(n^2 log alpha); gap vs polylog budgets as delta
+    shrinks — the quantitative content of Theorem 9's conclusion."""
+
+    def build():
+        rows = []
+        for n in (24, 48, 96):
+            for delta in (1.0, 0.5):
+                alpha_log2 = default_alpha_exponent(n, delta)
+                k_yes, k_no = n - 2, n // 3 + (n - 2 - n // 3) % 2
+                w_log2 = alpha_log2 * ((k_yes + k_no) // 2 - 1)
+                k_log2 = float(k_cd_log2(alpha_log2, w_log2, k_yes, k_no))
+                gap_log2 = float(gap_factor_log2(alpha_log2, k_yes, k_no))
+                budget = polylog_budget_log2(k_log2, delta=0.5)
+                rows.append(
+                    (
+                        n,
+                        delta,
+                        f"{k_log2:.3g}",
+                        f"{k_log2 / (n * n * alpha_log2):.3f}",
+                        f"{gap_log2:.3g}",
+                        f"{budget:.3g}",
+                        "gap wins" if gap_log2 > budget else "budget wins",
+                    )
+                )
+        return emit_table(
+            "EXP-T9",
+            "Theorem 9 asymptotics: log2 K, its n^2 log alpha ratio, gap vs 2^{log^{1/2} K}",
+            ["n", "delta", "log2 K", "log2K/(n^2 lg a)", "gap (log2)", "budget (log2)", "winner"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    # With delta = 0.5 the gap must beat the log^{1/2} budget at n >= 48.
+    assert table.count("gap wins") >= 2
+
+
+def test_gap_exceeds_every_polylog(benchmark):
+    def check():
+        n = 96
+        alpha_log2 = default_alpha_exponent(n, 0.5)
+        k_yes, k_no = n - 2, n // 3 + (n - 2 - n // 3) % 2
+        w_log2 = alpha_log2 * ((k_yes + k_no) // 2 - 1)
+        k_log2 = k_cd_log2(alpha_log2, w_log2, k_yes, k_no)
+        gap_log2 = gap_factor_log2(alpha_log2, k_yes, k_no)
+        assert exceeds_every_polylog(gap_log2, k_log2)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_bench_dp_on_gap_instance(benchmark):
+    pair = qon_gap_pair(9, 7, 3, alpha=4)
+    benchmark(lambda: dp_optimal(pair.no_reduction.instance))
+
+
+def test_bench_certificate_cost_log_domain(benchmark):
+    pair = qon_gap_pair(40, 36, 4, alpha=4**40)
+    cert = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
+    instance = pair.yes_reduction.instance.to_log_domain()
+    benchmark(lambda: total_cost(instance, cert))

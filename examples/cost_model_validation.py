@@ -1,0 +1,70 @@
+"""Is the paper's cost model physically meaningful?
+
+Materializes synthetic relations engineered so the model's cardinality
+estimates are exact (mixed-radix join-attribute assignment), runs the
+plans on a real nested-loops executor, and compares:
+
+* predicted intermediate sizes N_i vs measured output rows;
+* predicted join costs H_i vs measured index-probe work;
+* the model-optimal plan vs the model-worst plan in *measured* work.
+
+Also prints the EXPLAIN rendering of the optimal plan.
+
+Run:  python examples/cost_model_validation.py
+"""
+
+import itertools
+from fractions import Fraction
+
+from repro.engine import execute_sequence, generate_database
+from repro.engine.data import harmonize_sizes
+from repro.joinopt.cost import intermediate_sizes, join_costs, total_cost
+from repro.joinopt.explain import explain
+from repro.joinopt.optimizers import dp_optimal
+from repro.workloads.queries import random_query
+
+
+def main() -> None:
+    instance = harmonize_sizes(
+        random_query(5, rng=7, size_min=4, size_max=40, domain_min=2, domain_max=6)
+    )
+    database = generate_database(instance)
+    print(
+        f"query graph: {instance.graph}; sizes {list(instance.sizes)}; "
+        f"{database.total_rows()} synthetic rows materialized "
+        f"(exactness guaranteed: {database.exact})"
+    )
+
+    plan = dp_optimal(instance)
+    print("\n== optimal plan (model) ==")
+    print(explain(instance, plan.sequence))
+
+    trace = execute_sequence(database, plan.sequence)
+    predicted_n = intermediate_sizes(instance, plan.sequence)
+    predicted_h = join_costs(instance, plan.sequence)
+    print("\n== model vs measured, join by join ==")
+    print(f"{'join':<6}{'N model':>10}{'N real':>10}{'H model':>10}{'H real':>10}")
+    for index, join in enumerate(trace.joins):
+        print(
+            f"J_{index + 1:<4}{str(predicted_n[index]):>10}"
+            f"{join.output_rows:>10}{str(predicted_h[index]):>10}"
+            f"{join.probe_rows:>10}"
+        )
+
+    print("\n== does the model's ranking transfer? ==")
+    sequences = list(itertools.permutations(range(5)))
+    best = min(sequences, key=lambda z: total_cost(instance, z))
+    worst = max(sequences, key=lambda z: total_cost(instance, z))
+    work_best = execute_sequence(database, best).total_probe_rows
+    work_worst = execute_sequence(database, worst).total_probe_rows
+    print(f"model-optimal plan:  {work_best} probe rows measured")
+    print(f"model-worst plan:    {work_worst} probe rows measured")
+    print(f"real-work ratio:     {work_worst / max(1, work_best):.1f}x")
+    print(
+        "\nThe estimates the hardness theorems reason about are the "
+        "physical truth on these instances — the gap is about real work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""The paper's main construction, end to end.
+
+Takes a pair of promise 3SAT(13) formulas (one satisfiable, one with a
+certified MAX-SAT gap), pushes both through the full reduction chain
+
+    3SAT(13)  --Lemma 3-->  CLIQUE  --f_N-->  QO_N
+
+and shows the cost landscape the reduction engineers: the satisfiable
+formula's instance has a cheap plan (the Lemma 6 certificate, cost at
+most K_{c,d}), while the unsatisfiable formula's instance provably has
+none (Lemma 8 floors every plan above K), the gap being a factor
+alpha^{Theta(n)} — more than any polylog of the optimal cost.
+
+Costs are evaluated in the log2 domain (the numbers have tens of
+thousands of bits).  Runtime ~30s: the query graphs have 528 relations.
+
+Run:  python examples/hardness_gap_demo.py
+"""
+
+from fractions import Fraction
+
+from repro.core.chains import hardness_chain_qon
+from repro.core.gap import k_cd_log2, polylog_budget_log2
+from repro.joinopt.cost import total_cost
+from repro.joinopt.optimizers import greedy_min_cost, random_sampling
+from repro.sat.gapfamilies import no_instance, yes_instance
+from repro.utils.lognum import log2_of
+
+
+def main() -> None:
+    # A matched family: v = 24 variables / m = 64 clauses on both
+    # sides, family gap theta = 1/8 (so dn = theta * m = 8).
+    theta = Fraction(1, 8)
+    yes_formula = yes_instance(24, 64, rng=1)
+    no_formula = no_instance(8)  # eight disjoint 8-clause cores
+
+    print("== source formulas ==")
+    print(f"YES: {yes_formula.formula}, satisfiable, witness certified")
+    print(
+        f"NO:  {no_formula.formula}, at most "
+        f"{1 - no_formula.theta} of clauses satisfiable (certified)"
+    )
+
+    yes_chain = hardness_chain_qon(yes_formula, alpha=4, family_theta=theta)
+    no_chain = hardness_chain_qon(no_formula, alpha=4, family_theta=theta)
+
+    fn = yes_chain.fn_step
+    print("\n== reduction output (identical parameters on both sides) ==")
+    print(f"query graph: n = {fn.n} relations, {fn.graph.num_edges} edges")
+    print(f"alpha = {fn.alpha}, relation size t = alpha^{{(c-d/2)n}}")
+    print(f"clique promise: k_yes = {fn.k_yes}, k_no = {fn.k_no}")
+
+    print("\n== YES side (satisfiable formula) ==")
+    certificate = yes_chain.certificate_sequence
+    yes_log = yes_chain.instance.to_log_domain()
+    cert_cost = total_cost(yes_log, certificate)
+    k_log2 = float(
+        k_cd_log2(fn.alpha_log2, log2_of(fn.edge_access_cost), fn.k_yes, fn.k_no)
+    )
+    print(f"Lemma 6 certificate plan cost:  2^{log2_of(cert_cost):.1f}")
+    print(f"K_{{c,d}}(alpha, n) budget:       2^{k_log2:.1f}")
+
+    print("\n== NO side (unsatisfiable formula) ==")
+    nf = no_chain.fn_step
+    floor_log2 = float(
+        k_cd_log2(nf.alpha_log2, log2_of(nf.edge_access_cost), nf.k_yes, nf.k_no)
+    ) + ((nf.k_yes - nf.k_no) // 2 - 1) * nf.alpha_log2
+    print(f"Lemma 8 floor for EVERY plan:   2^{floor_log2:.1f}")
+    no_log = no_chain.instance.to_log_domain()
+    heuristic = greedy_min_cost(no_log, max_full_starts=4)
+    sampled = random_sampling(no_log, samples=20, rng=1)
+    print(f"greedy heuristic actually finds: 2^{log2_of(heuristic.cost):.1f}")
+    print(f"best of 20 random plans:         2^{log2_of(sampled.cost):.1f}")
+
+    print("\n== the gap ==")
+    print(
+        f"best plan found on the NO side sits "
+        f"2^{log2_of(heuristic.cost) - log2_of(cert_cost):.1f} above the "
+        "YES certificate;"
+    )
+    print(
+        f"even the *provable* floor is 2^{floor_log2 - log2_of(cert_cost):.1f} "
+        "above it."
+    )
+    budget = polylog_budget_log2(k_log2, delta=0.5)
+    print(
+        f"for scale: a 2^{{log^{{1/2}} K}} competitive ratio would be "
+        f"2^{budget:.1f}, and the paper's alpha = 4^{{n^{{1/delta}}}} "
+        "scaling drives the floor past every such budget (Theorem 9)."
+    )
+    print(
+        "\nConclusion: a polynomial-time optimizer with a polylog "
+        "competitive ratio would decide 3SAT."
+    )
+
+
+if __name__ == "__main__":
+    main()

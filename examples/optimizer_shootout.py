@@ -1,0 +1,89 @@
+"""Heuristic shootout: competitive ratios, benign vs adversarial.
+
+On ordinary workloads the polynomial-time heuristics stay within small
+constant factors of the optimum.  On the paper's gap family the same
+heuristics are *provably unable* (Theorem 9) to stay within any
+polylogarithmic factor — and measurably blow up.
+
+Run:  python examples/optimizer_shootout.py
+"""
+
+from statistics import mean
+
+from repro.core.certificates import qon_certificate_sequence
+from repro.joinopt.cost import total_cost
+from repro.joinopt.optimizers import (
+    dp_optimal,
+    greedy_min_cost,
+    greedy_min_size,
+    iterative_improvement,
+    random_sampling,
+    simulated_annealing,
+)
+from repro.utils.lognum import log2_of
+from repro.workloads.gaps import qon_gap_pair
+from repro.workloads.queries import chain_query, clique_query, cycle_query, random_query
+
+HEURISTICS = [
+    ("greedy-min-cost", lambda inst, seed: greedy_min_cost(inst)),
+    ("greedy-min-size", lambda inst, seed: greedy_min_size(inst)),
+    ("iterative-improve", lambda inst, seed: iterative_improvement(inst, rng=seed)),
+    ("simulated-anneal", lambda inst, seed: simulated_annealing(inst, rng=seed)),
+    ("random-sampling", lambda inst, seed: random_sampling(inst, rng=seed)),
+]
+
+
+def benign_section() -> None:
+    print("== benign workloads: ratio to the exact optimum (n = 8) ==")
+    workloads = [
+        ("chain", chain_query),
+        ("cycle", cycle_query),
+        ("clique", clique_query),
+        ("random", random_query),
+    ]
+    print(f"{'workload':<10}" + "".join(f"{name:>20}" for name, _ in HEURISTICS))
+    for label, factory in workloads:
+        ratios = {name: [] for name, _ in HEURISTICS}
+        for seed in range(5):
+            instance = factory(8, rng=seed)
+            optimum = dp_optimal(instance).cost
+            for name, run in HEURISTICS:
+                ratios[name].append(run(instance, seed).ratio_to(optimum))
+        print(
+            f"{label:<10}"
+            + "".join(f"{mean(ratios[name]):>20.3f}" for name, _ in HEURISTICS)
+        )
+
+
+def adversarial_section() -> None:
+    print("\n== the paper's gap family: log2(cost / certificate) ==")
+    print("(each unit is a doubling; polylog budgets are single digits)")
+    header = f"{'n':>4}{'k_yes':>7}{'k_no':>6}{'floor':>9}"
+    header += "".join(f"{name:>20}" for name, _ in HEURISTICS)
+    print(header)
+    for n, k_yes, k_no in [(8, 6, 2), (10, 8, 2), (12, 9, 3)]:
+        pair = qon_gap_pair(n, k_yes, k_no, alpha=4**n)
+        certificate = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
+        cert_log2 = log2_of(total_cost(pair.yes_reduction.instance, certificate))
+        floor_log2 = log2_of(pair.no_reduction.no_cost_lower_bound())
+        # Heuristics attack the NO instance (log-domain for speed).
+        instance = pair.no_reduction.instance.to_log_domain()
+        row = f"{n:>4}{k_yes:>7}{k_no:>6}{floor_log2 - cert_log2:>9.1f}"
+        for name, run in HEURISTICS:
+            found = run(instance, 0)
+            row += f"{log2_of(found.cost) - cert_log2:>20.1f}"
+        print(row)
+    print(
+        "\nEvery heuristic lands at or above the Lemma 8 floor — no "
+        "polynomial algorithm can do better than the floor on NO "
+        "instances, which is the hardness gap."
+    )
+
+
+def main() -> None:
+    benign_section()
+    adversarial_section()
+
+
+if __name__ == "__main__":
+    main()

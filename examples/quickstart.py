@@ -1,0 +1,77 @@
+"""Quickstart: model a join-ordering problem and optimize it.
+
+Builds a five-relation query, runs the exact optimizers and the
+polynomial-time heuristics, and prints a comparison — the basic
+workflow of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro.graphs import Graph
+from repro.joinopt import (
+    QONInstance,
+    dp_optimal,
+    exhaustive_optimal,
+    greedy_min_cost,
+    greedy_min_size,
+    ikkbz,
+    iterative_improvement,
+    random_sampling,
+    simulated_annealing,
+    total_cost,
+)
+
+
+def main() -> None:
+    # A five-relation chain query: the classic tractable topology.
+    #
+    #   customers - orders - lineitems - parts - suppliers
+    #
+    # Vertices are relations; edges are join predicates with their
+    # selectivities; sizes are in pages (one tuple = one page, as in
+    # the paper's model).
+    graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    sizes = [1_000, 20_000, 150_000, 5_000, 500]
+    selectivities = {
+        (0, 1): Fraction(1, 1_000),   # orders.customer_id = customers.id
+        (1, 2): Fraction(1, 20_000),  # lineitems.order_id = orders.id
+        (2, 3): Fraction(1, 5_000),   # lineitems.part_id = parts.id
+        (3, 4): Fraction(1, 500),     # parts.supplier_id = suppliers.id
+    }
+    instance = QONInstance(graph, sizes, selectivities)
+
+    print("Query graph:", instance)
+    print(f"{'optimizer':<24}{'cost':>16}  sequence")
+    optimizers = [
+        exhaustive_optimal,
+        dp_optimal,
+        ikkbz,  # polynomial and exact: the query graph is a tree
+        greedy_min_cost,
+        greedy_min_size,
+        lambda inst: iterative_improvement(inst, rng=0),
+        lambda inst: simulated_annealing(inst, rng=0),
+        lambda inst: random_sampling(inst, rng=0),
+    ]
+    optimal_cost = None
+    for optimize in optimizers:
+        result = optimize(instance)
+        if result.is_exact and optimal_cost is None:
+            optimal_cost = result.cost
+        ratio = ""
+        if optimal_cost is not None:
+            ratio = f"  ({result.ratio_to(optimal_cost):.3f}x optimal)"
+        print(
+            f"{result.optimizer:<24}{str(result.cost):>16}  "
+            f"{result.sequence}{ratio}"
+        )
+
+    # Every result can be re-checked against the cost model directly.
+    best = dp_optimal(instance)
+    assert total_cost(instance, best.sequence) == best.cost
+    print("\nOptimal join sequence verified against the cost model.")
+
+
+if __name__ == "__main__":
+    main()

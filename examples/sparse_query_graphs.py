@@ -1,0 +1,72 @@
+"""Section 6: the hardness survives any edge density.
+
+The dense reductions produce query graphs with ~n²/2 edges, which
+might suggest that *sparse* queries — the ones practice actually sees —
+could be easier to approximate.  Section 6 closes that door: for any
+target edge count e(m) between m + m^tau and the complete graph, the
+padded reductions f_{N,e} hit the budget exactly while preserving the
+cost gap.  This example builds the padding and measures both halves.
+
+Run:  python examples/sparse_query_graphs.py
+"""
+
+import math
+
+from repro.core.reductions.clique_to_qon import clique_to_qon
+from repro.core.reductions.sparse import sparse_clique_to_qon
+from repro.graphs.generators import complete_graph
+from repro.joinopt.optimizers import dp_optimal
+from repro.utils.lognum import log2_of
+from repro.workloads.gaps import turan_graph
+
+
+def main() -> None:
+    alpha = 4**6
+    yes_graph = complete_graph(4)       # omega = 4 (the YES promise)
+    no_graph = turan_graph(4, 2)        # omega = 2 (the NO promise)
+
+    print("== structural half: hit any edge budget exactly ==")
+    print(f"{'tau':>5}{'m (vertices)':>14}{'e(m) target':>13}{'built':>8}{'connected':>11}")
+    for tau in (1.0, 0.5, 0.34):
+        reduction = sparse_clique_to_qon(
+            yes_graph, k_yes=4, k_no=2, tau=tau, alpha=alpha, rng=0
+        )
+        m = reduction.m
+        target = m + math.ceil(m**tau)
+        print(
+            f"{tau:>5}{m:>14}{target:>13}{reduction.query_graph.num_edges:>8}"
+            f"{str(reduction.query_graph.is_connected()):>11}"
+        )
+
+    print("\n== cost half: the gap survives the padding (tau = 1) ==")
+    rows = []
+    for label, graph in [("YES (K4)", yes_graph), ("NO (Turan)", no_graph)]:
+        dense = clique_to_qon(graph, k_yes=4, k_no=2, alpha=alpha)
+        padded = sparse_clique_to_qon(
+            graph, k_yes=4, k_no=2, tau=1.0, alpha=alpha, rng=1
+        )
+        dense_opt = dp_optimal(dense.instance)
+        padded_opt = dp_optimal(padded.instance, max_relations=16)
+        rows.append((label, dense_opt, padded_opt, padded))
+        print(
+            f"{label:<12} dense optimum 2^{log2_of(dense_opt.cost):.1f}  "
+            f"padded optimum 2^{log2_of(padded_opt.cost):.1f}  "
+            f"(aux budget alpha^O(1) = 2^{float(padded.aux_perturbation_log2()):.1f})"
+        )
+
+    yes_padded = rows[0][2].cost
+    no_padded = rows[1][2].cost
+    print(
+        f"\npadded separation: NO / YES = "
+        f"2^{log2_of(no_padded) - log2_of(yes_padded):.1f} — the dense gap, "
+        "shifted by at most the auxiliary perturbation."
+    )
+    print(
+        "\nConclusion (Theorems 16/17): only queries with m + o(m^tau) "
+        "edges — essentially trees — can escape the hardness, and trees "
+        "are exactly the IKKBZ-tractable family."
+    )
+
+
+if __name__ == "__main__":
+    main()

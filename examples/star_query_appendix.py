@@ -1,0 +1,89 @@
+"""The appendix chain: PARTITION -> SPPCS -> SQO-CP.
+
+Shows the NP-completeness machinery for star queries without cartesian
+products (Appendix A/B): a number-partitioning instance becomes a
+subset-product problem, which becomes a star-query optimization problem
+whose optimal plan encodes the chosen subset in its *join order and
+method mix* (nested loops for the subset, sort-merge for the rest).
+
+Run:  python examples/star_query_appendix.py
+"""
+
+from repro.core.reductions.partition_to_sppcs import partition_to_sppcs
+from repro.core.reductions.sppcs_to_sqocp import sppcs_to_sqocp
+from repro.starqo.instance import JoinMethod
+from repro.starqo.optimizer import best_plan
+from repro.starqo.partition import PartitionInstance, find_partition, has_partition
+from repro.starqo.sppcs import SPPCSInstance, sppcs_best_subset
+
+
+def main() -> None:
+    print("== step 0: PARTITION ==")
+    yes_values = [10, 10]
+    no_values = [10, 6]
+    for values in (yes_values, no_values):
+        instance = PartitionInstance(values)
+        witness = find_partition(instance)
+        print(
+            f"{values}: partitionable = {has_partition(instance)}"
+            + (f", witness indices {witness}" if witness else "")
+        )
+
+    print("\n== step 1: PARTITION -> SPPCS (repaired Appendix A.5) ==")
+    construction = partition_to_sppcs(PartitionInstance(yes_values))
+    sppcs = construction.instance
+    print(
+        f"SPPCS items (p_i bits, c_i bits): "
+        f"{[(p.bit_length(), c.bit_length()) for p, c in sppcs.pairs]}"
+    )
+    best_value, subset = sppcs_best_subset(sppcs)
+    print(
+        f"optimal subset {subset}: objective meets bound? "
+        f"{best_value <= sppcs.bound}"
+    )
+
+    print("\n== step 2: SPPCS -> SQO-CP (Appendix B) ==")
+    # A small hand-made SPPCS instance keeps the star query readable.
+    pairs = [(2, 2), (2, 3), (3, 1)]
+    optimum, best_subset = sppcs_best_subset(SPPCSInstance(pairs, 0))
+    print(f"SPPCS pairs {pairs}: optimum objective {optimum} at {best_subset}")
+    reduction = sppcs_to_sqocp(SPPCSInstance(pairs, optimum))
+    instance = reduction.instance
+    print(
+        f"star query: R0 (central) + {instance.num_satellites} satellites, "
+        f"k_s = {instance.sort_passes}"
+    )
+
+    cost, plan = best_plan(instance)
+    print(f"optimal plan cost <= threshold M? {cost <= reduction.threshold}")
+    names = {JoinMethod.NESTED_LOOPS: "NL", JoinMethod.SORT_MERGE: "SM"}
+    steps = [
+        f"R{plan.sequence[i + 1]}[{names[plan.methods[i]]}]"
+        for i in range(len(plan.methods))
+    ]
+    print(f"plan: R{plan.sequence[0]} -> " + " -> ".join(steps))
+
+    anchor = instance.num_satellites  # R_{m+1} in paper numbering
+    boundary = plan.sequence.index(anchor)
+    encoded = sorted(s - 1 for s in plan.sequence[1:boundary])
+    print(
+        f"subset encoded by the plan (satellites before R_{anchor}): "
+        f"{encoded} -> objective "
+        f"{SPPCSInstance(pairs, 0).objective(encoded)} (= optimum)"
+    )
+
+    print("\n== step 2 on a NO instance ==")
+    reduction_no = sppcs_to_sqocp(SPPCSInstance(pairs, optimum - 1))
+    cost_no, _ = best_plan(reduction_no.instance)
+    print(
+        f"bound tightened to {optimum - 1}: optimal plan cost <= M? "
+        f"{cost_no <= reduction_no.threshold}"
+    )
+    print(
+        "\nConclusion (Appendix B): deciding SQO-CP plan cost <= M "
+        "decides SPPCS, hence PARTITION — SQO-CP is NP-complete."
+    )
+
+
+if __name__ == "__main__":
+    main()

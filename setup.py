@@ -1,0 +1,7 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where the `wheel` package (required by PEP 660 editable installs) is
+unavailable.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

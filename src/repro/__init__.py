@@ -1,0 +1,17 @@
+"""repro: reproduction of "On the Complexity of Approximate Query
+Optimization" (PODS 2002).
+
+Subpackages:
+
+* :mod:`repro.sat` — 3SAT substrate (formulas, solvers, gap families);
+* :mod:`repro.graphs` — graphs, clique and vertex-cover machinery;
+* :mod:`repro.joinopt` — the QO_N nested-loops join-ordering problem;
+* :mod:`repro.hashjoin` — the QO_H pipelined hash-join problem;
+* :mod:`repro.starqo` — the SQO-CP star-query problem and SPPCS;
+* :mod:`repro.core` — the paper's reductions, gap quantities and
+  end-to-end hardness chains;
+* :mod:`repro.workloads` — parametric instance families for benchmarks;
+* :mod:`repro.utils` — numerics (log-domain arithmetic), RNG, checks.
+"""
+
+__version__ = "1.0.0"

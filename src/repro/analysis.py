@@ -1,0 +1,85 @@
+"""Analysis helpers for the benchmark harness.
+
+The asymptotic claims of Theorems 9 and 15 are statements about
+exponents; these helpers turn measured series into the quantities the
+paper reports:
+
+* :func:`fit_power_law` — least-squares fit of ``y = a * x^b`` in
+  log-log space (used to confirm ``log K = Theta(n^2 log alpha)``);
+* :func:`gap_exponent` — the measured ``log2(gap) / log2(K)^e`` curve,
+  locating the ``e`` at which the gap stops being polylog;
+* :func:`competitive_ratio_log2` — ratio bookkeeping that works for
+  thousands-of-bits costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.utils.lognum import log2_of
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ~ coefficient * x^exponent`` with an R^2 quality score."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log y = b log x + log a``.
+
+    Pure-Python closed form (no numpy dependency in the library core).
+    """
+    require(len(xs) == len(ys), "series must have equal length")
+    require(len(xs) >= 2, "need at least two points")
+    require(all(x > 0 for x in xs), "x values must be positive")
+    require(all(y > 0 for y in ys), "y values must be positive")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(y) for y in ys]
+    n = len(xs)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    ss_xx = sum((x - mean_x) ** 2 for x in log_x)
+    require(ss_xx > 0, "x values must not be all equal")
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in zip(log_x, log_y))
+    slope = ss_xy / ss_xx
+    intercept = mean_y - slope * mean_x
+    predictions = [slope * x + intercept for x in log_x]
+    ss_res = sum((y - p) ** 2 for y, p in zip(log_y, predictions))
+    ss_tot = sum((y - mean_y) ** 2 for y in log_y)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=slope, coefficient=math.exp(intercept), r_squared=r_squared
+    )
+
+
+def competitive_ratio_log2(found_cost, optimal_cost) -> float:
+    """``log2(found / optimal)``, safe for astronomically large costs."""
+    return float(log2_of(found_cost) - log2_of(optimal_cost))
+
+
+def gap_exponent(gap_log2: float, cost_log2: float) -> float:
+    """The ``e`` such that ``gap = 2^{(log2 K)^e}``.
+
+    Theorem 9 asserts the reductions achieve ``e -> 1`` as delta -> 0;
+    any ``e > 0`` already defeats every polylog ratio asymptotically.
+    """
+    require(gap_log2 > 0, "gap must exceed 1")
+    require(cost_log2 > 1, "cost must exceed 2")
+    return math.log(gap_log2) / math.log(cost_log2)
+
+
+def summarize_series(
+    ns: Sequence[int], k_log2s: Sequence[float], gap_log2s: Sequence[float]
+) -> List[Tuple[int, float, float, float]]:
+    """Per-n rows of (n, log2 K, gap log2, gap exponent)."""
+    rows = []
+    for n, k_log2, gap_log2 in zip(ns, k_log2s, gap_log2s):
+        rows.append((n, k_log2, gap_log2, gap_exponent(gap_log2, k_log2)))
+    return rows

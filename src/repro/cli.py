@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+Usage (installed as ``python -m repro``):
+
+    python -m repro gen --family chain --relations 6 --out q.json
+    python -m repro optimize q.json --algorithm dp
+    python -m repro reduce-sat --variables 6 --clauses 16 --satisfiable \\
+        --target qon --out hard.json
+    python -m repro gap-report --relations 10 --alpha-exp 20
+
+Instances travel as the JSON format of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import List, Optional
+
+from repro import io
+from repro.core.chains import hardness_chain_qoh, hardness_chain_qon
+from repro.core.gap import gap_factor_log2, k_cd_log2, polylog_budget_log2
+from repro.joinopt.instance import QONInstance
+from repro.joinopt.optimizers import (
+    branch_and_bound,
+    dp_optimal,
+    exhaustive_optimal,
+    genetic_algorithm,
+    greedy_min_cost,
+    greedy_min_size,
+    ikkbz,
+    iterative_improvement,
+    random_sampling,
+    simulated_annealing,
+)
+from repro.engine import execute_sequence, generate_database
+from repro.engine.data import harmonize_sizes
+from repro.joinopt.explain import explain
+from repro.sat.gapfamilies import no_instance, yes_instance
+from repro.utils.lognum import log2_of
+from repro.workloads import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    qon_gap_pair,
+    random_query,
+    star_query,
+)
+
+_FAMILIES = {
+    "chain": chain_query,
+    "star": star_query,
+    "cycle": cycle_query,
+    "clique": clique_query,
+    "random": random_query,
+}
+
+_ALGORITHMS = {
+    "exhaustive": exhaustive_optimal,
+    "bnb": branch_and_bound,
+    "dp": dp_optimal,
+    "ikkbz": ikkbz,
+    "greedy-cost": greedy_min_cost,
+    "greedy-size": greedy_min_size,
+    "iterative": iterative_improvement,
+    "annealing": simulated_annealing,
+    "sampling": random_sampling,
+    "genetic": genetic_algorithm,
+}
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    factory = _FAMILIES[args.family]
+    instance = factory(
+        args.relations, rng=args.seed,
+        size_max=args.size_max, domain_max=args.domain_max,
+    )
+    io.save(instance, args.out)
+    print(f"wrote {args.family} query with {args.relations} relations to {args.out}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    instance = io.load(args.instance)
+    if not isinstance(instance, QONInstance):
+        print("optimize currently supports QO_N instances", file=sys.stderr)
+        return 2
+    algorithm = _ALGORITHMS[args.algorithm]
+    result = algorithm(instance)
+    print(f"algorithm:  {result.optimizer}")
+    print(f"sequence:   {list(result.sequence)}")
+    print(f"cost:       2^{log2_of(result.cost):.3f}")
+    print(f"exact:      {result.is_exact}")
+    print(f"explored:   {result.explored}")
+    return 0
+
+
+def _cmd_reduce_sat(args: argparse.Namespace) -> int:
+    if args.satisfiable:
+        formula = yes_instance(args.variables, args.clauses, rng=args.seed)
+    else:
+        cores = max(1, args.clauses // 8)
+        formula = no_instance(cores)
+    if args.target == "qon":
+        chain = hardness_chain_qon(formula, alpha=args.alpha)
+        instance = chain.instance
+        n = chain.fn_step.n
+    else:
+        chain = hardness_chain_qoh(formula, alpha=args.alpha)
+        instance = chain.instance
+        n = chain.fh_step.n
+    io.save(instance, args.out)
+    print(
+        f"reduced {'YES' if args.satisfiable else 'NO'} 3SAT(13) formula "
+        f"({formula.formula.num_vars} vars, {formula.formula.num_clauses} "
+        f"clauses) to a {args.target} instance on {n} relations -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_gap_report(args: argparse.Namespace) -> int:
+    n = args.relations
+    k_yes = n - 2
+    k_no = 2 + (k_yes % 2)
+    alpha = 4**args.alpha_exp
+    pair = qon_gap_pair(n, k_yes, k_no, alpha=alpha)
+    fn = pair.yes_reduction
+    k_log2 = float(
+        k_cd_log2(fn.alpha_log2, log2_of(fn.edge_access_cost), fn.k_yes, fn.k_no)
+    )
+    gap_log2 = float(gap_factor_log2(fn.alpha_log2, fn.k_yes, fn.k_no))
+    print(f"f_N gap report (n={n}, alpha=4^{args.alpha_exp})")
+    print(f"  k_yes / k_no:       {fn.k_yes} / {fn.k_no}")
+    print(f"  log2 K_{{c,d}}:       {k_log2:.1f}")
+    print(f"  log2 gap factor:    {gap_log2:.1f}")
+    for delta in (0.9, 0.5, 0.25):
+        budget = polylog_budget_log2(k_log2, delta=delta)
+        verdict = "gap wins" if gap_log2 > budget else "budget wins"
+        print(
+            f"  vs 2^{{log^{{{1 - delta:.2f}}} K}} budget: "
+            f"{budget:.1f}  -> {verdict}"
+        )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    instance = io.load(args.instance)
+    if not isinstance(instance, QONInstance):
+        print("explain currently supports QO_N instances", file=sys.stderr)
+        return 2
+    result = _ALGORITHMS[args.algorithm](instance)
+    print(explain(instance, result.sequence))
+    return 0
+
+
+def _cmd_execute(args: argparse.Namespace) -> int:
+    instance = io.load(args.instance)
+    if not isinstance(instance, QONInstance):
+        print("execute currently supports QO_N instances", file=sys.stderr)
+        return 2
+    if args.harmonize:
+        instance = harmonize_sizes(instance)
+    database = generate_database(instance)
+    result = _ALGORITHMS[args.algorithm](instance)
+    trace = execute_sequence(database, result.sequence)
+    from repro.joinopt.cost import intermediate_sizes, join_costs
+
+    predicted_n = intermediate_sizes(instance, result.sequence)
+    predicted_h = join_costs(instance, result.sequence)
+    print(f"sequence: {list(result.sequence)}  (exactness guaranteed: {database.exact})")
+    print(f"{'join':<6}{'N model':>12}{'N real':>12}{'H model':>12}{'H real':>12}")
+    for index, join in enumerate(trace.joins):
+        print(
+            f"J_{index + 1:<4}{str(predicted_n[index]):>12}"
+            f"{join.output_rows:>12}{str(predicted_h[index]):>12}"
+            f"{join.probe_rows:>12}"
+        )
+    print(f"result rows: {trace.result_rows}")
+    return 0
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from repro.core.scorecard import build_scorecard
+
+    scorecard = build_scorecard()
+    print(scorecard.render())
+    return 0 if scorecard.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On the Complexity of Approximate Query "
+            "Optimization' (PODS 2002)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    gen = subparsers.add_parser("gen", help="generate a query instance")
+    gen.add_argument("--family", choices=sorted(_FAMILIES), default="random")
+    gen.add_argument("--relations", type=int, default=8)
+    gen.add_argument("--size-max", type=int, default=100_000)
+    gen.add_argument("--domain-max", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=_cmd_gen)
+
+    optimize = subparsers.add_parser("optimize", help="optimize an instance")
+    optimize.add_argument("instance")
+    optimize.add_argument(
+        "--algorithm", choices=sorted(_ALGORITHMS), default="dp"
+    )
+    optimize.set_defaults(func=_cmd_optimize)
+
+    reduce_sat = subparsers.add_parser(
+        "reduce-sat", help="run the hardness reduction chain"
+    )
+    reduce_sat.add_argument("--variables", type=int, default=6)
+    reduce_sat.add_argument("--clauses", type=int, default=16)
+    reduce_sat.add_argument(
+        "--satisfiable", action="store_true", help="YES-promise source"
+    )
+    reduce_sat.add_argument("--target", choices=("qon", "qoh"), default="qon")
+    reduce_sat.add_argument("--alpha", type=int, default=4)
+    reduce_sat.add_argument("--seed", type=int, default=0)
+    reduce_sat.add_argument("--out", required=True)
+    reduce_sat.set_defaults(func=_cmd_reduce_sat)
+
+    explain_cmd = subparsers.add_parser(
+        "explain", help="print the execution plan of an optimizer's choice"
+    )
+    explain_cmd.add_argument("instance")
+    explain_cmd.add_argument(
+        "--algorithm", choices=sorted(_ALGORITHMS), default="dp"
+    )
+    explain_cmd.set_defaults(func=_cmd_explain)
+
+    execute_cmd = subparsers.add_parser(
+        "execute", help="materialize synthetic data and run the plan"
+    )
+    execute_cmd.add_argument("instance")
+    execute_cmd.add_argument(
+        "--algorithm", choices=sorted(_ALGORITHMS), default="dp"
+    )
+    execute_cmd.add_argument(
+        "--harmonize",
+        action="store_true",
+        help="round sizes up so the estimates are exact",
+    )
+    execute_cmd.set_defaults(func=_cmd_execute)
+
+    report = subparsers.add_parser(
+        "gap-report", help="print the Theorem 9 gap quantities"
+    )
+    report.add_argument("--relations", type=int, default=12)
+    report.add_argument("--alpha-exp", type=int, default=12)
+    report.set_defaults(func=_cmd_gap_report)
+
+    scorecard = subparsers.add_parser(
+        "scorecard", help="verify every theorem's fast checks"
+    )
+    scorecard.set_defaults(func=_cmd_scorecard)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: reductions, gap quantities, hardness chains.
+
+Layout:
+
+* :mod:`repro.core.reductions` — one module per reduction step
+  (3SAT -> VERTEX COVER -> CLIQUE / 2/3-CLIQUE -> QO_N / QO_H, the
+  sparse paddings of Section 6, and the appendix chain
+  PARTITION -> SPPCS -> SQO-CP);
+* :mod:`repro.core.gap` — the quantitative gap functions
+  K_{c,d}(alpha, n), L(alpha, n), G(alpha, n) and the
+  2^{log^{1-delta} K} budget they defeat;
+* :mod:`repro.core.certificates` — constructive YES-side witnesses
+  (the cheap join sequences of Lemma 6 and Lemma 12);
+* :mod:`repro.core.chains` — end-to-end composed reductions with all
+  intermediate artifacts retained for inspection.
+"""
+
+from repro.core.gap import (
+    default_alpha_exponent,
+    gap_factor_log2,
+    k_cd,
+    k_cd_log2,
+    l_bound_log2,
+    g_bound_log2,
+    polylog_budget_log2,
+)
+from repro.core.certificates import (
+    qoh_certificate_plan,
+    qon_certificate_sequence,
+)
+from repro.core.report import QONHardnessReport, build_qon_report
+from repro.core.chains import (
+    QOHHardnessInstance,
+    QONHardnessInstance,
+    hardness_chain_qoh,
+    hardness_chain_qon,
+)
+
+__all__ = [
+    "default_alpha_exponent",
+    "gap_factor_log2",
+    "k_cd",
+    "k_cd_log2",
+    "l_bound_log2",
+    "g_bound_log2",
+    "polylog_budget_log2",
+    "qoh_certificate_plan",
+    "qon_certificate_sequence",
+    "QONHardnessReport",
+    "build_qon_report",
+    "QOHHardnessInstance",
+    "QONHardnessInstance",
+    "hardness_chain_qoh",
+    "hardness_chain_qon",
+]

@@ -1,0 +1,97 @@
+"""Constructive YES-side witnesses (Lemma 6 and Lemma 12).
+
+These build the *cheap plans* whose existence the YES side of each gap
+theorem asserts, so benchmarks can evaluate their exact cost and
+compare against ``K_{c,d}`` / ``L(alpha, n)`` without any search.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.reductions.clique_to_qoh import FHReduction
+from repro.core.reductions.clique_to_qon import FNReduction
+from repro.graphs.graph import Graph
+from repro.hashjoin.optimizer import QOHPlan
+from repro.hashjoin.pipeline import PipelineDecomposition, decomposition_cost
+from repro.utils.validation import require
+
+
+def _connected_completion(
+    graph: Graph, prefix: List[int]
+) -> List[int]:
+    """Extend ``prefix`` to a full order, each new vertex adjacent to
+    the prefix when possible (avoiding cartesian products)."""
+    order = list(prefix)
+    in_order = set(order)
+    remaining = [v for v in graph.vertices() if v not in in_order]
+    while remaining:
+        pick = None
+        for candidate in remaining:
+            if any(graph.has_edge(candidate, earlier) for earlier in order):
+                pick = candidate
+                break
+        if pick is None:
+            # Disconnected graph: a cartesian product is unavoidable.
+            pick = remaining[0]
+        order.append(pick)
+        in_order.add(pick)
+        remaining.remove(pick)
+    return order
+
+
+def qon_certificate_sequence(
+    reduction: FNReduction, clique: Sequence[int]
+) -> Tuple[int, ...]:
+    """The Lemma 6 join sequence: clique first, then connected fill.
+
+    ``clique`` must be a clique of the reduction's query graph with at
+    least ``k_yes`` vertices (extra members are fine — only the first
+    ``k_yes`` drive the bound; we keep them all in front).
+    """
+    graph = reduction.graph
+    members = list(dict.fromkeys(clique))
+    require(
+        len(members) >= reduction.k_yes,
+        f"certificate clique must have >= k_yes = {reduction.k_yes} vertices",
+    )
+    for index, u in enumerate(members):
+        for v in members[index + 1 :]:
+            require(graph.has_edge(u, v), "certificate set is not a clique")
+    return tuple(_connected_completion(graph, members))
+
+
+def qoh_certificate_plan(
+    reduction: FHReduction, clique: Sequence[int]
+) -> QOHPlan:
+    """The Lemma 12 plan: ``v_0``, then the 2n/3 clique, then the rest,
+    split into the five pipelines P(1,1), P(2, n/3), P(n/3+1, 2n/3),
+    P(2n/3+1, n-1), P(n, n).
+
+    ``clique`` uses *source-graph* vertex ids (0-based, pre-shift).
+    Returns the full plan with its exact cost.
+    """
+    n = reduction.n
+    require(n >= 6, "the five-pipeline certificate needs n >= 6")
+    members = list(dict.fromkeys(clique))
+    require(
+        len(members) >= 2 * n // 3,
+        f"certificate clique must have >= 2n/3 = {2 * n // 3} vertices",
+    )
+    source = reduction.source_graph
+    for index, u in enumerate(members):
+        for v in members[index + 1 :]:
+            require(source.has_edge(u, v), "certificate set is not a clique")
+    members = members[: 2 * n // 3]
+
+    rest = [v for v in range(n) if v not in set(members)]
+    # Shift to instance relation ids (+1; hub is 0).
+    sequence = (0, *[v + 1 for v in members], *[v + 1 for v in rest])
+
+    num_joins = n  # n + 1 relations
+    third = n // 3
+    breaks = sorted({1, third, 2 * third, num_joins - 1} - {num_joins})
+    decomposition = PipelineDecomposition.from_breaks(num_joins, breaks)
+    cost = decomposition_cost(reduction.instance, sequence, decomposition)
+    require(cost is not None, "certificate decomposition is infeasible")
+    return QOHPlan(sequence=sequence, decomposition=decomposition, cost=cost)

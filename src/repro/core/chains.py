@@ -1,0 +1,148 @@
+"""End-to-end hardness chains (Theorems 9 and 15).
+
+These compose the SAT-side reductions with f_N / f_H and retain every
+intermediate artifact, so an experiment can inspect the whole pipeline:
+
+    gap 3SAT(13)  --Lemma 3-->  CLIQUE       --f_N-->  QO_N instance
+    gap 3SAT(13)  --Lemma 4-->  2/3-CLIQUE   --f_H-->  QO_H instance
+
+For YES-promise formulas the chain also carries the *certificate*: the
+planted satisfying assignment becomes a clique (Lemma 3/4 witness
+mapping), which becomes a cheap join sequence (Lemma 6/12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from repro.core.certificates import (
+    qoh_certificate_plan,
+    qon_certificate_sequence,
+)
+from repro.core.reductions.clique_to_qoh import FHReduction, clique_to_qoh
+from repro.core.reductions.clique_to_qon import FNReduction, clique_to_qon
+from repro.core.reductions.sat_to_clique import CliqueReduction, sat_to_clique
+from repro.core.reductions.sat_to_two_thirds_clique import (
+    TwoThirdsCliqueReduction,
+    sat_to_two_thirds_clique,
+)
+from repro.hashjoin.optimizer import QOHPlan
+from repro.sat.gapfamilies import GapFormula
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class QONHardnessInstance:
+    """Everything produced by the 3SAT -> QO_N chain."""
+
+    source: GapFormula
+    clique_step: CliqueReduction
+    fn_step: FNReduction
+    certificate_sequence: Optional[Tuple[int, ...]]
+
+    @property
+    def instance(self):
+        return self.fn_step.instance
+
+    def yes_cost_bound(self) -> int:
+        return self.fn_step.yes_cost_bound()
+
+    def no_cost_lower_bound(self) -> int:
+        return self.fn_step.no_cost_lower_bound()
+
+
+@dataclass(frozen=True)
+class QOHHardnessInstance:
+    """Everything produced by the 3SAT -> QO_H chain."""
+
+    source: GapFormula
+    clique_step: TwoThirdsCliqueReduction
+    fh_step: FHReduction
+    certificate_plan: Optional[QOHPlan]
+
+    @property
+    def instance(self):
+        return self.fh_step.instance
+
+
+def hardness_chain_qon(
+    source: GapFormula,
+    alpha: Optional[int] = None,
+    delta: float = 1.0,
+    family_theta: Optional[Fraction] = None,
+) -> QONHardnessInstance:
+    """Compose Lemma 3 with f_N (Theorem 9's reduction).
+
+    The reduction is fixed per *family*: ``d`` is derived from the
+    family's gap ``theta`` (``dn = ceil(theta m)``), for YES and NO
+    sources alike.  ``family_theta`` defaults to the source's own theta
+    for NO instances and to 1/8 (the canonical core gap) for YES ones.
+    """
+    clique_step = sat_to_clique(source)
+    k_yes = clique_step.clique_if_satisfiable
+    if family_theta is None:
+        family_theta = (
+            source.theta if not source.satisfiable else Fraction(1, 8)
+        )
+    deficit = math.ceil(family_theta * source.formula.num_clauses)
+    if deficit % 2:
+        # k_yes + k_no must be even for f_N; shrinking the deficit by
+        # one *weakens* the NO bound, which stays sound.
+        deficit -= 1
+    require(
+        deficit >= 2,
+        "formula too small for an even clique gap; use a family with "
+        "theta * num_clauses >= 2 (e.g. more unsatisfiable cores)",
+    )
+    k_no = k_yes - deficit
+    if not source.satisfiable:
+        assert clique_step.clique_bound_if_gap is not None
+        require(
+            k_no >= clique_step.clique_bound_if_gap,
+            "family theta exceeds the instance's certified gap",
+        )
+    fn_step = clique_to_qon(
+        clique_step.graph, k_yes=k_yes, k_no=k_no, alpha=alpha, delta=delta
+    )
+    certificate: Optional[Tuple[int, ...]] = None
+    if source.satisfiable:
+        assert source.witness is not None
+        clique = clique_step.clique_from_assignment(source.witness)
+        certificate = qon_certificate_sequence(fn_step, clique)
+    return QONHardnessInstance(
+        source=source,
+        clique_step=clique_step,
+        fn_step=fn_step,
+        certificate_sequence=certificate,
+    )
+
+
+def hardness_chain_qoh(
+    source: GapFormula,
+    alpha: Optional[int] = None,
+    delta: float = 1.0,
+) -> QOHHardnessInstance:
+    """Compose Lemma 4 with f_H (Theorem 15's reduction)."""
+    clique_step = sat_to_two_thirds_clique(source)
+    n = clique_step.graph.num_vertices
+    require(n % 3 == 0, "Lemma 4 output must have n divisible by 3")
+    fh_step = clique_to_qoh(
+        clique_step.graph,
+        epsilon=clique_step.epsilon,
+        alpha=alpha,
+        delta=delta,
+    )
+    certificate: Optional[QOHPlan] = None
+    if source.satisfiable:
+        assert source.witness is not None
+        clique = clique_step.clique_from_assignment(source.witness)
+        certificate = qoh_certificate_plan(fh_step, clique)
+    return QOHHardnessInstance(
+        source=source,
+        clique_step=clique_step,
+        fh_step=fh_step,
+        certificate_plan=certificate,
+    )

@@ -1,0 +1,118 @@
+"""Gap quantities of Theorems 9 and 15.
+
+For QO_N (with ``beta = c - d/2`` and ``B = beta * n``):
+
+* ``K_{c,d}(alpha, n) = w * alpha ** (B (B + 1) / 2 + 1)`` — the
+  YES-side cost bound (Lemma 6);
+* NO-side lower bound ``K * alpha ** (d n / 2 - 1)`` (Lemma 8);
+* ``log K = Theta(n^2 log alpha)``; choosing
+  ``alpha = 4 ** (n ** (1/delta))`` makes the gap
+  ``2^{Theta(log^{1 - delta'} K)}`` — bigger than every polylog.
+
+For QO_H:
+
+* ``L(alpha, n) = t0 * alpha ** (n^2 / 9)`` (Lemma 11/12);
+* ``G(alpha, n) = t0 * alpha ** (n^2/9 + n eps/3 - 1)`` (Lemma 13/14).
+
+Exact big-int versions are provided where exponents are integral;
+``*_log2`` variants (Fraction exponent arithmetic) cover sweeps where
+the exact integers would be gigabytes.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Union
+
+from repro.utils.validation import require
+
+Real = Union[int, Fraction, float]
+
+
+def default_alpha_exponent(n: int, delta: float = 1.0) -> int:
+    """The even base-2 exponent ``e`` with ``alpha = 2**e``.
+
+    The paper sets ``alpha = 4 ** (n ** (1/delta))``; we return
+    ``2 * ceil(n ** (1/delta))`` so ``alpha`` is a perfect square (the
+    reductions need integer ``sqrt(alpha)``).
+    """
+    require(n >= 1, "n must be positive")
+    require(delta > 0, "delta must be positive")
+    return 2 * math.ceil(n ** (1.0 / delta))
+
+
+def k_cd(alpha: int, w: int, k_yes: int, k_no: int) -> int:
+    """Exact ``K_{c,d}(alpha, n)`` for integral parameters.
+
+    ``B = beta n = (c - d/2) n = (k_yes + k_no) / 2`` must be integral
+    (the f_N constructor enforces the parity).
+    """
+    require((k_yes + k_no) % 2 == 0, "k_yes + k_no must be even")
+    b = (k_yes + k_no) // 2
+    exponent = b * (b + 1) // 2 + 1
+    return w * alpha**exponent
+
+
+def k_cd_log2(alpha_log2: Real, w_log2: Real, k_yes: int, k_no: int) -> Fraction:
+    """``log2 K_{c,d}`` with exact Fraction exponent arithmetic."""
+    b = Fraction(k_yes + k_no, 2)
+    exponent = b * (b + 1) / 2 + 1
+    return Fraction(w_log2) + Fraction(alpha_log2) * exponent
+
+
+def gap_factor_log2(alpha_log2: Real, k_yes: int, k_no: int) -> Fraction:
+    """``log2`` of the NO/YES gap factor ``alpha ** (dn/2 - 1)``."""
+    half_gap = Fraction(k_yes - k_no, 2)
+    return Fraction(alpha_log2) * (half_gap - 1)
+
+
+def no_side_lower_bound(alpha: int, w: int, k_yes: int, k_no: int) -> int:
+    """Exact Lemma 8 lower bound ``K * alpha ** (dn/2 - 1)``."""
+    require((k_yes - k_no) % 2 == 0, "k_yes - k_no must be even")
+    half_gap = (k_yes - k_no) // 2
+    require(half_gap >= 1, "gap must leave a positive exponent")
+    return k_cd(alpha, w, k_yes, k_no) * alpha ** (half_gap - 1)
+
+
+def l_bound_log2(alpha_log2: Real, t0_log2: Real, n: int) -> Fraction:
+    """``log2 L(alpha, n) = log2 t0 + (n^2 / 9) log2 alpha``."""
+    return Fraction(t0_log2) + Fraction(alpha_log2) * Fraction(n * n, 9)
+
+
+def g_bound_log2(
+    alpha_log2: Real, t0_log2: Real, n: int, epsilon: Fraction
+) -> Fraction:
+    """``log2 G(alpha, n) = log2 t0 + (n^2/9 + n eps/3 - 1) log2 alpha``."""
+    exponent = Fraction(n * n, 9) + Fraction(n) * Fraction(epsilon) / 3 - 1
+    return Fraction(t0_log2) + Fraction(alpha_log2) * exponent
+
+
+def polylog_budget_log2(cost_log2: Real, delta: float) -> float:
+    """``log2`` of the ratio budget ``2 ** (log^{1-delta} K)``.
+
+    The theorems say no polynomial algorithm can guarantee a ratio
+    below this budget (for any fixed ``delta > 0``) unless P = NP.
+    ``log`` here is ``log2`` of the optimal cost ``K``.
+    """
+    require(0 < delta < 1, "delta must lie in (0, 1)")
+    value = float(cost_log2)
+    require(value > 0, "cost must exceed 1 for the budget to make sense")
+    return value ** (1.0 - delta)
+
+
+def exceeds_every_polylog(
+    gap_log2: Real, cost_log2: Real, max_exponent: int = 8
+) -> bool:
+    """Heuristic check: is the gap factor larger than ``log^k K`` for
+    all ``k`` up to ``max_exponent``?  Used by the gap benchmarks to
+    assert the qualitative message on concrete instances."""
+    gap = float(gap_log2)
+    log_k = float(cost_log2)  # = log2 K
+    if log_k <= 1:
+        return False
+    # log2 of log2^k K:
+    return all(
+        gap > max(1, max_exponent) and gap > k * math.log2(log_k)
+        for k in range(1, max_exponent + 1)
+    )

@@ -1,0 +1,56 @@
+"""Reduction steps, one module each.
+
+The SAT-side chain (Sections 3-5):
+
+* :mod:`repro.core.reductions.sat_to_vc` — Garey-Johnson 3SAT -> VC;
+* :mod:`repro.core.reductions.sat_to_clique` — Lemma 3;
+* :mod:`repro.core.reductions.sat_to_two_thirds_clique` — Lemma 4;
+* :mod:`repro.core.reductions.clique_to_qon` — f_N (Section 4);
+* :mod:`repro.core.reductions.clique_to_qoh` — f_H (Section 5);
+* :mod:`repro.core.reductions.sparse` — f_{N,e}, f_{H,e} (Section 6).
+
+The appendix chain:
+
+* :mod:`repro.core.reductions.partition_to_sppcs` — Appendix A.5;
+* :mod:`repro.core.reductions.sppcs_to_sqocp` — Appendix B.
+"""
+
+from repro.core.reductions.sat_to_vc import VCReduction, sat_to_vertex_cover
+from repro.core.reductions.sat_to_clique import CliqueReduction, sat_to_clique
+from repro.core.reductions.sat_to_two_thirds_clique import (
+    TwoThirdsCliqueReduction,
+    sat_to_two_thirds_clique,
+)
+from repro.core.reductions.clique_to_qon import FNReduction, clique_to_qon
+from repro.core.reductions.clique_to_qoh import FHReduction, clique_to_qoh
+from repro.core.reductions.sparse import (
+    SparseFNReduction,
+    SparseFHReduction,
+    sparse_clique_to_qon,
+    sparse_clique_to_qoh,
+)
+from repro.core.reductions.partition_to_sppcs import partition_to_sppcs
+from repro.core.reductions.sppcs_to_sqocp import (
+    SQOCPReduction,
+    sppcs_to_sqocp,
+)
+
+__all__ = [
+    "VCReduction",
+    "sat_to_vertex_cover",
+    "CliqueReduction",
+    "sat_to_clique",
+    "TwoThirdsCliqueReduction",
+    "sat_to_two_thirds_clique",
+    "FNReduction",
+    "clique_to_qon",
+    "FHReduction",
+    "clique_to_qoh",
+    "SparseFNReduction",
+    "SparseFHReduction",
+    "sparse_clique_to_qon",
+    "sparse_clique_to_qoh",
+    "partition_to_sppcs",
+    "SQOCPReduction",
+    "sppcs_to_sqocp",
+]

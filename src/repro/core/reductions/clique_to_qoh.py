@@ -1,0 +1,139 @@
+"""f_H: 2/3-CLIQUE -> QO_H (paper Section 5).
+
+Given a graph ``G`` on ``n`` vertices (``n`` divisible by 3), promised
+to have either a clique of ``2n/3`` vertices or none larger than
+``(2 - eps) n / 3``, build the QO_H instance:
+
+* query graph ``G' = G`` plus a fresh hub ``v_0`` adjacent to every
+  vertex (``v_0`` is relation index 0; original vertex ``i`` becomes
+  relation ``i + 1``);
+* ``t = alpha ** ((n-1)/2)`` tuples for every original relation,
+  ``t_0 = (n t) ** 13`` for the hub — so large that no memory budget
+  can hash it, pinning ``R_0`` to the head of every feasible sequence;
+* selectivity ``1/alpha`` on original edges, ``1/2`` on hub edges;
+* memory ``M = (n/3 - 1) t + 2 hjmin(t)`` — one pipeline can hold
+  ``n/3 - 1`` full hash tables plus two starved ones.
+
+Then (Lemmas 11-14): YES instances admit a five-pipeline plan of cost
+``O(L(alpha, n))`` with ``L = t0 * alpha^{n^2/9}``, while NO instances
+force ``Omega(G(alpha, n))`` with ``G = L * alpha^{n eps/3 - 1}``.
+
+The paper sets ``t_0 = Theta((n t)^{13})``; any exponent making
+``hjmin(t_0) > M`` works, and 13 with ``psi = 1/2`` does comfortably.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.core.gap import default_alpha_exponent, g_bound_log2, l_bound_log2
+from repro.graphs.graph import Graph
+from repro.hashjoin.cost_model import HashJoinCostModel
+from repro.hashjoin.instance import QOHInstance
+from repro.utils.lognum import log2_of
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class FHReduction:
+    """Output of f_H, with all reduction parameters retained."""
+
+    instance: QOHInstance
+    source_graph: Graph
+    alpha: int
+    satellite_size: int  # t
+    hub_size: int  # t0
+    epsilon: Optional[Fraction]
+    hub_exponent: int
+
+    @property
+    def n(self) -> int:
+        """Vertex count of the *source* graph (the paper's n)."""
+        return self.source_graph.num_vertices
+
+    @property
+    def alpha_log2(self) -> int:
+        return self.alpha.bit_length() - 1
+
+    def l_bound_log2(self) -> Fraction:
+        """``log2 L(alpha, n)`` — the YES-side cost scale."""
+        return l_bound_log2(self.alpha_log2, log2_of(self.hub_size), self.n)
+
+    def g_bound_log2(self) -> Optional[Fraction]:
+        """``log2 G(alpha, n)`` — the NO-side floor (needs epsilon)."""
+        if self.epsilon is None:
+            return None
+        return g_bound_log2(
+            self.alpha_log2, log2_of(self.hub_size), self.n, self.epsilon
+        )
+
+
+def clique_to_qoh(
+    graph: Graph,
+    epsilon: Optional[Fraction] = None,
+    alpha: Optional[int] = None,
+    delta: float = 1.0,
+    hub_exponent: int = 13,
+    model: HashJoinCostModel = HashJoinCostModel(),
+) -> FHReduction:
+    """Apply f_H to a 2/3-CLIQUE instance.
+
+    Args:
+        graph: the 2/3-CLIQUE instance; ``num_vertices`` divisible by 3.
+        epsilon: NO-side promise slack (clique <= (2 - eps) n / 3);
+            None for YES-promise sources.
+        alpha: blow-up base, perfect square >= 4; the paper wants
+            ``Omega(4^n)`` — default ``4 ** (n * ceil(n ** (1/delta) / n))``
+            is simply ``4 ** ceil(n ** (1/delta))`` (delta=1 gives 4^n).
+        hub_exponent: the ``13`` in ``t0 = (n t) ** 13``.
+        model: hash-join cost model; its ``psi`` must satisfy
+            ``hjmin(t0) > M`` (checked).
+    """
+    n = graph.num_vertices
+    require(n >= 3 and n % 3 == 0, "f_H needs n divisible by 3")
+    if alpha is None:
+        alpha = 1 << default_alpha_exponent(n, delta)
+    require(alpha >= 4, "alpha must be at least 4")
+    sqrt_alpha = math.isqrt(alpha)
+    require(sqrt_alpha * sqrt_alpha == alpha, "alpha must be a perfect square")
+
+    t = sqrt_alpha ** (n - 1)
+    t0 = (n * t) ** hub_exponent
+    memory = (n // 3 - 1) * t + 2 * model.hjmin(t)
+    require(memory > 0, "memory must be positive (need n >= 6 or hjmin > 0)")
+    require(
+        model.hjmin(t0) > memory,
+        "t0 too small: the hub could be hashed, breaking the reduction "
+        "(raise hub_exponent or the cost model's psi)",
+    )
+
+    # Hub is relation 0; original vertex i becomes relation i + 1.
+    edges = [(u + 1, v + 1) for u, v in graph.edges]
+    hub_edges = [(0, i + 1) for i in range(n)]
+    query_graph = Graph(n + 1, edges + hub_edges)
+
+    selectivities = {}
+    for u, v in graph.edges:
+        selectivities[(u + 1, v + 1)] = Fraction(1, alpha)
+    for i in range(n):
+        selectivities[(0, i + 1)] = Fraction(1, 2)
+
+    instance = QOHInstance(
+        query_graph,
+        [t0] + [t] * n,
+        selectivities,
+        memory=memory,
+        model=model,
+    )
+    return FHReduction(
+        instance=instance,
+        source_graph=graph,
+        alpha=alpha,
+        satellite_size=t,
+        hub_size=t0,
+        epsilon=epsilon,
+        hub_exponent=hub_exponent,
+    )

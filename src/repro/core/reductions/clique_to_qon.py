@@ -1,0 +1,140 @@
+"""f_N: CLIQUE -> QO_N (paper Section 4).
+
+Given a (dense) graph ``G`` on ``n`` vertices, promised to have either
+a clique of ``k_yes = c n`` vertices or none larger than
+``k_no = (c - d) n``, build the QO_N instance:
+
+* query graph ``Q = G``;
+* every selectivity on an edge is ``1 / alpha``;
+* every relation size is ``t = alpha ** ((c - d/2) n)
+  = sqrt(alpha) ** (k_yes + k_no)``;
+* edge access costs ``w = t / alpha`` (the model's lower bound);
+  non-edges pay the full scan ``t``.
+
+Then (Lemmas 6 and 8):
+
+* YES: the sequence "clique first" costs at most
+  ``K = K_{c,d}(alpha, n) = w * alpha^{B(B+1)/2 + 1}``, ``B = (c-d/2)n``;
+* NO: *every* sequence costs at least ``K * alpha^{dn/2 - 1}``.
+
+Integrality: we require ``alpha`` to be a perfect square and
+``k_yes + k_no`` even; the constructor bumps ``k_no`` up by one when
+the parity fails (weakening the NO bound by one vertex — sound, and
+recorded on the result).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from repro.core.gap import default_alpha_exponent, k_cd, no_side_lower_bound
+from repro.graphs.graph import Graph
+from repro.joinopt.instance import QONInstance
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class FNReduction:
+    """Output of f_N, with all reduction parameters retained."""
+
+    instance: QONInstance
+    graph: Graph
+    alpha: int
+    k_yes: int
+    k_no: int
+    relation_size: int  # t
+    edge_access_cost: int  # w = t / alpha
+    parity_adjusted: bool
+
+    @property
+    def n(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def c(self) -> Fraction:
+        return Fraction(self.k_yes, self.n)
+
+    @property
+    def d(self) -> Fraction:
+        return Fraction(self.k_yes - self.k_no, self.n)
+
+    @property
+    def alpha_log2(self) -> int:
+        return self.alpha.bit_length() - 1
+
+    def yes_cost_bound(self) -> int:
+        """``K_{c,d}(alpha, n)`` — Lemma 6's certificate budget."""
+        return k_cd(self.alpha, self.edge_access_cost, self.k_yes, self.k_no)
+
+    def no_cost_lower_bound(self) -> int:
+        """``K * alpha^{dn/2 - 1}`` — Lemma 8's floor for NO instances."""
+        return no_side_lower_bound(
+            self.alpha, self.edge_access_cost, self.k_yes, self.k_no
+        )
+
+
+def clique_to_qon(
+    graph: Graph,
+    k_yes: int,
+    k_no: int,
+    alpha: Optional[int] = None,
+    delta: float = 1.0,
+) -> FNReduction:
+    """Apply f_N to a CLIQUE gap instance.
+
+    Args:
+        graph: the CLIQUE instance (ideally dense/connected; the
+            reduction itself imposes no structural requirement).
+        k_yes: the YES-promise clique size (``c n``).
+        k_no: the NO-promise clique bound (``(c - d) n``), strictly
+            below ``k_yes``.
+        alpha: the blow-up base; must be a perfect square >= 4.
+            Defaults to ``4 ** ceil(n ** (1/delta))``.
+        delta: exponent knob for the default alpha (paper: the gap
+            becomes ``2^{log^{1-delta'} K}``).
+    """
+    n = graph.num_vertices
+    require(n >= 2, "need at least two relations")
+    require(1 <= k_no < k_yes <= n, "need 1 <= k_no < k_yes <= n")
+    if alpha is None:
+        alpha = 1 << default_alpha_exponent(n, delta)
+    require(alpha >= 4, "alpha must be at least 4 (Lemma 6 uses a >= 4)")
+    sqrt_alpha = math.isqrt(alpha)
+    require(sqrt_alpha * sqrt_alpha == alpha, "alpha must be a perfect square")
+
+    parity_adjusted = False
+    if (k_yes + k_no) % 2 != 0:
+        k_no += 1
+        parity_adjusted = True
+        require(k_no < k_yes, "parity adjustment closed the gap entirely")
+
+    t = sqrt_alpha ** (k_yes + k_no)
+    w, remainder = divmod(t, alpha)
+    require(remainder == 0, "t must be a multiple of alpha")
+
+    selectivity = Fraction(1, alpha)
+    selectivities = {edge: selectivity for edge in graph.edges}
+    access_costs = {}
+    for i, j in graph.edges:
+        access_costs[(i, j)] = w
+        access_costs[(j, i)] = w
+    instance = QONInstance(
+        graph,
+        [t] * n,
+        selectivities,
+        access_costs,
+        validate=False,  # bounds hold by construction; skip O(m) big-int checks
+    )
+    return FNReduction(
+        instance=instance,
+        graph=graph,
+        alpha=alpha,
+        k_yes=k_yes,
+        k_no=k_no,
+        relation_size=t,
+        edge_access_cost=w,
+        parity_adjusted=parity_adjusted,
+    )

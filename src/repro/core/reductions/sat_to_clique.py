@@ -1,0 +1,132 @@
+"""Lemma 3: 3SAT(13) -> CLIQUE with a multiplicative gap.
+
+Construction (following the paper's proof sketch):
+
+1. run the Garey-Johnson reduction to VERTEX COVER, giving a graph
+   ``G_vc`` on ``n_vc = 2v + 3m`` vertices with
+   ``tau = v + 3m - maxsat``;
+2. complement it: cliques of ``G_vc^c`` are independent sets of
+   ``G_vc``, so ``omega(G_vc^c) = n_vc - tau = v + maxsat`` — i.e.
+   ``v + m`` when satisfiable, at most ``v + m - theta m`` when at
+   most ``(1 - theta) m`` clauses are satisfiable;
+3. pad with a complete graph over ``4v + 3m`` fresh vertices, each
+   adjacent to everything — this adds ``4v + 3m`` to every maximal
+   clique and brings the minimum degree up to the CLIQUE variant's
+   near-complete requirement.
+
+Resulting parameters on ``n = 6v + 6m`` vertices:
+
+* YES: ``omega >= cn`` with ``cn = 5v + 4m``;
+* NO:  ``omega <= (c - d)n`` with ``dn = ceil(theta m)``.
+
+Degree note: a literal vertex of ``G_vc`` has degree at most
+``1 + occurrences(literal) <= 14`` under 3SAT(13), so its complement
+degree is at least ``n - 15`` after padding.  The paper's CLIQUE
+variant states ``>= |V| - 14``; the one-off deficit is immaterial to
+every downstream bound (which only need the deficit to be O(1)) and is
+recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import ceil
+from typing import List, Optional, Tuple
+
+from repro.core.reductions.sat_to_vc import VCReduction, sat_to_vertex_cover
+from repro.graphs.graph import Graph
+from repro.sat.cnf import Assignment, CNFFormula
+from repro.sat.gapfamilies import GapFormula
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class CliqueReduction:
+    """Output of the Lemma 3 reduction.
+
+    Attributes:
+        graph: the CLIQUE instance (dense, near-complete degrees).
+        clique_if_satisfiable: the YES-side clique size ``cn``.
+        clique_bound_if_gap: NO-side upper bound ``(c-d)n``
+            (meaningful only when the source is a NO gap formula).
+        vc_step: the intermediate VERTEX COVER reduction.
+        padding: number of universal vertices appended.
+    """
+
+    graph: Graph
+    clique_if_satisfiable: int
+    clique_bound_if_gap: Optional[int]
+    vc_step: VCReduction
+    padding: int
+
+    @property
+    def c(self) -> Fraction:
+        """The clique fraction ``c`` of this instance family."""
+        return Fraction(self.clique_if_satisfiable, self.graph.num_vertices)
+
+    @property
+    def d(self) -> Optional[Fraction]:
+        """The gap fraction ``d`` (None for YES-promise sources)."""
+        if self.clique_bound_if_gap is None:
+            return None
+        return Fraction(
+            self.clique_if_satisfiable - self.clique_bound_if_gap,
+            self.graph.num_vertices,
+        )
+
+    def clique_from_assignment(self, assignment: Assignment) -> List[int]:
+        """A clique realizing the YES bound from a satisfying assignment.
+
+        The independent set of the VC graph — hence a clique of its
+        complement — is the *false* literal vertex of each variable
+        plus one *true* triangle corner per clause, plus all padding
+        vertices (which are universal).
+        """
+        vc = self.vc_step
+        members: List[int] = []
+        for var in range(1, vc.num_variables + 1):
+            false_literal = -var if assignment.get(var, False) else var
+            members.append(vc.literal_vertex[false_literal])
+        for clause, corners in zip(vc.formula, vc.triangle_vertices):
+            for position, literal in enumerate(clause):
+                if assignment.get(abs(literal), False) == (literal > 0):
+                    members.append(corners[position])
+                    break
+        base_n = vc.graph.num_vertices
+        members.extend(range(base_n, base_n + self.padding))
+        return sorted(members)
+
+
+def sat_to_clique(source: GapFormula | CNFFormula) -> CliqueReduction:
+    """Apply the Lemma 3 reduction to a (gap) 3SAT formula."""
+    if isinstance(source, GapFormula):
+        formula = source.formula
+        theta = source.theta
+        satisfiable = source.satisfiable
+    else:
+        formula = source
+        theta = None
+        satisfiable = None
+
+    vc = sat_to_vertex_cover(formula)
+    v = formula.num_vars
+    m = formula.num_clauses
+    complement = vc.graph.complement()
+    padding = 4 * v + 3 * m
+    graph = complement.add_universal_vertices(padding)
+
+    clique_yes = v + m + padding  # = 5v + 4m for exactly-3 clauses
+    clique_no: Optional[int] = None
+    if theta is not None and not satisfiable:
+        # maxsat <= (1 - theta) m  =>  omega <= v + m - theta*m + padding.
+        deficit = ceil(theta * m)
+        clique_no = clique_yes - deficit
+        require(clique_no >= 1, "gap exceeds the clique size")
+    return CliqueReduction(
+        graph=graph,
+        clique_if_satisfiable=clique_yes,
+        clique_bound_if_gap=clique_no,
+        vc_step=vc,
+        padding=padding,
+    )

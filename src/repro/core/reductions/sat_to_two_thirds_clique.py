@@ -1,0 +1,120 @@
+"""Lemma 4: 3SAT(13) -> 2/3-CLIQUE.
+
+Same skeleton as Lemma 3 but the padding is sized so the YES-side
+clique lands *exactly* on two thirds of the vertex count:
+
+* ``G_vc`` on ``n_vc = 2v + 3m`` vertices, ``omega(G_vc^c) = v + maxsat``;
+* add ``n1 = v + 3m`` universal vertices (this is the paper's
+  ``(3 gamma - 1) |V|`` with ``gamma = (v + 2m) / (2v + 3m)``);
+* total ``n = 3(v + 2m)``; YES clique = ``2v + 4m = 2n/3``;
+* NO clique ``<= 2n/3 - theta m = (2 - eps) n / 3`` with
+  ``eps = theta m / (v + 2m)``.
+
+``n`` is always divisible by 3, which the downstream f_H reduction
+(Section 5) needs for its ``n/3``-join pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import ceil
+from typing import List, Optional
+
+from repro.core.reductions.sat_to_vc import VCReduction, sat_to_vertex_cover
+from repro.graphs.graph import Graph
+from repro.sat.cnf import Assignment, CNFFormula
+from repro.sat.gapfamilies import GapFormula
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class TwoThirdsCliqueReduction:
+    """Output of the Lemma 4 reduction.
+
+    Attributes:
+        graph: the 2/3-CLIQUE instance; ``num_vertices`` divisible by 3.
+        target: the 2/3 threshold, ``2n/3``.
+        clique_bound_if_gap: NO-side upper bound ``(2 - eps) n / 3``.
+        vc_step: the intermediate VERTEX COVER reduction.
+        padding: number of universal vertices appended.
+    """
+
+    graph: Graph
+    target: int
+    clique_bound_if_gap: Optional[int]
+    vc_step: VCReduction
+    padding: int
+
+    @property
+    def epsilon(self) -> Optional[Fraction]:
+        """The NO-side slack ``eps`` with bound ``(2 - eps) n / 3``."""
+        if self.clique_bound_if_gap is None:
+            return None
+        n = self.graph.num_vertices
+        return Fraction(3 * (self.target - self.clique_bound_if_gap), n)
+
+    def clique_from_assignment(self, assignment: Assignment) -> List[int]:
+        """A 2n/3 clique from a satisfying assignment.
+
+        As in Lemma 3: false literal vertices + one true triangle
+        corner per clause + the universal padding.
+        """
+        vc = self.vc_step
+        members: List[int] = []
+        for var in range(1, vc.num_variables + 1):
+            false_literal = -var if assignment.get(var, False) else var
+            members.append(vc.literal_vertex[false_literal])
+        for clause, corners in zip(vc.formula, vc.triangle_vertices):
+            for position, literal in enumerate(clause):
+                if assignment.get(abs(literal), False) == (literal > 0):
+                    members.append(corners[position])
+                    break
+        base_n = vc.graph.num_vertices
+        members.extend(range(base_n, base_n + self.padding))
+        return sorted(members)
+
+
+def sat_to_two_thirds_clique(
+    source: GapFormula | CNFFormula,
+) -> TwoThirdsCliqueReduction:
+    """Apply the Lemma 4 reduction to a (gap) 3SAT formula.
+
+    Requires exactly-3-literal clauses so the ``2n/3`` arithmetic is
+    exact (the paper's 3SAT(13) instances satisfy this).
+    """
+    if isinstance(source, GapFormula):
+        formula = source.formula
+        theta = source.theta
+        satisfiable = source.satisfiable
+    else:
+        formula = source
+        theta = None
+        satisfiable = None
+    require(
+        formula.is_exactly_3cnf(),
+        "Lemma 4 needs exactly-3-literal clauses for the 2n/3 arithmetic",
+    )
+
+    vc = sat_to_vertex_cover(formula)
+    v = formula.num_vars
+    m = formula.num_clauses
+    complement = vc.graph.complement()
+    padding = v + 3 * m
+    graph = complement.add_universal_vertices(padding)
+
+    n = graph.num_vertices
+    require(n == 3 * (v + 2 * m), "internal arithmetic error in Lemma 4")
+    target = 2 * n // 3
+    clique_no: Optional[int] = None
+    if theta is not None and not satisfiable:
+        deficit = ceil(theta * m)
+        clique_no = target - deficit
+        require(clique_no >= 1, "gap exceeds the clique size")
+    return TwoThirdsCliqueReduction(
+        graph=graph,
+        target=target,
+        clique_bound_if_gap=clique_no,
+        vc_step=vc,
+        padding=padding,
+    )

@@ -1,0 +1,168 @@
+"""The Garey-Johnson reduction 3SAT -> VERTEX COVER (paper Theorem 2).
+
+For a 3CNF formula with ``v`` variables and ``m`` clauses, build:
+
+* a *variable gadget* per variable: vertices for the literals ``x`` and
+  ``not x`` joined by an edge;
+* a *clause gadget* per clause: a triangle;
+* a *communication edge* from each triangle corner to the vertex of the
+  literal it stands for.
+
+The graph has ``2v + 3m`` vertices and ``v + 3m + 3m`` edges, and the
+exact identity
+
+    tau(G) = v + 3m - maxsat(F)
+
+holds, where ``maxsat`` is the maximum number of simultaneously
+satisfiable clauses.  Hence satisfiable formulas give covers of size
+``v + 2m`` and formulas with at most ``(1 - theta) m`` satisfiable
+clauses force covers of size at least ``v + 2m + theta m`` — exactly
+the two properties Theorem 2 needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.sat.cnf import Assignment, CNFFormula
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class VCReduction:
+    """Output of the 3SAT -> VERTEX COVER reduction.
+
+    Attributes:
+        formula: the source formula.
+        graph: the constructed graph.
+        literal_vertex: maps a literal (signed int) to its vertex.
+        triangle_vertices: per clause, its three triangle corners (in
+            clause-literal order).
+        cover_size_if_satisfiable: ``v + 2m``.
+    """
+
+    formula: CNFFormula
+    graph: Graph
+    literal_vertex: Dict[int, int]
+    triangle_vertices: Tuple[Tuple[int, ...], ...]
+    cover_size_if_satisfiable: int
+
+    @property
+    def num_variables(self) -> int:
+        return self.formula.num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return self.formula.num_clauses
+
+    def expected_cover_size(self, satisfied_clauses: int) -> int:
+        """``tau`` induced by an assignment satisfying that many clauses.
+
+        ``v + sum_j |clause_j| - satisfied`` — for exactly-3 clauses
+        this is the paper's ``v + 3m - maxsat``.
+        """
+        total_literals = sum(len(clause) for clause in self.formula)
+        return self.num_variables + total_literals - satisfied_clauses
+
+    def assignment_from_cover(self, cover: Sequence[int]) -> Assignment:
+        """The inverse witness direction: a cover of the minimal size
+        ``v + 2m`` (exactly-3 clauses) induces a satisfying assignment.
+
+        A minimal cover takes exactly one literal vertex per variable
+        and two corners per triangle; setting each covered literal true
+        satisfies every clause (the omitted corner's communication edge
+        forces its literal's vertex into the cover).  For larger covers
+        the construction still returns the literal-based assignment,
+        but without the satisfaction guarantee.
+        """
+        cover_set = set(cover)
+        assignment: Assignment = {}
+        for var in range(1, self.num_variables + 1):
+            positive = self.literal_vertex[var]
+            negative = self.literal_vertex[-var]
+            if positive in cover_set and negative not in cover_set:
+                assignment[var] = True
+            elif negative in cover_set and positive not in cover_set:
+                assignment[var] = False
+            else:
+                # Both or neither covered (non-minimal cover): default.
+                assignment[var] = positive in cover_set
+        return assignment
+
+    def cover_from_assignment(self, assignment: Assignment) -> List[int]:
+        """The canonical cover induced by an assignment.
+
+        True literal vertices, plus two triangle corners per satisfied
+        clause (omitting one true corner) and all three corners per
+        unsatisfied clause.
+        """
+        cover: Set[int] = set()
+        for var in range(1, self.num_variables + 1):
+            literal = var if assignment.get(var, False) else -var
+            cover.add(self.literal_vertex[literal])
+        for clause, corners in zip(self.formula, self.triangle_vertices):
+            true_positions = [
+                position
+                for position, literal in enumerate(clause)
+                if assignment.get(abs(literal), False) == (literal > 0)
+            ]
+            if true_positions:
+                omit = true_positions[0]
+                cover.update(
+                    corner
+                    for position, corner in enumerate(corners)
+                    if position != omit
+                )
+            else:
+                cover.update(corners)
+        return sorted(cover)
+
+
+def sat_to_vertex_cover(formula: CNFFormula) -> VCReduction:
+    """Build the Garey-Johnson graph for a 3CNF formula.
+
+    Clauses with fewer than three literals are allowed; their triangle
+    degenerates to an edge or a single corner (still correct: a
+    ``k``-literal clause gadget is a ``k``-clique).
+    """
+    require(formula.is_3cnf(), "reduction requires a 3CNF formula")
+    require(formula.num_clauses >= 1, "formula must have at least one clause")
+    for clause in formula:
+        require(not clause.is_tautology(), "tautological clauses not allowed")
+        require(len(clause) >= 1, "empty clauses not allowed")
+
+    v = formula.num_vars
+    literal_vertex: Dict[int, int] = {}
+    edges: List[Tuple[int, int]] = []
+    next_vertex = 0
+    for var in range(1, v + 1):
+        literal_vertex[var] = next_vertex
+        literal_vertex[-var] = next_vertex + 1
+        edges.append((next_vertex, next_vertex + 1))
+        next_vertex += 2
+
+    triangles: List[Tuple[int, ...]] = []
+    for clause in formula:
+        corners = tuple(range(next_vertex, next_vertex + len(clause)))
+        next_vertex += len(clause)
+        # Clause gadget: clique over the corners.
+        for i in range(len(corners)):
+            for j in range(i + 1, len(corners)):
+                edges.append((corners[i], corners[j]))
+        # Communication edges.
+        for corner, literal in zip(corners, clause):
+            edges.append((corner, literal_vertex[literal]))
+        triangles.append(corners)
+
+    graph = Graph(next_vertex, edges)
+    total_literals = sum(len(clause) for clause in formula)
+    return VCReduction(
+        formula=formula,
+        graph=graph,
+        literal_vertex=literal_vertex,
+        triangle_vertices=tuple(triangles),
+        # v + sum_j (|clause_j| - 1); the paper's v + 2m for exactly-3.
+        cover_size_if_satisfiable=v + total_literals - formula.num_clauses,
+    )

@@ -1,0 +1,346 @@
+"""Sparse-query-graph reductions f_{N,e} and f_{H,e} (paper Section 6).
+
+The dense reductions of Sections 4-5 produce query graphs with
+``n^2/2 - Theta(n)`` edges.  Section 6 shows the gaps survive when the
+edge count is forced to match any prescribed function ``e(m)`` with
+``m + Theta(m^tau) <= e(m) <= m(m-1)/2 - Theta(m^tau)``:
+
+* pad the vertex set with an auxiliary *connected* graph ``G_2`` until
+  the query graph has ``m = n^k`` vertices (``k = Theta(2/tau)``) and
+  exactly ``e(m)`` edges;
+* bridge ``G_2`` to the original graph with a single edge;
+* give the auxiliary relations a much smaller size ``u = beta^n`` and
+  their edges the mild selectivity ``1/beta`` (``beta = 4``), while
+  the original sub-instance keeps its huge ``alpha``-scaled numbers.
+
+The auxiliary side then perturbs every cost by at most ``alpha^{O(1)}``
+(the paper's Theorems 16-17): the cartesian product of all auxiliary
+relations is ``u^{n^k} = beta^{n^{k+1}} <= alpha^{O(1)}`` once
+``alpha >= beta^{n^{2k+2}}`` — the dominance condition, which the
+constructors check explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional
+
+from repro.core.gap import k_cd
+from repro.core.reductions.clique_to_qoh import FHReduction, clique_to_qoh
+from repro.graphs.generators import connected_graph_with_edges
+from repro.graphs.graph import Graph
+from repro.hashjoin.cost_model import HashJoinCostModel
+from repro.hashjoin.instance import QOHInstance
+from repro.joinopt.instance import QONInstance
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import ValidationError, require
+
+EdgeBudget = Callable[[int], int]
+
+
+def choose_k(tau: float) -> int:
+    """The paper's ``k = Theta(2/tau)`` — we take ``ceil(2/tau)``."""
+    require(0 < tau <= 1, "tau must lie in (0, 1]")
+    return max(2, math.ceil(2.0 / tau))
+
+
+def _fit_k(
+    n: int,
+    tau: float,
+    edge_budget: Optional[EdgeBudget],
+    reserved_vertices: int,
+    base_edges: int,
+) -> tuple[int, int, int, int]:
+    """Find ``k >= ceil(2/tau)`` whose padding can realize the budget.
+
+    The paper's ``k = Theta(2/tau)`` leaves the constant free; for
+    small ``n`` the minimal ``k`` may give too few auxiliary vertices
+    to host ``e(m) - base`` edges, so we raise it until the auxiliary
+    graph fits (it always eventually does: aux capacity grows like
+    ``n^{2k}`` while the default budget grows like ``n^{k tau}``).
+
+    Returns ``(k, m, budget, aux_edges)``.
+    """
+    for k in range(choose_k(tau), choose_k(tau) + 8):
+        m = n**k
+        budget = (
+            m + math.ceil(m**tau) if edge_budget is None else edge_budget(m)
+        )
+        aux_vertices = m - reserved_vertices
+        aux_edges = budget - base_edges
+        if aux_vertices < 1:
+            continue
+        if aux_edges < aux_vertices - 1:
+            continue  # not enough edges to even connect the padding
+        if aux_edges > aux_vertices * (aux_vertices - 1) // 2:
+            continue  # padding too small to host the budget
+        if budget > m * (m - 1) // 2:
+            continue
+        return k, m, budget, aux_edges
+    raise ValidationError(
+        f"no k in [{choose_k(tau)}, {choose_k(tau) + 7}] realizes the edge "
+        f"budget for n={n}, tau={tau}"
+    )
+
+
+def _validate_edge_budget(m: int, budget: int, base_edges: int, extra: int) -> None:
+    """``e(m)`` must leave room for a connected auxiliary graph and
+    stay below the complete graph."""
+    require(
+        budget <= m * (m - 1) // 2,
+        f"edge budget {budget} exceeds the complete graph on {m} vertices",
+    )
+    require(
+        budget >= base_edges + extra,
+        f"edge budget {budget} too small: need at least "
+        f"{base_edges + extra} to keep the auxiliary graph connected",
+    )
+
+
+@dataclass(frozen=True)
+class SparseFNReduction:
+    """Output of f_{N,e}."""
+
+    instance: QONInstance
+    source_graph: Graph
+    query_graph: Graph
+    alpha: int
+    beta: int
+    k: int
+    k_yes: int
+    k_no: int
+    relation_size: int  # t, for the original relations
+    aux_relation_size: int  # u = beta^n
+    edge_access_cost: int  # w = t / alpha on original edges
+    parity_adjusted: bool
+    dominance_ok: bool
+
+    @property
+    def n(self) -> int:
+        """Vertex count of the *source* CLIQUE graph."""
+        return self.source_graph.num_vertices
+
+    @property
+    def m(self) -> int:
+        """Vertex count of the padded query graph (the paper's n^k)."""
+        return self.query_graph.num_vertices
+
+    def yes_cost_bound(self) -> int:
+        """``K_{c,d}(alpha, n)`` — unchanged by the padding (Thm 16)."""
+        return k_cd(self.alpha, self.edge_access_cost, self.k_yes, self.k_no)
+
+    def aux_perturbation_log2(self) -> Fraction:
+        """``log2`` of the worst-case multiplicative perturbation the
+        auxiliary side can add: the full cartesian product
+        ``u^{|V_2|} = beta^{n |V_2|}``."""
+        aux_vertices = self.m - self.n
+        beta_log2 = self.beta.bit_length() - 1
+        return Fraction(beta_log2) * self.n * aux_vertices
+
+
+def sparse_clique_to_qon(
+    graph: Graph,
+    k_yes: int,
+    k_no: int,
+    tau: float = 0.5,
+    edge_budget: Optional[EdgeBudget] = None,
+    alpha: Optional[int] = None,
+    beta: int = 4,
+    rng: RngLike = None,
+) -> SparseFNReduction:
+    """Apply f_{N,e} to a CLIQUE gap instance.
+
+    Args:
+        graph: the CLIQUE instance on ``n`` vertices.
+        k_yes / k_no: the clique promise, as in
+            :func:`~repro.core.reductions.clique_to_qon.clique_to_qon`.
+        tau: the sparsity exponent; ``k = ceil(2 / tau)``.
+        edge_budget: the target function ``e(m)``; defaults to
+            ``m + ceil(m ** tau)`` — the sparsest admissible family.
+        alpha: blow-up base; defaults to the paper's dominance choice
+            ``beta ** (n ** (2k + 2))``.  *Warning*: that default is
+            astronomically large for n > 3; pass a smaller perfect
+            square for exact experiments and check ``dominance_ok``.
+        beta: the auxiliary base (paper: 4).
+    """
+    n = graph.num_vertices
+    require(n >= 2, "need at least two source vertices")
+    require(1 <= k_no < k_yes <= n, "need 1 <= k_no < k_yes <= n")
+    require(beta >= 2, "beta must be at least 2")
+    k, m, budget, aux_edges = _fit_k(
+        n, tau, edge_budget, reserved_vertices=n,
+        base_edges=graph.num_edges + 1,
+    )
+    aux_vertices = m - n
+    _validate_edge_budget(m, budget, graph.num_edges + 1, aux_vertices - 1)
+
+    if alpha is None:
+        alpha = beta ** (n ** (2 * k + 2))
+    require(alpha >= 4, "alpha must be at least 4")
+    sqrt_alpha = math.isqrt(alpha)
+    require(sqrt_alpha * sqrt_alpha == alpha, "alpha must be a perfect square")
+    dominance_ok = alpha >= beta ** (n ** (2 * k + 2) if n > 1 else 1)
+
+    parity_adjusted = False
+    if (k_yes + k_no) % 2 != 0:
+        k_no += 1
+        parity_adjusted = True
+        require(k_no < k_yes, "parity adjustment closed the gap entirely")
+
+    t = sqrt_alpha ** (k_yes + k_no)
+    w, remainder = divmod(t, alpha)
+    require(remainder == 0, "t must be a multiple of alpha")
+    u = beta**n
+
+    # Query graph: source vertices keep ids 0..n-1; auxiliary vertices
+    # are n..m-1; one bridge edge {0, n}.
+    generator = make_rng(rng)
+    aux = connected_graph_with_edges(aux_vertices, aux_edges, generator)
+    edges = list(graph.edges)
+    edges.extend((a + n, b + n) for a, b in aux.edges)
+    bridge = (0, n)
+    edges.append(bridge)
+    query_graph = Graph(m, edges)
+    require(query_graph.num_edges == budget, "edge budget not met exactly")
+
+    selectivities = {}
+    access_costs = {}
+    for i, j in graph.edges:
+        selectivities[(i, j)] = Fraction(1, alpha)
+        access_costs[(i, j)] = w
+        access_costs[(j, i)] = w
+    for a, b in aux.edges:
+        selectivities[(a + n, b + n)] = Fraction(1, beta)
+        access_costs[(a + n, b + n)] = u // beta
+        access_costs[(b + n, a + n)] = u // beta
+    selectivities[bridge] = Fraction(1, beta)
+    access_costs[(0, n)] = u // beta  # probe into the auxiliary side
+    access_costs[(n, 0)] = t // beta  # probe into the original side
+
+    sizes = [t] * n + [u] * aux_vertices
+    instance = QONInstance(
+        query_graph, sizes, selectivities, access_costs, validate=False
+    )
+    return SparseFNReduction(
+        instance=instance,
+        source_graph=graph,
+        query_graph=query_graph,
+        alpha=alpha,
+        beta=beta,
+        k=k,
+        k_yes=k_yes,
+        k_no=k_no,
+        relation_size=t,
+        aux_relation_size=u,
+        edge_access_cost=w,
+        parity_adjusted=parity_adjusted,
+        dominance_ok=dominance_ok,
+    )
+
+
+@dataclass(frozen=True)
+class SparseFHReduction:
+    """Output of f_{H,e}."""
+
+    instance: QOHInstance
+    source_graph: Graph
+    query_graph: Graph
+    alpha: int
+    k: int
+    satellite_size: int  # t
+    hub_size: int  # t0
+    aux_relation_size: int
+    epsilon: Optional[Fraction]
+    dominance_ok: bool
+
+    @property
+    def n(self) -> int:
+        return self.source_graph.num_vertices
+
+    @property
+    def m(self) -> int:
+        return self.query_graph.num_vertices
+
+
+def sparse_clique_to_qoh(
+    graph: Graph,
+    epsilon: Optional[Fraction] = None,
+    tau: float = 0.5,
+    edge_budget: Optional[EdgeBudget] = None,
+    alpha: Optional[int] = None,
+    hub_exponent: int = 13,
+    model: HashJoinCostModel = HashJoinCostModel(),
+    rng: RngLike = None,
+) -> SparseFHReduction:
+    """Apply f_{H,e} to a 2/3-CLIQUE instance.
+
+    Construction per Section 6.2: ``V = V_1 + {v_0} + V_2`` with
+    ``|V_2| = n^k - n - 1``; edges ``E_1`` (selectivity ``1/alpha``),
+    the hub edges ``v_0 - V_1`` (selectivity ``1/2^n``), the auxiliary
+    edges and the bridge (selectivity ``1/2``); auxiliary relation
+    sizes ``2^n``.
+    """
+    n = graph.num_vertices
+    require(n >= 3 and n % 3 == 0, "f_{H,e} needs n divisible by 3")
+    k, m, budget, aux_edges = _fit_k(
+        n, tau, edge_budget, reserved_vertices=n + 1,
+        base_edges=graph.num_edges + n + 1,
+    )
+    aux_vertices = m - n - 1
+    _validate_edge_budget(m, budget, graph.num_edges + n + 1, aux_vertices - 1)
+
+    if alpha is None:
+        alpha = 4 ** (n ** (k + 1))
+    require(alpha >= 4, "alpha must be at least 4")
+    sqrt_alpha = math.isqrt(alpha)
+    require(sqrt_alpha * sqrt_alpha == alpha, "alpha must be a perfect square")
+    dominance_ok = alpha >= 2 ** (2 * n * (m - n))
+
+    t = sqrt_alpha ** (n - 1)
+    t0 = (n * t) ** hub_exponent
+    memory = (n // 3 - 1) * t + 2 * model.hjmin(t)
+    require(
+        model.hjmin(t0) > memory,
+        "t0 too small: the hub could be hashed, breaking the reduction",
+    )
+    u = 2**n
+
+    # Relation ids: hub v_0 = 0, original vertex i -> i + 1, auxiliary
+    # vertex a -> n + 1 + a.  Bridge edge {1, n + 1}.
+    generator = make_rng(rng)
+    aux = connected_graph_with_edges(aux_vertices, aux_edges, generator)
+    edges = [(i + 1, j + 1) for i, j in graph.edges]
+    edges.extend((0, i + 1) for i in range(n))
+    edges.extend((a + n + 1, b + n + 1) for a, b in aux.edges)
+    bridge = (1, n + 1)
+    edges.append(bridge)
+    query_graph = Graph(m, edges)
+    require(query_graph.num_edges == budget, "edge budget not met exactly")
+
+    selectivities = {}
+    for i, j in graph.edges:
+        selectivities[(i + 1, j + 1)] = Fraction(1, alpha)
+    for i in range(n):
+        selectivities[(0, i + 1)] = Fraction(1, u)  # 1 / 2^n
+    for a, b in aux.edges:
+        selectivities[(a + n + 1, b + n + 1)] = Fraction(1, 2)
+    selectivities[bridge] = Fraction(1, 2)
+
+    sizes = [t0] + [t] * n + [u] * aux_vertices
+    instance = QOHInstance(
+        query_graph, sizes, selectivities, memory=memory, model=model
+    )
+    return SparseFHReduction(
+        instance=instance,
+        source_graph=graph,
+        query_graph=query_graph,
+        alpha=alpha,
+        k=k,
+        satellite_size=t,
+        hub_size=t0,
+        aux_relation_size=u,
+        epsilon=epsilon,
+        dominance_ok=dominance_ok,
+    )

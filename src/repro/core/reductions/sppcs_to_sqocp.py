@@ -1,0 +1,139 @@
+"""SPPCS -> SQO-CP (paper Appendix B).
+
+Given SPPCS pairs ``(p_1, c_1) .. (p_m, c_m)`` and bound ``L`` (with
+``p_i >= 2`` and ``c_i >= 1``, WLOG per the paper), build the star
+query over ``R_0, R_1 .. R_{m+1}``:
+
+* ``k_s = 4``; ``J = (4 k_s prod p_i)^2``; ``U = sum c_i + prod p_i + 1``;
+* page size ``P = (m + 1) d`` for an even join-attribute size ``d``;
+* tuples: ``n_0 = 5 J^2 U``, ``n_i = (m+1) n_0 J^2 c_i``,
+  ``n_{m+1} = (m+1) n_0 J^2 U``;
+* pages ``b_0 = n_0``, ``b_i = n_i d / P = n_i / (m+1)``;
+* sort costs ``A_i = b_i k_s``;
+* selectivities ``s_i = p_i / n_i``, ``s_{m+1} = J / n_{m+1}``;
+* nested-loops access costs ``w_i = J k_s p_i``, ``w_{m+1} = J^2 k_s``,
+  ``w_{0,i} = n_0``;
+* threshold ``M = n_0 J^2 k_s (L + 1) - 1``.
+
+Why it works: because ``s_i = p_i / n_i``, the intermediate tuple count
+after joining ``R_0`` with a satellite set ``X`` is exactly
+``n_0 * prod_{i in X} p_i`` — SQO-CP intermediates *are* subset
+products.  In the intended plan, ``R_0`` leads, the satellites of the
+SPPCS subset ``A`` follow via nested loops (each costing a factor ``J``
+below the main scale), ``R_{m+1}`` joins via nested loops at cost
+``n_0 J^2 k_s * prod_A p_i`` — the product term — and the complement
+satellites follow via sort-merge at ``A_j ~ n_0 J^2 k_s * c_j`` each —
+the complement-sum terms.  Every plan's cost is
+``n_0 J^2 k_s * (subset objective) + lower-order``, with the
+lower-order terms below one ``n_0 J^2 k_s`` unit by the choice of
+``J``, so ``cost <= M`` iff some subset meets ``L``.
+
+OCR repair note: the printed appendix shows the relation-size exponent
+as an unreadable glyph (``J>``/``J%``).  Exponent 3 makes the
+sort-merge terms ``n_0 J^3 k_s c_j`` — a factor ``J`` *above* the
+threshold scale, so no YES instance can ever meet ``M``; exponent 2 is
+the unique choice aligning the ``c_j`` terms with the product term, and
+the empirical verification (EXP-B) confirms exact YES/NO agreement on
+every enumerable instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Tuple
+
+from repro.starqo.instance import SQOCPInstance
+from repro.starqo.sppcs import SPPCSInstance
+from repro.utils.validation import require
+
+#: Relation sizes scale with J to this power (see the OCR repair note).
+_J_EXPONENT = 2
+
+
+@dataclass(frozen=True)
+class SQOCPReduction:
+    """The constructed SQO-CP instance plus derived constants."""
+
+    source: SPPCSInstance
+    instance: SQOCPInstance
+    j_constant: int  # J
+    u_constant: int  # U
+    threshold: int  # M
+
+    def unit(self) -> int:
+        """One SPPCS-objective unit of plan cost: ``n_0 J^2 k_s``."""
+        return (
+            self.instance.tuples(0)
+            * self.j_constant**2
+            * self.instance.sort_passes
+        )
+
+
+def sppcs_to_sqocp(source: SPPCSInstance, attribute_size: int = 2) -> SQOCPReduction:
+    """Build the Appendix B SQO-CP instance for an SPPCS instance."""
+    m = source.size
+    require(m >= 1, "SPPCS instance must be non-empty")
+    for p, c in source.pairs:
+        require(p >= 2, "Appendix B assumes p_i >= 2 (WLOG)")
+        require(c >= 1, "Appendix B assumes c_i >= 1 (WLOG)")
+    require(
+        attribute_size >= 2 and attribute_size % 2 == 0,
+        "join-attribute size d must be even and positive",
+    )
+
+    sort_passes = 4  # k_s
+    product_p = 1
+    sum_c = 0
+    for p, c in source.pairs:
+        product_p *= p
+        sum_c += c
+    j_constant = (4 * sort_passes * product_p) ** 2
+    u_constant = sum_c + product_p + 1
+    j_scale = j_constant**_J_EXPONENT
+
+    page_size = (m + 1) * attribute_size
+    n0 = 5 * j_scale * u_constant
+    tuples = [n0]
+    pages = [n0]  # b_0 = n_0
+    for p, c in source.pairs:
+        n_i = (m + 1) * n0 * j_scale * c
+        tuples.append(n_i)
+        pages.append(n_i * attribute_size // page_size)  # = n0 J^2 c_i
+    n_last = (m + 1) * n0 * j_scale * u_constant
+    tuples.append(n_last)
+    pages.append(n_last * attribute_size // page_size)  # = n0 J^2 U
+
+    sort_costs = [b * sort_passes for b in pages]
+
+    selectivities = []
+    for index, (p, _) in enumerate(source.pairs, start=1):
+        selectivities.append(Fraction(p, tuples[index]))
+    selectivities.append(Fraction(j_constant, n_last))
+
+    satellite_access = [j_constant * sort_passes * p for p, _ in source.pairs]
+    satellite_access.append(j_constant**2 * sort_passes)
+
+    center_access = [n0] * (m + 1)
+
+    threshold = n0 * j_constant**2 * sort_passes * (source.bound + 1) - 1
+
+    instance = SQOCPInstance(
+        num_satellites=m + 1,
+        sort_passes=sort_passes,
+        page_size=page_size,
+        tuples=tuples,
+        pages=pages,
+        sort_costs=sort_costs,
+        selectivities=selectivities,
+        satellite_access=satellite_access,
+        center_access=center_access,
+        threshold=threshold,
+    )
+    return SQOCPReduction(
+        source=source,
+        instance=instance,
+        j_constant=j_constant,
+        u_constant=u_constant,
+        threshold=threshold,
+    )

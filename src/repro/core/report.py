@@ -1,0 +1,191 @@
+"""Hardness reports: one object summarizing a gap experiment.
+
+``build_qon_report`` gathers, for a matched YES/NO f_N pair, everything
+Theorem 9 talks about — the certificate cost, the K_{c,d} budget, the
+Lemma 8 floor, what each polynomial heuristic actually finds, and the
+polylog budgets the gap defeats — into a structured record with a
+``render()`` method.  Used by the CLI and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.certificates import qon_certificate_sequence
+from repro.core.gap import gap_factor_log2, k_cd_log2, polylog_budget_log2
+from repro.joinopt.cost import total_cost
+from repro.joinopt.optimizers import (
+    greedy_min_cost,
+    greedy_min_size,
+    random_sampling,
+    simulated_annealing,
+)
+from repro.utils.lognum import log2_of
+
+if TYPE_CHECKING:  # avoid a circular import: workloads builds on core
+    from repro.workloads.gaps import GapPair
+
+
+@dataclass(frozen=True)
+class QONHardnessReport:
+    """Measured Theorem 9 quantities for one gap pair."""
+
+    n: int
+    k_yes: int
+    k_no: int
+    alpha_log2: int
+    certificate_log2: float
+    k_bound_log2: float
+    floor_log2: float
+    heuristic_log2: Dict[str, float]
+    polylog_budgets: Dict[float, float] = field(default_factory=dict)
+
+    @property
+    def observed_gap_log2(self) -> float:
+        """Best heuristic cost on the NO side over the YES certificate."""
+        return min(self.heuristic_log2.values()) - self.certificate_log2
+
+    @property
+    def provable_gap_log2(self) -> float:
+        return self.floor_log2 - self.certificate_log2
+
+    def beats_budget(self, delta: float) -> bool:
+        return self.provable_gap_log2 > self.polylog_budgets[delta]
+
+    def render(self) -> str:
+        lines = [
+            f"QO_N hardness report: n={self.n}, k_yes={self.k_yes}, "
+            f"k_no={self.k_no}, alpha=2^{self.alpha_log2}",
+            f"  YES certificate cost:   2^{self.certificate_log2:.1f}",
+            f"  K_{{c,d}} budget:         2^{self.k_bound_log2:.1f}",
+            f"  NO-side floor (Lemma 8): 2^{self.floor_log2:.1f}",
+        ]
+        for name, value in sorted(self.heuristic_log2.items()):
+            lines.append(f"  {name} finds (NO side):".ljust(27) + f" 2^{value:.1f}")
+        lines.append(
+            f"  observed gap: 2^{self.observed_gap_log2:.1f}, "
+            f"provable gap: 2^{self.provable_gap_log2:.1f}"
+        )
+        for delta, budget in sorted(self.polylog_budgets.items()):
+            verdict = "beaten" if self.provable_gap_log2 > budget else "not beaten"
+            lines.append(
+                f"  2^{{log^{{{1 - delta:.2f}}} K}} budget = 2^{budget:.1f}: {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def build_qon_report(
+    pair: "GapPair",
+    deltas: Tuple[float, ...] = (0.5, 0.25),
+    heuristic_seed: int = 0,
+) -> QONHardnessReport:
+    """Measure a matched f_N pair end to end (log-domain evaluation)."""
+    fn_yes = pair.yes_reduction
+    fn_no = pair.no_reduction
+    certificate = qon_certificate_sequence(fn_yes, pair.yes_clique)
+    cert_log2 = float(
+        log2_of(total_cost(fn_yes.instance.to_log_domain(), certificate))
+    )
+    k_log2 = float(
+        k_cd_log2(
+            fn_yes.alpha_log2,
+            log2_of(fn_yes.edge_access_cost),
+            fn_yes.k_yes,
+            fn_yes.k_no,
+        )
+    )
+    floor_log2 = k_log2 + float(
+        gap_factor_log2(fn_no.alpha_log2, fn_no.k_yes, fn_no.k_no)
+    )
+    no_instance = fn_no.instance.to_log_domain()
+    heuristics = {
+        "greedy-min-cost": greedy_min_cost(no_instance),
+        "greedy-min-size": greedy_min_size(no_instance),
+        "simulated-annealing": simulated_annealing(no_instance, rng=heuristic_seed),
+        "random-sampling": random_sampling(no_instance, rng=heuristic_seed),
+    }
+    budgets = {
+        delta: polylog_budget_log2(k_log2, delta=delta) for delta in deltas
+    }
+    return QONHardnessReport(
+        n=fn_yes.n,
+        k_yes=fn_yes.k_yes,
+        k_no=fn_yes.k_no,
+        alpha_log2=fn_yes.alpha_log2,
+        certificate_log2=cert_log2,
+        k_bound_log2=k_log2,
+        floor_log2=floor_log2,
+        heuristic_log2={
+            name: float(log2_of(result.cost))
+            for name, result in heuristics.items()
+        },
+        polylog_budgets=budgets,
+    )
+
+
+@dataclass(frozen=True)
+class QOHHardnessReport:
+    """Measured Theorem 15 quantities for one f_H gap pair."""
+
+    n: int
+    alpha_log2: int
+    certificate_log2: float
+    l_bound_log2: float
+    g_bound_log2: Optional[float]
+    no_best_found_log2: float
+
+    @property
+    def observed_gap_log2(self) -> float:
+        return self.no_best_found_log2 - self.certificate_log2
+
+    def render(self) -> str:
+        lines = [
+            f"QO_H hardness report: n={self.n}, alpha=2^{self.alpha_log2}",
+            f"  YES certificate (5 pipelines): 2^{self.certificate_log2:.1f}",
+            f"  L(alpha, n) scale:             2^{self.l_bound_log2:.1f}",
+        ]
+        if self.g_bound_log2 is not None:
+            lines.append(
+                f"  G(alpha, n) NO floor:          2^{self.g_bound_log2:.1f}"
+            )
+        lines.append(
+            f"  best NO plan found:            2^{self.no_best_found_log2:.1f}"
+        )
+        lines.append(f"  observed gap: 2^{self.observed_gap_log2:.1f}")
+        return "\n".join(lines)
+
+
+def build_qoh_report(pair: "GapPair", search_seed: int = 0) -> QOHHardnessReport:
+    """Measure a matched f_H pair: certificate vs the best NO plan that
+    greedy, beam search and sampling can find."""
+    from repro.core.certificates import qoh_certificate_plan
+    from repro.hashjoin.optimizer import best_decomposition, qoh_greedy
+    from repro.hashjoin.search import qoh_beam_search
+    from repro.utils.rng import make_rng
+
+    fh_yes = pair.yes_reduction
+    fh_no = pair.no_reduction
+    certificate = qoh_certificate_plan(fh_yes, pair.yes_clique)
+    instance = fh_no.instance
+    candidates = [
+        qoh_greedy(instance),
+        qoh_beam_search(instance, beam_width=8, rng=search_seed),
+    ]
+    rng = make_rng(search_seed)
+    n = fh_no.n
+    for _ in range(10):
+        order = [0] + [1 + v for v in rng.sample(range(n), n)]
+        candidates.append(best_decomposition(instance, order))
+    best = min(
+        plan.cost for plan in candidates if plan is not None
+    )
+    g_log2 = fh_no.g_bound_log2()
+    return QOHHardnessReport(
+        n=fh_yes.n,
+        alpha_log2=fh_yes.alpha_log2,
+        certificate_log2=float(log2_of(certificate.cost)),
+        l_bound_log2=float(fh_yes.l_bound_log2()),
+        g_bound_log2=float(g_log2) if g_log2 is not None else None,
+        no_best_found_log2=float(log2_of(best)),
+    )

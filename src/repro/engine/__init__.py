@@ -1,0 +1,28 @@
+"""A miniature execution engine validating the QO_N cost model.
+
+The paper's cost formulas are *estimates* (products of sizes and
+selectivities).  This package closes the loop: it materializes
+synthetic relations whose join cardinalities match the estimates
+*exactly* (round-robin attribute assignment), executes left-deep
+nested-loops plans for real (hash indexes on join attributes), and
+counts the work — produced tuples per join and probe rows scanned —
+so the model's ``N_i`` and ``H_i`` can be checked against ground truth
+rather than against themselves.
+
+* :mod:`repro.engine.data` — synthetic relation generation;
+* :mod:`repro.engine.executor` — the nested-loops executor with work
+  counters.
+"""
+
+from repro.engine.data import SyntheticDatabase, generate_database
+from repro.engine.executor import ExecutionTrace, execute_sequence
+from repro.engine.hashsim import simulate_decomposition, simulate_hash_join
+
+__all__ = [
+    "SyntheticDatabase",
+    "generate_database",
+    "ExecutionTrace",
+    "execute_sequence",
+    "simulate_decomposition",
+    "simulate_hash_join",
+]

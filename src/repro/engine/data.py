@@ -1,0 +1,146 @@
+"""Synthetic relations whose join sizes match the estimates exactly.
+
+For an edge ``{i, j}`` with selectivity ``1/d`` both relations carry a
+join attribute over the domain ``0 .. d-1``.  Within one relation the
+attributes of its incident edges are assigned *mixed-radix*: listing
+the incident edges ``e_1, e_2, ...`` with domains ``d_1, d_2, ...``,
+row ``r`` gets value ``(r // (d_1 ... d_{k-1})) mod d_k`` on edge
+``e_k``.  When ``d_1 * d_2 * ...`` divides the relation's size every
+combination of attribute values appears equally often, and attribute
+values are independent across relations by construction; a counting
+argument then gives, for every subset ``X`` of relations,
+
+    |join of X|  =  prod_{r in X} t_r  *  prod_{edges inside X} 1/d_e
+
+— the paper's product estimate ``N(X)``, *exactly*, cycles included.
+
+The generator records whether the divisibility precondition held for
+every relation (``exact=True``); otherwise the estimates are only
+approximate and the executor's counters will show the discrepancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from repro.joinopt.instance import QONInstance
+from repro.utils.validation import require
+
+EdgeKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class SyntheticDatabase:
+    """Materialized relations for a QO_N instance.
+
+    ``tuples[r]`` holds relation r's rows; each row maps an edge key to
+    that row's join-attribute value for that predicate.  ``exact``
+    records whether the divisibility preconditions held, i.e. whether
+    estimated and true cardinalities are guaranteed equal.
+    """
+
+    instance: QONInstance
+    tuples: Tuple[Tuple[Dict[EdgeKey, int], ...], ...]
+    domains: Dict[EdgeKey, int]
+    exact: bool
+
+    def size(self, relation: int) -> int:
+        return len(self.tuples[relation])
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.tuples)
+
+
+def _edge_key(i: int, j: int) -> EdgeKey:
+    return (i, j) if i < j else (j, i)
+
+
+def generate_database(
+    instance: QONInstance, max_total_rows: int = 2_000_000
+) -> SyntheticDatabase:
+    """Materialize the instance's relations.
+
+    Requires integer sizes and selectivities of the form ``1/d``
+    (which every workload generator and reduction in this library
+    produces).  ``max_total_rows`` guards against accidentally
+    materializing a harmonized instance whose domain products blew the
+    sizes up; raise it explicitly for big runs.
+    """
+    n = instance.num_relations
+    total = sum(instance.size(r) for r in range(n))
+    require(
+        total <= max_total_rows,
+        f"instance has {total} rows, above the {max_total_rows} guard; "
+        "pass max_total_rows explicitly or shrink the instance "
+        "(e.g. generate with smaller size/domain ranges)",
+    )
+    domains: Dict[EdgeKey, int] = {}
+    for i, j in instance.graph.edges:
+        selectivity = Fraction(instance.selectivity(i, j))
+        require(
+            selectivity.numerator == 1,
+            f"edge ({i},{j}): selectivity must be 1/d for data generation",
+        )
+        domains[_edge_key(i, j)] = selectivity.denominator
+
+    exact = True
+    relations: List[Tuple[Dict[EdgeKey, int], ...]] = []
+    for relation in range(n):
+        size = instance.size(relation)
+        require(
+            isinstance(size, int) and size > 0,
+            "relation sizes must be positive ints for data generation",
+        )
+        incident = sorted(
+            _edge_key(relation, neighbor)
+            for neighbor in instance.graph.neighbors(relation)
+        )
+        # Mixed-radix strides: every combination of incident-attribute
+        # values appears equally often iff the domain product | size.
+        strides: Dict[EdgeKey, int] = {}
+        radix = 1
+        for key in incident:
+            strides[key] = radix
+            radix *= domains[key]
+        if size % radix != 0:
+            exact = False
+        rows = tuple(
+            {
+                key: (row // strides[key]) % domains[key]
+                for key in incident
+            }
+            for row in range(size)
+        )
+        relations.append(rows)
+    return SyntheticDatabase(
+        instance=instance,
+        tuples=tuple(relations),
+        domains=domains,
+        exact=exact,
+    )
+
+
+def harmonize_sizes(instance: QONInstance) -> QONInstance:
+    """Round every relation size up to the nearest multiple of its
+    incident-domain product, so :func:`generate_database` is exact.
+
+    Returns a new instance with adjusted sizes (selectivities and the
+    query graph unchanged; access costs revert to the model's lower
+    bounds, consistent with the new sizes).
+    """
+    n = instance.num_relations
+    new_sizes: List[int] = []
+    for relation in range(n):
+        size = instance.size(relation)
+        radix = 1
+        for neighbor in instance.graph.neighbors(relation):
+            radix *= Fraction(instance.selectivity(relation, neighbor)).denominator
+        adjusted = ((size + radix - 1) // radix) * radix
+        new_sizes.append(adjusted)
+    selectivities = {
+        _edge_key(i, j): instance.selectivity(i, j)
+        for i, j in instance.graph.edges
+    }
+    return QONInstance(instance.graph, new_sizes, selectivities)

@@ -1,0 +1,56 @@
+"""Graph substrate: undirected graphs, clique and vertex-cover machinery.
+
+The reductions traffic in three graph problems:
+
+* VERTEX COVER (intermediate step of Lemma 3/4),
+* CLIQUE with minimum degree ``|V| - 14`` (input of f_N, Section 4),
+* 2/3-CLIQUE (input of f_H, Section 5).
+
+This package provides the graph model, exact and heuristic solvers for
+both problems, generators for the benchmark workloads, and the simple
+structural facts the proofs rely on (Lemma 7's edge bound).
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.clique import (
+    greedy_clique,
+    is_clique,
+    max_clique,
+    max_clique_size,
+)
+from repro.graphs.vertex_cover import (
+    greedy_vertex_cover_2approx,
+    is_vertex_cover,
+    min_vertex_cover,
+)
+from repro.graphs.properties import (
+    lemma7_edge_bound,
+    min_degree,
+    verify_lemma7,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    connected_graph_with_edges,
+    dense_min_degree_graph,
+    gnp_random_graph,
+    planted_clique_graph,
+)
+
+__all__ = [
+    "Graph",
+    "greedy_clique",
+    "is_clique",
+    "max_clique",
+    "max_clique_size",
+    "greedy_vertex_cover_2approx",
+    "is_vertex_cover",
+    "min_vertex_cover",
+    "lemma7_edge_bound",
+    "min_degree",
+    "verify_lemma7",
+    "complete_graph",
+    "connected_graph_with_edges",
+    "dense_min_degree_graph",
+    "gnp_random_graph",
+    "planted_clique_graph",
+]

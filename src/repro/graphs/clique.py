@@ -1,0 +1,162 @@
+"""Clique search: exact branch-and-bound and greedy heuristics.
+
+The exact solver is a Bron–Kerbosch-style maximum-clique search with
+pivoting and a greedy-coloring upper bound — comfortably exact for the
+graph sizes produced by the reductions' certification paths (tens of
+vertices; the reduction graphs are dense, which the coloring bound
+handles well).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, make_rng
+
+
+def is_clique(graph: Graph, vertices: Iterable[int]) -> bool:
+    """True if ``vertices`` are pairwise adjacent."""
+    vertex_list = list(vertices)
+    for i, u in enumerate(vertex_list):
+        for v in vertex_list[i + 1 :]:
+            if not graph.has_edge(u, v):
+                return False
+    return True
+
+
+def max_clique(graph: Graph, lower_bound: int = 0) -> List[int]:
+    """An exact maximum clique (sorted vertex list).
+
+    ``lower_bound`` lets the caller seed the search with a known clique
+    size so branches are pruned earlier.
+    """
+    best: List[int] = []
+    if graph.num_vertices == 0:
+        return best
+    # Seed with a greedy clique — free pruning power.
+    seed = greedy_clique(graph)
+    if len(seed) >= lower_bound:
+        best = sorted(seed)
+
+    adjacency = [graph.neighbors(v) for v in range(graph.num_vertices)]
+
+    def expand(candidates: List[int], current: List[int]) -> None:
+        nonlocal best
+        if not candidates:
+            if len(current) > len(best):
+                best = sorted(current)
+            return
+        # Greedy coloring upper bound: vertices sharing a color class
+        # are pairwise non-adjacent, so #colors bounds the clique size.
+        colors = _greedy_color_order(adjacency, candidates)
+        for vertex, color in reversed(colors):
+            if len(current) + color <= len(best):
+                return
+            current.append(vertex)
+            new_candidates = [
+                u for u in candidates if u in adjacency[vertex] and u != vertex
+            ]
+            expand(new_candidates, current)
+            current.pop()
+            candidates = [u for u in candidates if u != vertex]
+
+    order = sorted(
+        range(graph.num_vertices), key=lambda v: len(adjacency[v]), reverse=True
+    )
+    expand(order, [])
+    return best
+
+
+def _greedy_color_order(
+    adjacency: Sequence[Set[int]], candidates: List[int]
+) -> List[tuple[int, int]]:
+    """Color candidates greedily; returns (vertex, color#) sorted by color.
+
+    Colors are numbered from 1; within the Tomita scheme the color
+    number is an upper bound on the clique extension through that
+    vertex.
+    """
+    color_classes: List[List[int]] = []
+    for vertex in candidates:
+        placed = False
+        for class_index, members in enumerate(color_classes):
+            if all(vertex not in adjacency[u] for u in members):
+                members.append(vertex)
+                placed = True
+                break
+        if not placed:
+            color_classes.append([vertex])
+    ordered: List[tuple[int, int]] = []
+    for class_index, members in enumerate(color_classes):
+        for vertex in members:
+            ordered.append((vertex, class_index + 1))
+    ordered.sort(key=lambda pair: pair[1])
+    return ordered
+
+
+def max_clique_size(graph: Graph) -> int:
+    """omega(G), the exact maximum clique size."""
+    return len(max_clique(graph))
+
+
+def has_clique_of_size(graph: Graph, k: int) -> bool:
+    """Decision version: does a clique of size >= k exist?
+
+    Runs the exact search but stops as soon as a clique of size ``k``
+    is confirmed.
+    """
+    if k <= 0:
+        return True
+    if k > graph.num_vertices:
+        return False
+    adjacency = [graph.neighbors(v) for v in range(graph.num_vertices)]
+    found = False
+
+    def expand(candidates: List[int], size: int) -> None:
+        nonlocal found
+        if found:
+            return
+        if size >= k:
+            found = True
+            return
+        if size + len(candidates) < k:
+            return
+        colors = _greedy_color_order(adjacency, candidates)
+        for vertex, color in reversed(colors):
+            if found or size + color < k:
+                return
+            new_candidates = [u for u in candidates if u in adjacency[vertex]]
+            expand(new_candidates, size + 1)
+            candidates = [u for u in candidates if u != vertex]
+
+    expand(list(range(graph.num_vertices)), 0)
+    return found
+
+
+def greedy_clique(graph: Graph, rng: RngLike = None) -> List[int]:
+    """Greedy max-degree clique heuristic (sorted vertex list)."""
+    if graph.num_vertices == 0:
+        return []
+    generator = make_rng(rng)
+    order = sorted(
+        range(graph.num_vertices),
+        key=lambda v: (graph.degree(v), generator.random()),
+        reverse=True,
+    )
+    clique: List[int] = []
+    for vertex in order:
+        if all(graph.has_edge(vertex, member) for member in clique):
+            clique.append(vertex)
+    return sorted(clique)
+
+
+def extend_to_maximal(graph: Graph, clique: Sequence[int]) -> List[int]:
+    """Extend a clique greedily until maximal."""
+    result = list(clique)
+    for vertex in range(graph.num_vertices):
+        if vertex in result:
+            continue
+        if all(graph.has_edge(vertex, member) for member in result):
+            result.append(vertex)
+    return sorted(result)

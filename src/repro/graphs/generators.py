@@ -1,0 +1,154 @@
+"""Graph generators for the benchmark workloads.
+
+Beyond the generic G(n, p), the harness needs:
+
+* dense graphs with the paper's minimum-degree condition
+  (degree >= n - 14) — the CLIQUE variant's instance family;
+* planted-clique graphs where omega is known by construction, so the
+  QO_N / QO_H gap experiments can dial YES/NO instances directly
+  without running the SAT pipeline;
+* arbitrary connected graphs with an exact edge budget — the auxiliary
+  graph G2 of the sparse reductions (Section 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n."""
+    return Graph(n, list(itertools.combinations(range(n), 2)))
+
+
+def gnp_random_graph(n: int, p: float, rng: RngLike = None) -> Graph:
+    """Erdos–Renyi G(n, p)."""
+    require(0.0 <= p <= 1.0, "p must lie in [0, 1]")
+    generator = make_rng(rng)
+    edges = [
+        (u, v)
+        for u, v in itertools.combinations(range(n), 2)
+        if generator.random() < p
+    ]
+    return Graph(n, edges)
+
+
+def dense_min_degree_graph(
+    n: int, deficit: int = 13, rng: RngLike = None
+) -> Graph:
+    """A random graph where every vertex misses at most ``deficit`` edges.
+
+    Start from K_n and delete, per vertex, at most ``deficit // 2``
+    randomly chosen incident edges (each deletion debits both
+    endpoints, hence the halving keeps the guarantee).
+    """
+    require(n >= 1, "need at least one vertex")
+    generator = make_rng(rng)
+    missing: set[Tuple[int, int]] = set()
+    budget = [deficit // 2 for _ in range(n)]
+    candidates = list(itertools.combinations(range(n), 2))
+    generator.shuffle(candidates)
+    for u, v in candidates:
+        if budget[u] > 0 and budget[v] > 0 and generator.random() < 0.5:
+            missing.add((u, v))
+            budget[u] -= 1
+            budget[v] -= 1
+    edges = [
+        (u, v)
+        for u, v in itertools.combinations(range(n), 2)
+        if (u, v) not in missing
+    ]
+    return Graph(n, edges)
+
+
+def planted_clique_graph(
+    n: int,
+    clique_size: int,
+    deficit: int = 13,
+    rng: RngLike = None,
+) -> Tuple[Graph, List[int]]:
+    """A dense graph whose maximum clique is (w.h.p. exactly) planted.
+
+    Vertices ``0 .. clique_size-1`` form a clique; outside the planted
+    set, each vertex is *non*-adjacent to a few clique vertices so the
+    planted clique cannot be extended, while the degree deficit stays
+    within ``deficit``.  Returns ``(graph, planted_vertices)``.
+
+    Note the maximum clique can still exceed ``clique_size`` when the
+    non-planted part is large and dense; callers that need omega
+    exactly should verify with :func:`repro.graphs.clique.max_clique`
+    (the benchmark harness does).
+    """
+    require(1 <= clique_size <= n, "clique_size must lie in [1, n]")
+    generator = make_rng(rng)
+    missing: set[Tuple[int, int]] = set()
+    removed_from: dict[int, int] = {v: 0 for v in range(n)}
+    for outsider in range(clique_size, n):
+        # Break adjacency with one random planted vertex (if budget allows).
+        target = generator.randrange(clique_size)
+        if removed_from[target] < deficit and removed_from[outsider] < deficit:
+            pair = (min(outsider, target), max(outsider, target))
+            if pair not in missing:
+                missing.add(pair)
+                removed_from[target] += 1
+                removed_from[outsider] += 1
+    # Thin the outsider-outsider edges a little as well.
+    outsiders = list(range(clique_size, n))
+    for u, v in itertools.combinations(outsiders, 2):
+        if (
+            removed_from[u] < deficit
+            and removed_from[v] < deficit
+            and generator.random() < 0.4
+        ):
+            missing.add((u, v))
+            removed_from[u] += 1
+            removed_from[v] += 1
+    edges = [
+        (u, v)
+        for u, v in itertools.combinations(range(n), 2)
+        if (u, v) not in missing
+    ]
+    return Graph(n, edges), list(range(clique_size))
+
+
+def connected_graph_with_edges(
+    num_vertices: int, num_edges: int, rng: RngLike = None
+) -> Graph:
+    """A connected graph with exactly ``num_edges`` edges.
+
+    Builds a random spanning path (guaranteeing connectivity with
+    ``n - 1`` edges) and adds random chords up to the budget.  This is
+    the auxiliary graph G2 of the sparse reductions f_{N,e} / f_{H,e}.
+    """
+    n = num_vertices
+    require(n >= 1, "need at least one vertex")
+    min_edges = n - 1
+    max_edges = n * (n - 1) // 2
+    require(
+        min_edges <= num_edges <= max_edges,
+        f"a connected graph on {n} vertices needs between {min_edges} "
+        f"and {max_edges} edges, got {num_edges}",
+    )
+    generator = make_rng(rng)
+    order = list(range(n))
+    generator.shuffle(order)
+    edges = {
+        (min(order[i], order[i + 1]), max(order[i], order[i + 1]))
+        for i in range(n - 1)
+    }
+    candidates = [
+        (u, v)
+        for u, v in itertools.combinations(range(n), 2)
+        if (u, v) not in edges
+    ]
+    generator.shuffle(candidates)
+    for pair in candidates:
+        if len(edges) >= num_edges:
+            break
+        edges.add(pair)
+    return Graph(n, sorted(edges))

@@ -1,0 +1,53 @@
+"""Structural graph facts used by the proofs.
+
+Lemma 7 of the paper: a graph with ``n`` vertices and maximum clique
+size ``omega`` has at most ``n(n-1)/2 - n + omega`` edges.  The lower
+bound on costs in Lemma 8 (and Lemma 13 for QO_H) rests entirely on
+this inequality, so it is exposed — and checkable — here.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.clique import max_clique_size
+from repro.graphs.graph import Graph
+
+
+def min_degree(graph: Graph) -> int:
+    """Minimum vertex degree (0 for the empty graph)."""
+    if graph.num_vertices == 0:
+        return 0
+    return min(graph.degree(v) for v in graph.vertices())
+
+
+def has_min_degree_deficit(graph: Graph, deficit: int) -> bool:
+    """True if every vertex has degree >= n - 1 - deficit.
+
+    The paper's CLIQUE variant requires degree >= |V| - 14 for every
+    vertex, i.e. deficit 13 from the complete-graph degree n - 1.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return True
+    return min_degree(graph) >= n - 1 - deficit
+
+
+def lemma7_edge_bound(num_vertices: int, clique_size: int) -> int:
+    """Upper bound of Lemma 7: |E| <= n(n-1)/2 - n + omega."""
+    n = num_vertices
+    return n * (n - 1) // 2 - n + clique_size
+
+
+def verify_lemma7(graph: Graph) -> bool:
+    """Check Lemma 7 on a concrete graph (exact clique computation)."""
+    omega = max_clique_size(graph)
+    if graph.num_vertices == 0:
+        return True
+    return graph.num_edges <= lemma7_edge_bound(graph.num_vertices, omega)
+
+
+def density(graph: Graph) -> float:
+    """Edge density |E| / C(n, 2)."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return graph.num_edges / (n * (n - 1) / 2)

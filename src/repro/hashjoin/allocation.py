@@ -1,0 +1,104 @@
+"""Optimal memory allocation within a pipeline (paper Lemma 10).
+
+A pipeline runs joins ``J_i .. J_k``; join ``J_j`` has inner relation
+``bs_j`` (a base relation) and outer stream ``br_j = N_{j-1}``.  Memory
+``M`` must be split with ``m_j >= hjmin(bs_j)`` and ``sum m_j <= M``.
+
+Because ``g`` is linear in ``m`` on ``[hjmin(b), b]``, the partitioning
+overhead ``(br_j + bs_j) * g(m_j, bs_j)`` decreases at the constant
+rate ``(br_j + bs_j) * g_scale / (bs_j - hjmin(bs_j))`` per page of
+memory, and giving a join more than ``bs_j`` pages is useless.  The
+optimal split is therefore a greedy fill: start everyone at the floor,
+then pour the remaining memory into joins in decreasing order of that
+rate.  This reproduces Lemma 10's qualitative statement — the joins
+with the *smallest outer streams* are the ones left at minimum memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hashjoin.cost_model import HashJoinCostModel
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of the memory-allocation LP (solved greedily).
+
+    Attributes:
+        allocation: memory page share per join, in pipeline order.
+        join_costs: ``h`` value per join under that allocation.
+        total_join_cost: sum of the join costs.
+        starved: indices (pipeline-local) of joins left below their
+            inner size — the joins that pay partitioning overhead.
+    """
+
+    allocation: Tuple[Fraction, ...]
+    join_costs: Tuple[Fraction, ...]
+    total_join_cost: Fraction
+    starved: Tuple[int, ...]
+
+
+def allocate_memory(
+    model: HashJoinCostModel,
+    outer_sizes: Sequence[Fraction],
+    inner_sizes: Sequence[int],
+    memory: int,
+) -> Optional[AllocationResult]:
+    """Optimal split of ``memory`` among the pipeline's joins.
+
+    Returns None when even the floors don't fit (infeasible pipeline).
+    """
+    count = len(inner_sizes)
+    require(count == len(outer_sizes), "outer/inner length mismatch")
+    require(count >= 1, "pipeline must contain at least one join")
+    floors = [model.hjmin(inner) for inner in inner_sizes]
+    if sum(floors) > memory:
+        return None
+
+    allocation: List[Fraction] = [Fraction(floor) for floor in floors]
+    spare = Fraction(memory - sum(floors))
+
+    # Rate of cost decrease per page, zero once m reaches the inner size.
+    def fill_priority(index: int) -> Fraction:
+        span = inner_sizes[index] - floors[index]
+        if span <= 0:
+            return Fraction(0)
+        return (
+            (Fraction(outer_sizes[index]) + inner_sizes[index])
+            * model.g_scale
+            / span
+        )
+
+    order = sorted(range(count), key=fill_priority, reverse=True)
+    for index in order:
+        if spare <= 0:
+            break
+        headroom = Fraction(inner_sizes[index]) - allocation[index]
+        if headroom <= 0:
+            continue
+        grant = min(headroom, spare)
+        allocation[index] += grant
+        spare -= grant
+
+    join_costs = [
+        model.h(allocation[index], outer_sizes[index], inner_sizes[index])
+        for index in range(count)
+    ]
+    total = Fraction(0)
+    for cost in join_costs:
+        total += cost
+    starved = tuple(
+        index
+        for index in range(count)
+        if allocation[index] < inner_sizes[index]
+    )
+    return AllocationResult(
+        allocation=tuple(allocation),
+        join_costs=tuple(join_costs),
+        total_join_cost=total,
+        starved=starved,
+    )

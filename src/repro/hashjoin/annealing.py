@@ -1,0 +1,102 @@
+"""Simulated annealing over QO_H join sequences.
+
+Completes the polynomial-heuristic family for the hash-join model:
+neighbors are adjacent swaps / single-relation moves on the sequence
+(skipping moves that break feasibility — e.g. displacing a pinned
+oversized head), each candidate costed by the exact decomposition DP.
+Acceptance works on log2 cost deltas, as in the QO_N annealer, so the
+hardness instances' scales are handled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.hashjoin.instance import QOHInstance
+from repro.hashjoin.optimizer import QOHPlan, best_decomposition
+from repro.utils.lognum import log2_of
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require
+
+
+def _initial_sequence(instance: QOHInstance, rng) -> Optional[Tuple[int, ...]]:
+    """A random feasible sequence (oversized relation first, if any)."""
+    n = instance.num_relations
+    oversized = [
+        r for r in range(n) if instance.hjmin(r) > instance.memory
+    ]
+    if len(oversized) > 1:
+        return None
+    if oversized:
+        rest = [r for r in range(n) if r != oversized[0]]
+        rng.shuffle(rest)
+        return (oversized[0], *rest)
+    order = list(range(n))
+    rng.shuffle(order)
+    return tuple(order)
+
+
+def _neighbor(sequence: Tuple[int, ...], rng) -> Tuple[int, ...]:
+    n = len(sequence)
+    candidate = list(sequence)
+    if rng.random() < 0.5 and n >= 2:
+        i = rng.randrange(n - 1)
+        candidate[i], candidate[i + 1] = candidate[i + 1], candidate[i]
+    else:
+        i = rng.randrange(n)
+        j = rng.randrange(n)
+        moved = candidate.pop(i)
+        candidate.insert(j, moved)
+    return tuple(candidate)
+
+
+def qoh_simulated_annealing(
+    instance: QOHInstance,
+    initial_temperature: float = 12.0,
+    cooling: float = 0.9,
+    steps_per_temperature: int = 12,
+    min_temperature: float = 0.1,
+    rng: RngLike = None,
+) -> Optional[QOHPlan]:
+    """Anneal over sequences; each state costed by the decomposition DP.
+
+    Returns None when no feasible sequence exists.
+    """
+    n = instance.num_relations
+    require(n >= 2, "need at least two relations")
+    generator = make_rng(rng)
+    current_sequence = _initial_sequence(instance, generator)
+    if current_sequence is None:
+        return None
+    current_plan = best_decomposition(instance, current_sequence)
+    # The random start may be infeasible (oversized relation displaced);
+    # retry a few times before giving up.
+    for _ in range(20):
+        if current_plan is not None:
+            break
+        current_sequence = _initial_sequence(instance, generator)
+        current_plan = best_decomposition(instance, current_sequence)
+    if current_plan is None:
+        return None
+
+    current_log = log2_of(current_plan.cost)
+    best_plan = current_plan
+    best_log = current_log
+
+    temperature = initial_temperature
+    while temperature > min_temperature:
+        for _ in range(steps_per_temperature):
+            candidate_sequence = _neighbor(current_plan.sequence, generator)
+            candidate_plan = best_decomposition(instance, candidate_sequence)
+            if candidate_plan is None:
+                continue
+            delta = log2_of(candidate_plan.cost) - current_log
+            if delta <= 0 or generator.random() < math.exp(-delta / temperature):
+                current_plan = candidate_plan
+                current_log = log2_of(candidate_plan.cost)
+                if current_log < best_log:
+                    best_plan = current_plan
+                    best_log = current_log
+        temperature *= cooling
+    return best_plan

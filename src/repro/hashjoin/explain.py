@@ -1,0 +1,67 @@
+"""Human-readable execution plans for QO_H pipeline decompositions.
+
+Renders a plan pipeline by pipeline: the memory split across the hash
+tables, which joins are starved into hybrid-hash partitioning, and the
+materialization points — the moving parts of the Section 2.2 execution
+model and of Lemma 10's allocation argument.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.hashjoin.instance import QOHInstance
+from repro.hashjoin.optimizer import QOHPlan
+from repro.hashjoin.pipeline import pipeline_allocation
+from repro.utils.lognum import log2_of
+
+
+def _format_number(value) -> str:
+    try:
+        log2 = log2_of(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if log2 < 40:
+        return str(value)
+    return f"2^{log2:.1f}"
+
+
+def explain_plan(
+    instance: QOHInstance,
+    plan: QOHPlan,
+    relation_names: Sequence[str] | None = None,
+) -> str:
+    """Render a QO_H plan (sequence + decomposition) as text."""
+    if relation_names is None:
+        relation_names = [f"R{r}" for r in range(instance.num_relations)]
+    sequence = plan.sequence
+    intermediates = instance.intermediate_sizes(sequence)
+
+    lines = [
+        f"outermost stream: {relation_names[sequence[0]]}"
+        f"  ({_format_number(intermediates[0])} pages)",
+        f"memory per pipeline: {_format_number(instance.memory)} pages",
+    ]
+    for number, pipeline in enumerate(plan.decomposition.pipelines, start=1):
+        allocation = pipeline_allocation(instance, sequence, pipeline)
+        lines.append(
+            f"pipeline {number}: joins J_{pipeline.first_join}"
+            f"..J_{pipeline.last_join}"
+            f"  (reads {_format_number(intermediates[pipeline.first_join - 1])},"
+            f" writes {_format_number(intermediates[pipeline.last_join])})"
+        )
+        if allocation is None:
+            lines.append("  INFEASIBLE: hjmin floors exceed memory")
+            continue
+        for offset in range(pipeline.num_joins):
+            join_index = pipeline.first_join + offset
+            inner = sequence[join_index]
+            starved = offset in allocation.starved
+            note = "  [starved: hybrid-hash partitioning]" if starved else ""
+            lines.append(
+                f"  build hash({relation_names[inner]}):"
+                f" {_format_number(allocation.allocation[offset])} pages,"
+                f" h = {_format_number(allocation.join_costs[offset])}{note}"
+            )
+    lines.append(f"total cost = {_format_number(plan.cost)}")
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Pipelines and pipeline decompositions (paper Section 2.2.1).
+
+A decomposition partitions the join operations ``J_1 .. J_{n-1}`` of a
+sequence into contiguous fragments.  Fragment ``P(i, k)`` costs:
+
+1. reading its outer input ``N_{i-1}`` (the previous fragment's
+   materialized output, or the first base relation);
+2. the hash-join costs ``sum_j h(m_j, N_{j-1}, t_inner_j)`` under the
+   optimal memory allocation;
+3. writing its output ``N_k`` to disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hashjoin.allocation import AllocationResult, allocate_memory
+from repro.hashjoin.instance import QOHInstance
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """Fragment ``P(Z, first_join, last_join)`` — 1-based join indices."""
+
+    first_join: int
+    last_join: int
+
+    def __post_init__(self) -> None:
+        require(
+            1 <= self.first_join <= self.last_join,
+            "pipeline bounds must satisfy 1 <= i <= k",
+        )
+
+    @property
+    def num_joins(self) -> int:
+        return self.last_join - self.first_join + 1
+
+
+@dataclass(frozen=True)
+class PipelineDecomposition:
+    """A partition of joins ``1 .. n-1`` into contiguous pipelines."""
+
+    pipelines: Tuple[Pipeline, ...]
+
+    @classmethod
+    def from_breaks(cls, num_joins: int, breaks: Sequence[int]) -> "PipelineDecomposition":
+        """Build from the sorted positions after which to materialize.
+
+        ``breaks`` lists join indices ``k`` where a fragment ends,
+        excluding the final join (which always ends the last fragment).
+        """
+        require(num_joins >= 1, "need at least one join")
+        boundaries = sorted(set(breaks))
+        for k in boundaries:
+            require(1 <= k < num_joins, f"break {k} out of range")
+        pipelines: List[Pipeline] = []
+        start = 1
+        for k in boundaries:
+            pipelines.append(Pipeline(start, k))
+            start = k + 1
+        pipelines.append(Pipeline(start, num_joins))
+        return cls(tuple(pipelines))
+
+    @classmethod
+    def single(cls, num_joins: int) -> "PipelineDecomposition":
+        """One pipeline spanning all joins."""
+        return cls.from_breaks(num_joins, [])
+
+    @classmethod
+    def fully_materialized(cls, num_joins: int) -> "PipelineDecomposition":
+        """Every join in its own pipeline (materialize everything)."""
+        return cls.from_breaks(num_joins, list(range(1, num_joins)))
+
+    def __post_init__(self) -> None:
+        previous_end = 0
+        for pipeline in self.pipelines:
+            require(
+                pipeline.first_join == previous_end + 1,
+                "pipelines must tile the joins contiguously",
+            )
+            previous_end = pipeline.last_join
+
+    @property
+    def num_joins(self) -> int:
+        return self.pipelines[-1].last_join
+
+
+def pipeline_cost(
+    instance: QOHInstance,
+    sequence: Sequence[int],
+    pipeline: Pipeline,
+    intermediates: Optional[Sequence[Fraction]] = None,
+) -> Optional[Fraction]:
+    """Cost of one fragment under the optimal memory allocation.
+
+    Returns None when the fragment is infeasible (its ``hjmin`` floors
+    exceed the memory budget).
+    """
+    if intermediates is None:
+        intermediates = instance.intermediate_sizes(sequence)
+    i, k = pipeline.first_join, pipeline.last_join
+    require(k < instance.num_relations, "pipeline exceeds the join count")
+    outer_sizes = [intermediates[j - 1] for j in range(i, k + 1)]
+    inner_sizes = [instance.size(sequence[j]) for j in range(i, k + 1)]
+    allocation = allocate_memory(
+        instance.model, outer_sizes, inner_sizes, instance.memory
+    )
+    if allocation is None:
+        return None
+    read_input = intermediates[i - 1]
+    write_output = intermediates[k]
+    return read_input + allocation.total_join_cost + write_output
+
+
+def decomposition_cost(
+    instance: QOHInstance,
+    sequence: Sequence[int],
+    decomposition: PipelineDecomposition,
+) -> Optional[Fraction]:
+    """Total cost of a sequence under a given decomposition.
+
+    None when any fragment is infeasible.
+    """
+    require(
+        decomposition.num_joins == instance.num_relations - 1,
+        "decomposition must cover exactly n-1 joins",
+    )
+    intermediates = instance.intermediate_sizes(sequence)
+    total = Fraction(0)
+    for pipeline in decomposition.pipelines:
+        cost = pipeline_cost(instance, sequence, pipeline, intermediates)
+        if cost is None:
+            return None
+        total += cost
+    return total
+
+
+def pipeline_allocation(
+    instance: QOHInstance,
+    sequence: Sequence[int],
+    pipeline: Pipeline,
+) -> Optional[AllocationResult]:
+    """Expose the optimal allocation for inspection (Lemma 10 checks)."""
+    intermediates = instance.intermediate_sizes(sequence)
+    i, k = pipeline.first_join, pipeline.last_join
+    outer_sizes = [intermediates[j - 1] for j in range(i, k + 1)]
+    inner_sizes = [instance.size(sequence[j]) for j in range(i, k + 1)]
+    return allocate_memory(
+        instance.model, outer_sizes, inner_sizes, instance.memory
+    )

@@ -1,0 +1,116 @@
+"""Heuristic sequence search and rigorous lower bounds for QO_H.
+
+Complements the exhaustive optimizer (practical to ~8 relations):
+
+* :func:`qoh_beam_search` — a polynomial-time beam search over join
+  sequences, each candidate costed with the exact decomposition DP;
+* :func:`qoh_trivial_lower_bound` — a sound bound valid for *every*
+  plan of *every* sequence: the outermost relation must be read and
+  the final result written, and the result size is order-independent;
+* :func:`qoh_materialization_lower_bound` — a sound per-sequence bound
+  in the spirit of Lemma 14: for every join position, either a
+  pipeline boundary touches it (read + write of the adjacent
+  intermediates) or it executes inside a pipeline (at least the
+  inner-relation scan).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hashjoin.instance import QOHInstance
+from repro.hashjoin.optimizer import QOHPlan, best_decomposition
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require
+
+
+def qoh_trivial_lower_bound(instance: QOHInstance) -> Fraction:
+    """A bound every plan of every sequence satisfies.
+
+    Every execution writes the final result (whose estimated size is
+    the same for all sequences) and reads some first relation.
+    """
+    n = instance.num_relations
+    result_size = Fraction(1)
+    for relation in range(n):
+        result_size *= instance.size(relation)
+    for i in range(n):
+        for j in range(i + 1, n):
+            selectivity = instance.selectivity(i, j)
+            if selectivity != 1:
+                result_size *= selectivity
+    smallest_first = min(instance.size(r) for r in range(n))
+    return result_size + smallest_first
+
+
+def qoh_materialization_lower_bound(
+    instance: QOHInstance, sequence: Sequence[int]
+) -> Fraction:
+    """A sound per-sequence floor (no allocation reasoning needed).
+
+    Any decomposition reads the sequence's first relation, scans every
+    inner base relation at least once (``h >= b_S`` always), and
+    writes the final result.
+    """
+    intermediates = instance.intermediate_sizes(sequence)
+    inner_scans = sum(instance.size(r) for r in sequence[1:])
+    return intermediates[0] + inner_scans + intermediates[-1]
+
+
+def qoh_beam_search(
+    instance: QOHInstance,
+    beam_width: int = 8,
+    rng: RngLike = None,
+) -> Optional[QOHPlan]:
+    """Polynomial-time beam search over join sequences.
+
+    Grows prefixes left to right, keeping the ``beam_width`` prefixes
+    with the smallest current intermediate size (the quantity that
+    drives every downstream cost in this model), breaking ties
+    randomly; finishes each survivor with the exact decomposition DP.
+    """
+    require(beam_width >= 1, "beam width must be positive")
+    n = instance.num_relations
+    generator = make_rng(rng)
+
+    # Feasible heads: relations whose removal leaves all others hashable.
+    def feasible_head(first: int) -> bool:
+        return all(
+            instance.hjmin(r) <= instance.memory
+            for r in range(n)
+            if r != first
+        )
+
+    beams: List[Tuple[Fraction, Tuple[int, ...]]] = [
+        (Fraction(instance.size(first)), (first,))
+        for first in range(n)
+        if feasible_head(first)
+    ]
+    if not beams:
+        return None
+    beams.sort(key=lambda item: (item[0], generator.random()))
+    beams = beams[:beam_width]
+
+    for _ in range(n - 1):
+        extended: List[Tuple[Fraction, Tuple[int, ...]]] = []
+        for size, prefix in beams:
+            used = set(prefix)
+            for candidate in range(n):
+                if candidate in used:
+                    continue
+                new_size = size * instance.size(candidate)
+                for earlier in prefix:
+                    selectivity = instance.selectivity(earlier, candidate)
+                    if selectivity != 1:
+                        new_size = new_size * selectivity
+                extended.append((new_size, prefix + (candidate,)))
+        extended.sort(key=lambda item: (item[0], generator.random()))
+        beams = extended[:beam_width]
+
+    best: Optional[QOHPlan] = None
+    for _, sequence in beams:
+        plan = best_decomposition(instance, sequence)
+        if plan is not None and (best is None or plan.cost < best.cost):
+            best = plan
+    return best

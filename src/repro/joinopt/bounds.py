@@ -1,0 +1,114 @@
+"""Cost lower bounds for QO_N instances.
+
+Sound bounds that hold for *every* join sequence, used to certify
+NO-side costs at sizes where exhaustive/DP search is infeasible:
+
+* :func:`first_join_lower_bound` — the first join alone costs at least
+  ``min_i t_i * min_{k != i} w[k][i]``;
+* :func:`lemma8_style_lower_bound` — the paper's argument generalized
+  to any *uniform* f_N-style instance: at prefix length ``p`` the join
+  cost is ``w * alpha^{(sum of size exponents) - D_p}``, and Lemma 7
+  caps ``D_p`` given a clique bound on the query graph;
+* :func:`dominance_lower_bound` — for arbitrary instances, a weaker
+  product bound: every sequence must, at some point, pay
+  ``N(prefix) * cheapest probe``, and ``N(prefix)`` for the first
+  ``p`` relations is at least the product of the ``p`` smallest sizes
+  times all pairwise selectivities among them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.graphs.properties import lemma7_edge_bound
+from repro.joinopt.instance import QONInstance
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # avoid a circular import: core builds on joinopt
+    from repro.core.reductions.clique_to_qon import FNReduction
+
+
+def first_join_lower_bound(instance: QONInstance):
+    """Every sequence's very first join costs at least this."""
+    n = instance.num_relations
+    require(n >= 2, "need at least two relations")
+    best = None
+    for outer in range(n):
+        for inner in range(n):
+            if inner == outer:
+                continue
+            cost = instance.size(outer) * instance.access_cost(outer, inner)
+            if best is None or cost < best:
+                best = cost
+    return best
+
+
+def dominance_lower_bound(instance: QONInstance, prefix_length: int):
+    """A floor on H at position ``prefix_length`` over all sequences.
+
+    ``N(X)`` for any ``p`` relations is at least the product of the
+    ``p`` smallest sizes times the product of the ``p(p-1)/2`` smallest
+    selectivities in the whole instance; the probe is at least the
+    globally cheapest access cost.  Sound but loose on heterogeneous
+    instances; tight on the uniform reduction instances.
+    """
+    n = instance.num_relations
+    p = prefix_length
+    require(2 <= p <= n - 1, "prefix length must lie in [2, n-1]")
+    sizes = sorted((instance.size(r) for r in range(n)))[:p]
+    selectivities = sorted(
+        instance.selectivity(i, j)
+        for i, j in itertools.combinations(range(n), 2)
+    )[: p * (p - 1) // 2]
+    probes = [
+        instance.access_cost(i, j)
+        for i in range(n)
+        for j in range(n)
+        if i != j
+    ]
+    size_product = Fraction(1)
+    for value in sizes:
+        size_product *= value
+    for value in selectivities:
+        size_product *= value
+    return size_product * min(probes)
+
+
+def lemma8_style_lower_bound(reduction: "FNReduction", clique_bound: int):
+    """Lemma 8 for any clique-bounded f_N instance, computed exactly.
+
+    If ``omega(query graph) <= clique_bound``, then for every sequence
+    the prefix of length ``p = (k_yes + k_no) / 2`` has at most
+    ``p(p-1)/2 - p + clique_bound`` internal edges (Lemma 7), so
+
+        C(Z) >= H_p >= w * alpha^{p * (k_yes+k_no)/2 - D_p}.
+
+    Returns the exact integer bound.
+    """
+    alpha = reduction.alpha
+    w = reduction.edge_access_cost
+    p = (reduction.k_yes + reduction.k_no) // 2
+    require(p >= 2, "the bound needs a prefix of at least two relations")
+    require(
+        clique_bound >= 1, "clique bound must be positive"
+    )
+    d_cap = lemma7_edge_bound(p, min(clique_bound, p))
+    exponent = p * p - d_cap
+    require(exponent >= 0, "degenerate parameters: bound collapses")
+    return w * alpha**exponent
+
+
+def verify_no_instance_floor(
+    reduction: "FNReduction", clique_bound: int
+) -> bool:
+    """Check Lemma 8's floor >= the K * alpha^{dn/2-1} formula.
+
+    When the reduction's ``k_no`` equals the true clique bound the two
+    agree; a looser ``clique_bound`` weakens the floor monotonically.
+    """
+    floor = lemma8_style_lower_bound(reduction, clique_bound)
+    if clique_bound > reduction.k_no:
+        return True  # formula floor does not apply
+    return floor >= reduction.no_cost_lower_bound()

@@ -1,0 +1,84 @@
+"""Human-readable execution plans for QO_N sequences.
+
+``explain`` renders a left-deep join sequence the way a database
+EXPLAIN would: one line per join operator with the probe choice, the
+estimated intermediate cardinality and the operator cost — all straight
+from the paper's cost model, so the printout doubles as a worked
+example of the formulas.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.joinopt.cost import (
+    back_edge_counts,
+    check_sequence,
+    intermediate_sizes,
+    join_costs,
+    total_cost,
+)
+from repro.joinopt.instance import QONInstance
+from repro.utils.lognum import log2_of
+
+
+def _format_number(value) -> str:
+    """Exact rendering for small numbers, log2 form for huge ones."""
+    try:
+        log2 = log2_of(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if log2 < 40:
+        return str(value)
+    return f"2^{log2:.1f}"
+
+
+def probe_choices(instance: QONInstance, sequence: Sequence[int]) -> List[int]:
+    """For each join, the prefix relation whose predicate drives the
+    probe (the argmin of the paper's ``min_{k in X} w[k][j]``)."""
+    check_sequence(instance, sequence)
+    choices: List[int] = []
+    for position in range(1, len(sequence)):
+        incoming = sequence[position]
+        best = min(
+            sequence[:position],
+            key=lambda earlier: (instance.access_cost(earlier, incoming), earlier),
+        )
+        choices.append(best)
+    return choices
+
+
+def explain(
+    instance: QONInstance,
+    sequence: Sequence[int],
+    relation_names: Sequence[str] | None = None,
+) -> str:
+    """Render a join sequence as a textual execution plan."""
+    check_sequence(instance, sequence)
+    if relation_names is None:
+        relation_names = [f"R{r}" for r in range(instance.num_relations)]
+
+    sizes = intermediate_sizes(instance, sequence)
+    costs = join_costs(instance, sequence)
+    back = back_edge_counts(instance, sequence)
+    probes = probe_choices(instance, sequence)
+
+    lines = [
+        f"scan {relation_names[sequence[0]]}"
+        f"  (cardinality {_format_number(instance.size(sequence[0]))})"
+    ]
+    for index in range(1, len(sequence)):
+        incoming = sequence[index]
+        join_kind = (
+            "nested-loops join" if back[index] > 0 else "CARTESIAN product"
+        )
+        probe = probes[index - 1]
+        lines.append(
+            f"{join_kind} {relation_names[incoming]}"
+            f"  via {relation_names[probe]}"
+            f"  (w = {_format_number(instance.access_cost(probe, incoming))},"
+            f" H_{index} = {_format_number(costs[index - 1])},"
+            f" |out| = {_format_number(sizes[index - 1])})"
+        )
+    lines.append(f"total cost C(Z) = {_format_number(total_cost(instance, sequence))}")
+    return "\n".join(lines)

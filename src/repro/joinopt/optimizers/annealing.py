@@ -1,0 +1,76 @@
+"""Simulated annealing over join sequences.
+
+The acceptance test works on ``log2`` of the cost ratio so it behaves
+sensibly even when costs differ by thousands of orders of magnitude —
+which is precisely the regime the hardness instances create.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.joinopt.cost import total_cost
+from repro.joinopt.instance import QONInstance
+from repro.joinopt.optimizers.base import OptimizerResult
+from repro.joinopt.optimizers.local_search import (
+    _neighbors,
+    _random_connected_sequence,
+)
+from repro.utils.lognum import log2_of
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require
+
+
+def simulated_annealing(
+    instance: QONInstance,
+    initial_temperature: float = 16.0,
+    cooling: float = 0.95,
+    steps_per_temperature: int = 20,
+    min_temperature: float = 0.05,
+    rng: RngLike = None,
+) -> OptimizerResult:
+    """Simulated annealing; temperature acts on log2(cost) deltas.
+
+    A move that multiplies the cost by ``2**d`` is accepted with
+    probability ``exp(-d / T)``, so ``T`` is measured in "doublings".
+    """
+    n = instance.num_relations
+    require(n >= 1, "instance must have at least one relation")
+    if n == 1:
+        return OptimizerResult(
+            cost=0, sequence=(0,), optimizer="simulated-annealing", explored=1
+        )
+    generator = make_rng(rng)
+    current = _random_connected_sequence(instance, generator)
+    current_cost = total_cost(instance, current)
+    current_log = log2_of(current_cost)
+    best_cost, best_sequence = current_cost, current
+    best_log = current_log
+    explored = 1
+
+    temperature = initial_temperature
+    while temperature > min_temperature:
+        for _ in range(steps_per_temperature):
+            (candidate,) = _neighbors(current, generator, 1)
+            candidate_cost = total_cost(instance, candidate)
+            candidate_log = log2_of(candidate_cost)
+            explored += 1
+            delta = candidate_log - current_log
+            if delta <= 0 or generator.random() < math.exp(-delta / temperature):
+                current, current_cost, current_log = (
+                    candidate,
+                    candidate_cost,
+                    candidate_log,
+                )
+                if current_log < best_log:
+                    best_cost, best_sequence = current_cost, current
+                    best_log = current_log
+        temperature *= cooling
+
+    return OptimizerResult(
+        cost=best_cost,
+        sequence=best_sequence,
+        optimizer="simulated-annealing",
+        explored=explored,
+    )

@@ -1,0 +1,165 @@
+"""IKKBZ: the rank-based polynomial optimizer for tree queries.
+
+Ibaraki & Kameda (TODS 1984) — reference [1] of the paper — showed the
+nested-loops join-ordering problem is solvable in polynomial time for
+*tree* query graphs via an adjacent-sequence-interchange (ASI)
+argument; Krishnamurthy, Boral & Zaniolo (VLDB 1986, reference [6])
+brought it to O(n^2).  The paper's Section 6.3 contrasts this tractable
+family against the hardness results, so the reproduction includes the
+algorithm.
+
+Model mapping: in a tree traversal without cartesian products, the
+relation appended at each step is adjacent to exactly one earlier
+relation (its tree parent ``p``), so the probe cost is
+``c_i = w[p][i]`` and the size multiplier is ``f_i = t_i * s_{p,i}``.
+This satisfies ASI with rank ``(f - 1) / c``; for a fixed root the
+optimal order merges precedence-constrained chains by ascending rank,
+and the global optimum is the best over all roots.
+
+Exact-number mode only: ranks require subtraction, which the log-domain
+type cannot represent (they can be negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.joinopt.cost import total_cost
+from repro.joinopt.instance import QONInstance
+from repro.joinopt.optimizers.base import OptimizerResult
+from repro.utils.lognum import LogNumber
+from repro.utils.validation import ValidationError, require
+
+
+@dataclass
+class _Module:
+    """A merged run of relations with aggregated ASI statistics."""
+
+    relations: Tuple[int, ...]
+    cost: Fraction  # C(S)
+    factor: Fraction  # T(S)
+
+    @property
+    def rank(self) -> Fraction:
+        return (self.factor - 1) / self.cost
+
+    def followed_by(self, other: "_Module") -> "_Module":
+        return _Module(
+            relations=self.relations + other.relations,
+            cost=self.cost + self.factor * other.cost,
+            factor=self.factor * other.factor,
+        )
+
+
+def _require_tree(instance: QONInstance) -> None:
+    graph = instance.graph
+    require(
+        graph.is_connected() and graph.num_edges == graph.num_vertices - 1,
+        "IKKBZ requires a connected tree query graph",
+    )
+    for value in instance.sizes:
+        require(
+            not isinstance(value, LogNumber),
+            "IKKBZ needs exact numbers (ranks can be negative)",
+        )
+
+
+def _merge_sorted(chains: List[List[_Module]]) -> List[_Module]:
+    """Merge rank-ascending chains into one rank-ascending list."""
+    merged: List[_Module] = []
+    for chain in chains:
+        merged.extend(chain)
+    merged.sort(key=lambda module: module.rank)
+    return merged
+
+
+def _normalize(chain: List[_Module]) -> List[_Module]:
+    """Merge adjacent out-of-rank-order modules until ascending."""
+    index = 0
+    while index < len(chain) - 1:
+        if chain[index].rank > chain[index + 1].rank:
+            chain[index] = chain[index].followed_by(chain[index + 1])
+            del chain[index + 1]
+            if index > 0:
+                index -= 1
+        else:
+            index += 1
+    return chain
+
+
+def _subtree_chain(
+    instance: QONInstance,
+    vertex: int,
+    parent: int,
+    children: Dict[int, List[int]],
+) -> List[_Module]:
+    """The optimal rank-ascending chain for the subtree at ``vertex``."""
+    child_chains = [
+        _subtree_chain(instance, child, vertex, children)
+        for child in children[vertex]
+    ]
+    merged = _merge_sorted(child_chains)
+    own = _Module(
+        relations=(vertex,),
+        cost=Fraction(instance.access_cost(parent, vertex)),
+        factor=Fraction(instance.size(vertex))
+        * Fraction(instance.selectivity(parent, vertex)),
+    )
+    return _normalize([own] + merged)
+
+
+def _sequence_for_root(instance: QONInstance, root: int) -> Tuple[int, ...]:
+    """IKKBZ order for one choice of the outermost relation."""
+    graph = instance.graph
+    children: Dict[int, List[int]] = {v: [] for v in graph.vertices()}
+    parent_of: Dict[int, int] = {root: root}
+    frontier = [root]
+    while frontier:
+        vertex = frontier.pop()
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in parent_of:
+                parent_of[neighbor] = vertex
+                children[vertex].append(neighbor)
+                frontier.append(neighbor)
+    chains = [
+        _subtree_chain(instance, child, root, children)
+        for child in children[root]
+    ]
+    ordered = _normalize(_merge_sorted(chains))
+    sequence: List[int] = [root]
+    for module in ordered:
+        sequence.extend(module.relations)
+    return tuple(sequence)
+
+
+def ikkbz(instance: QONInstance) -> OptimizerResult:
+    """Optimal cartesian-product-free sequence for a tree query graph.
+
+    Polynomial time; exact among sequences that respect the tree
+    precedence (which includes the global optimum for tree queries
+    under this cost model, cf. Ibaraki & Kameda).
+    """
+    _require_tree(instance)
+    n = instance.num_relations
+    if n == 1:
+        return OptimizerResult(
+            cost=0, sequence=(0,), optimizer="ikkbz", explored=1, is_exact=True
+        )
+    best_cost = None
+    best_sequence: Optional[Tuple[int, ...]] = None
+    for root in range(n):
+        sequence = _sequence_for_root(instance, root)
+        cost = total_cost(instance, sequence)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_sequence = sequence
+    assert best_sequence is not None
+    return OptimizerResult(
+        cost=best_cost,
+        sequence=best_sequence,
+        optimizer="ikkbz",
+        explored=n,
+        is_exact=True,
+    )

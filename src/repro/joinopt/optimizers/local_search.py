@@ -1,0 +1,144 @@
+"""Randomized search: iterative improvement and random sampling.
+
+Classic join-ordering metaheuristics (Swami & Gupta; Ioannidis & Kang)
+adapted to sequence space: the neighborhood is adjacent swaps plus
+arbitrary single-relation moves.  These are the practical algorithms
+whose worst-case competitive ratio the paper proves cannot be
+polylogarithmic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.joinopt.cost import total_cost
+from repro.joinopt.instance import QONInstance
+from repro.joinopt.optimizers.base import OptimizerResult
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require
+
+
+def _random_connected_sequence(
+    instance: QONInstance, rng
+) -> Tuple[int, ...]:
+    """A random permutation avoiding cartesian products when possible.
+
+    Tracks the frontier incrementally, so one draw is O(n + m).
+    """
+    n = instance.num_relations
+    graph = instance.graph
+    first = rng.randrange(n)
+    sequence = [first]
+    remaining = set(range(n)) - {first}
+    frontier = {v for v in graph.neighbors(first) if v in remaining}
+    while remaining:
+        pool = sorted(frontier) if frontier else sorted(remaining)
+        choice = rng.choice(pool)
+        sequence.append(choice)
+        remaining.remove(choice)
+        frontier.discard(choice)
+        for neighbor in graph.neighbors(choice):
+            if neighbor in remaining:
+                frontier.add(neighbor)
+    return tuple(sequence)
+
+
+def _neighbors(sequence: Tuple[int, ...], rng, count: int) -> List[Tuple[int, ...]]:
+    """Sample ``count`` neighbors: adjacent swaps and single moves."""
+    n = len(sequence)
+    result: List[Tuple[int, ...]] = []
+    for _ in range(count):
+        candidate = list(sequence)
+        if rng.random() < 0.5 and n >= 2:
+            i = rng.randrange(n - 1)
+            candidate[i], candidate[i + 1] = candidate[i + 1], candidate[i]
+        else:
+            i = rng.randrange(n)
+            j = rng.randrange(n)
+            moved = candidate.pop(i)
+            candidate.insert(j, moved)
+        result.append(tuple(candidate))
+    return result
+
+
+def iterative_improvement(
+    instance: QONInstance,
+    restarts: int = 10,
+    neighborhood_samples: int = 30,
+    max_rounds: int = 200,
+    rng: RngLike = None,
+) -> OptimizerResult:
+    """Iterative improvement from random starts.
+
+    Each restart descends by sampled neighborhood moves until no
+    sampled neighbor improves for a full round.
+    """
+    n = instance.num_relations
+    require(n >= 1, "instance must have at least one relation")
+    if n == 1:
+        return OptimizerResult(
+            cost=0, sequence=(0,), optimizer="iterative-improvement", explored=1
+        )
+    generator = make_rng(rng)
+    best_cost = None
+    best_sequence: Optional[Tuple[int, ...]] = None
+    explored = 0
+    for _ in range(max(1, restarts)):
+        current = _random_connected_sequence(instance, generator)
+        current_cost = total_cost(instance, current)
+        explored += 1
+        for _ in range(max_rounds):
+            improved = False
+            for candidate in _neighbors(current, generator, neighborhood_samples):
+                candidate_cost = total_cost(instance, candidate)
+                explored += 1
+                if candidate_cost < current_cost:
+                    current, current_cost = candidate, candidate_cost
+                    improved = True
+                    break
+            if not improved:
+                break
+        if best_cost is None or current_cost < best_cost:
+            best_cost, best_sequence = current_cost, current
+    assert best_sequence is not None
+    return OptimizerResult(
+        cost=best_cost,
+        sequence=best_sequence,
+        optimizer="iterative-improvement",
+        explored=explored,
+    )
+
+
+def random_sampling(
+    instance: QONInstance,
+    samples: int = 200,
+    avoid_cartesian: bool = True,
+    rng: RngLike = None,
+) -> OptimizerResult:
+    """Best of ``samples`` random sequences (cartesian-avoiding by default)."""
+    n = instance.num_relations
+    require(n >= 1, "instance must have at least one relation")
+    if n == 1:
+        return OptimizerResult(
+            cost=0, sequence=(0,), optimizer="random-sampling", explored=1
+        )
+    generator = make_rng(rng)
+    best_cost = None
+    best_sequence: Optional[Tuple[int, ...]] = None
+    for _ in range(max(1, samples)):
+        if avoid_cartesian:
+            sequence = _random_connected_sequence(instance, generator)
+        else:
+            order = list(range(n))
+            generator.shuffle(order)
+            sequence = tuple(order)
+        cost = total_cost(instance, sequence)
+        if best_cost is None or cost < best_cost:
+            best_cost, best_sequence = cost, sequence
+    assert best_sequence is not None
+    return OptimizerResult(
+        cost=best_cost,
+        sequence=best_sequence,
+        optimizer="random-sampling",
+        explored=max(1, samples),
+    )

@@ -1,0 +1,52 @@
+"""SAT substrate: CNF formulas, solvers and gap-instance families.
+
+The paper's reductions start from 3SAT(13) — 3CNF formulas in which
+each variable occurs in at most 13 clauses, promised to be either
+satisfiable or at most (1-theta)-satisfiable (Theorem 1, via the PCP
+theorem).  This package supplies everything the reductions consume:
+
+* :mod:`repro.sat.cnf` — the formula model (DIMACS-style literals);
+* :mod:`repro.sat.dimacs` — DIMACS CNF read/write;
+* :mod:`repro.sat.solver` — a DPLL satisfiability solver;
+* :mod:`repro.sat.maxsat` — exact branch-and-bound and local-search
+  MAX-SAT;
+* :mod:`repro.sat.generators` — random and planted 3SAT generators;
+* :mod:`repro.sat.bounded` — the occurrence-bounding transformation
+  3SAT -> 3SAT(13);
+* :mod:`repro.sat.gapfamilies` — certified gap families standing in
+  for the (non-implementable) PCP amplification of Theorem 1.
+"""
+
+from repro.sat.cnf import Assignment, Clause, CNFFormula
+from repro.sat.solver import DPLLSolver, is_satisfiable, solve
+from repro.sat.maxsat import local_search_maxsat, max_satisfiable_clauses
+from repro.sat.generators import (
+    random_3sat,
+    random_planted_3sat,
+    pigeonhole_formula,
+)
+from repro.sat.bounded import bound_occurrences, max_occurrences
+from repro.sat.gapfamilies import GapFormula, gap_family
+from repro.sat.simplify import SimplificationResult, simplify
+from repro.sat.tseitin import tseitin_encode
+
+__all__ = [
+    "Assignment",
+    "Clause",
+    "CNFFormula",
+    "DPLLSolver",
+    "is_satisfiable",
+    "solve",
+    "local_search_maxsat",
+    "max_satisfiable_clauses",
+    "random_3sat",
+    "random_planted_3sat",
+    "pigeonhole_formula",
+    "bound_occurrences",
+    "max_occurrences",
+    "GapFormula",
+    "gap_family",
+    "SimplificationResult",
+    "simplify",
+    "tseitin_encode",
+]

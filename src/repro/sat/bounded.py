@@ -1,0 +1,106 @@
+"""Occurrence bounding: 3SAT -> 3SAT(k).
+
+The paper's starting point is 3SAT(13): 3CNF with every variable in at
+most 13 clauses.  The classical transformation replaces a variable
+occurring in ``r > k`` clauses by ``r`` fresh copies tied together with
+a cyclic implication chain; each copy then occurs in one original
+clause plus two chain clauses, i.e. three clauses total.
+
+This transformation preserves satisfiability *exactly* (it is not the
+PCP gap amplification of Theorem 1 — see
+:mod:`repro.sat.gapfamilies` for the gap-promise stand-in).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sat.cnf import Assignment, CNFFormula
+from repro.sat.generators import chain_implication_clauses
+from repro.utils.validation import require
+
+
+def max_occurrences(formula: CNFFormula) -> int:
+    """The maximum number of clauses any variable occurs in."""
+    counts = formula.occurrence_counts()
+    return max(counts.values(), default=0)
+
+
+def bound_occurrences(
+    formula: CNFFormula, bound: int = 13
+) -> Tuple[CNFFormula, Dict[int, List[int]]]:
+    """Rewrite ``formula`` so every variable occurs in <= ``bound`` clauses.
+
+    Variables already within the bound are kept; a variable occurring
+    ``r > bound`` times is split into ``r`` fresh copies chained by
+    implications.  Returns the new formula and a map
+    ``original variable -> list of copies`` (a singleton list when the
+    variable was kept), from which assignments can be translated in
+    both directions.
+
+    Requires ``bound >= 3``: each copy ends up in its original clause
+    plus two chain clauses.
+    """
+    require(bound >= 3, "occurrence bound must be at least 3")
+    counts = formula.occurrence_counts()
+    next_var = formula.num_vars + 1
+    copy_map: Dict[int, List[int]] = {}
+    # Allocate copies.
+    for var in range(1, formula.num_vars + 1):
+        if counts[var] > bound:
+            copies = list(range(next_var, next_var + counts[var]))
+            next_var += counts[var]
+            copy_map[var] = copies
+        else:
+            copy_map[var] = [var]
+
+    # Rewrite clauses, consuming one copy per occurrence.
+    cursor: Dict[int, int] = {var: 0 for var in copy_map}
+    new_clauses: List[List[int]] = []
+    for clause in formula:
+        rewritten: List[int] = []
+        seen_vars = set()
+        for literal in clause:
+            var = abs(literal)
+            if var in seen_vars:
+                # Same variable twice in one clause: reuse the same copy.
+                copy = copy_map[var][max(cursor[var] - 1, 0)]
+            else:
+                seen_vars.add(var)
+                copies = copy_map[var]
+                if len(copies) == 1:
+                    copy = copies[0]
+                else:
+                    copy = copies[cursor[var]]
+                    cursor[var] += 1
+            rewritten.append(copy if literal > 0 else -copy)
+        new_clauses.append(rewritten)
+
+    # Chain clauses tying the copies together.
+    for var, copies in copy_map.items():
+        if len(copies) > 1:
+            new_clauses.extend(chain_implication_clauses(copies))
+
+    return CNFFormula(next_var - 1, new_clauses), copy_map
+
+
+def lift_assignment(
+    assignment: Assignment, copy_map: Dict[int, List[int]]
+) -> Assignment:
+    """Translate an assignment of the original formula to the bounded one."""
+    lifted: Assignment = {}
+    for var, copies in copy_map.items():
+        value = assignment.get(var, False)
+        for copy in copies:
+            lifted[copy] = value
+    return lifted
+
+
+def project_assignment(
+    assignment: Assignment, copy_map: Dict[int, List[int]]
+) -> Assignment:
+    """Translate an assignment of the bounded formula back (first copy wins)."""
+    return {
+        var: assignment.get(copies[0], False)
+        for var, copies in copy_map.items()
+    }

@@ -1,0 +1,184 @@
+"""CNF formula model.
+
+Literals follow the DIMACS convention: variables are the integers
+``1 .. num_vars`` and a literal is ``+v`` (positive occurrence) or
+``-v`` (negated occurrence).  A clause is an immutable, deduplicated
+tuple of literals; a formula is an immutable list of clauses plus the
+variable count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.utils.validation import ValidationError, require
+
+#: A (partial) assignment maps variable -> bool.
+Assignment = Dict[int, bool]
+
+
+@dataclass(frozen=True)
+class Clause:
+    """An immutable disjunction of literals.
+
+    Duplicate literals are removed on construction.  A clause that
+    contains both ``v`` and ``-v`` is a tautology; :meth:`is_tautology`
+    reports it (the generators avoid producing them, the reductions
+    reject them).
+    """
+
+    literals: Tuple[int, ...]
+
+    def __init__(self, literals: Iterable[int]):
+        unique = tuple(sorted(set(literals), key=lambda lit: (abs(lit), lit < 0)))
+        for lit in unique:
+            require(lit != 0, "literal 0 is not allowed (DIMACS terminator)")
+        object.__setattr__(self, "literals", unique)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __contains__(self, literal: int) -> bool:
+        return literal in self.literals
+
+    def variables(self) -> Tuple[int, ...]:
+        """The distinct variables mentioned by this clause."""
+        return tuple(sorted({abs(lit) for lit in self.literals}))
+
+    def is_tautology(self) -> bool:
+        """True if the clause contains a literal and its negation."""
+        seen = set(self.literals)
+        return any(-lit in seen for lit in self.literals)
+
+    def is_satisfied_by(self, assignment: Assignment) -> bool:
+        """True if some literal is true under the (total) assignment."""
+        return any(
+            assignment.get(abs(lit), None) == (lit > 0) for lit in self.literals
+        )
+
+    def __repr__(self) -> str:
+        return f"Clause({list(self.literals)})"
+
+
+class CNFFormula:
+    """An immutable CNF formula over variables ``1 .. num_vars``."""
+
+    __slots__ = ("_num_vars", "_clauses")
+
+    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int] | Clause]):
+        require(num_vars >= 0, "num_vars must be non-negative")
+        normalized = []
+        for clause in clauses:
+            if not isinstance(clause, Clause):
+                clause = Clause(clause)
+            for lit in clause:
+                require(
+                    1 <= abs(lit) <= num_vars,
+                    f"literal {lit} out of range for {num_vars} variables",
+                )
+            normalized.append(clause)
+        self._num_vars = num_vars
+        self._clauses = tuple(normalized)
+
+    # -- accessors ---------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        return self._clauses
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CNFFormula):
+            return NotImplemented
+        return (
+            self._num_vars == other._num_vars and self._clauses == other._clauses
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_vars, self._clauses))
+
+    def __repr__(self) -> str:
+        return f"CNFFormula(num_vars={self._num_vars}, num_clauses={len(self)})"
+
+    # -- structure ---------------------------------------------------
+    def is_3cnf(self) -> bool:
+        """True if every clause has at most three literals."""
+        return all(len(clause) <= 3 for clause in self._clauses)
+
+    def is_exactly_3cnf(self) -> bool:
+        """True if every clause has exactly three distinct literals."""
+        return all(len(clause) == 3 for clause in self._clauses)
+
+    def occurrence_counts(self) -> Dict[int, int]:
+        """Number of clauses each variable occurs in (any polarity)."""
+        counts: Dict[int, int] = {v: 0 for v in range(1, self._num_vars + 1)}
+        for clause in self._clauses:
+            for var in clause.variables():
+                counts[var] += 1
+        return counts
+
+    def occurrences_bounded_by(self, bound: int) -> bool:
+        """True if every variable occurs in at most ``bound`` clauses.
+
+        The paper's 3SAT(13) requires ``bound = 13``.
+        """
+        return all(count <= bound for count in self.occurrence_counts().values())
+
+    # -- evaluation --------------------------------------------------
+    def count_satisfied(self, assignment: Assignment) -> int:
+        """Number of clauses satisfied by the assignment."""
+        return sum(
+            1 for clause in self._clauses if clause.is_satisfied_by(assignment)
+        )
+
+    def satisfied_fraction(self, assignment: Assignment) -> float:
+        """Fraction of clauses satisfied (1.0 for the empty formula)."""
+        if not self._clauses:
+            return 1.0
+        return self.count_satisfied(assignment) / len(self._clauses)
+
+    def is_satisfied_by(self, assignment: Assignment) -> bool:
+        """True if every clause is satisfied."""
+        return self.count_satisfied(assignment) == len(self._clauses)
+
+    # -- combination -------------------------------------------------
+    def conjoin(self, other: "CNFFormula") -> "CNFFormula":
+        """Conjunction over a shared variable universe.
+
+        The result has ``max(num_vars)`` variables and the clause lists
+        concatenated; use :meth:`shift_variables` first to make the
+        variable sets disjoint.
+        """
+        num_vars = max(self._num_vars, other._num_vars)
+        return CNFFormula(num_vars, self._clauses + other._clauses)
+
+    def shift_variables(self, offset: int) -> "CNFFormula":
+        """Rename each variable ``v`` to ``v + offset``."""
+        require(offset >= 0, "offset must be non-negative")
+        shifted = [
+            [lit + offset if lit > 0 else lit - offset for lit in clause]
+            for clause in self._clauses
+        ]
+        return CNFFormula(self._num_vars + offset, shifted)
+
+
+def all_assignments(num_vars: int) -> Iterator[Assignment]:
+    """Yield every total assignment over ``1 .. num_vars`` (2**n of them)."""
+    for mask in range(1 << num_vars):
+        yield {v: bool(mask >> (v - 1) & 1) for v in range(1, num_vars + 1)}

@@ -1,0 +1,72 @@
+"""DIMACS CNF serialization.
+
+The standard interchange format for SAT instances; supported so that
+reduction inputs/outputs can be exchanged with external solvers and the
+benchmark harness can persist generated families.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.sat.cnf import CNFFormula
+from repro.utils.validation import ValidationError
+
+
+def dumps(formula: CNFFormula, comments: Iterable[str] = ()) -> str:
+    """Serialize a formula to DIMACS CNF text."""
+    lines = [f"c {comment}" for comment in comments]
+    lines.append(f"p cnf {formula.num_vars} {formula.num_clauses}")
+    for clause in formula:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> CNFFormula:
+    """Parse DIMACS CNF text into a :class:`CNFFormula`."""
+    num_vars = None
+    declared_clauses = None
+    clauses: list[list[int]] = []
+    pending: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValidationError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        if num_vars is None:
+            raise ValidationError("clause data before problem line")
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                clauses.append(pending)
+                pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        # Tolerate a final clause missing its 0 terminator.
+        clauses.append(pending)
+    if num_vars is None:
+        raise ValidationError("missing problem line")
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        raise ValidationError(
+            f"problem line declares {declared_clauses} clauses, "
+            f"found {len(clauses)}"
+        )
+    return CNFFormula(num_vars, clauses)
+
+
+def write_file(formula: CNFFormula, path: Union[str, Path]) -> None:
+    """Write a formula to ``path`` in DIMACS format."""
+    Path(path).write_text(dumps(formula), encoding="ascii")
+
+
+def read_file(path: Union[str, Path]) -> CNFFormula:
+    """Read a DIMACS file into a :class:`CNFFormula`."""
+    return loads(Path(path).read_text(encoding="ascii"))

@@ -1,0 +1,154 @@
+"""Certified gap families of 3SAT(13) formulas.
+
+Theorem 1 of the paper invokes the PCP theorem: a reduction mapping YES
+instances to *satisfiable* 3SAT(13) formulas and NO instances to
+formulas in which at most a ``1 - theta`` fraction of clauses is
+satisfiable.  A PCP verifier is not an implementable artifact, so this
+module supplies the object the downstream reductions actually consume:
+formulas with a *certified* satisfiability gap.
+
+* YES side — planted satisfiable 3SAT padded/filtered to respect the
+  occurrence bound; the planted assignment is the certificate.
+* NO side — disjoint copies of the canonical 8-clause unsatisfiable
+  core (MAX-SAT = 7/8 per copy, verified exactly), optionally mixed
+  with satisfiable filler whose fraction controls theta.  With ``k``
+  cores over ``8k + f`` clauses the satisfiable fraction is exactly
+  ``(8k + f - k) / (8k + f)``, i.e. ``theta = k / (8k + f)``.
+
+Every :class:`GapFormula` records its promise and (for small sizes) is
+re-verified by the exact MAX-SAT solver in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from repro.sat.cnf import Assignment, CNFFormula
+from repro.sat.generators import random_planted_3sat, unsatisfiable_core
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class GapFormula:
+    """A 3SAT(13) formula with a certified satisfiability promise.
+
+    Attributes:
+        formula: the 3CNF formula (occurrences bounded by 13).
+        satisfiable: which side of the promise this instance is on.
+        theta: for NO instances, at most ``1 - theta`` of the clauses
+            are simultaneously satisfiable; 0 for YES instances.
+        witness: a satisfying assignment for YES instances.
+    """
+
+    formula: CNFFormula
+    satisfiable: bool
+    theta: Fraction
+    witness: Optional[Assignment] = None
+
+    def __post_init__(self) -> None:
+        if self.satisfiable:
+            require(self.witness is not None, "YES instance needs a witness")
+            require(
+                self.formula.is_satisfied_by(self.witness),
+                "witness does not satisfy the formula",
+            )
+        else:
+            require(self.theta > 0, "NO instance needs theta > 0")
+        require(
+            self.formula.occurrences_bounded_by(13),
+            "gap formulas must be 3SAT(13)",
+        )
+
+    @property
+    def max_sat_fraction_bound(self) -> Fraction:
+        """Upper bound on the satisfiable fraction (1 for YES instances)."""
+        return Fraction(1) - self.theta if not self.satisfiable else Fraction(1)
+
+
+def yes_instance(
+    num_vars: int, num_clauses: int, rng: RngLike = None
+) -> GapFormula:
+    """A satisfiable 3SAT(13) instance with a planted witness.
+
+    Clauses are resampled until the occurrence bound holds, so the
+    clause/variable ratio must stay below 13/3.
+    """
+    require(
+        num_clauses * 3 <= num_vars * 13,
+        "clause count exceeds the 3SAT(13) occurrence capacity",
+    )
+    generator = make_rng(rng)
+    for _ in range(200):
+        formula, planted = random_planted_3sat(num_vars, num_clauses, generator)
+        if formula.occurrences_bounded_by(13):
+            return GapFormula(
+                formula=formula,
+                satisfiable=True,
+                theta=Fraction(0),
+                witness=planted,
+            )
+    raise RuntimeError(
+        "could not sample a 3SAT(13) formula; lower the clause density"
+    )
+
+
+def no_instance(
+    num_cores: int,
+    filler_clauses: int = 0,
+    rng: RngLike = None,
+) -> GapFormula:
+    """An unsatisfiable 3SAT(13) instance built from disjoint cores.
+
+    ``num_cores`` disjoint 8-clause unsatisfiable cores guarantee that
+    at least ``num_cores`` clauses are falsified by every assignment.
+    ``filler_clauses`` satisfiable planted clauses (on fresh variables)
+    dilute theta to ``num_cores / (8 * num_cores + filler_clauses)``.
+    """
+    require(num_cores >= 1, "need at least one unsatisfiable core")
+    combined = CNFFormula(0, [])
+    for index in range(num_cores):
+        core = unsatisfiable_core(first_var=3 * index + 1)
+        combined = combined.conjoin(core)
+    if filler_clauses:
+        filler_vars = max(3, (filler_clauses * 3 + 12) // 13)
+        filler, _ = random_planted_3sat(filler_vars, filler_clauses, rng)
+        # Resample until the filler respects the occurrence bound.
+        generator = make_rng(rng)
+        for _ in range(200):
+            if filler.occurrences_bounded_by(13):
+                break
+            filler, _ = random_planted_3sat(filler_vars, filler_clauses, generator)
+        combined = combined.conjoin(filler.shift_variables(combined.num_vars))
+    total = combined.num_clauses
+    theta = Fraction(num_cores, total)
+    return GapFormula(
+        formula=combined, satisfiable=False, theta=theta, witness=None
+    )
+
+
+def gap_family(
+    num_vars: int,
+    satisfiable: bool,
+    theta: Fraction = Fraction(1, 8),
+    rng: RngLike = None,
+) -> GapFormula:
+    """Sample a gap instance of roughly ``num_vars`` variables.
+
+    YES instances use a moderate clause density (2 clauses per
+    variable); NO instances stack enough cores to reach the requested
+    theta exactly when ``theta = k / (8k + f)`` is attainable, else the
+    closest not-smaller theta.
+    """
+    require(num_vars >= 3, "need at least three variables")
+    if satisfiable:
+        return yes_instance(num_vars, 2 * num_vars, rng)
+    num_cores = max(1, num_vars // 3)
+    if theta >= Fraction(1, 8):
+        filler = 0
+    else:
+        # theta = k / (8k + f)  =>  f = k / theta - 8k
+        filler = max(0, int(num_cores / theta) - 8 * num_cores)
+    return no_instance(num_cores, filler_clauses=filler, rng=rng)

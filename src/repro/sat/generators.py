@@ -1,0 +1,115 @@
+"""Random and structured 3SAT generators.
+
+Used by the benchmark harness to produce workloads:
+
+* :func:`random_3sat` — uniform random exactly-3 clauses;
+* :func:`random_planted_3sat` — satisfiable by a planted assignment;
+* :func:`pigeonhole_formula` — classically unsatisfiable instances;
+* :func:`unsatisfiable_core` — a minimal 3CNF contradiction used by
+  the gap families to cap the satisfiable fraction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence
+
+from repro.sat.cnf import Assignment, CNFFormula
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require
+
+
+def random_3sat(num_vars: int, num_clauses: int, rng: RngLike = None) -> CNFFormula:
+    """Uniform random 3SAT: each clause picks 3 distinct variables and
+    independent random polarities; tautologies are impossible because
+    variables within a clause are distinct."""
+    require(num_vars >= 3, "random_3sat needs at least 3 variables")
+    generator = make_rng(rng)
+    clauses: List[List[int]] = []
+    for _ in range(num_clauses):
+        variables = generator.sample(range(1, num_vars + 1), 3)
+        clause = [
+            var if generator.random() < 0.5 else -var for var in variables
+        ]
+        clauses.append(clause)
+    return CNFFormula(num_vars, clauses)
+
+
+def random_planted_3sat(
+    num_vars: int,
+    num_clauses: int,
+    rng: RngLike = None,
+) -> tuple[CNFFormula, Assignment]:
+    """Random 3SAT guaranteed satisfiable by a hidden planted assignment.
+
+    Each clause is resampled until the planted assignment satisfies it,
+    giving the standard planted distribution.  Returns the formula and
+    the planted assignment (useful as a certificate).
+    """
+    require(num_vars >= 3, "random_planted_3sat needs at least 3 variables")
+    generator = make_rng(rng)
+    planted = {v: generator.random() < 0.5 for v in range(1, num_vars + 1)}
+    clauses: List[List[int]] = []
+    while len(clauses) < num_clauses:
+        variables = generator.sample(range(1, num_vars + 1), 3)
+        clause = [
+            var if generator.random() < 0.5 else -var for var in variables
+        ]
+        if any(planted[abs(lit)] == (lit > 0) for lit in clause):
+            clauses.append(clause)
+    return CNFFormula(num_vars, clauses), planted
+
+
+def pigeonhole_formula(holes: int) -> CNFFormula:
+    """PHP(holes+1, holes): unsatisfiable, not 3CNF in general.
+
+    Variable ``x_{p,h}`` (pigeon p in hole h) is encoded as
+    ``p * holes + h + 1`` for ``p in range(holes + 1)``.
+    """
+    require(holes >= 1, "need at least one hole")
+    pigeons = holes + 1
+
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    clauses: List[List[int]] = []
+    for pigeon in range(pigeons):
+        clauses.append([var(pigeon, hole) for hole in range(holes)])
+    for hole in range(holes):
+        for p1, p2 in itertools.combinations(range(pigeons), 2):
+            clauses.append([-var(p1, hole), -var(p2, hole)])
+    return CNFFormula(pigeons * holes, clauses)
+
+
+def unsatisfiable_core(first_var: int = 1) -> CNFFormula:
+    """The canonical 8-clause unsatisfiable 3CNF over three variables.
+
+    All eight polarity patterns over ``(x, y, z)`` — every assignment
+    falsifies exactly one clause, so MAX-SAT = 7/8.  Each variable
+    occurs in exactly 8 clauses, within the 3SAT(13) bound.
+
+    ``first_var`` names the first of the three consecutive variables.
+    """
+    x, y, z = first_var, first_var + 1, first_var + 2
+    clauses = [
+        [sx * x, sy * y, sz * z]
+        for sx in (1, -1)
+        for sy in (1, -1)
+        for sz in (1, -1)
+    ]
+    return CNFFormula(first_var + 2, clauses)
+
+
+def chain_implication_clauses(variables: Sequence[int]) -> List[List[int]]:
+    """Cyclic equality chain ``v1 -> v2 -> ... -> vk -> v1`` as 2-clauses.
+
+    Used by the occurrence-bounding transformation to force all copies
+    of a variable to take the same value.
+    """
+    k = len(variables)
+    require(k >= 1, "chain needs at least one variable")
+    if k == 1:
+        return []
+    return [
+        [-variables[i], variables[(i + 1) % k]] for i in range(k)
+    ]

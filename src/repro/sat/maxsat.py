@@ -1,0 +1,143 @@
+"""MAX-SAT: exact branch-and-bound and local-search approximation.
+
+The gap families (stand-in for Theorem 1's PCP amplification) are
+*certified*: for each NO-instance we verify with the exact solver that
+no assignment satisfies more than a ``(1 - theta)`` fraction of the
+clauses.  The local-search variant is used by the benchmark harness on
+formulas too large for exact certification.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.sat.cnf import Assignment, CNFFormula
+from repro.utils.rng import RngLike, make_rng
+
+
+def max_satisfiable_clauses(
+    formula: CNFFormula, stop_at: Optional[int] = None
+) -> Tuple[int, Assignment]:
+    """Exact MAX-SAT via branch and bound.
+
+    Returns ``(best_count, best_assignment)``.  ``stop_at`` allows an
+    early exit once a target count is reached (used when the caller
+    only needs to know whether the formula is ``k``-satisfiable).
+    """
+    best_count = -1
+    best_assignment: Assignment = {}
+    clauses = [tuple(clause.literals) for clause in formula]
+    num_vars = formula.num_vars
+
+    def upper_bound(assignment: Assignment) -> int:
+        """Clauses that are satisfied or still undecided — everything
+        except the clauses already falsified by the partial assignment."""
+        bound = 0
+        for clause in clauses:
+            decided_false = all(
+                abs(lit) in assignment and assignment[abs(lit)] != (lit > 0)
+                for lit in clause
+            )
+            if not decided_false:
+                bound += 1
+        return bound
+
+    def recurse(var: int, assignment: Assignment) -> None:
+        nonlocal best_count, best_assignment
+        if stop_at is not None and best_count >= stop_at:
+            return
+        if var > num_vars:
+            satisfied = sum(
+                1
+                for clause in clauses
+                if any(
+                    abs(lit) in assignment and assignment[abs(lit)] == (lit > 0)
+                    for lit in clause
+                )
+            )
+            if satisfied > best_count:
+                best_count = satisfied
+                best_assignment = dict(assignment)
+            return
+        if upper_bound(assignment) <= best_count:
+            return
+        for value in (True, False):
+            assignment[var] = value
+            recurse(var + 1, assignment)
+            del assignment[var]
+
+    recurse(1, {})
+    for var in range(1, num_vars + 1):
+        best_assignment.setdefault(var, False)
+    return best_count, best_assignment
+
+
+def is_k_satisfiable(formula: CNFFormula, k: int) -> bool:
+    """True iff some assignment satisfies at least ``k`` clauses."""
+    best, _ = max_satisfiable_clauses(formula, stop_at=k)
+    return best >= k
+
+
+def max_satisfiable_fraction(formula: CNFFormula) -> float:
+    """The exact MAX-SAT value as a fraction of the clause count."""
+    if formula.num_clauses == 0:
+        return 1.0
+    best, _ = max_satisfiable_clauses(formula)
+    return best / formula.num_clauses
+
+
+def local_search_maxsat(
+    formula: CNFFormula,
+    max_flips: int = 10_000,
+    restarts: int = 5,
+    rng: RngLike = None,
+) -> Tuple[int, Assignment]:
+    """WalkSAT-style local search for MAX-SAT.
+
+    Greedy flips with random walk (probability 0.3) restarted from
+    random assignments; returns the best ``(count, assignment)`` seen.
+    Incomplete but fast; used only for large benchmark formulas.
+    """
+    generator = make_rng(rng)
+    clauses = [tuple(clause.literals) for clause in formula]
+    best_count = -1
+    best_assignment: Assignment = {}
+
+    for _ in range(max(1, restarts)):
+        assignment = {
+            v: generator.random() < 0.5 for v in range(1, formula.num_vars + 1)
+        }
+        count = formula.count_satisfied(assignment)
+        if count > best_count:
+            best_count, best_assignment = count, dict(assignment)
+        for _ in range(max_flips):
+            unsatisfied = [
+                clause
+                for clause in clauses
+                if not any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            ]
+            if not unsatisfied:
+                break
+            clause = generator.choice(unsatisfied)
+            if generator.random() < 0.3:
+                variable = abs(generator.choice(clause))
+            else:
+                variable = max(
+                    (abs(lit) for lit in clause),
+                    key=lambda v: _flip_gain(formula, assignment, v),
+                )
+            assignment[variable] = not assignment[variable]
+            count = formula.count_satisfied(assignment)
+            if count > best_count:
+                best_count, best_assignment = count, dict(assignment)
+    return best_count, best_assignment
+
+
+def _flip_gain(formula: CNFFormula, assignment: Assignment, variable: int) -> int:
+    """Net change in satisfied clauses if ``variable`` is flipped."""
+    before = formula.count_satisfied(assignment)
+    assignment[variable] = not assignment[variable]
+    after = formula.count_satisfied(assignment)
+    assignment[variable] = not assignment[variable]
+    return after - before

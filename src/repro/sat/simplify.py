@@ -1,0 +1,133 @@
+"""CNF preprocessing: equivalence-preserving simplification.
+
+Standard preprocessing passes used before handing formulas to the
+solver or the reductions:
+
+* unit propagation — fix forced variables, simplify clauses;
+* pure-literal elimination — fix variables occurring in one polarity;
+* tautology removal;
+* subsumption — drop clauses implied by a subset clause.
+
+:func:`simplify` runs all passes to a fixpoint and returns the reduced
+formula plus the forced partial assignment, satisfying::
+
+    F is satisfiable  <=>  simplified is satisfiable, and
+    any model of simplified extends (with the forced assignment) to F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.sat.cnf import Assignment, CNFFormula
+
+
+@dataclass
+class SimplificationResult:
+    """Outcome of :func:`simplify`.
+
+    ``conflict`` is True when the passes derived an empty clause (the
+    formula is unsatisfiable outright); ``formula`` is then empty.
+    """
+
+    formula: CNFFormula
+    forced: Assignment = field(default_factory=dict)
+    conflict: bool = False
+    removed_tautologies: int = 0
+    removed_subsumed: int = 0
+    propagated_units: int = 0
+    pure_literals: int = 0
+
+    def extend_model(self, model: Assignment) -> Assignment:
+        """Combine a model of the simplified formula with the forced
+        assignment into a model of the original formula."""
+        combined = dict(model)
+        combined.update(self.forced)
+        return combined
+
+
+def remove_tautologies(clauses: List[FrozenSet[int]]) -> Tuple[List[FrozenSet[int]], int]:
+    kept = [c for c in clauses if not any(-lit in c for lit in c)]
+    return kept, len(clauses) - len(kept)
+
+
+def remove_subsumed(clauses: List[FrozenSet[int]]) -> Tuple[List[FrozenSet[int]], int]:
+    """Drop clauses that are supersets of another clause."""
+    order = sorted(set(clauses), key=len)
+    kept: List[FrozenSet[int]] = []
+    removed = len(clauses)
+    for clause in order:
+        if not any(small <= clause for small in kept):
+            kept.append(clause)
+    removed -= len(kept)
+    return kept, removed
+
+
+def simplify(formula: CNFFormula) -> SimplificationResult:
+    """Run all passes to a fixpoint.  Equivalence-preserving."""
+    clauses: List[FrozenSet[int]] = [
+        frozenset(clause.literals) for clause in formula
+    ]
+    result = SimplificationResult(formula=formula)
+
+    clauses, dropped = remove_tautologies(clauses)
+    result.removed_tautologies = dropped
+
+    changed = True
+    while changed:
+        changed = False
+        # Empty clause = conflict.
+        if any(len(c) == 0 for c in clauses):
+            result.conflict = True
+            result.formula = CNFFormula(formula.num_vars, [])
+            return result
+        # Unit propagation.
+        units = {next(iter(c)) for c in clauses if len(c) == 1}
+        if units:
+            if any(-lit in units for lit in units):
+                result.conflict = True
+                result.formula = CNFFormula(formula.num_vars, [])
+                return result
+            for literal in units:
+                result.forced[abs(literal)] = literal > 0
+            result.propagated_units += len(units)
+            new_clauses: List[FrozenSet[int]] = []
+            for clause in clauses:
+                if clause & units:
+                    continue  # satisfied
+                reduced = clause - {-lit for lit in units}
+                new_clauses.append(reduced)
+            clauses = new_clauses
+            changed = True
+            continue
+        # Pure literals.
+        polarity: Dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                var = abs(literal)
+                sign = 1 if literal > 0 else -1
+                if var not in polarity:
+                    polarity[var] = sign
+                elif polarity[var] != sign:
+                    polarity[var] = 0
+        pures = {
+            var * sign for var, sign in polarity.items() if sign != 0
+        }
+        if pures:
+            for literal in pures:
+                result.forced[abs(literal)] = literal > 0
+            result.pure_literals += len(pures)
+            clauses = [c for c in clauses if not (c & pures)]
+            changed = True
+            continue
+        # Subsumption (only when nothing cheaper fired).
+        clauses, dropped = remove_subsumed(clauses)
+        if dropped:
+            result.removed_subsumed += dropped
+            changed = True
+
+    result.formula = CNFFormula(
+        formula.num_vars, [sorted(clause) for clause in clauses]
+    )
+    return result

@@ -1,0 +1,151 @@
+"""DPLL satisfiability solver.
+
+A classical DPLL with unit propagation, pure-literal elimination and a
+most-frequent-variable branching rule.  The reduction pipeline only
+solves small formulas (the hardness families are built, not solved),
+so an iterative DPLL with explicit trail is more than sufficient and
+keeps the substrate dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.sat.cnf import Assignment, CNFFormula
+
+
+class DPLLSolver:
+    """Complete SAT solver over :class:`~repro.sat.cnf.CNFFormula`.
+
+    Usage::
+
+        result = DPLLSolver(formula).solve()
+        if result is not None:      # satisfying assignment found
+            assert formula.is_satisfied_by(result)
+    """
+
+    def __init__(self, formula: CNFFormula, max_decisions: Optional[int] = None):
+        self._formula = formula
+        self._max_decisions = max_decisions
+        self.decisions = 0
+        self.propagations = 0
+
+    def solve(self) -> Optional[Assignment]:
+        """Return a satisfying assignment, or None if unsatisfiable.
+
+        Raises ``RuntimeError`` if ``max_decisions`` is exhausted (used
+        by the benchmark harness to bound exploratory runs).
+        """
+        clauses = [list(clause.literals) for clause in self._formula]
+        if any(not clause for clause in clauses):
+            return None
+        assignment: Assignment = {}
+        result = self._search(clauses, assignment)
+        if result is None:
+            return None
+        # Complete the assignment for variables never constrained.
+        for var in range(1, self._formula.num_vars + 1):
+            result.setdefault(var, False)
+        return result
+
+    # -- internals ---------------------------------------------------
+    def _search(
+        self, clauses: List[List[int]], assignment: Assignment
+    ) -> Optional[Assignment]:
+        clauses = self._propagate(clauses, assignment)
+        if clauses is None:
+            return None
+        if not clauses:
+            return dict(assignment)
+        if self._max_decisions is not None and self.decisions >= self._max_decisions:
+            raise RuntimeError("DPLL decision budget exhausted")
+        variable = self._pick_branch_variable(clauses)
+        self.decisions += 1
+        for value in (True, False):
+            trial = dict(assignment)
+            trial[variable] = value
+            result = self._search(self._assume(clauses, variable, value), trial)
+            if result is not None:
+                return result
+        return None
+
+    def _propagate(
+        self, clauses: List[List[int]], assignment: Assignment
+    ) -> Optional[List[List[int]]]:
+        """Unit propagation + pure-literal elimination to fixpoint.
+
+        Returns the residual clause list, or None on conflict.
+        Mutates ``assignment`` with the implied values.
+        """
+        changed = True
+        while changed:
+            changed = False
+            # Unit clauses.
+            for clause in clauses:
+                if len(clause) == 1:
+                    literal = clause[0]
+                    assignment[abs(literal)] = literal > 0
+                    self.propagations += 1
+                    clauses = self._assume(clauses, abs(literal), literal > 0)
+                    if clauses is None:
+                        return None
+                    changed = True
+                    break
+            if changed:
+                continue
+            if any(not clause for clause in clauses):
+                return None
+            # Pure literals.
+            polarity: Dict[int, int] = {}
+            for clause in clauses:
+                for literal in clause:
+                    var = abs(literal)
+                    sign = 1 if literal > 0 else -1
+                    if var not in polarity:
+                        polarity[var] = sign
+                    elif polarity[var] != sign:
+                        polarity[var] = 0
+            for var, sign in polarity.items():
+                if sign != 0:
+                    assignment[var] = sign > 0
+                    self.propagations += 1
+                    clauses = self._assume(clauses, var, sign > 0)
+                    changed = True
+                    break
+        return clauses
+
+    @staticmethod
+    def _assume(
+        clauses: List[List[int]], variable: int, value: bool
+    ) -> List[List[int]]:
+        """Simplify the clause list under ``variable := value``."""
+        true_literal = variable if value else -variable
+        result: List[List[int]] = []
+        for clause in clauses:
+            if true_literal in clause:
+                continue
+            if -true_literal in clause:
+                result.append([lit for lit in clause if lit != -true_literal])
+            else:
+                result.append(clause)
+        return result
+
+    @staticmethod
+    def _pick_branch_variable(clauses: List[List[int]]) -> int:
+        """Branch on the most frequently occurring variable."""
+        counts: Counter[int] = Counter()
+        for clause in clauses:
+            for literal in clause:
+                counts[abs(literal)] += 1
+        return counts.most_common(1)[0][0]
+
+
+def solve(formula: CNFFormula) -> Optional[Assignment]:
+    """Convenience wrapper: satisfying assignment or None."""
+    return DPLLSolver(formula).solve()
+
+
+def is_satisfiable(formula: CNFFormula) -> bool:
+    """True iff the formula is satisfiable (complete search)."""
+    return solve(formula) is not None

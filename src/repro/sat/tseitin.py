@@ -1,0 +1,143 @@
+"""Tseitin encoding: boolean circuits -> equisatisfiable 3CNF.
+
+Rounds out the SAT substrate: arbitrary AND/OR/NOT formulas become
+3CNF suitable for the reduction pipeline, one fresh variable per gate,
+clauses of width <= 3 by construction.
+
+Circuits are built with the tiny combinator API::
+
+    x1, x2, x3 = var(1), var(2), var(3)
+    circuit = and_(or_(x1, neg(x2)), neg(and_(x2, x3)))
+    formula, root = tseitin_encode(circuit, num_inputs=3)
+
+The encoding is *equisatisfiable*: ``formula`` (which asserts the root
+gate) is satisfiable iff the circuit is, and any model restricts to a
+satisfying input assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.sat.cnf import Assignment, CNFFormula
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Var:
+    """An input variable (1-indexed, DIMACS style)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        require(self.index >= 1, "variables are 1-indexed")
+
+
+@dataclass(frozen=True)
+class Not:
+    child: "Node"
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Node"
+    right: "Node"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Node"
+    right: "Node"
+
+
+Node = Union[Var, Not, And, Or]
+
+
+def var(index: int) -> Var:
+    return Var(index)
+
+
+def neg(node: Node) -> Not:
+    return Not(node)
+
+
+def and_(left: Node, right: Node) -> And:
+    return And(left, right)
+
+
+def or_(left: Node, right: Node) -> Or:
+    return Or(left, right)
+
+
+def evaluate(node: Node, assignment: Assignment) -> bool:
+    """Evaluate a circuit under an input assignment."""
+    if isinstance(node, Var):
+        return assignment.get(node.index, False)
+    if isinstance(node, Not):
+        return not evaluate(node.child, assignment)
+    if isinstance(node, And):
+        return evaluate(node.left, assignment) and evaluate(node.right, assignment)
+    if isinstance(node, Or):
+        return evaluate(node.left, assignment) or evaluate(node.right, assignment)
+    raise TypeError(f"unknown node type {type(node)!r}")
+
+
+def circuit_inputs(node: Node) -> set[int]:
+    """The set of input variable indices used by a circuit."""
+    if isinstance(node, Var):
+        return {node.index}
+    if isinstance(node, Not):
+        return circuit_inputs(node.child)
+    if isinstance(node, (And, Or)):
+        return circuit_inputs(node.left) | circuit_inputs(node.right)
+    raise TypeError(f"unknown node type {type(node)!r}")
+
+
+def tseitin_encode(
+    node: Node, num_inputs: int | None = None
+) -> Tuple[CNFFormula, int]:
+    """Encode a circuit into 3CNF asserting the root.
+
+    Returns ``(formula, root_literal)``; the formula includes the unit
+    clause ``[root_literal]``.  ``num_inputs`` fixes the input-variable
+    count (defaults to the largest index used).
+    """
+    used = circuit_inputs(node)
+    require(used, "circuit must mention at least one variable")
+    if num_inputs is None:
+        num_inputs = max(used)
+    require(
+        max(used) <= num_inputs,
+        "num_inputs smaller than a used variable index",
+    )
+
+    clauses: List[List[int]] = []
+    next_var = num_inputs + 1
+
+    def encode(current: Node) -> int:
+        nonlocal next_var
+        if isinstance(current, Var):
+            return current.index
+        if isinstance(current, Not):
+            child = encode(current.child)
+            return -child
+        left = encode(current.left)
+        right = encode(current.right)
+        gate = next_var
+        next_var += 1
+        if isinstance(current, And):
+            # gate <-> (left AND right)
+            clauses.append([-gate, left])
+            clauses.append([-gate, right])
+            clauses.append([gate, -left, -right])
+        else:  # Or
+            # gate <-> (left OR right)
+            clauses.append([gate, -left])
+            clauses.append([gate, -right])
+            clauses.append([-gate, left, right])
+        return gate
+
+    root = encode(node)
+    clauses.append([root])
+    return CNFFormula(next_var - 1, clauses), root

@@ -1,0 +1,43 @@
+"""SQO-CP substrate (paper Appendix A/B) and its feeder problems.
+
+SQO-CP — *Star Query Optimization minus Cross Products* — asks for a
+cheapest join sequence over a star query (central relation ``R_0``
+joined to satellites ``R_1 .. R_m``) where each join may run as
+nested-loops or as a 2-pass sort-merge and cartesian products are
+forbidden.  The paper proves it NP-complete via the chain
+
+    PARTITION  ->  SPPCS  ->  SQO-CP
+
+where SPPCS (*Subset Product Plus Complement Sum*) asks for a subset
+``A`` minimizing ``prod_{i in A} p_i + sum_{j not in A} c_j``.
+
+Modules:
+
+* :mod:`repro.starqo.partition` — PARTITION + pseudo-polynomial DP;
+* :mod:`repro.starqo.sppcs` — SPPCS + exact solvers;
+* :mod:`repro.starqo.instance` — the SQO-CP instance model;
+* :mod:`repro.starqo.cost` — the appendix's recursive cost ``D``;
+* :mod:`repro.starqo.optimizer` — exhaustive plan search.
+"""
+
+from repro.starqo.partition import PartitionInstance, has_partition
+from repro.starqo.sppcs import SPPCSInstance, sppcs_best_subset, sppcs_decide
+from repro.starqo.instance import JoinMethod, SQOCPInstance, StarPlan
+from repro.starqo.cost import plan_cost
+from repro.starqo.optimizer import best_plan, enumerate_plans
+from repro.starqo.dp import dp_best_plan
+
+__all__ = [
+    "PartitionInstance",
+    "has_partition",
+    "SPPCSInstance",
+    "sppcs_best_subset",
+    "sppcs_decide",
+    "JoinMethod",
+    "SQOCPInstance",
+    "StarPlan",
+    "plan_cost",
+    "best_plan",
+    "enumerate_plans",
+    "dp_best_plan",
+]

@@ -1,0 +1,129 @@
+"""The SQO-CP cost recursion ``D`` (paper Appendix A.2).
+
+Intermediate results containing ``R_0`` project onto ``R_0``'s
+attribute list, and the paper fixes their tuple size at one page, so
+``b(X) = n(X)`` for any prefix with at least two relations, where
+
+    n(X) = n_0 * prod_{i in X, i != 0} n_i * s_i .
+
+Join operator costs, for a prefix ``W`` (at least two relations):
+
+* sort-merge ``S_i``:  ``b(W) * (k_s - 1) + A_i``  — sort the stream,
+  sort the disk-resident satellite;
+* nested loops ``N_i``:  ``n(W) * w_i``.
+
+The first join (which always involves ``R_0``) is special-cased:
+
+* ``R_0 N_i``: ``b_0 + n_0 * w_i``      (read R_0, probe R_i per tuple);
+* ``R_r N_0``: ``b_r + n_r * w_{0,r}``  (read R_r, probe R_0 per tuple);
+* ``R_r S_i``: ``C_sm = sort(R_r) + sort(R_i) = b_r k_s + b_i k_s``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence, Tuple
+
+from repro.starqo.instance import JoinMethod, SQOCPInstance, StarPlan
+from repro.utils.validation import require
+
+
+def prefix_tuples(instance: SQOCPInstance, prefix: Sequence[int]) -> Fraction:
+    """``n(X)`` for a prefix containing R_0 and at least one satellite."""
+    require(0 in prefix, "n(X) is defined once R_0 has been joined")
+    value = Fraction(instance.tuples(0))
+    for relation in prefix:
+        if relation == 0:
+            continue
+        value *= instance.tuples(relation)
+        value *= instance.selectivity(relation)
+    return value
+
+
+def prefix_pages(instance: SQOCPInstance, prefix: Sequence[int]) -> Fraction:
+    """``b(X)``: base-relation pages, or ``n(X)`` for joined prefixes."""
+    if len(prefix) == 1:
+        return Fraction(instance.pages(prefix[0]))
+    return prefix_tuples(instance, prefix)
+
+
+def _first_join_cost(
+    instance: SQOCPInstance, first: int, second: int, method: JoinMethod
+) -> Fraction:
+    """Cost of the first join operator (always involves R_0)."""
+    if method is JoinMethod.SORT_MERGE:
+        # C_sm(R_first, R_second): both base relations are on disk.
+        return Fraction(
+            instance.pages(first) * instance.sort_passes
+            + instance.pages(second) * instance.sort_passes
+        )
+    if first == 0:
+        # R_0 N_second: read R_0, probe R_second per tuple of R_0.
+        return Fraction(
+            instance.pages(0)
+            + instance.tuples(0) * instance.satellite_access_cost(second)
+        )
+    # R_first N_0: read R_first, probe R_0 per tuple of R_first.
+    require(second == 0, "the second relation must be R_0 here")
+    return Fraction(
+        instance.pages(first)
+        + instance.tuples(first) * instance.center_access_cost(first)
+    )
+
+
+def _later_join_cost(
+    instance: SQOCPInstance,
+    prefix: Sequence[int],
+    incoming: int,
+    method: JoinMethod,
+) -> Fraction:
+    """Cost of a join operator applied after a joined prefix ``W``."""
+    require(incoming != 0, "R_0 can only appear in the first join")
+    if method is JoinMethod.SORT_MERGE:
+        return (
+            prefix_pages(instance, prefix) * (instance.sort_passes - 1)
+            + instance.sort_cost(incoming)
+        )
+    return prefix_tuples(instance, prefix) * instance.satellite_access_cost(
+        incoming
+    )
+
+
+def plan_cost(instance: SQOCPInstance, plan: StarPlan) -> Fraction:
+    """``C(Z)``: total cost of a feasible plan."""
+    sequence = plan.sequence
+    require(
+        instance.is_feasible_sequence(sequence),
+        "plan sequence has a cartesian product (R_0 must be first or second)",
+    )
+    total = _first_join_cost(
+        instance, sequence[0], sequence[1], plan.methods[0]
+    )
+    for position in range(2, len(sequence)):
+        prefix = sequence[:position]
+        total += _later_join_cost(
+            instance, prefix, sequence[position], plan.methods[position - 1]
+        )
+    return total
+
+
+def join_costs(
+    instance: SQOCPInstance, plan: StarPlan
+) -> Tuple[Fraction, ...]:
+    """Per-operator costs, for inspection and tests."""
+    sequence = plan.sequence
+    require(
+        instance.is_feasible_sequence(sequence),
+        "plan sequence has a cartesian product (R_0 must be first or second)",
+    )
+    costs = [
+        _first_join_cost(instance, sequence[0], sequence[1], plan.methods[0])
+    ]
+    for position in range(2, len(sequence)):
+        prefix = sequence[:position]
+        costs.append(
+            _later_join_cost(
+                instance, prefix, sequence[position], plan.methods[position - 1]
+            )
+        )
+    return tuple(costs)

@@ -1,0 +1,103 @@
+"""Subset dynamic programming for SQO-CP.
+
+Both the tuple count ``n(X)`` and the page count ``b(X)`` of a joined
+prefix depend only on the *set* of satellites joined (``R_0`` is always
+in by position 2), and the cost of bringing in satellite ``i`` by
+either method depends only on that set and ``i``.  The optimal plan is
+therefore a shortest path over the subset lattice — ``O(2^m m)``
+states/transitions instead of ``O(m! 2^m)`` plans.
+
+The first join is special-cased over its three forms (``R_0 N_i``,
+``R_i N_0``, ``R_0 S_i`` = ``R_i S_0``); afterwards each transition
+tries both methods for the incoming satellite.
+
+Agrees with :func:`repro.starqo.optimizer.best_plan` on every instance
+(property-tested) while handling twice as many satellites.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.starqo.cost import _first_join_cost, _later_join_cost
+from repro.starqo.instance import JoinMethod, SQOCPInstance, StarPlan
+from repro.utils.validation import require
+
+_METHODS = (JoinMethod.NESTED_LOOPS, JoinMethod.SORT_MERGE)
+
+
+def dp_best_plan(
+    instance: SQOCPInstance, max_satellites: int = 18
+) -> Tuple[Fraction, StarPlan]:
+    """The optimal SQO-CP plan by subset DP (exact)."""
+    m = instance.num_satellites
+    require(
+        m <= max_satellites,
+        f"subset DP limited to {max_satellites} satellites "
+        f"(instance has {m}); raise max_satellites explicitly to override",
+    )
+
+    full = (1 << m) - 1
+    # best[mask] = cheapest cost of a prefix containing R_0 and the
+    # satellites in mask (mask bit i <-> satellite i+1); parent[mask]
+    # reconstructs (previous mask, satellite, method, first_form).
+    best: Dict[int, Fraction] = {}
+    parent: Dict[int, Tuple[int, int, JoinMethod, Optional[str]]] = {}
+
+    # Seed: the first join always involves R_0 and one satellite.
+    for satellite in range(1, m + 1):
+        mask = 1 << (satellite - 1)
+        for first, second, method, form in (
+            (0, satellite, JoinMethod.NESTED_LOOPS, "center-first"),
+            (satellite, 0, JoinMethod.NESTED_LOOPS, "satellite-first"),
+            (0, satellite, JoinMethod.SORT_MERGE, "center-first"),
+        ):
+            cost = _first_join_cost(instance, first, second, method)
+            if mask not in best or cost < best[mask]:
+                best[mask] = cost
+                parent[mask] = (0, satellite, method, form)
+
+    # Expand the lattice in increasing mask order (subsets precede
+    # supersets numerically).
+    for mask in range(1, full + 1):
+        if mask not in best:
+            continue
+        base = best[mask]
+        members = [i + 1 for i in range(m) if mask >> i & 1]
+        prefix = tuple([0] + members)
+        for satellite in range(1, m + 1):
+            bit = 1 << (satellite - 1)
+            if mask & bit:
+                continue
+            new_mask = mask | bit
+            for method in _METHODS:
+                cost = base + _later_join_cost(
+                    instance, prefix, satellite, method
+                )
+                if new_mask not in best or cost < best[new_mask]:
+                    best[new_mask] = cost
+                    parent[new_mask] = (mask, satellite, method, None)
+
+    require(full in best, "DP failed to cover all satellites")
+
+    # Reconstruct.
+    sequence: List[int] = []
+    methods: List[JoinMethod] = []
+    first_form: Optional[str] = None
+    mask = full
+    while mask:
+        previous, satellite, method, form = parent[mask]
+        sequence.append(satellite)
+        methods.append(method)
+        if previous == 0:
+            first_form = form
+        mask = previous
+    sequence.reverse()
+    methods.reverse()
+    if first_form == "satellite-first":
+        ordered = (sequence[0], 0, *sequence[1:])
+    else:
+        ordered = (0, *sequence)
+    plan = StarPlan(sequence=ordered, methods=tuple(methods))
+    return best[full], plan

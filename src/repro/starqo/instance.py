@@ -1,0 +1,166 @@
+"""The SQO-CP instance model (paper Appendix A.3).
+
+A star query over ``R_0`` (central) and satellites ``R_1 .. R_m`` with
+a predicate ``P_i`` between ``R_0`` and each ``R_i``.  Join methods are
+nested-loops (``N``) and 2-pass sort-merge (``S``); cartesian products
+are forbidden, so a feasible sequence either starts with ``R_0`` or
+starts with some satellite immediately followed by ``R_0``.
+
+Instance fields follow the appendix verbatim: ``k_s`` (2-pass sort
+passes), page size ``P``, tuple counts ``n_i``, page counts ``b_i``,
+sort costs ``A_i``, selectivities ``s_i``, nested-loops access costs
+``w_i`` (into ``R_i``) and ``w_{0,i}`` (into ``R_0`` matching a tuple
+of ``R_i``), and the cost threshold ``M``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence, Tuple
+
+from repro.utils.validation import check_index, require
+
+
+class JoinMethod(enum.Enum):
+    """How one join operator is executed."""
+
+    NESTED_LOOPS = "nl"
+    SORT_MERGE = "sm"
+
+
+@dataclass(frozen=True)
+class StarPlan:
+    """A feasible SQO-CP plan.
+
+    ``sequence`` is the order of the ``m + 1`` relations (0 denotes
+    ``R_0``); ``methods`` gives the method of each of the ``m`` join
+    operators, ``methods[i]`` being the join that brings in
+    ``sequence[i + 1]``.
+    """
+
+    sequence: Tuple[int, ...]
+    methods: Tuple[JoinMethod, ...]
+
+    def __post_init__(self) -> None:
+        require(
+            len(self.methods) == len(self.sequence) - 1,
+            "need exactly one method per join",
+        )
+
+
+class SQOCPInstance:
+    """An SQO-CP problem instance over ``m + 1`` relations."""
+
+    __slots__ = (
+        "_m",
+        "_sort_passes",
+        "_page_size",
+        "_tuples",
+        "_pages",
+        "_sort_costs",
+        "_selectivities",
+        "_satellite_access",
+        "_center_access",
+        "_threshold",
+    )
+
+    def __init__(
+        self,
+        num_satellites: int,
+        sort_passes: int,
+        page_size: int,
+        tuples: Sequence[int],
+        pages: Sequence[int],
+        sort_costs: Sequence[int],
+        selectivities: Sequence[Fraction],
+        satellite_access: Sequence[int],
+        center_access: Sequence[int],
+        threshold: Optional[int] = None,
+    ):
+        m = num_satellites
+        require(m >= 1, "need at least one satellite relation")
+        require(sort_passes >= 2, "k_s models a 2-pass sort; must be >= 2")
+        require(page_size >= 1, "page size must be positive")
+        require(len(tuples) == m + 1, f"need {m + 1} tuple counts")
+        require(len(pages) == m + 1, f"need {m + 1} page counts")
+        require(len(sort_costs) == m + 1, f"need {m + 1} sort costs")
+        require(len(selectivities) == m, f"need {m} selectivities (s_1..s_m)")
+        require(len(satellite_access) == m, f"need {m} access costs w_i")
+        require(len(center_access) == m, f"need {m} access costs w_0i")
+        for value in list(tuples) + list(pages):
+            require(value > 0, "tuple and page counts must be positive")
+        for s in selectivities:
+            require(0 < s <= 1, "selectivities must lie in (0, 1]")
+        self._m = m
+        self._sort_passes = sort_passes
+        self._page_size = page_size
+        self._tuples = tuple(tuples)
+        self._pages = tuple(pages)
+        self._sort_costs = tuple(sort_costs)
+        self._selectivities = tuple(Fraction(s) for s in selectivities)
+        self._satellite_access = tuple(satellite_access)
+        self._center_access = tuple(center_access)
+        self._threshold = threshold
+
+    # -- accessors ---------------------------------------------------
+    @property
+    def num_satellites(self) -> int:
+        return self._m
+
+    @property
+    def num_relations(self) -> int:
+        return self._m + 1
+
+    @property
+    def sort_passes(self) -> int:
+        """k_s: reads+writes per page in a 2-pass sort."""
+        return self._sort_passes
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def threshold(self) -> Optional[int]:
+        """The decision bound M (None for pure optimization use)."""
+        return self._threshold
+
+    def tuples(self, relation: int) -> int:
+        check_index(relation, self._m + 1, "relation")
+        return self._tuples[relation]
+
+    def pages(self, relation: int) -> int:
+        check_index(relation, self._m + 1, "relation")
+        return self._pages[relation]
+
+    def sort_cost(self, relation: int) -> int:
+        """A_i: cost of sorting the disk-resident base relation."""
+        check_index(relation, self._m + 1, "relation")
+        return self._sort_costs[relation]
+
+    def selectivity(self, satellite: int) -> Fraction:
+        """s_i for the predicate between R_0 and R_i (1 <= i <= m)."""
+        require(1 <= satellite <= self._m, "selectivity index out of range")
+        return self._selectivities[satellite - 1]
+
+    def satellite_access_cost(self, satellite: int) -> int:
+        """w_i: least nested-loops probe cost into R_i."""
+        require(1 <= satellite <= self._m, "access index out of range")
+        return self._satellite_access[satellite - 1]
+
+    def center_access_cost(self, satellite: int) -> int:
+        """w_{0,i}: least nested-loops probe cost into R_0 from R_i."""
+        require(1 <= satellite <= self._m, "access index out of range")
+        return self._center_access[satellite - 1]
+
+    def __repr__(self) -> str:
+        return f"SQOCPInstance(m={self._m}, k_s={self._sort_passes})"
+
+    # -- feasibility ---------------------------------------------------
+    def is_feasible_sequence(self, sequence: Sequence[int]) -> bool:
+        """No cartesian products: R_0 first or second."""
+        if sorted(sequence) != list(range(self._m + 1)):
+            return False
+        return sequence[0] == 0 or sequence[1] == 0

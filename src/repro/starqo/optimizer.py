@@ -1,0 +1,85 @@
+"""Exhaustive SQO-CP plan search.
+
+Feasible sequences of a star query are ``R_0`` first (any satellite
+order after it) or one satellite first with ``R_0`` second.  With two
+methods per join there are ``(m + 1)! / m * 2^m``-ish plans; the
+instance sizes used by the Appendix-B verification keep this
+enumerable.  A branch-and-bound prune on the running cost keeps the
+search fast in practice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterator, List, Optional, Tuple
+
+from repro.starqo.cost import _first_join_cost, _later_join_cost
+from repro.starqo.instance import JoinMethod, SQOCPInstance, StarPlan
+from repro.utils.validation import require
+
+_METHODS = (JoinMethod.NESTED_LOOPS, JoinMethod.SORT_MERGE)
+
+
+def feasible_sequences(instance: SQOCPInstance) -> Iterator[Tuple[int, ...]]:
+    """All cartesian-product-free relation orders."""
+    satellites = list(range(1, instance.num_relations))
+    for order in itertools.permutations(satellites):
+        yield (0, *order)
+    for first in satellites:
+        others = [s for s in satellites if s != first]
+        for order in itertools.permutations(others):
+            yield (first, 0, *order)
+
+
+def enumerate_plans(instance: SQOCPInstance) -> Iterator[StarPlan]:
+    """Every feasible plan (sequence x method vector)."""
+    num_joins = instance.num_relations - 1
+    for sequence in feasible_sequences(instance):
+        for methods in itertools.product(_METHODS, repeat=num_joins):
+            yield StarPlan(sequence=sequence, methods=methods)
+
+
+def best_plan(
+    instance: SQOCPInstance, max_satellites: int = 7
+) -> Tuple[Fraction, StarPlan]:
+    """The optimal plan by pruned exhaustive search."""
+    require(
+        instance.num_satellites <= max_satellites,
+        f"exhaustive SQO-CP search limited to {max_satellites} satellites "
+        f"(instance has {instance.num_satellites}); raise max_satellites "
+        "explicitly to override",
+    )
+    best_cost: Optional[Fraction] = None
+    best: Optional[StarPlan] = None
+
+    for sequence in feasible_sequences(instance):
+        # Depth-first over method choices with running-cost pruning.
+        stack: List[Tuple[int, Fraction, Tuple[JoinMethod, ...]]] = []
+        for method in _METHODS:
+            cost = _first_join_cost(instance, sequence[0], sequence[1], method)
+            stack.append((2, cost, (method,)))
+        while stack:
+            position, cost, methods = stack.pop()
+            if best_cost is not None and cost >= best_cost:
+                continue
+            if position == len(sequence):
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best = StarPlan(sequence=sequence, methods=methods)
+                continue
+            prefix = sequence[:position]
+            for method in _METHODS:
+                step = _later_join_cost(
+                    instance, prefix, sequence[position], method
+                )
+                stack.append((position + 1, cost + step, methods + (method,)))
+    assert best_cost is not None and best is not None
+    return best_cost, best
+
+
+def decide(instance: SQOCPInstance) -> bool:
+    """The decision problem: is there a plan of cost <= M?"""
+    require(instance.threshold is not None, "instance carries no threshold M")
+    cost, _ = best_plan(instance)
+    return cost <= instance.threshold

@@ -1,0 +1,90 @@
+"""The PARTITION problem (paper Appendix A.4 variant).
+
+An instance is a multiset of non-negative integers whose total is
+even; the question is whether a subset sums to exactly half.  The
+paper notes the even-total variant stays NP-complete (double every
+element of a standard instance — :func:`from_standard_instance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class PartitionInstance:
+    """A PARTITION instance with an even total."""
+
+    values: Tuple[int, ...]
+
+    def __init__(self, values: Sequence[int]):
+        normalized = tuple(int(v) for v in values)
+        for value in normalized:
+            require(value >= 0, "PARTITION values must be non-negative")
+        require(sum(normalized) % 2 == 0, "PARTITION total must be even")
+        object.__setattr__(self, "values", normalized)
+
+    @property
+    def total(self) -> int:
+        return sum(self.values)
+
+    @property
+    def half(self) -> int:
+        return self.total // 2
+
+
+def from_standard_instance(values: Sequence[int]) -> PartitionInstance:
+    """Double every value: the standard->even-total reduction."""
+    return PartitionInstance([2 * int(v) for v in values])
+
+
+def find_partition(instance: PartitionInstance) -> Optional[List[int]]:
+    """Indices of a subset summing to half the total, or None.
+
+    Pseudo-polynomial subset-sum DP, reconstructing one witness.
+    """
+    target = instance.half
+    values = instance.values
+    # reachable[s] = index of the last value used to first reach sum s.
+    reachable: List[Optional[int]] = [None] * (target + 1)
+    reachable_from: List[int] = [-1] * (target + 1)
+    achieved = [False] * (target + 1)
+    achieved[0] = True
+    for index, value in enumerate(values):
+        if value == 0:
+            continue
+        for s in range(target, value - 1, -1):
+            if not achieved[s] and achieved[s - value]:
+                achieved[s] = True
+                reachable[s] = index
+                reachable_from[s] = s - value
+    if not achieved[target]:
+        # Zeros alone can realize target 0.
+        return [] if target == 0 else None
+    chosen: List[int] = []
+    s = target
+    while s > 0:
+        index = reachable[s]
+        assert index is not None
+        chosen.append(index)
+        s = reachable_from[s]
+    return sorted(chosen)
+
+
+def has_partition(instance: PartitionInstance) -> bool:
+    """True iff a half-total subset exists."""
+    return find_partition(instance) is not None
+
+
+def verify_partition(instance: PartitionInstance, indices: Sequence[int]) -> bool:
+    """Check a claimed witness."""
+    index_set = set(indices)
+    require(
+        all(0 <= i < len(instance.values) for i in index_set),
+        "witness index out of range",
+    )
+    picked = sum(instance.values[i] for i in index_set)
+    return picked == instance.half

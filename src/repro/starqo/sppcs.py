@@ -1,0 +1,128 @@
+"""SPPCS: Subset Product Plus Complement Sum (paper Appendix A.4).
+
+An instance is ``m`` pairs of non-negative integers
+``(p_1, c_1) .. (p_m, c_m)`` and a bound ``L``; the question is whether
+some index subset ``A`` satisfies::
+
+    prod_{i in A} p_i  +  sum_{j not in A} c_j  <=  L
+
+(the product over the empty set is 1).  The paper proves SPPCS
+NP-complete from PARTITION and then reduces SPPCS to SQO-CP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class SPPCSInstance:
+    """An SPPCS instance."""
+
+    pairs: Tuple[Tuple[int, int], ...]
+    bound: int
+
+    def __init__(self, pairs: Sequence[Sequence[int]], bound: int):
+        normalized = tuple((int(p), int(c)) for p, c in pairs)
+        for p, c in normalized:
+            require(p >= 0 and c >= 0, "SPPCS values must be non-negative")
+        object.__setattr__(self, "pairs", normalized)
+        object.__setattr__(self, "bound", int(bound))
+
+    @property
+    def size(self) -> int:
+        return len(self.pairs)
+
+    def objective(self, subset: Sequence[int]) -> int:
+        """``prod_{i in A} p_i + sum_{j not in A} c_j`` for ``A = subset``."""
+        subset_set = set(subset)
+        require(
+            all(0 <= i < self.size for i in subset_set),
+            "subset index out of range",
+        )
+        product = 1
+        for index in subset_set:
+            product *= self.pairs[index][0]
+        complement_sum = sum(
+            c for index, (_, c) in enumerate(self.pairs)
+            if index not in subset_set
+        )
+        return product + complement_sum
+
+
+def sppcs_best_subset(instance: SPPCSInstance) -> Tuple[int, List[int]]:
+    """Exact minimum objective by branch and bound.
+
+    Branches on each index (in or out of A), tracking the running
+    product and the remaining complement-sum mass.  Prune when the
+    product alone (which can only grow or stay, given p >= 1 — indices
+    with ``p = 0`` or ``p = 1`` are always safe to include product-wise)
+    already exceeds the incumbent plus everything removable.
+    Exponential in the worst case; the harness uses small ``m``.
+    """
+    m = instance.size
+    pairs = instance.pairs
+    suffix_c = [0] * (m + 1)
+    suffix_has_zero_p = [False] * (m + 1)
+    for index in range(m - 1, -1, -1):
+        suffix_c[index] = suffix_c[index + 1] + pairs[index][1]
+        suffix_has_zero_p[index] = (
+            suffix_has_zero_p[index + 1] or pairs[index][0] == 0
+        )
+
+    best_value: Optional[int] = None
+    best_subset: List[int] = []
+    chosen: List[int] = []
+
+    def recurse(index: int, product: int, complement: int) -> None:
+        nonlocal best_value, best_subset
+        if (
+            best_value is not None
+            and not suffix_has_zero_p[index]
+            and product + complement - suffix_c[index] >= best_value
+        ):
+            # The product cannot shrink (no zero factors remain) and at
+            # best every undecided c leaves the sum, so the objective
+            # cannot beat the incumbent.
+            return
+        if index == m:
+            value = product + complement
+            if best_value is None or value < best_value:
+                best_value = value
+                best_subset = list(chosen)
+            return
+        p, c = pairs[index]
+        # Include in A: product multiplies by p, c leaves the sum.
+        chosen.append(index)
+        recurse(index + 1, product * p, complement - c)
+        chosen.pop()
+        # Exclude from A: c stays in the sum.
+        recurse(index + 1, product, complement)
+
+    recurse(0, 1, suffix_c[0])
+    assert best_value is not None
+    return best_value, sorted(best_subset)
+
+
+def sppcs_decide(instance: SPPCSInstance) -> bool:
+    """True iff some subset meets the bound ``L``."""
+    best, _ = sppcs_best_subset(instance)
+    return best <= instance.bound
+
+
+def sppcs_brute_force(instance: SPPCSInstance) -> Tuple[int, List[int]]:
+    """Plain 2^m enumeration; oracle for testing the branch and bound."""
+    m = instance.size
+    best_value: Optional[int] = None
+    best_subset: List[int] = []
+    for mask in range(1 << m):
+        subset = [i for i in range(m) if mask >> i & 1]
+        value = instance.objective(subset)
+        if best_value is None or value < best_value:
+            best_value = value
+            best_subset = subset
+    assert best_value is not None
+    return best_value, best_subset

@@ -1,0 +1,224 @@
+"""Log-domain arbitrary-magnitude numbers.
+
+The reductions in the paper construct relation sizes and plan costs of
+the form ``w * alpha ** e`` where ``alpha`` itself is ``4 ** n``; for a
+sweep over ``n`` up to a few hundred the exact integers become slow to
+multiply.  :class:`LogNumber` stores ``log2`` of the magnitude as a
+float, which preserves ordering and multiplicative structure — exactly
+what the gap theorems are about — while staying O(1) per operation.
+
+Only non-negative magnitudes are supported (plan costs, cardinalities
+and selectivities are non-negative by definition).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Union
+
+Numeric = Union[int, float, Fraction, "LogNumber"]
+
+#: log2 representation of zero.
+_NEG_INF = float("-inf")
+
+
+def log2_of(value: Numeric) -> float:
+    """Return ``log2(value)`` for any supported numeric type.
+
+    Works for exact integers far beyond float range (uses
+    ``int.bit_length`` based scaling), for ``Fraction`` and for
+    :class:`LogNumber` itself.
+    """
+    if isinstance(value, LogNumber):
+        return value.log2
+    if isinstance(value, Fraction):
+        if value < 0:
+            raise ValueError("log2_of requires a non-negative value")
+        if value == 0:
+            return _NEG_INF
+        return _int_log2(value.numerator) - _int_log2(value.denominator)
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError("log2_of requires a non-negative value")
+        if value == 0:
+            return _NEG_INF
+        return _int_log2(value)
+    if isinstance(value, float):
+        if value < 0:
+            raise ValueError("log2_of requires a non-negative value")
+        if value == 0.0:
+            return _NEG_INF
+        return math.log2(value)
+    raise TypeError(f"unsupported type for log2_of: {type(value)!r}")
+
+
+def _int_log2(value: int) -> float:
+    """``log2`` of a positive int, robust to values beyond float range."""
+    bits = value.bit_length()
+    if bits <= 960:
+        return math.log2(value)
+    # Keep the top 64 bits for the mantissa; the rest is pure exponent.
+    shift = bits - 64
+    return math.log2(value >> shift) + shift
+
+
+class LogNumber:
+    """A non-negative number stored as ``log2`` of its magnitude.
+
+    Supports ``+ - * / **``, total ordering and mixing with ``int``,
+    ``float`` and ``Fraction`` operands.  Subtraction is defined only
+    when the result stays non-negative.
+    """
+
+    __slots__ = ("_log2",)
+
+    def __init__(self, value: Numeric = 0):
+        if isinstance(value, LogNumber):
+            self._log2 = value._log2
+        else:
+            self._log2 = log2_of(value)
+
+    # -- constructors ------------------------------------------------
+    @classmethod
+    def from_log2(cls, log2_value: float) -> "LogNumber":
+        """Build a LogNumber directly from its ``log2``."""
+        obj = cls.__new__(cls)
+        obj._log2 = float(log2_value)
+        return obj
+
+    @classmethod
+    def zero(cls) -> "LogNumber":
+        return cls.from_log2(_NEG_INF)
+
+    @classmethod
+    def one(cls) -> "LogNumber":
+        return cls.from_log2(0.0)
+
+    # -- accessors ---------------------------------------------------
+    @property
+    def log2(self) -> float:
+        """``log2`` of the magnitude (``-inf`` for zero)."""
+        return self._log2
+
+    def is_zero(self) -> bool:
+        return self._log2 == _NEG_INF
+
+    def to_float(self) -> float:
+        """Convert to float; raises ``OverflowError`` out of range."""
+        if self.is_zero():
+            return 0.0
+        if self._log2 > 1023:
+            raise OverflowError("LogNumber too large for float")
+        return 2.0 ** self._log2
+
+    # -- arithmetic --------------------------------------------------
+    def __add__(self, other: Numeric) -> "LogNumber":
+        other_log = log2_of(other)
+        return LogNumber.from_log2(_log_add(self._log2, other_log))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Numeric) -> "LogNumber":
+        other_log = log2_of(other)
+        return LogNumber.from_log2(_log_sub(self._log2, other_log))
+
+    def __rsub__(self, other: Numeric) -> "LogNumber":
+        return LogNumber(other).__sub__(self)
+
+    def __mul__(self, other: Numeric) -> "LogNumber":
+        other_log = log2_of(other)
+        if self.is_zero() or other_log == _NEG_INF:
+            return LogNumber.zero()
+        return LogNumber.from_log2(self._log2 + other_log)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Numeric) -> "LogNumber":
+        other_log = log2_of(other)
+        if other_log == _NEG_INF:
+            raise ZeroDivisionError("division by LogNumber zero")
+        if self.is_zero():
+            return LogNumber.zero()
+        return LogNumber.from_log2(self._log2 - other_log)
+
+    def __rtruediv__(self, other: Numeric) -> "LogNumber":
+        return LogNumber(other).__truediv__(self)
+
+    def __pow__(self, exponent: Union[int, float, Fraction]) -> "LogNumber":
+        if isinstance(exponent, Fraction):
+            exponent = float(exponent)
+        if self.is_zero():
+            if exponent == 0:
+                return LogNumber.one()
+            if exponent < 0:
+                raise ZeroDivisionError("zero to a negative power")
+            return LogNumber.zero()
+        return LogNumber.from_log2(self._log2 * exponent)
+
+    # -- comparisons -------------------------------------------------
+    def _cmp_key(self, other: Numeric) -> float:
+        return log2_of(other)
+
+    def __eq__(self, other: object) -> bool:
+        try:
+            return self._log2 == self._cmp_key(other)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return NotImplemented
+
+    def __lt__(self, other: Numeric) -> bool:
+        return self._log2 < self._cmp_key(other)
+
+    def __le__(self, other: Numeric) -> bool:
+        return self._log2 <= self._cmp_key(other)
+
+    def __gt__(self, other: Numeric) -> bool:
+        return self._log2 > self._cmp_key(other)
+
+    def __ge__(self, other: Numeric) -> bool:
+        return self._log2 >= self._cmp_key(other)
+
+    def __hash__(self) -> int:
+        return hash(("LogNumber", self._log2))
+
+    def __bool__(self) -> bool:
+        return not self.is_zero()
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return "LogNumber(0)"
+        return f"LogNumber(log2={self._log2:.6g})"
+
+
+def _log_add(a: float, b: float) -> float:
+    """``log2(2**a + 2**b)`` computed stably."""
+    if a == _NEG_INF:
+        return b
+    if b == _NEG_INF:
+        return a
+    hi, lo = (a, b) if a >= b else (b, a)
+    diff = lo - hi
+    if diff < -64:
+        return hi
+    return hi + math.log2(1.0 + 2.0 ** diff)
+
+
+def _log_sub(a: float, b: float) -> float:
+    """``log2(2**a - 2**b)``; requires ``a >= b``."""
+    if b == _NEG_INF:
+        return a
+    if a < b:
+        raise ValueError("LogNumber subtraction would be negative")
+    if a == b:
+        return _NEG_INF
+    diff = b - a
+    if diff < -64:
+        return a
+    return a + math.log2(1.0 - 2.0 ** diff)
+
+
+def as_log(value: Numeric) -> LogNumber:
+    """Coerce any supported numeric to :class:`LogNumber`."""
+    if isinstance(value, LogNumber):
+        return value
+    return LogNumber(value)

@@ -1,0 +1,52 @@
+"""Small validation helpers shared by instance constructors.
+
+Instances of the optimization problems carry numeric invariants from
+the paper (e.g. the access-path bounds ``t_j * s_ij <= w_ij <= t_j``).
+Constructors enforce them eagerly so that a malformed instance fails at
+build time, not deep inside a cost computation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+Real = Union[int, float, Fraction]
+
+
+class ValidationError(ValueError):
+    """Raised when a problem instance violates a model invariant."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_positive(value: Real, name: str) -> None:
+    """Require ``value > 0``."""
+    require(value > 0, f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(value: Real, name: str) -> None:
+    """Require ``value >= 0``."""
+    require(value >= 0, f"{name} must be non-negative, got {value!r}")
+
+
+def check_probability(value: Real, name: str) -> None:
+    """Require ``0 <= value <= 1``."""
+    require(0 <= value <= 1, f"{name} must lie in [0, 1], got {value!r}")
+
+
+def check_fraction(value: Real, name: str) -> None:
+    """Require ``0 < value <= 1`` (selectivities, fractions of clauses)."""
+    require(0 < value <= 1, f"{name} must lie in (0, 1], got {value!r}")
+
+
+def check_index(index: int, size: int, name: str) -> None:
+    """Require ``0 <= index < size``."""
+    require(
+        0 <= index < size,
+        f"{name} must lie in [0, {size}), got {index}",
+    )

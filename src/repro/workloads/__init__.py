@@ -1,0 +1,40 @@
+"""Parametric workload families for examples and benchmarks.
+
+* :mod:`repro.workloads.queries` — "ordinary" query-optimization
+  workloads (chain / star / cycle / clique / random queries with
+  random statistics), used to exercise the optimizers outside the
+  adversarial gap families;
+* :mod:`repro.workloads.gaps` — the hardness families: planted-clique
+  QO_N/QO_H gap instances with known YES/NO status, plus matched
+  PARTITION suites.
+"""
+
+from repro.workloads.queries import (
+    chain_query,
+    grid_query,
+    snowflake_query,
+    clique_query,
+    cycle_query,
+    random_query,
+    star_query,
+)
+from repro.workloads.gaps import (
+    GapPair,
+    qoh_gap_pair,
+    qon_gap_pair,
+    partition_suite,
+)
+
+__all__ = [
+    "chain_query",
+    "grid_query",
+    "snowflake_query",
+    "clique_query",
+    "cycle_query",
+    "random_query",
+    "star_query",
+    "GapPair",
+    "qoh_gap_pair",
+    "qon_gap_pair",
+    "partition_suite",
+]

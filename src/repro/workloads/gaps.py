@@ -1,0 +1,140 @@
+"""Hardness workloads: matched YES/NO gap-instance pairs.
+
+The SAT-driven chains produce faithful but large instances; for
+benchmark sweeps it is often enough to *plant* the clique structure
+directly, which these helpers do:
+
+* :func:`qon_gap_pair` — a YES instance (graph with a planted clique
+  of ``k_yes``) and a NO instance (graph with maximum clique certified
+  ``<= k_no``), both mapped through f_N with identical parameters;
+* :func:`qoh_gap_pair` — the same for f_H / 2/3-CLIQUE;
+* :func:`partition_suite` — YES/NO PARTITION instances for the
+  appendix chain.
+
+NO-side graphs are built as balanced complete multipartite graphs
+(Turan graphs): ``K_{r x s}`` has maximum clique exactly ``r`` — a
+*certified* bound with no clique search needed — and is dense, matching
+the reduction families' degree profile.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.core.reductions.clique_to_qoh import FHReduction, clique_to_qoh
+from repro.core.reductions.clique_to_qon import FNReduction, clique_to_qon
+from repro.graphs.graph import Graph
+from repro.starqo.partition import PartitionInstance
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require
+
+
+def turan_graph(n: int, parts: int) -> Graph:
+    """The Turan graph T(n, parts): complete multipartite with balanced
+    classes; its maximum clique has exactly ``parts`` vertices."""
+    require(1 <= parts <= n, "parts must lie in [1, n]")
+    assignment = [v % parts for v in range(n)]
+    edges = [
+        (u, v)
+        for u, v in itertools.combinations(range(n), 2)
+        if assignment[u] != assignment[v]
+    ]
+    return Graph(n, edges)
+
+
+@dataclass(frozen=True)
+class GapPair:
+    """A matched YES/NO pair of reduction outputs.
+
+    ``yes_clique`` witnesses the YES side (a clique of ``k_yes``
+    vertices, by construction); ``no_reduction.graph`` has maximum
+    clique exactly ``k_no`` (a Turan graph).
+    """
+
+    yes_reduction: object
+    no_reduction: object
+    yes_clique: Tuple[int, ...]
+
+
+def qon_gap_pair(
+    n: int,
+    k_yes: int,
+    k_no: int,
+    alpha: Optional[int] = None,
+    delta: float = 1.0,
+) -> GapPair:
+    """Matched f_N YES/NO instances on ``n`` relations.
+
+    YES graph: complete graph (clique = n >= k_yes, witnessed by the
+    first ``k_yes`` vertices).  NO graph: Turan T(n, k_no), maximum
+    clique exactly ``k_no``.
+    """
+    require(1 <= k_no < k_yes <= n, "need 1 <= k_no < k_yes <= n")
+    yes_graph = Graph(
+        n, list(itertools.combinations(range(n), 2))
+    )
+    no_graph = turan_graph(n, k_no)
+    yes_reduction = clique_to_qon(yes_graph, k_yes, k_no, alpha, delta)
+    no_reduction = clique_to_qon(no_graph, k_yes, k_no, alpha, delta)
+    return GapPair(
+        yes_reduction=yes_reduction,
+        no_reduction=no_reduction,
+        yes_clique=tuple(range(max(k_yes, yes_reduction.k_yes))),
+    )
+
+
+def qoh_gap_pair(
+    n: int,
+    epsilon: Fraction = Fraction(1, 4),
+    alpha: Optional[int] = None,
+    delta: float = 1.0,
+) -> GapPair:
+    """Matched f_H YES/NO instances on source graphs of ``n`` vertices.
+
+    YES graph: complete (clique 2n/3 trivially exists).  NO graph:
+    Turan with ``floor((2 - eps) n / 3)`` parts — maximum clique
+    certified at the Lemma 13 bound.
+    """
+    require(n >= 6 and n % 3 == 0, "need n divisible by 3, at least 6")
+    target = 2 * n // 3
+    no_clique = int((2 - epsilon) * n / 3)
+    require(1 <= no_clique < target, "epsilon leaves no gap")
+    yes_graph = Graph(n, list(itertools.combinations(range(n), 2)))
+    no_graph = turan_graph(n, no_clique)
+    yes_reduction = clique_to_qoh(yes_graph, epsilon, alpha, delta)
+    no_reduction = clique_to_qoh(no_graph, epsilon, alpha, delta)
+    return GapPair(
+        yes_reduction=yes_reduction,
+        no_reduction=no_reduction,
+        yes_clique=tuple(range(target)),
+    )
+
+
+def partition_suite(
+    count: int, size: int, value_range: int = 50, rng: RngLike = None
+) -> List[Tuple[PartitionInstance, bool]]:
+    """Random PARTITION instances labelled by ground truth.
+
+    Half are forced YES (built as two halves with equal sums), half are
+    sampled and labelled by the exact DP.
+    """
+    from repro.starqo.partition import has_partition
+
+    require(size >= 2, "need at least two values")
+    generator = make_rng(rng)
+    suite: List[Tuple[PartitionInstance, bool]] = []
+    for index in range(count):
+        if index % 2 == 0:
+            # Planted YES: mirror a random half.
+            half = [2 * generator.randint(1, value_range) for _ in range(size // 2)]
+            values = half + half if size % 2 == 0 else half + half + [0]
+            instance = PartitionInstance(values)
+            suite.append((instance, True))
+        else:
+            values = [2 * generator.randint(1, value_range) for _ in range(size)]
+            instance = PartitionInstance(values)
+            suite.append((instance, has_partition(instance)))
+    return suite

@@ -1,0 +1,195 @@
+"""Ordinary query-optimization workloads.
+
+Standard query-graph topologies with randomized statistics, in the
+style of the join-ordering literature (Steinbrunn et al.): relation
+sizes log-uniform in ``[size_min, size_max]``, selectivities of the
+form ``1 / domain`` with a log-uniform domain.  Exact ``Fraction``
+statistics keep every optimizer comparison exact.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from repro.graphs.graph import Graph
+from repro.joinopt.instance import QONInstance
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require
+
+
+def _random_sizes(rng, n: int, size_min: int, size_max: int) -> list[int]:
+    low = math.log(size_min)
+    high = math.log(size_max)
+    return [
+        max(1, round(math.exp(rng.uniform(low, high)))) for _ in range(n)
+    ]
+
+
+def _random_selectivities(
+    rng, graph: Graph, domain_min: int, domain_max: int
+) -> Dict[Tuple[int, int], Fraction]:
+    low = math.log(domain_min)
+    high = math.log(domain_max)
+    return {
+        edge: Fraction(1, max(2, round(math.exp(rng.uniform(low, high)))))
+        for edge in graph.edges
+    }
+
+
+def _build(
+    graph: Graph,
+    rng: RngLike,
+    size_min: int,
+    size_max: int,
+    domain_min: int,
+    domain_max: int,
+) -> QONInstance:
+    generator = make_rng(rng)
+    sizes = _random_sizes(generator, graph.num_vertices, size_min, size_max)
+    selectivities = _random_selectivities(
+        generator, graph, domain_min, domain_max
+    )
+    return QONInstance(graph, sizes, selectivities)
+
+
+def chain_query(
+    n: int,
+    rng: RngLike = None,
+    size_min: int = 10,
+    size_max: int = 100_000,
+    domain_min: int = 2,
+    domain_max: int = 10_000,
+) -> QONInstance:
+    """R_0 - R_1 - ... - R_{n-1}: the tractable tree family."""
+    require(n >= 2, "chain query needs at least two relations")
+    graph = Graph(n, [(i, i + 1) for i in range(n - 1)])
+    return _build(graph, rng, size_min, size_max, domain_min, domain_max)
+
+
+def star_query(
+    n: int,
+    rng: RngLike = None,
+    size_min: int = 10,
+    size_max: int = 100_000,
+    domain_min: int = 2,
+    domain_max: int = 10_000,
+) -> QONInstance:
+    """Hub relation 0 joined to n-1 satellites (also a tree)."""
+    require(n >= 2, "star query needs at least two relations")
+    graph = Graph(n, [(0, i) for i in range(1, n)])
+    return _build(graph, rng, size_min, size_max, domain_min, domain_max)
+
+
+def cycle_query(
+    n: int,
+    rng: RngLike = None,
+    size_min: int = 10,
+    size_max: int = 100_000,
+    domain_min: int = 2,
+    domain_max: int = 10_000,
+) -> QONInstance:
+    """A ring: the smallest non-tree family (one extra edge)."""
+    require(n >= 3, "cycle query needs at least three relations")
+    graph = Graph(n, [(i, (i + 1) % n) for i in range(n)])
+    return _build(graph, rng, size_min, size_max, domain_min, domain_max)
+
+
+def clique_query(
+    n: int,
+    rng: RngLike = None,
+    size_min: int = 10,
+    size_max: int = 100_000,
+    domain_min: int = 2,
+    domain_max: int = 10_000,
+) -> QONInstance:
+    """Every pair joined: the dense extreme."""
+    require(n >= 2, "clique query needs at least two relations")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    graph = Graph(n, edges)
+    return _build(graph, rng, size_min, size_max, domain_min, domain_max)
+
+
+def random_query(
+    n: int,
+    edge_probability: float = 0.5,
+    rng: RngLike = None,
+    size_min: int = 10,
+    size_max: int = 100_000,
+    domain_min: int = 2,
+    domain_max: int = 10_000,
+) -> QONInstance:
+    """G(n, p) query graph, patched up to connectivity with a path."""
+    require(n >= 2, "random query needs at least two relations")
+    generator = make_rng(rng)
+    edges = {
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if generator.random() < edge_probability
+    }
+    # Ensure connectivity: thread a random spanning path through.
+    order = list(range(n))
+    generator.shuffle(order)
+    for a, b in zip(order, order[1:]):
+        edges.add((min(a, b), max(a, b)))
+    graph = Graph(n, sorted(edges))
+    return _build(graph, generator, size_min, size_max, domain_min, domain_max)
+
+
+def snowflake_query(
+    num_dimensions: int,
+    satellites_per_dimension: int = 2,
+    rng: RngLike = None,
+    size_min: int = 10,
+    size_max: int = 100_000,
+    domain_min: int = 2,
+    domain_max: int = 10_000,
+) -> QONInstance:
+    """A snowflake: facts (0) -> dimensions -> per-dimension satellites.
+
+    A tree, hence IKKBZ-optimizable — the schema shape of most
+    analytics workloads, and a useful contrast to the dense hardness
+    families.
+    """
+    require(num_dimensions >= 1, "need at least one dimension")
+    require(satellites_per_dimension >= 0, "satellite count must be >= 0")
+    edges = []
+    next_vertex = 1
+    for _ in range(num_dimensions):
+        dimension = next_vertex
+        next_vertex += 1
+        edges.append((0, dimension))
+        for _ in range(satellites_per_dimension):
+            edges.append((dimension, next_vertex))
+            next_vertex += 1
+    graph = Graph(next_vertex, edges)
+    return _build(graph, rng, size_min, size_max, domain_min, domain_max)
+
+
+def grid_query(
+    rows: int,
+    columns: int,
+    rng: RngLike = None,
+    size_min: int = 10,
+    size_max: int = 100_000,
+    domain_min: int = 2,
+    domain_max: int = 10_000,
+) -> QONInstance:
+    """A rows x columns grid: cyclic but sparse (e(n) ~ 2n edges),
+    sitting between the tractable trees and the dense gap families —
+    exactly the regime Section 6 is about."""
+    require(rows >= 2 and columns >= 2, "grid needs at least 2x2")
+    def vertex(r: int, c: int) -> int:
+        return r * columns + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(columns):
+            if c + 1 < columns:
+                edges.append((vertex(r, c), vertex(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vertex(r, c), vertex(r + 1, c)))
+    graph = Graph(rows * columns, edges)
+    return _build(graph, rng, size_min, size_max, domain_min, domain_max)

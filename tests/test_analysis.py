@@ -1,0 +1,150 @@
+"""Tests for the analysis helpers and the CNF simplifier."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    PowerLawFit,
+    competitive_ratio_log2,
+    fit_power_law,
+    gap_exponent,
+    summarize_series,
+)
+from repro.sat.cnf import CNFFormula
+from repro.sat.generators import random_3sat, random_planted_3sat, unsatisfiable_core
+from repro.sat.simplify import remove_subsumed, remove_tautologies, simplify
+from repro.sat.solver import is_satisfiable, solve
+from repro.utils.validation import ValidationError
+
+
+class TestPowerLawFit:
+    def test_exact_quadratic(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_cubic(self):
+        xs = list(range(2, 20))
+        ys = [x**3 * (1 + 0.01 * ((x * 37) % 7 - 3)) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert 2.9 < fit.exponent < 3.1
+        assert fit.r_squared > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValidationError):
+            fit_power_law([1, -1], [1, 1])
+        with pytest.raises(ValidationError):
+            fit_power_law([1, 1], [1, 2])
+
+    def test_theorem9_scaling(self):
+        """log2 K grows as n^2 for fixed alpha (Theorem 9 item 3)."""
+        from repro.core.gap import k_cd_log2
+
+        ns = [16, 32, 64, 128]
+        ks = []
+        for n in ns:
+            k_yes, k_no = n - 2, n // 2
+            if (k_yes + k_no) % 2:
+                k_no += 1
+            ks.append(float(k_cd_log2(2, 0, k_yes, k_no)))
+        fit = fit_power_law(ns, ks)
+        assert 1.9 < fit.exponent < 2.1
+
+
+class TestGapExponent:
+    def test_basic(self):
+        # gap = 2^{(log2 K)^0.5}
+        assert gap_exponent(32.0, 1024.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            gap_exponent(0, 100)
+
+    def test_summarize(self):
+        rows = summarize_series([4, 8], [16.0, 64.0], [4.0, 8.0])
+        assert rows[0][0] == 4
+        assert rows[0][3] == pytest.approx(0.5)
+
+    def test_ratio_log2(self):
+        assert competitive_ratio_log2(8, 2) == pytest.approx(2.0)
+        assert competitive_ratio_log2(2**5000, 2**4000) == pytest.approx(1000.0)
+
+
+class TestSimplify:
+    def test_unit_propagation(self):
+        formula = CNFFormula(3, [[1], [-1, 2], [-2, 3]])
+        result = simplify(formula)
+        assert not result.conflict
+        assert result.forced == {1: True, 2: True, 3: True}
+        assert result.formula.num_clauses == 0
+
+    def test_conflict_detected(self):
+        formula = CNFFormula(2, [[1], [-1]])
+        result = simplify(formula)
+        assert result.conflict
+
+    def test_tautology_removal(self):
+        clauses = [frozenset({1, -1, 2}), frozenset({2, 3})]
+        kept, removed = remove_tautologies(clauses)
+        assert removed == 1
+        assert kept == [frozenset({2, 3})]
+
+    def test_subsumption(self):
+        clauses = [frozenset({1}), frozenset({1, 2}), frozenset({2, 3})]
+        kept, removed = remove_subsumed(clauses)
+        assert removed == 1
+        assert frozenset({1, 2}) not in kept
+
+    def test_pure_literal(self):
+        formula = CNFFormula(2, [[1, 2], [1, -2]])
+        result = simplify(formula)
+        assert result.forced[1] is True
+        assert result.formula.num_clauses == 0
+
+    def test_preserves_satisfiability(self):
+        for seed in range(8):
+            formula = random_3sat(6, 14, rng=seed)
+            result = simplify(formula)
+            if result.conflict:
+                assert not is_satisfiable(formula)
+            else:
+                assert is_satisfiable(result.formula) == is_satisfiable(formula)
+
+    def test_extend_model(self):
+        formula, _ = random_planted_3sat(6, 12, rng=3)
+        result = simplify(formula)
+        assert not result.conflict
+        model = solve(result.formula)
+        assert model is not None
+        combined = result.extend_model(model)
+        assert formula.is_satisfied_by(combined)
+
+    def test_core_unchanged_meaningfully(self):
+        """The unsatisfiable core has no units/pures; only the formula's
+        structure survives, still unsatisfiable."""
+        result = simplify(unsatisfiable_core())
+        assert not result.conflict  # simplification alone can't refute it
+        assert not is_satisfiable(result.formula)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_simplify_preserves_sat(seed):
+    formula = random_3sat(5, 10, rng=seed)
+    result = simplify(formula)
+    original = is_satisfiable(formula)
+    if result.conflict:
+        assert not original
+    else:
+        reduced = is_satisfiable(result.formula)
+        assert reduced == original
+        if reduced:
+            model = solve(result.formula)
+            assert formula.is_satisfied_by(result.extend_model(model))

@@ -1,0 +1,147 @@
+"""Tests for the bounded exact optimizer and the verification module."""
+
+import pytest
+
+from repro.core.reductions.clique_to_qon import clique_to_qon
+from repro.core.reductions.sat_to_clique import sat_to_clique
+from repro.core.verify import (
+    VerificationResult,
+    verify_clique_reduction,
+    verify_fn_reduction,
+    verify_gap_formula,
+)
+from repro.graphs.generators import complete_graph
+from repro.joinopt.optimizers import dp_optimal, exhaustive_optimal
+from repro.joinopt.optimizers.branch_and_bound import branch_and_bound
+from repro.sat.gapfamilies import no_instance, yes_instance
+from repro.utils.validation import ValidationError
+from repro.workloads.gaps import qon_gap_pair, turan_graph
+from repro.workloads.queries import chain_query, clique_query, random_query
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_dp(self, seed):
+        instance = random_query(6, rng=seed)
+        assert branch_and_bound(instance).cost == dp_optimal(instance).cost
+
+    def test_agrees_on_chain(self):
+        instance = chain_query(7, rng=9)
+        assert branch_and_bound(instance).cost == dp_optimal(instance).cost
+
+    def test_agrees_on_clique(self):
+        instance = clique_query(7, rng=10)
+        assert branch_and_bound(instance).cost == dp_optimal(instance).cost
+
+    def test_explores_fewer_nodes_than_plain(self):
+        instance = random_query(8, rng=11)
+        plain = exhaustive_optimal(instance)
+        bounded = branch_and_bound(instance)
+        assert bounded.cost == plain.cost
+        assert bounded.explored < plain.explored
+
+    def test_gap_instance(self):
+        pair = qon_gap_pair(8, 6, 2, alpha=4)
+        bounded = branch_and_bound(pair.no_reduction.instance)
+        exact = dp_optimal(pair.no_reduction.instance)
+        assert bounded.cost == exact.cost
+
+    def test_single_relation(self):
+        from repro.graphs.graph import Graph
+        from repro.joinopt.instance import QONInstance
+
+        instance = QONInstance(Graph(1, []), [3], {})
+        assert branch_and_bound(instance).cost == 0
+
+    def test_guard(self):
+        instance = chain_query(14, rng=12)
+        with pytest.raises(ValidationError):
+            branch_and_bound(instance)
+
+
+class TestVerificationResult:
+    def test_render_and_failures(self):
+        result = VerificationResult()
+        result.record("alpha", True)
+        result.record("beta", False)
+        assert not result.ok
+        assert result.failures() == ["beta"]
+        assert "[PASS] alpha" in result.render()
+        assert "[FAIL] beta" in result.render()
+
+
+class TestVerifyGapFormula:
+    def test_yes_side(self):
+        assert verify_gap_formula(yes_instance(5, 10, rng=0)).ok
+
+    def test_no_side_exact(self):
+        assert verify_gap_formula(no_instance(1)).ok
+
+    def test_no_side_too_big_skips_maxsat(self):
+        result = verify_gap_formula(no_instance(8), exact_limit=6)
+        # Only the occurrence-bound check runs.
+        assert len(result.checks) == 1
+        assert result.ok
+
+
+class TestVerifyCliqueReduction:
+    def test_yes(self):
+        gap = yes_instance(3, 6, rng=1)
+        reduction = sat_to_clique(gap)
+        witness = reduction.clique_from_assignment(gap.witness)
+        result = verify_clique_reduction(reduction, True, witness)
+        assert result.ok
+
+    def test_no(self):
+        reduction = sat_to_clique(no_instance(1))
+        assert verify_clique_reduction(reduction, False).ok
+
+
+class TestVerifyFN:
+    def test_yes_strict_premise(self):
+        reduction = clique_to_qon(complete_graph(40), k_yes=36, k_no=4, alpha=4)
+        result = verify_fn_reduction(reduction, True, list(range(36)))
+        assert result.ok
+        assert "certificate cost <= K_{c,d}" in result.checks[0][0]
+
+    def test_yes_small_premise_uses_slack(self):
+        reduction = clique_to_qon(complete_graph(8), k_yes=6, k_no=2, alpha=4)
+        result = verify_fn_reduction(reduction, True)
+        assert result.ok
+        assert "premise" in result.checks[0][0]
+
+    def test_no_with_exact_dp(self):
+        reduction = clique_to_qon(turan_graph(8, 2), k_yes=8, k_no=2, alpha=4)
+        result = verify_fn_reduction(reduction, False)
+        assert result.ok
+        assert len(result.checks) == 2
+
+
+class TestScorecard:
+    def test_all_claims_pass(self):
+        from repro.core.scorecard import build_scorecard
+
+        scorecard = build_scorecard()
+        assert scorecard.ok, scorecard.render()
+        assert len(scorecard.entries) == 8
+
+    def test_render(self):
+        from repro.core.scorecard import Scorecard, ScorecardEntry
+
+        scorecard = Scorecard(
+            entries=[
+                ScorecardEntry("good", True, 0.1),
+                ScorecardEntry("bad", False, 0.2, detail="boom"),
+            ]
+        )
+        text = scorecard.render()
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert "boom" in text
+        assert "FAILURES PRESENT" in text
+
+    def test_cli_scorecard(self, capsys):
+        from repro.cli import main
+
+        assert main(["scorecard"]) == 0
+        assert "all claims reproduced" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Tests for the QO_N lower-bound machinery."""
+
+import itertools
+
+import pytest
+
+from repro.core.reductions.clique_to_qon import clique_to_qon
+from repro.graphs.generators import complete_graph
+from repro.joinopt.bounds import (
+    dominance_lower_bound,
+    first_join_lower_bound,
+    lemma8_style_lower_bound,
+    verify_no_instance_floor,
+)
+from repro.joinopt.cost import total_cost
+from repro.joinopt.optimizers import dp_optimal
+from repro.utils.validation import ValidationError
+from repro.workloads.gaps import qon_gap_pair, turan_graph
+from repro.workloads.queries import random_query
+
+
+class TestFirstJoinBound:
+    def test_sound_on_random_instances(self):
+        for seed in range(6):
+            instance = random_query(6, rng=seed)
+            bound = first_join_lower_bound(instance)
+            optimum = dp_optimal(instance)
+            assert optimum.cost >= bound
+
+    def test_exact_on_two_relations(self):
+        instance = random_query(2, rng=7)
+        assert first_join_lower_bound(instance) == dp_optimal(instance).cost
+
+
+class TestDominanceBound:
+    def test_sound_for_every_sequence(self):
+        instance = random_query(5, rng=8)
+        for p in (2, 3, 4):
+            bound = dominance_lower_bound(instance, p)
+            for sequence in itertools.permutations(range(5)):
+                cost = total_cost(instance, sequence)
+                assert cost >= bound
+
+    def test_tight_on_uniform_reduction(self):
+        reduction = clique_to_qon(complete_graph(6), k_yes=6, k_no=2, alpha=4)
+        instance = reduction.instance
+        optimum = dp_optimal(instance)
+        best_bound = max(
+            dominance_lower_bound(instance, p) for p in range(2, 6)
+        )
+        # Within the alpha-granularity of the model.
+        assert optimum.cost >= best_bound
+        assert optimum.cost <= best_bound * reduction.alpha ** (2 * 6)
+
+    def test_range_validation(self):
+        instance = random_query(4, rng=9)
+        with pytest.raises(ValidationError):
+            dominance_lower_bound(instance, 1)
+        with pytest.raises(ValidationError):
+            dominance_lower_bound(instance, 4)
+
+
+class TestLemma8StyleBound:
+    def test_matches_formula_at_k_no(self):
+        graph = turan_graph(8, 4)
+        reduction = clique_to_qon(graph, k_yes=8, k_no=4, alpha=4)
+        assert lemma8_style_lower_bound(
+            reduction, 4
+        ) == reduction.no_cost_lower_bound()
+        assert verify_no_instance_floor(reduction, 4)
+
+    def test_sound_against_dp(self):
+        graph = turan_graph(8, 4)
+        reduction = clique_to_qon(graph, k_yes=8, k_no=4, alpha=4)
+        optimum = dp_optimal(reduction.instance)
+        assert optimum.cost >= lemma8_style_lower_bound(reduction, 4)
+
+    def test_monotone_in_clique_bound(self):
+        graph = turan_graph(8, 2)
+        reduction = clique_to_qon(graph, k_yes=8, k_no=2, alpha=4)
+        loose = lemma8_style_lower_bound(reduction, 5)
+        tight = lemma8_style_lower_bound(reduction, 2)
+        assert tight >= loose
+
+    def test_looser_bound_still_sound(self):
+        graph = turan_graph(8, 2)  # true omega = 2
+        reduction = clique_to_qon(graph, k_yes=8, k_no=2, alpha=4)
+        optimum = dp_optimal(reduction.instance)
+        for claimed in (2, 3, 4):
+            assert optimum.cost >= lemma8_style_lower_bound(reduction, claimed)
+
+    def test_gap_pair_floor(self):
+        pair = qon_gap_pair(8, 6, 2, alpha=4)
+        optimum = dp_optimal(pair.no_reduction.instance)
+        assert optimum.cost >= lemma8_style_lower_bound(pair.no_reduction, 2)

@@ -1,0 +1,113 @@
+"""Dedicated tests for the certificate constructors (Lemma 6 / 12)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.certificates import (
+    _connected_completion,
+    qoh_certificate_plan,
+    qon_certificate_sequence,
+)
+from repro.core.reductions.clique_to_qoh import clique_to_qoh
+from repro.core.reductions.clique_to_qon import clique_to_qon
+from repro.graphs.generators import complete_graph
+from repro.graphs.graph import Graph
+from repro.joinopt.cost import has_cartesian_product, total_cost
+from repro.utils.validation import ValidationError
+from repro.workloads.gaps import turan_graph
+
+
+class TestConnectedCompletion:
+    def test_full_order(self):
+        graph = complete_graph(5)
+        order = _connected_completion(graph, [2, 4])
+        assert sorted(order) == list(range(5))
+        assert order[:2] == [2, 4]
+
+    def test_connected_graph_stays_connected(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        order = _connected_completion(graph, [0])
+        for position in range(1, 5):
+            assert any(
+                graph.has_edge(order[position], earlier)
+                for earlier in order[:position]
+            )
+
+    def test_disconnected_falls_back(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        order = _connected_completion(graph, [0])
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_duplicates_removed_upstream(self):
+        graph = complete_graph(4)
+        reduction = clique_to_qon(graph, k_yes=3, k_no=1, alpha=4)
+        sequence = qon_certificate_sequence(reduction, [0, 1, 2, 2, 1])
+        assert sorted(sequence) == [0, 1, 2, 3]
+
+
+class TestQONCertificate:
+    def test_clique_prefix_preserved(self):
+        graph = complete_graph(10)
+        reduction = clique_to_qon(graph, k_yes=8, k_no=2, alpha=4)
+        sequence = qon_certificate_sequence(reduction, list(range(8)))
+        assert set(sequence[:8]) == set(range(8))
+
+    def test_oversized_clique_kept_in_front(self):
+        graph = complete_graph(10)
+        reduction = clique_to_qon(graph, k_yes=6, k_no=2, alpha=4)
+        sequence = qon_certificate_sequence(reduction, list(range(9)))
+        assert set(sequence[:9]) == set(range(9))
+
+    def test_no_cartesian_products_on_dense_graphs(self):
+        graph = turan_graph(9, 6)
+        reduction = clique_to_qon(graph, k_yes=8, k_no=6, alpha=4)
+        from repro.graphs.clique import max_clique
+
+        clique = max_clique(graph)
+        # Use what the graph actually has (6), padded requirement lowered.
+        reduction_small = clique_to_qon(graph, k_yes=6, k_no=4, alpha=4)
+        sequence = qon_certificate_sequence(reduction_small, clique)
+        assert not has_cartesian_product(reduction_small.instance, sequence)
+
+    def test_cost_decreases_with_bigger_clique_prefix(self):
+        """A larger certified clique gives a no-worse certificate."""
+        graph = complete_graph(12)
+        reduction = clique_to_qon(graph, k_yes=8, k_no=2, alpha=4)
+        small = qon_certificate_sequence(reduction, list(range(8)))
+        large = qon_certificate_sequence(reduction, list(range(12)))
+        assert total_cost(reduction.instance, large) <= total_cost(
+            reduction.instance, small
+        ) * reduction.alpha  # within one alpha granule
+
+
+class TestQOHCertificate:
+    def test_minimum_n(self):
+        reduction = clique_to_qoh(complete_graph(6), alpha=4**6)
+        plan = qoh_certificate_plan(reduction, list(range(4)))
+        assert plan.sequence[0] == 0
+
+    def test_n_three_rejected(self):
+        reduction = clique_to_qoh(complete_graph(3), alpha=4**3)
+        with pytest.raises(ValidationError):
+            qoh_certificate_plan(reduction, [0, 1])
+
+    def test_pipeline_boundaries_match_lemma12(self):
+        reduction = clique_to_qoh(complete_graph(9), alpha=4**9)
+        plan = qoh_certificate_plan(reduction, list(range(6)))
+        bounds = [
+            (p.first_join, p.last_join) for p in plan.decomposition.pipelines
+        ]
+        assert bounds == [(1, 1), (2, 3), (4, 6), (7, 8), (9, 9)]
+
+    def test_extra_clique_members_truncated(self):
+        reduction = clique_to_qoh(complete_graph(6), alpha=4**6)
+        plan = qoh_certificate_plan(reduction, list(range(6)))
+        # Only 2n/3 = 4 clique members lead; the rest follow.
+        assert sorted(plan.sequence) == list(range(7))
+
+    def test_cost_is_positive_fraction(self):
+        reduction = clique_to_qoh(complete_graph(6), alpha=4**6)
+        plan = qoh_certificate_plan(reduction, list(range(4)))
+        assert isinstance(plan.cost, Fraction)
+        assert plan.cost > 0

@@ -1,0 +1,113 @@
+"""Tests for the end-to-end hardness chains (Theorems 9 and 15)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.chains import hardness_chain_qoh, hardness_chain_qon
+from repro.core.gap import exceeds_every_polylog, polylog_budget_log2
+from repro.joinopt.cost import has_cartesian_product, total_cost
+from repro.sat.gapfamilies import no_instance, yes_instance
+from repro.utils.lognum import log2_of
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def yes_formula():
+    return yes_instance(8, 16, rng=0)
+
+
+@pytest.fixture(scope="module")
+def no_formula():
+    return no_instance(2)  # 16 clauses, theta = 1/8
+
+
+class TestQONChain:
+    def test_yes_chain_has_certificate(self, yes_formula):
+        chain = hardness_chain_qon(yes_formula, alpha=4)
+        assert chain.certificate_sequence is not None
+        sequence = chain.certificate_sequence
+        assert sorted(sequence) == list(range(chain.fn_step.n))
+        assert not has_cartesian_product(chain.instance, sequence)
+
+    def test_yes_certificate_cost_near_k(self, yes_formula):
+        """At small family gaps (dn/2 < 15, outside Lemma 6's premise)
+        the certificate still lands within alpha^{O(1)} of K."""
+        chain = hardness_chain_qon(yes_formula, alpha=4)
+        cost = total_cost(chain.instance, chain.certificate_sequence)
+        k_log2 = log2_of(chain.yes_cost_bound())
+        alpha_log2 = chain.fn_step.alpha_log2
+        assert log2_of(cost) <= k_log2 + 16 * alpha_log2
+
+    def test_no_chain_promise_consistency(self, no_formula):
+        chain = hardness_chain_qon(no_formula, alpha=4)
+        assert chain.certificate_sequence is None
+        assert chain.fn_step.k_no >= chain.clique_step.clique_bound_if_gap
+        # At the minimal even gap (deficit 2) the Lemma 8 floor equals K.
+        assert chain.no_cost_lower_bound() >= chain.yes_cost_bound()
+
+    def test_no_chain_strict_gap_with_more_cores(self):
+        chain = hardness_chain_qon(no_instance(4), alpha=4)
+        # deficit = ceil(32 / 8) = 4: the floor exceeds K by alpha^1.
+        assert chain.no_cost_lower_bound() == chain.yes_cost_bound() * 4
+
+    def test_family_theta_matched_pair(self, no_formula):
+        """With the same family theta, YES and NO instances of equal
+        formula shape (v, m) get identical reduction parameters."""
+        theta = Fraction(1, 8)
+        matched_yes = yes_instance(6, 16, rng=5)  # same v=6, m=16 shape
+        yes_chain = hardness_chain_qon(matched_yes, alpha=4, family_theta=theta)
+        no_chain = hardness_chain_qon(no_formula, alpha=4, family_theta=theta)
+        assert yes_chain.fn_step.n == no_chain.fn_step.n
+        assert yes_chain.fn_step.k_yes == no_chain.fn_step.k_yes
+        assert yes_chain.fn_step.k_no == no_chain.fn_step.k_no
+
+    def test_gap_exceeds_polylog_budget_at_scale(self):
+        """Theorem 9's message: with alpha = 4^{n^2} (delta = 1/2) the
+        gap factor overwhelms 2^{log^{1/2} K} already at this size."""
+        formula = yes_instance(12, 32, rng=1)
+        chain = hardness_chain_qon(
+            formula, delta=0.5, family_theta=Fraction(1, 8)
+        )
+        fn = chain.fn_step
+        from repro.core.gap import gap_factor_log2, k_cd_log2
+
+        k_log2 = k_cd_log2(
+            fn.alpha_log2, log2_of(fn.edge_access_cost), fn.k_yes, fn.k_no
+        )
+        gap_log2 = gap_factor_log2(fn.alpha_log2, fn.k_yes, fn.k_no)
+        budget = polylog_budget_log2(k_log2, delta=0.5)
+        assert float(gap_log2) > budget
+        assert exceeds_every_polylog(gap_log2, k_log2)
+
+    def test_tiny_formula_rejected(self):
+        tiny = yes_instance(3, 6, rng=2)
+        with pytest.raises(ValidationError):
+            hardness_chain_qon(tiny, alpha=4, family_theta=Fraction(1, 8))
+
+
+class TestQOHChain:
+    def test_yes_chain_certificate(self, yes_formula):
+        chain = hardness_chain_qoh(yes_formula, alpha=4)
+        plan = chain.certificate_plan
+        assert plan is not None
+        assert plan.sequence[0] == 0  # hub first
+        assert len(plan.decomposition.pipelines) == 5
+
+    def test_certificate_cost_near_l(self, yes_formula):
+        chain = hardness_chain_qoh(yes_formula, alpha=4)
+        cost_log2 = log2_of(chain.certificate_plan.cost)
+        l_log2 = float(chain.fh_step.l_bound_log2())
+        assert cost_log2 <= l_log2 + 8
+
+    def test_no_chain_epsilon(self, no_formula):
+        chain = hardness_chain_qoh(no_formula, alpha=4)
+        assert chain.certificate_plan is None
+        assert chain.fh_step.epsilon is not None
+        assert chain.fh_step.epsilon > 0
+        assert chain.fh_step.g_bound_log2() is not None
+
+    def test_source_n_divisible_by_three(self, yes_formula):
+        chain = hardness_chain_qoh(yes_formula, alpha=4)
+        assert chain.fh_step.n % 3 == 0
+        assert chain.instance.num_relations == chain.fh_step.n + 1

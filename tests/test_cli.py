@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import io
+from repro.cli import build_parser, main
+from repro.joinopt.instance import QONInstance
+
+
+class TestGen:
+    def test_writes_instance(self, tmp_path, capsys):
+        out = tmp_path / "q.json"
+        code = main(["gen", "--family", "chain", "--relations", "5", "--out", str(out)])
+        assert code == 0
+        instance = io.load(out)
+        assert isinstance(instance, QONInstance)
+        assert instance.num_relations == 5
+
+    @pytest.mark.parametrize("family", ["chain", "star", "cycle", "clique", "random"])
+    def test_all_families(self, tmp_path, family):
+        out = tmp_path / f"{family}.json"
+        assert main(["gen", "--family", family, "--relations", "4",
+                     "--out", str(out)]) == 0
+        assert io.load(out).num_relations == 4
+
+    def test_deterministic_seed(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["gen", "--family", "random", "--relations", "5", "--seed", "9",
+              "--out", str(a)])
+        main(["gen", "--family", "random", "--relations", "5", "--seed", "9",
+              "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestOptimize:
+    @pytest.fixture
+    def instance_path(self, tmp_path):
+        out = tmp_path / "q.json"
+        main(["gen", "--family", "random", "--relations", "6", "--out", str(out)])
+        return str(out)
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["dp", "exhaustive", "greedy-cost", "greedy-size", "iterative",
+         "annealing", "sampling"],
+    )
+    def test_algorithms_run(self, instance_path, algorithm, capsys):
+        assert main(["optimize", instance_path, "--algorithm", algorithm]) == 0
+        output = capsys.readouterr().out
+        assert "sequence:" in output
+        assert "cost:" in output
+
+    def test_ikkbz_on_tree(self, tmp_path, capsys):
+        out = tmp_path / "chain.json"
+        main(["gen", "--family", "chain", "--relations", "5", "--out", str(out)])
+        assert main(["optimize", str(out), "--algorithm", "ikkbz"]) == 0
+
+    def test_rejects_non_qon(self, tmp_path, capsys):
+        from repro.graphs.generators import complete_graph
+
+        path = tmp_path / "g.json"
+        io.save(complete_graph(3), path)
+        assert main(["optimize", str(path)]) == 2
+
+
+class TestReduceSat:
+    def test_qon_target(self, tmp_path, capsys):
+        out = tmp_path / "hard.json"
+        code = main([
+            "reduce-sat", "--variables", "6", "--clauses", "16",
+            "--satisfiable", "--target", "qon", "--out", str(out),
+        ])
+        assert code == 0
+        instance = io.load(out)
+        assert isinstance(instance, QONInstance)
+        assert "132 relations" in capsys.readouterr().out
+
+    def test_no_side(self, tmp_path, capsys):
+        out = tmp_path / "hard.json"
+        code = main([
+            "reduce-sat", "--variables", "6", "--clauses", "16",
+            "--target", "qon", "--out", str(out),
+        ])
+        assert code == 0
+        assert "NO 3SAT(13)" in capsys.readouterr().out
+
+
+class TestGapReport:
+    def test_report_contents(self, capsys):
+        assert main(["gap-report", "--relations", "10", "--alpha-exp", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "log2 K_{c,d}" in output
+        assert "gap wins" in output
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gen", "--family", "nope", "--out", "x"])
+
+
+class TestExplainCommand:
+    def test_explain_output(self, tmp_path, capsys):
+        out = tmp_path / "q.json"
+        main(["gen", "--family", "chain", "--relations", "4", "--out", str(out)])
+        assert main(["explain", str(out), "--algorithm", "dp"]) == 0
+        output = capsys.readouterr().out
+        assert "scan R" in output
+        assert "total cost C(Z)" in output
+
+    def test_explain_rejects_non_qon(self, tmp_path, capsys):
+        from repro.graphs.generators import complete_graph
+
+        path = tmp_path / "g.json"
+        io.save(complete_graph(3), path)
+        assert main(["explain", str(path)]) == 2
+
+
+class TestExecuteCommand:
+    def test_execute_small_instance(self, tmp_path, capsys):
+        out = tmp_path / "q.json"
+        main([
+            "gen", "--family", "chain", "--relations", "4",
+            "--size-max", "40", "--domain-max", "5", "--out", str(out),
+        ])
+        assert main(["execute", str(out), "--harmonize"]) == 0
+        output = capsys.readouterr().out
+        assert "result rows:" in output
+        assert "exactness guaranteed: True" in output
+
+    def test_guard_on_huge_instances(self, tmp_path, capsys):
+        from repro.utils.validation import ValidationError
+
+        out = tmp_path / "big.json"
+        main([
+            "gen", "--family", "chain", "--relations", "4",
+            "--size-max", "100000", "--domain-max", "10000",
+            "--out", str(out),
+        ])
+        with pytest.raises(ValidationError):
+            main(["execute", str(out), "--harmonize"])

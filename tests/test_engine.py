@@ -1,0 +1,173 @@
+"""Tests for the mini execution engine (cost-model validation)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import execute_sequence, generate_database
+from repro.engine.data import harmonize_sizes
+from repro.graphs.graph import Graph
+from repro.joinopt.cost import intermediate_sizes, join_costs
+from repro.joinopt.instance import QONInstance
+from repro.utils.validation import ValidationError
+
+
+def chain_instance():
+    graph = Graph(3, [(0, 1), (1, 2)])
+    return QONInstance(
+        graph,
+        [12, 6, 8],
+        {(0, 1): Fraction(1, 3), (1, 2): Fraction(1, 2)},
+    )
+
+
+class TestGeneration:
+    def test_sizes(self):
+        database = generate_database(chain_instance())
+        assert [database.size(r) for r in range(3)] == [12, 6, 8]
+        assert database.total_rows() == 26
+
+    def test_exact_flag_true_when_divisible(self):
+        database = generate_database(chain_instance())
+        assert database.exact
+
+    def test_exact_flag_false_when_not(self):
+        graph = Graph(2, [(0, 1)])
+        instance = QONInstance(graph, [7, 6], {(0, 1): Fraction(1, 3)})
+        assert not generate_database(instance).exact
+
+    def test_attribute_domains(self):
+        database = generate_database(chain_instance())
+        values = {row[(0, 1)] for row in database.tuples[0]}
+        assert values == {0, 1, 2}
+
+    def test_uniform_distribution(self):
+        database = generate_database(chain_instance())
+        counts = {}
+        for row in database.tuples[0]:
+            counts[row[(0, 1)]] = counts.get(row[(0, 1)], 0) + 1
+        assert set(counts.values()) == {4}  # 12 rows / domain 3
+
+    def test_non_unit_selectivity_rejected(self):
+        graph = Graph(2, [(0, 1)])
+        instance = QONInstance(graph, [4, 4], {(0, 1): Fraction(2, 3)})
+        with pytest.raises(ValidationError):
+            generate_database(instance)
+
+    def test_harmonize_sizes(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        instance = QONInstance(
+            graph, [7, 7, 9],
+            {(0, 1): Fraction(1, 3), (1, 2): Fraction(1, 2)},
+        )
+        adjusted = harmonize_sizes(instance)
+        assert adjusted.size(0) == 9    # multiple of 3
+        assert adjusted.size(1) == 12   # multiple of 6
+        assert adjusted.size(2) == 10   # multiple of 2
+        assert generate_database(adjusted).exact
+
+
+class TestExecution:
+    def test_cardinalities_match_model_exactly(self):
+        instance = chain_instance()
+        database = generate_database(instance)
+        for sequence in [(0, 1, 2), (2, 1, 0), (1, 0, 2)]:
+            trace = execute_sequence(database, sequence)
+            predicted = intermediate_sizes(instance, sequence)
+            measured = [join.output_rows for join in trace.joins]
+            assert [Fraction(m) for m in measured] == predicted
+
+    def test_probe_work_matches_h(self):
+        """With w at the model's lower bound t_j * s, the measured probe
+        rows equal H_i exactly."""
+        instance = chain_instance()
+        database = generate_database(instance)
+        for sequence in [(0, 1, 2), (2, 1, 0)]:
+            trace = execute_sequence(database, sequence)
+            predicted = join_costs(instance, sequence)
+            measured = [join.probe_rows for join in trace.joins]
+            assert [Fraction(m) for m in measured] == predicted
+
+    def test_cyclic_query_exact(self):
+        graph = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        instance = QONInstance(
+            graph,
+            [6, 6, 6],
+            {(0, 1): Fraction(1, 2), (1, 2): Fraction(1, 3),
+             (0, 2): Fraction(1, 1)},
+        )
+        database = generate_database(instance)
+        trace = execute_sequence(database, (0, 1, 2))
+        predicted = intermediate_sizes(instance, (0, 1, 2))
+        assert [Fraction(j.output_rows) for j in trace.joins] == predicted
+
+    def test_cartesian_product_counts(self):
+        graph = Graph(3, [(0, 1)])
+        instance = QONInstance(graph, [4, 2, 3], {(0, 1): Fraction(1, 2)})
+        database = generate_database(instance)
+        trace = execute_sequence(database, (0, 2, 1))
+        # Join 1 is a cartesian product: probe rows = 4 * 3.
+        assert trace.joins[0].probe_edge is None
+        assert trace.joins[0].probe_rows == 12
+        assert trace.joins[0].output_rows == 12
+
+    def test_residual_predicates_filter(self):
+        """A triangle where the third edge filters the index hits."""
+        graph = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        instance = QONInstance(
+            graph,
+            [4, 4, 4],
+            {(0, 1): Fraction(1, 2), (1, 2): Fraction(1, 2),
+             (0, 2): Fraction(1, 2)},
+        )
+        database = generate_database(instance)
+        trace = execute_sequence(database, (0, 1, 2))
+        last = trace.joins[-1]
+        assert last.residual_checks > 0
+        assert last.output_rows <= last.probe_rows
+
+    def test_result_size_order_invariant(self):
+        instance = chain_instance()
+        database = generate_database(instance)
+        results = {
+            execute_sequence(database, seq).result_rows
+            for seq in [(0, 1, 2), (2, 1, 0), (1, 2, 0)]
+        }
+        assert len(results) == 1
+
+    def test_bad_sequence_rejected(self):
+        database = generate_database(chain_instance())
+        with pytest.raises(ValidationError):
+            execute_sequence(database, (0, 1))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_model_exact_on_harmonized_random_queries(seed):
+    """On harmonized instances the model's N_i is the truth, for a
+    random query graph and a random sequence."""
+    import random
+
+    rng = random.Random(seed)
+    n = rng.randint(2, 4)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < 0.7
+    ]
+    graph = Graph(n, edges)
+    instance = QONInstance(
+        graph,
+        [rng.randint(2, 10) for _ in range(n)],
+        {edge: Fraction(1, rng.randint(1, 3)) for edge in edges},
+    )
+    instance = harmonize_sizes(instance)
+    database = generate_database(instance)
+    assert database.exact
+    sequence = list(range(n))
+    rng.shuffle(sequence)
+    trace = execute_sequence(database, sequence)
+    predicted = intermediate_sizes(instance, sequence)
+    assert [Fraction(j.output_rows) for j in trace.joins] == predicted

@@ -1,0 +1,120 @@
+"""Tests for the plan explainers and the new workload topologies."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.hashjoin.explain import explain_plan
+from repro.hashjoin.instance import QOHInstance
+from repro.hashjoin.optimizer import qoh_optimal
+from repro.joinopt.explain import explain, probe_choices
+from repro.joinopt.instance import QONInstance
+from repro.joinopt.optimizers import dp_optimal, ikkbz
+from repro.utils.validation import ValidationError
+from repro.workloads.queries import grid_query, snowflake_query
+
+
+@pytest.fixture
+def chain_instance():
+    graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    return QONInstance(
+        graph,
+        [100, 50, 200, 10],
+        {(0, 1): Fraction(1, 10), (1, 2): Fraction(1, 20), (2, 3): Fraction(1, 2)},
+    )
+
+
+class TestQONExplain:
+    def test_contains_all_relations(self, chain_instance):
+        text = explain(chain_instance, [0, 1, 2, 3])
+        for name in ("R0", "R1", "R2", "R3"):
+            assert name in text
+
+    def test_total_cost_line(self, chain_instance):
+        text = explain(chain_instance, [0, 1, 2, 3])
+        assert "total cost C(Z) = 30500" in text
+
+    def test_custom_names(self, chain_instance):
+        text = explain(
+            chain_instance, [0, 1, 2, 3],
+            relation_names=["customers", "orders", "items", "parts"],
+        )
+        assert "scan customers" in text
+        assert "orders" in text
+
+    def test_cartesian_flagged(self, chain_instance):
+        text = explain(chain_instance, [0, 3, 1, 2])
+        assert "CARTESIAN product" in text
+
+    def test_probe_choices(self, chain_instance):
+        # Sequence 1,0,2,3: R2 probes via R1 (w=10 < t2=200 via R0).
+        choices = probe_choices(chain_instance, [1, 0, 2, 3])
+        assert choices == [1, 1, 2]
+
+    def test_huge_numbers_render_log2(self):
+        from repro.core.reductions.clique_to_qon import clique_to_qon
+        from repro.graphs.generators import complete_graph
+
+        reduction = clique_to_qon(complete_graph(6), k_yes=6, k_no=2, alpha=4**20)
+        text = explain(reduction.instance, list(range(6)))
+        assert "2^" in text
+
+    def test_bad_sequence_rejected(self, chain_instance):
+        with pytest.raises(ValidationError):
+            explain(chain_instance, [0, 1, 2])
+
+
+class TestQOHExplain:
+    def test_renders_pipelines(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        instance = QOHInstance(
+            graph,
+            [64, 32, 128, 16],
+            {(0, 1): Fraction(1, 8), (1, 2): Fraction(1, 16), (2, 3): Fraction(1, 4)},
+            memory=64,
+        )
+        plan = qoh_optimal(instance)
+        text = explain_plan(instance, plan)
+        assert "pipeline 1" in text
+        assert "build hash" in text
+        assert "total cost" in text
+
+    def test_starvation_annotated(self):
+        from repro.workloads.gaps import qoh_gap_pair
+        from repro.core.certificates import qoh_certificate_plan
+
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        plan = qoh_certificate_plan(pair.yes_reduction, pair.yes_clique)
+        text = explain_plan(pair.yes_reduction.instance, plan)
+        assert "starved" in text
+        assert "pipeline 5" in text
+
+
+class TestNewWorkloads:
+    def test_snowflake_is_tree(self):
+        instance = snowflake_query(3, 2, rng=0)
+        graph = instance.graph
+        assert graph.is_connected()
+        assert graph.num_edges == graph.num_vertices - 1
+
+    def test_snowflake_ikkbz_optimal(self):
+        instance = snowflake_query(2, 2, rng=1)
+        assert ikkbz(instance).cost == dp_optimal(
+            instance, allow_cartesian=False
+        ).cost
+
+    def test_snowflake_shape(self):
+        instance = snowflake_query(4, 0, rng=2)
+        assert instance.graph.num_vertices == 5
+        assert instance.graph.degree(0) == 4
+
+    def test_grid_shape(self):
+        instance = grid_query(3, 4, rng=3)
+        assert instance.graph.num_vertices == 12
+        assert instance.graph.num_edges == 3 * 3 + 2 * 4
+        assert instance.graph.is_connected()
+
+    def test_grid_validation(self):
+        with pytest.raises(ValidationError):
+            grid_query(1, 5)

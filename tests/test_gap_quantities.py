@@ -1,0 +1,131 @@
+"""Direct tests for the gap quantities (repro.core.gap)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gap import (
+    default_alpha_exponent,
+    exceeds_every_polylog,
+    g_bound_log2,
+    gap_factor_log2,
+    k_cd,
+    k_cd_log2,
+    l_bound_log2,
+    no_side_lower_bound,
+    polylog_budget_log2,
+)
+from repro.utils.lognum import log2_of
+from repro.utils.validation import ValidationError
+
+
+class TestAlphaExponent:
+    def test_delta_one(self):
+        assert default_alpha_exponent(10, 1.0) == 20  # alpha = 4^10
+
+    def test_delta_half(self):
+        assert default_alpha_exponent(10, 0.5) == 200  # alpha = 4^{100}
+
+    def test_always_even(self):
+        for n in range(1, 30):
+            for delta in (1.0, 0.7, 0.5):
+                assert default_alpha_exponent(n, delta) % 2 == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            default_alpha_exponent(0)
+        with pytest.raises(ValidationError):
+            default_alpha_exponent(5, 0)
+
+
+class TestKcd:
+    def test_closed_form(self):
+        # B = (6+4)/2 = 5, exponent = 5*6/2 + 1 = 16.
+        assert k_cd(4, 7, 6, 4) == 7 * 4**16
+
+    def test_parity_rejected(self):
+        with pytest.raises(ValidationError):
+            k_cd(4, 1, 5, 2)
+
+    def test_log_form_agrees(self):
+        exact = k_cd(16, 16**3, 8, 4)
+        logged = k_cd_log2(4, log2_of(16**3), 8, 4)
+        assert log2_of(exact) == pytest.approx(float(logged))
+
+    def test_quadratic_growth(self):
+        """log K grows quadratically in the clique scale (item 3)."""
+        small = float(k_cd_log2(2, 0, 10, 10))
+        large = float(k_cd_log2(2, 0, 20, 20))
+        assert large / small == pytest.approx(4.0, rel=0.2)
+
+
+class TestNoSideBound:
+    def test_formula(self):
+        # half-gap = (8-4)/2 = 2 => extra alpha^{2-1}.
+        assert no_side_lower_bound(4, 3, 8, 4) == k_cd(4, 3, 8, 4) * 4
+
+    def test_minimal_gap_collapses_to_k(self):
+        assert no_side_lower_bound(4, 3, 8, 6) == k_cd(4, 3, 8, 6)
+
+    def test_odd_gap_rejected(self):
+        with pytest.raises(ValidationError):
+            no_side_lower_bound(4, 3, 8, 5)
+
+    def test_gap_factor_log(self):
+        assert gap_factor_log2(2, 8, 4) == 2  # alpha^{2-1} = 2^2
+
+
+class TestQOHBounds:
+    def test_l_bound(self):
+        # log2 L = log2 t0 + (n^2/9) log2 alpha.
+        assert l_bound_log2(2, 10, 9) == 10 + 2 * 9
+
+    def test_g_exceeds_l_when_eps_big(self):
+        l_value = l_bound_log2(2, 10, 9)
+        g_value = g_bound_log2(2, 10, 9, Fraction(2, 3))
+        # exponent delta = n*eps/3 - 1 = 1 > 0.
+        assert g_value == l_value + 2
+
+    def test_g_equals_l_at_threshold(self):
+        # n*eps/3 = 1 makes G = L (the vacuous point).
+        l_value = l_bound_log2(2, 10, 6)
+        g_value = g_bound_log2(2, 10, 6, Fraction(1, 2))
+        assert g_value == l_value
+
+
+class TestPolylogBudget:
+    def test_formula(self):
+        assert polylog_budget_log2(1024.0, 0.5) == pytest.approx(32.0)
+
+    def test_delta_bounds(self):
+        with pytest.raises(ValidationError):
+            polylog_budget_log2(100.0, 0)
+        with pytest.raises(ValidationError):
+            polylog_budget_log2(100.0, 1)
+
+    def test_nonpositive_cost(self):
+        with pytest.raises(ValidationError):
+            polylog_budget_log2(0.0, 0.5)
+
+    def test_exceeds_every_polylog(self):
+        assert exceeds_every_polylog(10_000.0, 1_000.0)
+        assert not exceeds_every_polylog(5.0, 1_000.0)
+
+    def test_tiny_cost_rejected_gracefully(self):
+        assert not exceeds_every_polylog(100.0, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=2, max_value=40),
+)
+def test_property_k_monotone_in_promise(half_gap, k_no):
+    """Widening the promise (larger k_yes) only raises K and the floor."""
+    k_yes = k_no + 2 * half_gap
+    smaller = k_cd(4, 1, k_yes, k_no)
+    bigger = k_cd(4, 1, k_yes + 2, k_no)
+    assert bigger > smaller
+    assert no_side_lower_bound(4, 1, k_yes, k_no) >= smaller

@@ -1,0 +1,93 @@
+"""Tests for the certified 3SAT(13) gap families (Theorem 1 stand-in)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.sat.gapfamilies import GapFormula, gap_family, no_instance, yes_instance
+from repro.sat.maxsat import max_satisfiable_clauses
+from repro.sat.solver import is_satisfiable
+from repro.utils.validation import ValidationError
+
+
+class TestYesInstances:
+    def test_witness_satisfies(self):
+        gap = yes_instance(6, 12, rng=0)
+        assert gap.satisfiable
+        assert gap.formula.is_satisfied_by(gap.witness)
+
+    def test_occurrence_bound(self):
+        gap = yes_instance(8, 16, rng=1)
+        assert gap.formula.occurrences_bounded_by(13)
+
+    def test_density_capacity_enforced(self):
+        with pytest.raises(ValidationError):
+            yes_instance(3, 14)
+
+    def test_theta_zero(self):
+        assert yes_instance(5, 10, rng=2).theta == 0
+
+    def test_max_sat_bound_property(self):
+        gap = yes_instance(5, 10, rng=3)
+        assert gap.max_sat_fraction_bound == 1
+
+
+class TestNoInstances:
+    def test_single_core(self):
+        gap = no_instance(1)
+        assert not gap.satisfiable
+        assert gap.theta == Fraction(1, 8)
+        assert not is_satisfiable(gap.formula)
+
+    def test_theta_certified_exactly(self):
+        """The exact MAX-SAT matches the promised bound for small sizes."""
+        for cores in (1, 2):
+            gap = no_instance(cores)
+            best, _ = max_satisfiable_clauses(gap.formula)
+            promised = gap.formula.num_clauses - cores
+            assert best == promised
+
+    def test_filler_dilutes_theta(self):
+        gap = no_instance(2, filler_clauses=16, rng=4)
+        assert gap.theta == Fraction(2, 32)
+        assert not is_satisfiable(gap.formula)
+
+    def test_occurrence_bound_with_filler(self):
+        gap = no_instance(2, filler_clauses=10, rng=5)
+        assert gap.formula.occurrences_bounded_by(13)
+
+    def test_witness_rejected_on_no(self):
+        with pytest.raises(ValidationError):
+            GapFormula(
+                formula=no_instance(1).formula,
+                satisfiable=False,
+                theta=Fraction(0),
+            )
+
+
+class TestGapFamily:
+    def test_yes_side(self):
+        gap = gap_family(9, satisfiable=True, rng=6)
+        assert gap.satisfiable
+        assert gap.formula.is_satisfied_by(gap.witness)
+
+    def test_no_side_theta(self):
+        gap = gap_family(9, satisfiable=False, rng=7)
+        assert not gap.satisfiable
+        assert gap.theta >= Fraction(1, 8)
+
+    def test_no_side_diluted(self):
+        gap = gap_family(9, satisfiable=False, theta=Fraction(1, 16), rng=8)
+        assert Fraction(1, 20) <= gap.theta <= Fraction(1, 8)
+
+    def test_bad_witness_rejected(self):
+        gap = yes_instance(5, 10, rng=9)
+        wrong = {v: not value for v, value in gap.witness.items()}
+        if not gap.formula.is_satisfied_by(wrong):
+            with pytest.raises(ValidationError):
+                GapFormula(
+                    formula=gap.formula,
+                    satisfiable=True,
+                    theta=Fraction(0),
+                    witness=wrong,
+                )

@@ -1,0 +1,131 @@
+"""Tests for the genetic optimizer and the hardness report."""
+
+import pytest
+
+from repro.core.report import QONHardnessReport, build_qon_report
+from repro.joinopt.cost import total_cost
+from repro.joinopt.optimizers import dp_optimal
+from repro.joinopt.optimizers.genetic import (
+    _order_crossover,
+    _swap_mutation,
+    genetic_algorithm,
+)
+from repro.utils.rng import make_rng
+from repro.utils.validation import ValidationError
+from repro.workloads.gaps import qon_gap_pair
+from repro.workloads.queries import clique_query, random_query
+
+
+class TestGeneticOperators:
+    def test_crossover_is_permutation(self):
+        rng = make_rng(0)
+        a = tuple(range(8))
+        b = tuple(reversed(range(8)))
+        for _ in range(50):
+            child = _order_crossover(a, b, rng)
+            assert sorted(child) == list(range(8))
+
+    def test_crossover_preserves_slice(self):
+        rng = make_rng(1)
+        a = (0, 1, 2, 3, 4)
+        b = (4, 3, 2, 1, 0)
+        child = _order_crossover(a, b, rng)
+        assert sorted(child) == [0, 1, 2, 3, 4]
+
+    def test_mutation_is_permutation(self):
+        rng = make_rng(2)
+        sequence = tuple(range(6))
+        for _ in range(20):
+            assert sorted(_swap_mutation(sequence, rng)) == list(range(6))
+
+
+class TestGeneticAlgorithm:
+    def test_returns_valid_result(self):
+        instance = random_query(7, rng=0)
+        result = genetic_algorithm(instance, rng=0)
+        assert sorted(result.sequence) == list(range(7))
+        assert result.cost == total_cost(instance, result.sequence)
+
+    def test_never_beats_optimum(self):
+        instance = random_query(6, rng=1)
+        optimum = dp_optimal(instance).cost
+        assert genetic_algorithm(instance, rng=1).cost >= optimum
+
+    def test_deterministic_with_seed(self):
+        instance = random_query(6, rng=2)
+        a = genetic_algorithm(instance, rng=5)
+        b = genetic_algorithm(instance, rng=5)
+        assert a.cost == b.cost
+
+    def test_improves_over_generations(self):
+        instance = clique_query(9, rng=3)
+        short = genetic_algorithm(instance, generations=1, rng=4)
+        long = genetic_algorithm(instance, generations=60, rng=4)
+        assert long.cost <= short.cost
+
+    def test_single_relation(self):
+        from repro.graphs.graph import Graph
+        from repro.joinopt.instance import QONInstance
+
+        instance = QONInstance(Graph(1, []), [5], {})
+        assert genetic_algorithm(instance).cost == 0
+
+    def test_population_validation(self):
+        instance = random_query(5, rng=5)
+        with pytest.raises(ValidationError):
+            genetic_algorithm(instance, population_size=1)
+
+    def test_works_on_gap_instance_log_domain(self):
+        pair = qon_gap_pair(8, 6, 2, alpha=4**8)
+        instance = pair.no_reduction.instance.to_log_domain()
+        result = genetic_algorithm(instance, generations=10, rng=6)
+        assert sorted(result.sequence) == list(range(8))
+
+
+class TestHardnessReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        pair = qon_gap_pair(10, 8, 2, alpha=4**10)
+        return build_qon_report(pair)
+
+    def test_fields(self, report):
+        assert report.n == 10
+        assert report.k_yes == 8
+        assert report.k_no == 2
+        assert report.certificate_log2 <= report.k_bound_log2 + 1
+
+    def test_floor_above_k(self, report):
+        assert report.floor_log2 > report.k_bound_log2
+
+    def test_heuristics_at_or_above_floor(self, report):
+        for value in report.heuristic_log2.values():
+            assert value >= report.floor_log2 - 1e-6
+
+    def test_observed_gap_at_least_provable(self, report):
+        assert report.observed_gap_log2 >= report.provable_gap_log2 - 1e-6
+
+    def test_beats_half_budget(self, report):
+        assert report.beats_budget(0.5)
+
+    def test_render(self, report):
+        text = report.render()
+        assert "QO_N hardness report" in text
+        assert "Lemma 8" in text
+        assert "beaten" in text
+
+
+class TestQOHHardnessReport:
+    def test_build_and_render(self):
+        from fractions import Fraction
+
+        from repro.core.report import build_qoh_report
+        from repro.workloads.gaps import qoh_gap_pair
+
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        report = build_qoh_report(pair)
+        assert report.n == 6
+        assert report.certificate_log2 <= report.l_bound_log2 + 4
+        assert report.observed_gap_log2 > 0
+        text = report.render()
+        assert "QO_H hardness report" in text
+        assert "observed gap" in text

@@ -1,0 +1,264 @@
+"""Tests for the graph substrate."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.clique import (
+    extend_to_maximal,
+    greedy_clique,
+    has_clique_of_size,
+    is_clique,
+    max_clique,
+    max_clique_size,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    connected_graph_with_edges,
+    dense_min_degree_graph,
+    gnp_random_graph,
+    planted_clique_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    density,
+    has_min_degree_deficit,
+    lemma7_edge_bound,
+    min_degree,
+    verify_lemma7,
+)
+from repro.graphs.vertex_cover import (
+    greedy_vertex_cover_2approx,
+    independence_number,
+    is_vertex_cover,
+    min_vertex_cover,
+    min_vertex_cover_size,
+)
+from repro.utils.validation import ValidationError
+
+
+def graphs_strategy(max_n=8):
+    """Hypothesis strategy for random small graphs."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_n))
+        all_pairs = list(itertools.combinations(range(n), 2))
+        chosen = draw(st.lists(st.sampled_from(all_pairs), unique=True)) if all_pairs else []
+        return Graph(n, chosen)
+
+    return build()
+
+
+class TestGraph:
+    def test_edge_dedup(self):
+        graph = Graph(3, [(0, 1), (1, 0)])
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph(2, [(0, 2)])
+
+    def test_neighbors(self):
+        graph = Graph(3, [(0, 1), (0, 2)])
+        assert graph.neighbors(0) == {1, 2}
+        assert graph.degree(1) == 1
+
+    def test_complement_involution(self):
+        graph = Graph(5, [(0, 1), (2, 3), (1, 4)])
+        assert graph.complement().complement() == graph
+
+    def test_complement_edge_count(self):
+        graph = Graph(5, [(0, 1)])
+        assert graph.complement().num_edges == 10 - 1
+
+    def test_induced_subgraph(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        sub = graph.induced_subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+
+    def test_induced_relabelling_follows_order(self):
+        graph = Graph(3, [(0, 2)])
+        sub = graph.induced_subgraph([2, 0])
+        assert sub.has_edge(0, 1)
+
+    def test_disjoint_union(self):
+        a = Graph(2, [(0, 1)])
+        b = Graph(2, [(0, 1)])
+        union = a.disjoint_union(b)
+        assert union.num_vertices == 4
+        assert union.has_edge(2, 3)
+        assert not union.has_edge(1, 2)
+
+    def test_add_universal_vertices(self):
+        graph = Graph(2, [])
+        padded = graph.add_universal_vertices(2)
+        assert padded.num_vertices == 4
+        assert padded.has_edge(0, 2)
+        assert padded.has_edge(2, 3)
+        assert not padded.has_edge(0, 1)
+
+    def test_edges_within(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.edges_within([0, 1, 2]) == 2
+
+    def test_connectivity(self):
+        assert Graph(3, [(0, 1), (1, 2)]).is_connected()
+        assert not Graph(3, [(0, 1)]).is_connected()
+        assert Graph(0, []).is_connected()
+
+    def test_components(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        assert graph.connected_components() == [[0, 1], [2, 3]]
+
+
+class TestClique:
+    def test_k5(self):
+        assert max_clique(complete_graph(5)) == [0, 1, 2, 3, 4]
+
+    def test_empty_graph(self):
+        assert max_clique(Graph(0, [])) == []
+
+    def test_edgeless(self):
+        assert max_clique_size(Graph(4, [])) == 1
+
+    def test_triangle_plus_edge(self):
+        graph = Graph(5, [(0, 1), (1, 2), (0, 2), (3, 4)])
+        assert sorted(max_clique(graph)) == [0, 1, 2]
+
+    def test_is_clique(self):
+        graph = Graph(4, [(0, 1), (1, 2), (0, 2)])
+        assert is_clique(graph, [0, 1, 2])
+        assert not is_clique(graph, [0, 1, 3])
+
+    def test_has_clique_of_size(self):
+        graph = complete_graph(4)
+        assert has_clique_of_size(graph, 4)
+        assert not has_clique_of_size(graph, 5)
+        assert has_clique_of_size(graph, 0)
+
+    def test_greedy_is_clique(self):
+        graph = gnp_random_graph(12, 0.6, rng=0)
+        clique = greedy_clique(graph)
+        assert is_clique(graph, clique)
+
+    def test_extend_to_maximal(self):
+        graph = complete_graph(5)
+        assert extend_to_maximal(graph, [2]) == [0, 1, 2, 3, 4]
+
+    def test_planted_clique_found(self):
+        graph, planted = planted_clique_graph(12, 8, rng=1)
+        assert is_clique(graph, planted)
+        assert max_clique_size(graph) >= 8
+
+
+class TestVertexCover:
+    def test_path(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert min_vertex_cover_size(graph) == 2
+
+    def test_triangle(self):
+        graph = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert min_vertex_cover_size(graph) == 2
+
+    def test_star(self):
+        graph = Graph(5, [(0, i) for i in range(1, 5)])
+        assert min_vertex_cover(graph) == [0]
+
+    def test_empty(self):
+        assert min_vertex_cover(Graph(3, [])) == []
+
+    def test_cover_is_valid(self):
+        graph = gnp_random_graph(9, 0.5, rng=2)
+        assert is_vertex_cover(graph, min_vertex_cover(graph))
+
+    def test_2approx_is_valid_cover(self):
+        graph = gnp_random_graph(10, 0.4, rng=3)
+        cover = greedy_vertex_cover_2approx(graph)
+        assert is_vertex_cover(graph, cover)
+        assert len(cover) <= 2 * min_vertex_cover_size(graph)
+
+    def test_gallai(self):
+        graph = gnp_random_graph(8, 0.5, rng=4)
+        assert independence_number(graph) == graph.num_vertices - min_vertex_cover_size(graph)
+
+    def test_clique_vc_duality(self):
+        graph = gnp_random_graph(8, 0.5, rng=5)
+        # omega(G) = alpha(G^c) = n - tau(G^c)
+        assert max_clique_size(graph) == independence_number(graph.complement())
+
+
+class TestProperties:
+    def test_lemma7_on_random_graphs(self):
+        for seed in range(5):
+            assert verify_lemma7(gnp_random_graph(9, 0.6, rng=seed))
+
+    def test_lemma7_tight_on_construction(self):
+        # K_{n-1} plus a vertex adjacent to all but one: omega = n-1 and
+        # the bound is met with equality minus the missing edges.
+        graph = complete_graph(6)
+        assert graph.num_edges == lemma7_edge_bound(6, 6)
+
+    def test_min_degree(self):
+        assert min_degree(complete_graph(4)) == 3
+        assert min_degree(Graph(3, [])) == 0
+
+    def test_degree_deficit(self):
+        assert has_min_degree_deficit(complete_graph(5), 0)
+        assert not has_min_degree_deficit(Graph(5, [(0, 1)]), 1)
+
+    def test_density(self):
+        assert density(complete_graph(4)) == 1.0
+        assert density(Graph(1, [])) == 0.0
+
+
+class TestGenerators:
+    def test_dense_min_degree(self):
+        graph = dense_min_degree_graph(20, deficit=13, rng=6)
+        assert has_min_degree_deficit(graph, 13)
+
+    def test_connected_with_edges_exact(self):
+        graph = connected_graph_with_edges(10, 15, rng=7)
+        assert graph.num_edges == 15
+        assert graph.is_connected()
+
+    def test_connected_minimum(self):
+        graph = connected_graph_with_edges(6, 5, rng=8)
+        assert graph.is_connected()
+        assert graph.num_edges == 5
+
+    def test_connected_budget_validation(self):
+        with pytest.raises(ValidationError):
+            connected_graph_with_edges(5, 3)
+        with pytest.raises(ValidationError):
+            connected_graph_with_edges(5, 11)
+
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(5, 0.0).num_edges == 0
+        assert gnp_random_graph(5, 1.0).num_edges == 10
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs_strategy())
+def test_property_lemma7(graph):
+    assert verify_lemma7(graph)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs_strategy())
+def test_property_clique_vc_duality(graph):
+    assert max_clique_size(graph) == independence_number(graph.complement())
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs_strategy())
+def test_property_greedy_clique_sound(graph):
+    clique = greedy_clique(graph)
+    assert is_clique(graph, clique)
+    assert len(clique) <= max_clique_size(graph)

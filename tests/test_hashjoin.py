@@ -1,0 +1,318 @@
+"""Tests for the QO_H substrate: cost model, allocation, pipelines, search."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.graph import Graph
+from repro.hashjoin.allocation import allocate_memory
+from repro.hashjoin.cost_model import HashJoinCostModel, ceil_root
+from repro.hashjoin.instance import QOHInstance
+from repro.hashjoin.optimizer import (
+    best_decomposition,
+    feasible_sequences,
+    is_feasible_sequence,
+    qoh_greedy,
+    qoh_optimal,
+)
+from repro.hashjoin.pipeline import (
+    Pipeline,
+    PipelineDecomposition,
+    decomposition_cost,
+    pipeline_allocation,
+    pipeline_cost,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def small_instance():
+    """Path query 0-1-2-3, selective predicates, moderate memory."""
+    graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    return QOHInstance(
+        graph,
+        [64, 32, 128, 16],
+        {(0, 1): Fraction(1, 8), (1, 2): Fraction(1, 16), (2, 3): Fraction(1, 4)},
+        memory=64,
+    )
+
+
+class TestCeilRoot:
+    def test_exact_square(self):
+        assert ceil_root(16, 2) == 4
+
+    def test_rounds_up(self):
+        assert ceil_root(17, 2) == 5
+
+    def test_degree_one(self):
+        assert ceil_root(7, 1) == 7
+
+    def test_zero_and_one(self):
+        assert ceil_root(0, 3) == 0
+        assert ceil_root(1, 5) == 1
+
+    def test_big_values(self):
+        value = (10**50 + 3) ** 2
+        assert ceil_root(value, 2) == 10**50 + 3
+
+    @given(st.integers(min_value=0, max_value=10**18), st.integers(min_value=1, max_value=5))
+    def test_property_ceiling(self, value, degree):
+        root = ceil_root(value, degree)
+        assert root**degree >= value
+        if root > 0:
+            assert (root - 1) ** degree < value
+
+
+class TestCostModel:
+    def test_hjmin_sqrt(self):
+        model = HashJoinCostModel()
+        assert model.hjmin(100) == 10
+        assert model.hjmin(101) == 11
+
+    def test_hjmin_other_psi(self):
+        model = HashJoinCostModel(psi=Fraction(1, 3))
+        assert model.hjmin(27) == 3
+        assert model.hjmin(28) == 4
+
+    def test_psi_bounds(self):
+        with pytest.raises(ValidationError):
+            HashJoinCostModel(psi=Fraction(1))
+        with pytest.raises(ValidationError):
+            HashJoinCostModel(psi=Fraction(0))
+
+    def test_g_zero_when_fits(self):
+        model = HashJoinCostModel()
+        assert model.g(100, 100) == 0
+        assert model.g(150, 100) == 0
+
+    def test_g_max_at_floor(self):
+        model = HashJoinCostModel()
+        assert model.g(10, 100) == 1  # g_scale at hjmin
+
+    def test_g_linear_midpoint(self):
+        model = HashJoinCostModel()
+        # span = 90; at m = 55 the overhead is (100-55)/90 = 1/2.
+        assert model.g(55, 100) == Fraction(1, 2)
+
+    def test_g_below_floor_rejected(self):
+        model = HashJoinCostModel()
+        with pytest.raises(ValidationError):
+            model.g(9, 100)
+
+    def test_h_in_memory_join(self):
+        model = HashJoinCostModel()
+        # Inner fits: cost is just reading the inner once.
+        assert model.h(128, 1000, 128) == 128
+
+    def test_h_starved_join(self):
+        model = HashJoinCostModel()
+        # At the floor the paper requires Theta(b_R + b_S) + b_S.
+        assert model.h(10, 200, 100) == (200 + 100) * 1 + 100
+
+    def test_h_monotone_in_memory(self):
+        model = HashJoinCostModel()
+        costs = [model.h(m, 500, 100) for m in (10, 40, 70, 100)]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestAllocation:
+    def test_everything_fits(self):
+        model = HashJoinCostModel()
+        result = allocate_memory(model, [Fraction(100)], [64], memory=64)
+        assert result.allocation == (Fraction(64),)
+        assert result.starved == ()
+        assert result.total_join_cost == 64
+
+    def test_infeasible_returns_none(self):
+        model = HashJoinCostModel()
+        assert allocate_memory(model, [Fraction(10)], [10_000], memory=50) is None
+
+    def test_starves_smallest_outer(self):
+        """Lemma 10: minimum memory goes to the joins with the smallest
+        outer relations."""
+        model = HashJoinCostModel()
+        outers = [Fraction(1000), Fraction(10)]
+        inners = [100, 100]
+        # Memory for one full table plus one floor.
+        result = allocate_memory(model, outers, inners, memory=110)
+        assert result is not None
+        assert result.allocation[0] == 100  # big outer gets the table
+        assert result.allocation[1] == 10  # small outer starves
+        assert result.starved == (1,)
+
+    def test_budget_respected(self):
+        model = HashJoinCostModel()
+        result = allocate_memory(
+            model, [Fraction(5), Fraction(7)], [50, 60], memory=80
+        )
+        assert sum(result.allocation) <= 80
+
+    def test_allocation_never_exceeds_inner(self):
+        model = HashJoinCostModel()
+        result = allocate_memory(model, [Fraction(5)], [20], memory=500)
+        assert result.allocation[0] == 20
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10_000),
+                st.integers(min_value=4, max_value=400),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=10, max_value=1000),
+    )
+    def test_property_greedy_is_optimal_vs_sampling(self, joins, memory):
+        """The greedy fill beats random feasible allocations."""
+        import random
+
+        model = HashJoinCostModel()
+        outers = [Fraction(outer) for outer, _ in joins]
+        inners = [inner for _, inner in joins]
+        result = allocate_memory(model, outers, inners, memory)
+        floors = [model.hjmin(b) for b in inners]
+        if result is None:
+            assert sum(floors) > memory
+            return
+        rng = random.Random(0)
+        for _ in range(20):
+            # Random feasible allocation.
+            spare = memory - sum(floors)
+            alloc = [Fraction(f) for f in floors]
+            for index in range(len(alloc)):
+                if spare <= 0:
+                    break
+                grant = min(
+                    Fraction(rng.randint(0, int(spare))),
+                    Fraction(inners[index]) - alloc[index],
+                )
+                grant = max(grant, 0)
+                alloc[index] += grant
+                spare -= grant
+            cost = sum(
+                model.h(alloc[i], outers[i], inners[i])
+                for i in range(len(alloc))
+            )
+            assert cost >= result.total_join_cost
+
+
+class TestPipeline:
+    def test_from_breaks(self):
+        deco = PipelineDecomposition.from_breaks(5, [2, 4])
+        assert deco.pipelines == (
+            Pipeline(1, 2), Pipeline(3, 4), Pipeline(5, 5)
+        )
+
+    def test_single(self):
+        deco = PipelineDecomposition.single(4)
+        assert deco.pipelines == (Pipeline(1, 4),)
+
+    def test_fully_materialized(self):
+        deco = PipelineDecomposition.fully_materialized(3)
+        assert len(deco.pipelines) == 3
+
+    def test_break_out_of_range(self):
+        with pytest.raises(ValidationError):
+            PipelineDecomposition.from_breaks(3, [3])
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ValidationError):
+            PipelineDecomposition(
+                (Pipeline(1, 2), Pipeline(4, 5))
+            )
+
+    def test_pipeline_cost_components(self, small_instance):
+        seq = [0, 1, 2, 3]
+        inter = small_instance.intermediate_sizes(seq)
+        cost = pipeline_cost(small_instance, seq, Pipeline(1, 1), inter)
+        # read N0 + h(inner fits?) + write N1
+        assert cost is not None
+        assert cost >= inter[0] + inter[1]
+
+    def test_decomposition_cost_additive(self, small_instance):
+        seq = [0, 1, 2, 3]
+        full = decomposition_cost(
+            small_instance, seq, PipelineDecomposition.fully_materialized(3)
+        )
+        parts = sum(
+            pipeline_cost(small_instance, seq, Pipeline(k, k))
+            for k in (1, 2, 3)
+        )
+        assert full == parts
+
+    def test_allocation_view(self, small_instance):
+        result = pipeline_allocation(small_instance, [0, 1, 2, 3], Pipeline(1, 3))
+        assert result is not None
+        assert sum(result.allocation) <= small_instance.memory
+
+
+class TestOptimizer:
+    def test_feasibility(self, small_instance):
+        assert is_feasible_sequence(small_instance, [0, 1, 2, 3])
+
+    def test_infeasible_big_inner(self):
+        graph = Graph(2, [(0, 1)])
+        instance = QOHInstance(
+            graph, [10, 10_000], {(0, 1): Fraction(1, 2)}, memory=16
+        )
+        # hjmin(10_000) = 100 > 16: relation 1 can never be the inner.
+        assert not is_feasible_sequence(instance, [0, 1])
+        assert is_feasible_sequence(instance, [1, 0])
+        sequences = list(feasible_sequences(instance))
+        assert sequences == [(1, 0)]
+
+    def test_best_decomposition_at_least_single_and_materialized(
+        self, small_instance
+    ):
+        seq = [0, 1, 2, 3]
+        best = best_decomposition(small_instance, seq)
+        single = decomposition_cost(
+            small_instance, seq, PipelineDecomposition.single(3)
+        )
+        materialized = decomposition_cost(
+            small_instance, seq, PipelineDecomposition.fully_materialized(3)
+        )
+        for alternative in (single, materialized):
+            if alternative is not None:
+                assert best.cost <= alternative
+
+    def test_best_decomposition_brute_force(self, small_instance):
+        import itertools
+
+        seq = [0, 1, 2, 3]
+        best = best_decomposition(small_instance, seq)
+        candidates = []
+        for mask in range(4):
+            breaks = [k for k in (1, 2) if mask >> (k - 1) & 1]
+            deco = PipelineDecomposition.from_breaks(3, breaks)
+            cost = decomposition_cost(small_instance, seq, deco)
+            if cost is not None:
+                candidates.append(cost)
+        assert best.cost == min(candidates)
+
+    def test_optimal_beats_greedy(self, small_instance):
+        optimal = qoh_optimal(small_instance)
+        greedy = qoh_greedy(small_instance)
+        assert optimal is not None and greedy is not None
+        assert optimal.cost <= greedy.cost
+
+    def test_optimal_guard(self):
+        graph = Graph(10, [(i, i + 1) for i in range(9)])
+        instance = QOHInstance(
+            graph,
+            [16] * 10,
+            {(i, i + 1): Fraction(1, 2) for i in range(9)},
+            memory=64,
+        )
+        with pytest.raises(ValidationError):
+            qoh_optimal(instance)
+
+    def test_plan_cost_reproducible(self, small_instance):
+        plan = qoh_optimal(small_instance)
+        recomputed = decomposition_cost(
+            small_instance, plan.sequence, plan.decomposition
+        )
+        assert recomputed == plan.cost

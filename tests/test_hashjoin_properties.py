@@ -1,0 +1,108 @@
+"""Property-based invariants of the QO_H cost machinery."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.graph import Graph
+from repro.hashjoin.allocation import allocate_memory
+from repro.hashjoin.cost_model import HashJoinCostModel
+from repro.hashjoin.instance import QOHInstance
+from repro.hashjoin.optimizer import best_decomposition
+from repro.hashjoin.pipeline import PipelineDecomposition, decomposition_cost
+
+
+@st.composite
+def qoh_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    extra = draw(st.lists(st.sampled_from(all_pairs), unique=True)) if all_pairs else []
+    # Thread a path for connectivity.
+    edges = sorted(set(extra) | {(i, i + 1) for i in range(n - 1)})
+    graph = Graph(n, edges)
+    sizes = [draw(st.integers(min_value=4, max_value=400)) for _ in range(n)]
+    selectivities = {
+        edge: Fraction(1, draw(st.integers(min_value=1, max_value=20)))
+        for edge in graph.edges
+    }
+    memory = draw(st.integers(min_value=8, max_value=500))
+    return QOHInstance(graph, sizes, selectivities, memory=memory)
+
+
+@settings(max_examples=40, deadline=None)
+@given(qoh_instances(), st.randoms(use_true_random=False))
+def test_property_dp_below_every_decomposition(instance, rng):
+    """The breakpoint DP never exceeds any explicit decomposition."""
+    n = instance.num_relations
+    sequence = list(range(n))
+    rng.shuffle(sequence)
+    plan = best_decomposition(instance, sequence)
+    num_joins = n - 1
+    for mask in range(1 << (num_joins - 1)):
+        breaks = [k for k in range(1, num_joins) if mask >> (k - 1) & 1]
+        decomposition = PipelineDecomposition.from_breaks(num_joins, breaks)
+        cost = decomposition_cost(instance, sequence, decomposition)
+        if cost is None:
+            continue
+        assert plan is not None
+        assert plan.cost <= cost
+
+
+@settings(max_examples=40, deadline=None)
+@given(qoh_instances())
+def test_property_cost_monotone_in_memory(instance):
+    """More memory never makes the optimal plan more expensive."""
+    sequence = list(range(instance.num_relations))
+    plan = best_decomposition(instance, sequence)
+    richer = QOHInstance(
+        instance.graph,
+        list(instance.sizes),
+        {edge: instance.selectivity(*edge) for edge in instance.graph.edges},
+        memory=instance.memory * 2,
+        model=instance.model,
+    )
+    richer_plan = best_decomposition(richer, sequence)
+    if plan is None:
+        return  # infeasible stays comparable only when both exist
+    assert richer_plan is not None
+    assert richer_plan.cost <= plan.cost
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=10_000),
+    st.integers(min_value=1, max_value=10_000),
+)
+def test_property_h_bounds(inner, outer):
+    """h is between the pure scan b_S and the starved Theta(b_R+b_S)."""
+    model = HashJoinCostModel()
+    floor = model.hjmin(inner)
+    for memory in {floor, (floor + inner) // 2, inner}:
+        cost = model.h(memory, outer, inner)
+        assert cost >= inner
+        assert cost <= (outer + inner) * model.g_scale + inner
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=5_000),
+            st.integers(min_value=4, max_value=500),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_allocation_uses_all_useful_memory(joins):
+    """The greedy split leaves spare memory only when every hash table
+    is fully resident."""
+    model = HashJoinCostModel()
+    outers = [Fraction(outer) for outer, _ in joins]
+    inners = [inner for _, inner in joins]
+    memory = sum(inners) + 10  # plenty
+    result = allocate_memory(model, outers, inners, memory)
+    assert result is not None
+    assert result.starved == ()
+    assert result.total_join_cost == sum(inners)

@@ -1,0 +1,108 @@
+"""Tests for the QO_H beam search and lower bounds."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.hashjoin.instance import QOHInstance
+from repro.hashjoin.optimizer import qoh_greedy, qoh_optimal
+from repro.hashjoin.search import (
+    qoh_beam_search,
+    qoh_materialization_lower_bound,
+    qoh_trivial_lower_bound,
+)
+from repro.workloads.gaps import qoh_gap_pair
+
+
+@pytest.fixture
+def small_instance():
+    graph = Graph(5, [(0, 1), (0, 2), (0, 3), (3, 4)])
+    return QOHInstance(
+        graph,
+        [5_000, 400, 900, 1_600, 100],
+        {
+            (0, 1): Fraction(1, 400),
+            (0, 2): Fraction(1, 900),
+            (0, 3): Fraction(1, 1_600),
+            (3, 4): Fraction(1, 100),
+        },
+        memory=2_000,
+    )
+
+
+class TestBeamSearch:
+    def test_finds_a_feasible_plan(self, small_instance):
+        plan = qoh_beam_search(small_instance, rng=0)
+        assert plan is not None
+        assert sorted(plan.sequence) == list(range(5))
+
+    def test_never_beats_optimum(self, small_instance):
+        optimum = qoh_optimal(small_instance)
+        plan = qoh_beam_search(small_instance, rng=1)
+        assert plan.cost >= optimum.cost
+
+    def test_wide_beam_matches_optimum_here(self, small_instance):
+        optimum = qoh_optimal(small_instance)
+        plan = qoh_beam_search(small_instance, beam_width=64, rng=2)
+        assert plan.cost == optimum.cost
+
+    def test_improves_with_width(self, small_instance):
+        narrow = qoh_beam_search(small_instance, beam_width=1, rng=3)
+        wide = qoh_beam_search(small_instance, beam_width=32, rng=3)
+        assert wide.cost <= narrow.cost
+
+    def test_respects_pinned_hub(self):
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        plan = qoh_beam_search(pair.yes_reduction.instance, rng=4)
+        assert plan is not None
+        assert plan.sequence[0] == 0
+
+    def test_infeasible_instance(self):
+        graph = Graph(2, [(0, 1)])
+        instance = QOHInstance(
+            graph, [10_000, 10_000], {(0, 1): Fraction(1, 2)}, memory=4
+        )
+        assert qoh_beam_search(instance, rng=5) is None
+
+
+class TestLowerBounds:
+    def test_trivial_bound_sound(self, small_instance):
+        optimum = qoh_optimal(small_instance)
+        assert optimum.cost >= qoh_trivial_lower_bound(small_instance)
+
+    def test_materialization_bound_sound_per_sequence(self, small_instance):
+        from repro.hashjoin.optimizer import best_decomposition
+
+        import itertools
+
+        for sequence in itertools.permutations(range(5)):
+            plan = best_decomposition(small_instance, sequence)
+            if plan is None:
+                continue
+            bound = qoh_materialization_lower_bound(small_instance, sequence)
+            assert plan.cost >= bound
+
+    def test_materialization_dominates_trivial_often(self, small_instance):
+        sequence = (0, 1, 2, 3, 4)
+        assert qoh_materialization_lower_bound(
+            small_instance, sequence
+        ) >= small_instance.intermediate_sizes(sequence)[-1]
+
+    def test_bounds_on_gap_instances(self):
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        instance = pair.no_reduction.instance
+        optimum = qoh_optimal(instance)
+        assert optimum.cost >= qoh_trivial_lower_bound(instance)
+        assert optimum.cost >= qoh_materialization_lower_bound(
+            instance, optimum.sequence
+        )
+
+    def test_beam_vs_greedy_on_gap_instance(self):
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        instance = pair.no_reduction.instance
+        beam = qoh_beam_search(instance, beam_width=16, rng=6)
+        greedy = qoh_greedy(instance)
+        optimum = qoh_optimal(instance)
+        assert beam.cost >= optimum.cost
+        assert greedy.cost >= optimum.cost

@@ -1,0 +1,133 @@
+"""Tests for JSON instance serialization."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import io
+from repro.core.reductions.clique_to_qon import clique_to_qon
+from repro.core.reductions.sppcs_to_sqocp import sppcs_to_sqocp
+from repro.graphs.generators import complete_graph, gnp_random_graph
+from repro.graphs.graph import Graph
+from repro.hashjoin.cost_model import HashJoinCostModel
+from repro.hashjoin.instance import QOHInstance
+from repro.joinopt.cost import total_cost
+from repro.starqo.sppcs import SPPCSInstance
+from repro.utils.validation import ValidationError
+from repro.workloads.queries import random_query
+
+
+class TestGraphRoundTrip:
+    def test_basic(self):
+        graph = gnp_random_graph(8, 0.4, rng=0)
+        assert io.loads(io.dumps(graph)) == graph
+
+    def test_empty(self):
+        graph = Graph(3, [])
+        assert io.loads(io.dumps(graph)) == graph
+
+    def test_file(self, tmp_path):
+        graph = complete_graph(5)
+        path = tmp_path / "g.json"
+        io.save(graph, path)
+        assert io.load(path) == graph
+
+
+class TestQONRoundTrip:
+    def test_workload_instance(self):
+        instance = random_query(6, rng=1)
+        restored = io.loads(io.dumps(instance))
+        assert restored.graph == instance.graph
+        assert restored.sizes == instance.sizes
+        for i, j in instance.graph.edges:
+            assert restored.selectivity(i, j) == instance.selectivity(i, j)
+            assert restored.access_cost(i, j) == instance.access_cost(i, j)
+            assert restored.access_cost(j, i) == instance.access_cost(j, i)
+
+    def test_costs_preserved(self):
+        instance = random_query(5, rng=2)
+        restored = io.loads(io.dumps(instance))
+        order = list(range(5))
+        assert total_cost(restored, order) == total_cost(instance, order)
+
+    def test_reduction_instance_with_huge_numbers(self):
+        reduction = clique_to_qon(complete_graph(8), k_yes=6, k_no=2, alpha=4**8)
+        restored = io.loads(io.dumps(reduction.instance))
+        assert restored.size(0) == reduction.relation_size
+        assert restored.access_cost(0, 1) == reduction.edge_access_cost
+
+    def test_log_domain_rejected(self):
+        instance = random_query(4, rng=3).to_log_domain()
+        with pytest.raises(ValidationError):
+            io.dumps(instance)
+
+
+class TestQOHRoundTrip:
+    def test_basic(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        instance = QOHInstance(
+            graph,
+            [64, 32, 128, 16],
+            {(0, 1): Fraction(1, 8), (1, 2): Fraction(1, 16), (2, 3): Fraction(1, 4)},
+            memory=64,
+            model=HashJoinCostModel(psi=Fraction(1, 3), g_scale=2),
+        )
+        restored = io.loads(io.dumps(instance))
+        assert restored.graph == instance.graph
+        assert restored.sizes == instance.sizes
+        assert restored.memory == instance.memory
+        assert restored.model.psi == Fraction(1, 3)
+        assert restored.model.g_scale == 2
+
+    def test_costs_preserved(self):
+        from repro.hashjoin.optimizer import best_decomposition
+
+        graph = Graph(3, [(0, 1), (1, 2)])
+        instance = QOHInstance(
+            graph, [100, 50, 80],
+            {(0, 1): Fraction(1, 10), (1, 2): Fraction(1, 5)},
+            memory=60,
+        )
+        restored = io.loads(io.dumps(instance))
+        order = (0, 1, 2)
+        assert (
+            best_decomposition(restored, order).cost
+            == best_decomposition(instance, order).cost
+        )
+
+
+class TestSQOCPRoundTrip:
+    def test_reduction_instance(self):
+        reduction = sppcs_to_sqocp(SPPCSInstance([(2, 1), (3, 2)], 4))
+        restored = io.loads(io.dumps(reduction.instance))
+        assert restored.num_satellites == reduction.instance.num_satellites
+        assert restored.threshold == reduction.instance.threshold
+        for i in range(1, restored.num_satellites + 1):
+            assert restored.selectivity(i) == reduction.instance.selectivity(i)
+
+    def test_decision_preserved(self):
+        from repro.starqo.optimizer import decide
+
+        reduction = sppcs_to_sqocp(SPPCSInstance([(2, 1), (3, 2)], 4))
+        restored = io.loads(io.dumps(reduction.instance))
+        assert decide(restored) == decide(reduction.instance)
+
+
+class TestErrors:
+    def test_unknown_type(self):
+        with pytest.raises(ValidationError):
+            io.loads('{"type": "mystery"}')
+
+    def test_unsupported_object(self):
+        with pytest.raises(ValidationError):
+            io.dumps(42)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_qon_roundtrip_cost_identity(seed):
+    instance = random_query(4, rng=seed)
+    restored = io.loads(io.dumps(instance))
+    order = list(range(4))
+    assert total_cost(restored, order) == total_cost(instance, order)

@@ -1,0 +1,163 @@
+"""Tests for the log-domain numeric type."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.lognum import LogNumber, as_log, log2_of
+
+
+class TestLog2Of:
+    def test_int(self):
+        assert log2_of(8) == 3.0
+
+    def test_zero(self):
+        assert log2_of(0) == float("-inf")
+
+    def test_fraction(self):
+        assert log2_of(Fraction(1, 4)) == -2.0
+
+    def test_float(self):
+        assert log2_of(0.5) == -1.0
+
+    def test_huge_int(self):
+        value = 1 << 100_000
+        assert log2_of(value) == pytest.approx(100_000.0)
+
+    def test_huge_int_offset(self):
+        value = 3 * (1 << 100_000)
+        assert log2_of(value) == pytest.approx(100_000 + math.log2(3))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log2_of(-1)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            log2_of("nope")
+
+    def test_lognumber_passthrough(self):
+        assert log2_of(LogNumber(16)) == 4.0
+
+
+class TestArithmetic:
+    def test_mul(self):
+        assert (LogNumber(8) * LogNumber(4)).log2 == 5.0
+
+    def test_mul_int(self):
+        assert (LogNumber(8) * 4).log2 == 5.0
+
+    def test_rmul(self):
+        assert (4 * LogNumber(8)).log2 == 5.0
+
+    def test_div(self):
+        assert (LogNumber(32) / 4).log2 == 3.0
+
+    def test_rdiv(self):
+        assert (32 / LogNumber(4)).log2 == 3.0
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            LogNumber(1) / LogNumber.zero()
+
+    def test_add(self):
+        assert (LogNumber(8) + LogNumber(8)).log2 == 4.0
+
+    def test_add_asymmetric(self):
+        result = LogNumber(8) + LogNumber(4)
+        assert result.log2 == pytest.approx(math.log2(12))
+
+    def test_add_zero(self):
+        assert (LogNumber(8) + LogNumber.zero()).log2 == 3.0
+
+    def test_add_huge_disparity(self):
+        big = LogNumber.from_log2(1e6)
+        assert (big + LogNumber(2)).log2 == 1e6
+
+    def test_sub(self):
+        assert (LogNumber(12) - LogNumber(4)).log2 == 3.0
+
+    def test_sub_to_zero(self):
+        assert (LogNumber(4) - 4).is_zero()
+
+    def test_sub_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LogNumber(4) - LogNumber(8)
+
+    def test_pow(self):
+        assert (LogNumber(2) ** 100).log2 == 100.0
+
+    def test_pow_fraction(self):
+        assert (LogNumber(4) ** Fraction(1, 2)).log2 == 1.0
+
+    def test_pow_zero_base(self):
+        assert (LogNumber.zero() ** 3).is_zero()
+        assert (LogNumber.zero() ** 0) == 1
+
+    def test_mul_by_zero(self):
+        assert (LogNumber(8) * 0).is_zero()
+
+
+class TestComparison:
+    def test_eq_int(self):
+        assert LogNumber(16) == 16
+
+    def test_lt(self):
+        assert LogNumber(3) < LogNumber(4)
+
+    def test_cross_type_ordering(self):
+        assert LogNumber(2) ** 100 > 10**29
+        assert LogNumber(2) ** 100 < 10**31
+
+    def test_zero_is_falsy(self):
+        assert not LogNumber.zero()
+        assert LogNumber(1)
+
+    def test_hashable(self):
+        assert hash(LogNumber(4)) == hash(LogNumber(4))
+
+    def test_sortable_with_ints(self):
+        values = [LogNumber(10), LogNumber(2)]
+        assert sorted(values)[0] == 2
+
+
+class TestConversion:
+    def test_to_float(self):
+        assert LogNumber(10).to_float() == pytest.approx(10.0)
+
+    def test_to_float_zero(self):
+        assert LogNumber.zero().to_float() == 0.0
+
+    def test_to_float_overflow(self):
+        with pytest.raises(OverflowError):
+            LogNumber.from_log2(5000).to_float()
+
+    def test_as_log_idempotent(self):
+        x = LogNumber(5)
+        assert as_log(x) is x
+
+    def test_repr(self):
+        assert "log2" in repr(LogNumber(7))
+        assert repr(LogNumber.zero()) == "LogNumber(0)"
+
+
+@given(st.integers(min_value=1, max_value=10**12), st.integers(min_value=1, max_value=10**12))
+def test_property_mul_matches_int(a, b):
+    assert (LogNumber(a) * LogNumber(b)).log2 == pytest.approx(
+        math.log2(a * b), rel=1e-12
+    )
+
+
+@given(st.integers(min_value=1, max_value=10**12), st.integers(min_value=1, max_value=10**12))
+def test_property_add_matches_int(a, b):
+    assert (LogNumber(a) + LogNumber(b)).log2 == pytest.approx(
+        math.log2(a + b), rel=1e-9
+    )
+
+
+@given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=0, max_value=10**12))
+def test_property_ordering_matches_int(a, b):
+    assert (LogNumber(a) < LogNumber(b)) == (a < b)
+    assert (LogNumber(a) == LogNumber(b)) == (a == b)

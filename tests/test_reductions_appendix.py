@@ -1,0 +1,159 @@
+"""Tests for the appendix chain: PARTITION -> SPPCS -> SQO-CP."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reductions.partition_to_sppcs import (
+    floor_pow2_exp,
+    partition_to_sppcs,
+    partition_to_sppcs_verbatim,
+)
+from repro.core.reductions.sppcs_to_sqocp import sppcs_to_sqocp
+from repro.starqo.instance import JoinMethod
+from repro.starqo.optimizer import best_plan, decide
+from repro.starqo.partition import PartitionInstance, has_partition
+from repro.starqo.sppcs import SPPCSInstance, sppcs_best_subset, sppcs_decide
+from repro.utils.validation import ValidationError
+
+
+class TestFloorPow2Exp:
+    def test_zero(self):
+        assert floor_pow2_exp(Fraction(0), 10) == 1024
+
+    def test_one(self):
+        import math
+
+        assert floor_pow2_exp(Fraction(1), 20) == math.floor(
+            (1 << 20) * math.e
+        )
+
+    def test_quarter(self):
+        import math
+
+        value = floor_pow2_exp(Fraction(1, 4), 30)
+        assert value == math.floor((1 << 30) * math.exp(0.25))
+
+    def test_monotone(self):
+        values = [floor_pow2_exp(Fraction(i, 10), 16) for i in range(11)]
+        assert values == sorted(values)
+
+    def test_range_check(self):
+        with pytest.raises(ValidationError):
+            floor_pow2_exp(Fraction(3, 2), 8)
+
+
+class TestPartitionToSPPCS:
+    CASES = [
+        ([2, 2, 4], True),
+        ([2, 4, 8], False),
+        ([2, 2, 2, 2], True),
+        ([2, 4, 4, 8], False),
+        ([6, 2, 4], True),
+        ([2, 6, 8, 16], True),
+        ([2, 2, 4, 10], False),
+        ([4], False),
+        ([2, 2], True),
+        ([10, 6], False),
+        ([0, 0], True),
+    ]
+
+    @pytest.mark.parametrize("values,expected", CASES)
+    def test_yes_no_preserved(self, values, expected):
+        instance = PartitionInstance(values)
+        assert has_partition(instance) == expected
+        construction = partition_to_sppcs(instance)
+        assert sppcs_decide(construction.instance) == expected
+
+    def test_paper_q_formula(self):
+        construction = partition_to_sppcs(PartitionInstance([2, 2, 4]))
+        # K = 8: p = floor(log2 16) + 1 = 5, q = 2*5 + 7 + 3 = 20.
+        assert construction.p == 5
+        assert construction.q == 20
+
+    def test_item_count(self):
+        construction = partition_to_sppcs(PartitionInstance([2, 2, 4]))
+        # n real + (n - 1) padding.
+        assert construction.instance.size == 5
+
+    def test_verbatim_constants_recorded(self):
+        """The verbatim construction builds but is documented as
+        non-separating; we assert its *shape* only."""
+        construction = partition_to_sppcs_verbatim(PartitionInstance([2, 2, 4]))
+        assert construction.variant == "verbatim"
+        assert construction.instance.size == 2 * 3  # 2n items incl. anchor
+        anchor_p, anchor_c = construction.instance.pairs[-1]
+        assert anchor_p == 2 * 8  # 2K
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=12), min_size=2, max_size=4)
+    )
+    def test_property_reduction_correct(self, raw):
+        values = [2 * v for v in raw]
+        instance = PartitionInstance(values)
+        construction = partition_to_sppcs(instance)
+        assert sppcs_decide(construction.instance) == has_partition(instance)
+
+
+class TestSPPCSToSQOCP:
+    CASES = [
+        [(2, 1), (3, 2)],
+        [(2, 2), (2, 3), (3, 1)],
+        [(4, 1), (2, 5)],
+        [(2, 1), (2, 1), (2, 1)],
+    ]
+
+    @pytest.mark.parametrize("pairs", CASES)
+    def test_yes_no_preserved_both_sides_of_threshold(self, pairs):
+        optimum, _ = sppcs_best_subset(SPPCSInstance(pairs, 0))
+        for bound, expected in [(optimum, True), (optimum - 1, False)]:
+            reduction = sppcs_to_sqocp(SPPCSInstance(pairs, bound))
+            assert decide(reduction.instance) == expected
+
+    def test_plan_structure_matches_theory(self):
+        """The optimal plan is R0 first, subset satellites via NL,
+        R_{m+1} via NL, complement satellites via SM."""
+        pairs = [(2, 2), (2, 3), (3, 1)]
+        optimum, subset = sppcs_best_subset(SPPCSInstance(pairs, 0))
+        reduction = sppcs_to_sqocp(SPPCSInstance(pairs, optimum))
+        cost, plan = best_plan(reduction.instance)
+        m = len(pairs)
+        assert plan.sequence[0] == 0
+        last_position = plan.sequence.index(m + 1)
+        implied_subset = [s - 1 for s in sorted(plan.sequence[1:last_position])]
+        # The subset the plan encodes achieves the SPPCS optimum (it may
+        # differ from `subset` when several subsets tie).
+        assert SPPCSInstance(pairs, 0).objective(implied_subset) == optimum
+        # Complement satellites run as sort-merge.
+        for position in range(last_position + 1, len(plan.sequence)):
+            assert plan.methods[position - 1] is JoinMethod.SORT_MERGE
+
+    def test_cost_scale(self):
+        """Plan cost divided by the unit recovers the SPPCS objective."""
+        pairs = [(2, 1), (3, 2)]
+        optimum, _ = sppcs_best_subset(SPPCSInstance(pairs, 0))
+        reduction = sppcs_to_sqocp(SPPCSInstance(pairs, optimum))
+        cost, _ = best_plan(reduction.instance)
+        units = cost / reduction.unit()
+        assert optimum <= units < optimum + 1
+
+    def test_small_p_rejected(self):
+        with pytest.raises(ValidationError):
+            sppcs_to_sqocp(SPPCSInstance([(1, 1)], 10))
+
+    def test_zero_c_rejected(self):
+        with pytest.raises(ValidationError):
+            sppcs_to_sqocp(SPPCSInstance([(2, 0)], 10))
+
+
+class TestFullAppendixChain:
+    def test_partition_to_plan(self):
+        """PARTITION -> SPPCS -> SQO-CP end to end on a tiny instance."""
+        yes = PartitionInstance([10, 10])
+        no = PartitionInstance([10, 6])
+        for instance, expected in [(yes, True), (no, False)]:
+            sppcs = partition_to_sppcs(instance).instance
+            reduction = sppcs_to_sqocp(sppcs)
+            assert decide(reduction.instance) == expected

@@ -1,0 +1,150 @@
+"""Tests for f_H (Section 5): construction, Lemmas 10-12, Theorem 15."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.certificates import qoh_certificate_plan
+from repro.core.reductions.clique_to_qoh import clique_to_qoh
+from repro.graphs.generators import complete_graph
+from repro.hashjoin.optimizer import (
+    best_decomposition,
+    is_feasible_sequence,
+    qoh_greedy,
+    qoh_optimal,
+)
+from repro.hashjoin.pipeline import Pipeline, pipeline_allocation
+from repro.utils.lognum import log2_of
+from repro.utils.validation import ValidationError
+from repro.workloads.gaps import qoh_gap_pair, turan_graph
+
+
+@pytest.fixture(scope="module")
+def yes6():
+    """f_H of K_6 with alpha = 4^6."""
+    return clique_to_qoh(complete_graph(6), alpha=4**6)
+
+
+class TestConstruction:
+    def test_hub_is_relation_zero(self, yes6):
+        graph = yes6.instance.graph
+        assert graph.degree(0) == 6
+        assert yes6.instance.size(0) == yes6.hub_size
+
+    def test_sizes(self, yes6):
+        # t = sqrt(alpha)^(n-1) = (2^6)^5.
+        assert yes6.satellite_size == 2**30
+        assert yes6.hub_size == (6 * 2**30) ** 13
+
+    def test_memory_formula(self, yes6):
+        model = yes6.instance.model
+        t = yes6.satellite_size
+        assert yes6.instance.memory == (6 // 3 - 1) * t + 2 * model.hjmin(t)
+
+    def test_selectivities(self, yes6):
+        instance = yes6.instance
+        assert instance.selectivity(0, 1) == Fraction(1, 2)
+        assert instance.selectivity(1, 2) == Fraction(1, 4**6)
+
+    def test_hub_cannot_be_inner(self, yes6):
+        assert not is_feasible_sequence(yes6.instance, [1, 0, 2, 3, 4, 5, 6])
+        assert is_feasible_sequence(yes6.instance, [0, 1, 2, 3, 4, 5, 6])
+
+    def test_n_must_be_divisible_by_three(self):
+        with pytest.raises(ValidationError):
+            clique_to_qoh(complete_graph(7), alpha=4)
+
+    def test_hub_exponent_guard(self):
+        with pytest.raises(ValidationError):
+            clique_to_qoh(complete_graph(6), alpha=4**6, hub_exponent=0)
+
+
+class TestLemma10:
+    """Optimal memory allocation starves the smallest-outer joins."""
+
+    def test_short_pipeline_fully_fed(self, yes6):
+        # One join fits entirely: no starvation.
+        sequence = tuple(range(7))
+        allocation = pipeline_allocation(yes6.instance, sequence, Pipeline(1, 1))
+        assert allocation is not None
+        assert allocation.starved == ()
+
+    def test_n_third_pipeline_one_starved(self, yes6):
+        # n/3 = 2 joins with memory (n/3 - 1) t + 2 hjmin(t): one join
+        # must starve, and it is the one with the smaller outer stream.
+        sequence = tuple(range(7))
+        allocation = pipeline_allocation(yes6.instance, sequence, Pipeline(2, 3))
+        assert allocation is not None
+        assert len(allocation.starved) == 1
+        outers = [
+            yes6.instance.intermediate_sizes(sequence)[j - 1] for j in (2, 3)
+        ]
+        starved_index = allocation.starved[0]
+        other = 1 - starved_index
+        assert outers[starved_index] <= outers[other]
+
+    def test_starved_join_cost_theta_outer_plus_inner(self, yes6):
+        sequence = tuple(range(7))
+        allocation = pipeline_allocation(yes6.instance, sequence, Pipeline(2, 3))
+        starved = allocation.starved[0]
+        outers = [
+            yes6.instance.intermediate_sizes(sequence)[j - 1] for j in (2, 3)
+        ]
+        t = yes6.satellite_size
+        cost = allocation.join_costs[starved]
+        # Theta(b_R + b_S): between half and the full hybrid-hash bound.
+        assert (outers[starved] + t) / 2 <= cost <= (outers[starved] + t) + t
+
+
+class TestLemma12Certificate:
+    def test_certificate_structure(self, yes6):
+        plan = qoh_certificate_plan(yes6, list(range(4)))
+        assert plan.sequence[0] == 0
+        # Five pipelines: P(1,1), P(2,2), P(3,4), P(5,5), P(6,6) for n=6.
+        assert [
+            (p.first_join, p.last_join) for p in plan.decomposition.pipelines
+        ] == [(1, 1), (2, 2), (3, 4), (5, 5), (6, 6)]
+
+    def test_certificate_cost_near_l_bound(self, yes6):
+        plan = qoh_certificate_plan(yes6, list(range(4)))
+        l_log2 = float(yes6.l_bound_log2())
+        # O(L): within a constant number of doublings of L.
+        assert log2_of(plan.cost) <= l_log2 + 4
+
+    def test_certificate_needs_clique(self):
+        reduction = clique_to_qoh(turan_graph(6, 3), alpha=4**6)
+        with pytest.raises(ValidationError):
+            qoh_certificate_plan(reduction, [0, 1, 2, 3])
+
+    def test_certificate_needs_enough_vertices(self, yes6):
+        with pytest.raises(ValidationError):
+            qoh_certificate_plan(yes6, [0, 1])
+
+
+class TestTheorem15Gap:
+    def test_yes_no_separation_exact(self):
+        """Exhaustive QO_H optimum separates YES from NO at n = 6."""
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        yes_plan = qoh_optimal(pair.yes_reduction.instance)
+        no_plan = qoh_optimal(pair.no_reduction.instance)
+        assert yes_plan is not None and no_plan is not None
+        assert no_plan.cost > yes_plan.cost
+
+    def test_certificate_upper_bounds_optimum(self):
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        cert = qoh_certificate_plan(pair.yes_reduction, pair.yes_clique)
+        optimum = qoh_optimal(pair.yes_reduction.instance)
+        assert optimum.cost <= cert.cost
+
+    def test_greedy_feasible_on_gap_instances(self):
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        plan = qoh_greedy(pair.no_reduction.instance)
+        assert plan is not None
+        assert plan.sequence[0] == 0
+
+    def test_all_feasible_plans_start_with_hub(self):
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        instance = pair.yes_reduction.instance
+        for first in range(1, instance.num_relations):
+            sequence = [first] + [r for r in range(instance.num_relations) if r != first]
+            assert best_decomposition(instance, sequence) is None

@@ -1,0 +1,163 @@
+"""Tests for f_N (Section 4): construction, Lemma 6 and Lemma 8."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.core.certificates import qon_certificate_sequence
+from repro.core.gap import (
+    gap_factor_log2,
+    k_cd,
+    k_cd_log2,
+    no_side_lower_bound,
+)
+from repro.core.reductions.clique_to_qon import clique_to_qon
+from repro.graphs.generators import complete_graph
+from repro.graphs.graph import Graph
+from repro.joinopt.cost import join_costs, total_cost
+from repro.joinopt.optimizers import dp_optimal
+from repro.utils.lognum import log2_of
+from repro.utils.validation import ValidationError
+from repro.workloads.gaps import qon_gap_pair, turan_graph
+
+
+class TestConstruction:
+    def test_parameters(self):
+        reduction = clique_to_qon(complete_graph(6), k_yes=5, k_no=3, alpha=16)
+        assert reduction.relation_size == 4 ** (5 + 3)
+        assert reduction.edge_access_cost == reduction.relation_size // 16
+        assert reduction.instance.selectivity(0, 1) == Fraction(1, 16)
+
+    def test_non_edge_statistics(self):
+        graph = Graph(4, [(0, 1), (1, 2), (0, 2)])
+        reduction = clique_to_qon(graph, k_yes=3, k_no=1, alpha=4)
+        instance = reduction.instance
+        assert instance.selectivity(0, 3) == 1
+        assert instance.access_cost(0, 3) == reduction.relation_size
+
+    def test_parity_adjustment(self):
+        reduction = clique_to_qon(complete_graph(6), k_yes=5, k_no=2, alpha=4)
+        assert reduction.parity_adjusted
+        assert reduction.k_no == 3
+
+    def test_parity_closing_gap_rejected(self):
+        with pytest.raises(ValidationError):
+            clique_to_qon(complete_graph(6), k_yes=4, k_no=3, alpha=4)
+
+    def test_alpha_must_be_square(self):
+        with pytest.raises(ValidationError):
+            clique_to_qon(complete_graph(4), k_yes=3, k_no=1, alpha=8)
+
+    def test_default_alpha_scales(self):
+        reduction = clique_to_qon(complete_graph(4), k_yes=3, k_no=1, delta=1.0)
+        assert reduction.alpha == 4**4
+
+    def test_c_d_fractions(self):
+        reduction = clique_to_qon(complete_graph(10), k_yes=8, k_no=4, alpha=4)
+        assert reduction.c == Fraction(8, 10)
+        assert reduction.d == Fraction(4, 10)
+
+
+class TestGapQuantities:
+    def test_k_cd_exact_vs_log(self):
+        alpha, w = 16, 4**7
+        exact = k_cd(alpha, w, 6, 4)
+        logged = k_cd_log2(4, log2_of(w), 6, 4)
+        assert log2_of(exact) == pytest.approx(float(logged))
+
+    def test_k_cd_parity_required(self):
+        with pytest.raises(ValidationError):
+            k_cd(4, 4, 5, 2)
+
+    def test_lower_bound_factor(self):
+        alpha, w = 4, 16
+        assert no_side_lower_bound(alpha, w, 8, 4) == k_cd(alpha, w, 8, 4) * alpha
+
+    def test_gap_factor_log(self):
+        assert gap_factor_log2(2, 8, 4) == Fraction(2) * 1  # alpha^{(dn/2)-1}
+
+
+class TestLemma6:
+    """YES side: the clique-first sequence costs at most K_{c,d}."""
+
+    def test_strict_bound_large_gap(self):
+        """With dn/2 >= 15 (the proof's premise n >= 30/d), the bound
+        holds exactly."""
+        graph = complete_graph(40)
+        reduction = clique_to_qon(graph, k_yes=36, k_no=4, alpha=4)
+        sequence = qon_certificate_sequence(reduction, list(range(36)))
+        cost = total_cost(reduction.instance, sequence)
+        assert cost <= reduction.yes_cost_bound()
+
+    def test_h_profile_unimodal_on_clique(self):
+        """Inside the clique prefix, H rises to i ~ (c-d/2)n then falls
+        (the inequality chain in Lemma 6's proof)."""
+        graph = complete_graph(30)
+        reduction = clique_to_qon(graph, k_yes=28, k_no=2, alpha=4)
+        sequence = qon_certificate_sequence(reduction, list(range(28)))
+        costs = join_costs(reduction.instance, sequence)
+        peak = (reduction.k_yes + reduction.k_no) // 2
+        for i in range(peak - 2):
+            assert costs[i] <= costs[i + 1]
+        for i in range(peak, len(costs) - 1):
+            assert costs[i] >= costs[i + 1]
+
+    def test_certificate_requires_enough_vertices(self):
+        reduction = clique_to_qon(complete_graph(8), k_yes=6, k_no=2, alpha=4)
+        with pytest.raises(ValidationError):
+            qon_certificate_sequence(reduction, [0, 1, 2])
+
+    def test_certificate_requires_clique(self):
+        graph = turan_graph(8, 4)
+        reduction = clique_to_qon(graph, k_yes=6, k_no=4, alpha=4)
+        with pytest.raises(ValidationError):
+            qon_certificate_sequence(reduction, list(range(6)))
+
+    def test_certificate_avoids_cartesian_products(self):
+        from repro.joinopt.cost import has_cartesian_product
+
+        graph = complete_graph(12)
+        reduction = clique_to_qon(graph, k_yes=10, k_no=2, alpha=4)
+        sequence = qon_certificate_sequence(reduction, list(range(10)))
+        assert not has_cartesian_product(reduction.instance, sequence)
+
+
+class TestLemma8:
+    """NO side: every sequence costs at least K * alpha^{dn/2 - 1}."""
+
+    @pytest.mark.parametrize("parts", [3, 5])
+    def test_brute_force_lower_bound(self, parts):
+        graph = turan_graph(8, parts)  # omega = parts exactly
+        k_no = parts if (8 - parts) % 2 == 0 else parts + 1
+        reduction = clique_to_qon(graph, k_yes=7 if k_no == 5 else 8, k_no=k_no, alpha=4)
+        optimal = dp_optimal(reduction.instance)
+        assert optimal.cost >= reduction.no_cost_lower_bound()
+
+    def test_exhaustive_all_sequences(self):
+        """Check the bound on literally every permutation (n = 6)."""
+        graph = turan_graph(6, 2)  # omega = 2
+        reduction = clique_to_qon(graph, k_yes=6, k_no=2, alpha=4)
+        bound = reduction.no_cost_lower_bound()
+        for sequence in itertools.permutations(range(6)):
+            assert total_cost(reduction.instance, sequence) >= bound
+
+    def test_gap_pair_separation(self):
+        """YES certificate cost is below every NO-instance plan."""
+        pair = qon_gap_pair(8, 6, 2, alpha=4)
+        cert = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
+        yes_cost = total_cost(pair.yes_reduction.instance, cert)
+        no_cost = dp_optimal(pair.no_reduction.instance).cost
+        assert yes_cost <= pair.yes_reduction.yes_cost_bound()
+        assert no_cost >= pair.no_reduction.no_cost_lower_bound()
+        assert no_cost > yes_cost
+
+    def test_gap_grows_with_alpha(self):
+        gaps = []
+        for alpha in (4, 16, 64):
+            pair = qon_gap_pair(8, 6, 2, alpha=alpha)
+            cert = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
+            yes_cost = total_cost(pair.yes_reduction.instance, cert)
+            no_cost = dp_optimal(pair.no_reduction.instance).cost
+            gaps.append(log2_of(no_cost) - log2_of(yes_cost))
+        assert gaps[0] < gaps[1] < gaps[2]

@@ -1,0 +1,181 @@
+"""Tests for the SAT-side reductions: 3SAT -> VC -> CLIQUE / 2/3-CLIQUE.
+
+These verify the *exact* quantitative identities the proofs rely on,
+using the exact VC/clique solvers on small formulas.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.reductions.sat_to_clique import sat_to_clique
+from repro.core.reductions.sat_to_two_thirds_clique import sat_to_two_thirds_clique
+from repro.core.reductions.sat_to_vc import sat_to_vertex_cover
+from repro.graphs.clique import is_clique, max_clique_size
+from repro.graphs.properties import min_degree
+from repro.graphs.vertex_cover import is_vertex_cover, min_vertex_cover_size
+from repro.sat.cnf import CNFFormula
+from repro.sat.gapfamilies import no_instance, yes_instance
+from repro.sat.generators import random_planted_3sat, unsatisfiable_core
+from repro.sat.maxsat import max_satisfiable_clauses
+from repro.utils.validation import ValidationError
+
+
+class TestSatToVC:
+    def test_graph_shape(self):
+        formula = CNFFormula(3, [[1, 2, 3], [-1, -2, 3]])
+        reduction = sat_to_vertex_cover(formula)
+        # 2v literal vertices + 3 per clause.
+        assert reduction.graph.num_vertices == 6 + 6
+        # v spine edges + 3 triangle + 3 communication per clause.
+        assert reduction.graph.num_edges == 3 + 2 * 6
+
+    def test_cover_from_satisfying_assignment(self):
+        formula, planted = random_planted_3sat(4, 8, rng=0)
+        reduction = sat_to_vertex_cover(formula)
+        cover = reduction.cover_from_assignment(planted)
+        assert is_vertex_cover(reduction.graph, cover)
+        assert len(cover) == reduction.cover_size_if_satisfiable
+
+    def test_exact_tau_identity_satisfiable(self):
+        """tau = v + 3m - maxsat, with maxsat = m when satisfiable."""
+        formula, _ = random_planted_3sat(3, 5, rng=1)
+        reduction = sat_to_vertex_cover(formula)
+        tau = min_vertex_cover_size(reduction.graph)
+        assert tau == reduction.cover_size_if_satisfiable
+
+    def test_exact_tau_identity_unsatisfiable(self):
+        core = unsatisfiable_core()
+        reduction = sat_to_vertex_cover(core)
+        tau = min_vertex_cover_size(reduction.graph)
+        maxsat, _ = max_satisfiable_clauses(core)
+        assert maxsat == 7
+        assert tau == reduction.expected_cover_size(maxsat)
+        # Theorem 2's gap: unsatisfiable formulas need strictly larger covers.
+        assert tau > reduction.cover_size_if_satisfiable
+
+    def test_cover_from_partial_assignment_padding(self):
+        core = unsatisfiable_core()
+        reduction = sat_to_vertex_cover(core)
+        best, assignment = max_satisfiable_clauses(core)
+        cover = reduction.cover_from_assignment(assignment)
+        assert is_vertex_cover(reduction.graph, cover)
+        assert len(cover) == reduction.expected_cover_size(best)
+
+    def test_rejects_tautologies(self):
+        with pytest.raises(ValidationError):
+            sat_to_vertex_cover(CNFFormula(2, [[1, -1, 2]]))
+
+    def test_rejects_wide_clauses(self):
+        with pytest.raises(ValidationError):
+            sat_to_vertex_cover(CNFFormula(4, [[1, 2, 3, 4]]))
+
+
+class TestSatToClique:
+    def test_yes_side_witness(self):
+        gap = yes_instance(4, 8, rng=2)
+        reduction = sat_to_clique(gap)
+        clique = reduction.clique_from_assignment(gap.witness)
+        assert is_clique(reduction.graph, clique)
+        assert len(clique) == reduction.clique_if_satisfiable
+
+    def test_yes_side_omega_exact(self):
+        gap = yes_instance(3, 6, rng=3)
+        reduction = sat_to_clique(gap)
+        assert max_clique_size(reduction.graph) == reduction.clique_if_satisfiable
+
+    def test_no_side_omega_bounded(self):
+        gap = no_instance(1)  # the 8-clause core, theta = 1/8
+        reduction = sat_to_clique(gap)
+        omega = max_clique_size(reduction.graph)
+        assert reduction.clique_bound_if_gap is not None
+        assert omega <= reduction.clique_bound_if_gap
+        assert omega < reduction.clique_if_satisfiable
+
+    def test_fraction_properties(self):
+        gap = no_instance(1)
+        reduction = sat_to_clique(gap)
+        n = reduction.graph.num_vertices
+        v, m = gap.formula.num_vars, gap.formula.num_clauses
+        assert n == 6 * v + 6 * m
+        assert reduction.c == Fraction(5 * v + 4 * m, n)
+        assert reduction.d == Fraction(1, n)  # ceil(theta m) = 1 core
+
+    def test_yes_side_d_none(self):
+        gap = yes_instance(4, 8, rng=4)
+        assert sat_to_clique(gap).d is None
+
+    def test_density(self):
+        """The padded graph is dense: every vertex misses O(1) edges."""
+        gap = yes_instance(4, 8, rng=5)
+        reduction = sat_to_clique(gap)
+        n = reduction.graph.num_vertices
+        assert min_degree(reduction.graph) >= n - 1 - 15
+
+    def test_plain_formula_accepted(self):
+        formula, _ = random_planted_3sat(3, 6, rng=6)
+        reduction = sat_to_clique(formula)
+        assert reduction.clique_bound_if_gap is None
+
+
+class TestSatToTwoThirdsClique:
+    def test_target_is_two_thirds(self):
+        gap = yes_instance(4, 8, rng=7)
+        reduction = sat_to_two_thirds_clique(gap)
+        n = reduction.graph.num_vertices
+        assert n % 3 == 0
+        assert reduction.target == 2 * n // 3
+
+    def test_yes_witness_hits_target(self):
+        gap = yes_instance(4, 8, rng=8)
+        reduction = sat_to_two_thirds_clique(gap)
+        clique = reduction.clique_from_assignment(gap.witness)
+        assert is_clique(reduction.graph, clique)
+        assert len(clique) == reduction.target
+
+    def test_yes_omega_exact(self):
+        gap = yes_instance(3, 6, rng=9)
+        reduction = sat_to_two_thirds_clique(gap)
+        assert max_clique_size(reduction.graph) == reduction.target
+
+    def test_no_side_epsilon(self):
+        gap = no_instance(1)
+        reduction = sat_to_two_thirds_clique(gap)
+        omega = max_clique_size(reduction.graph)
+        assert omega <= reduction.clique_bound_if_gap
+        epsilon = reduction.epsilon
+        n = reduction.graph.num_vertices
+        # (2 - eps) n / 3 equals the recorded bound.
+        assert (2 - epsilon) * Fraction(n, 3) == reduction.clique_bound_if_gap
+
+    def test_rejects_non_exact_3cnf(self):
+        with pytest.raises(ValidationError):
+            sat_to_two_thirds_clique(CNFFormula(2, [[1, 2]]))
+
+
+class TestCoverToAssignment:
+    def test_roundtrip_on_minimal_cover(self):
+        """assignment -> cover -> assignment preserves satisfaction."""
+        formula, planted = random_planted_3sat(4, 8, rng=20)
+        reduction = sat_to_vertex_cover(formula)
+        cover = reduction.cover_from_assignment(planted)
+        recovered = reduction.assignment_from_cover(cover)
+        assert formula.is_satisfied_by(recovered)
+
+    def test_exact_min_cover_yields_model(self):
+        """A *solver-found* minimum cover decodes to a model."""
+        from repro.graphs.vertex_cover import min_vertex_cover
+
+        formula, _ = random_planted_3sat(3, 5, rng=21)
+        reduction = sat_to_vertex_cover(formula)
+        cover = min_vertex_cover(reduction.graph)
+        assert len(cover) == reduction.cover_size_if_satisfiable
+        recovered = reduction.assignment_from_cover(cover)
+        assert formula.is_satisfied_by(recovered)
+
+    def test_total_assignment(self):
+        formula, planted = random_planted_3sat(5, 10, rng=22)
+        reduction = sat_to_vertex_cover(formula)
+        cover = reduction.cover_from_assignment(planted)
+        recovered = reduction.assignment_from_cover(cover)
+        assert set(recovered) == set(range(1, 6))

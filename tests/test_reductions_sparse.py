@@ -1,0 +1,160 @@
+"""Tests for the sparse reductions f_{N,e} and f_{H,e} (Section 6)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.reductions.sparse import (
+    choose_k,
+    sparse_clique_to_qoh,
+    sparse_clique_to_qon,
+)
+from repro.graphs.generators import complete_graph
+from repro.joinopt.cost import total_cost
+from repro.joinopt.optimizers import greedy_min_cost
+from repro.utils.lognum import log2_of
+from repro.utils.validation import ValidationError
+from repro.workloads.gaps import turan_graph
+
+
+class TestChooseK:
+    def test_values(self):
+        assert choose_k(1.0) == 2
+        assert choose_k(0.5) == 4
+        assert choose_k(0.3) == 7
+
+    def test_bounds(self):
+        with pytest.raises(ValidationError):
+            choose_k(0)
+        with pytest.raises(ValidationError):
+            choose_k(1.5)
+
+
+class TestSparseFN:
+    def test_edge_budget_met_exactly(self):
+        graph = complete_graph(3)
+        reduction = sparse_clique_to_qon(
+            graph, k_yes=3, k_no=1, tau=0.5, alpha=4, rng=0
+        )
+        m = reduction.m
+        assert m == 3**4
+        expected = m + math.ceil(m**0.5)
+        assert reduction.query_graph.num_edges == expected
+
+    def test_custom_edge_budget(self):
+        graph = complete_graph(3)
+        budget = lambda m: 2 * m
+        reduction = sparse_clique_to_qon(
+            graph, k_yes=3, k_no=1, tau=0.5, edge_budget=budget, alpha=4, rng=1
+        )
+        assert reduction.query_graph.num_edges == 2 * reduction.m
+
+    def test_query_graph_connected(self):
+        graph = complete_graph(3)
+        reduction = sparse_clique_to_qon(
+            graph, k_yes=3, k_no=1, tau=0.5, alpha=4, rng=2
+        )
+        assert reduction.query_graph.is_connected()
+
+    def test_original_subgraph_preserved(self):
+        graph = turan_graph(4, 2)
+        reduction = sparse_clique_to_qon(
+            graph, k_yes=4, k_no=2, tau=0.5, alpha=4, rng=3
+        )
+        for u, v in graph.edges:
+            assert reduction.query_graph.has_edge(u, v)
+
+    def test_statistics_by_side(self):
+        graph = complete_graph(3)
+        reduction = sparse_clique_to_qon(
+            graph, k_yes=3, k_no=1, tau=0.5, alpha=4, rng=4
+        )
+        instance = reduction.instance
+        n = reduction.n
+        # Original side.
+        assert instance.size(0) == reduction.relation_size
+        assert instance.selectivity(0, 1) == Fraction(1, 4)
+        # Auxiliary side.
+        assert instance.size(n) == reduction.aux_relation_size
+        # Bridge edge {0, n}.
+        assert instance.selectivity(0, n) == Fraction(1, reduction.beta)
+
+    def test_budget_too_small_rejected(self):
+        graph = complete_graph(3)
+        with pytest.raises(ValidationError):
+            sparse_clique_to_qon(
+                graph, k_yes=3, k_no=1, tau=0.5,
+                edge_budget=lambda m: m // 2, alpha=4,
+            )
+
+    def test_dominance_flag(self):
+        graph = complete_graph(3)
+        small_alpha = sparse_clique_to_qon(
+            graph, k_yes=3, k_no=1, tau=0.5, alpha=4, rng=5
+        )
+        assert not small_alpha.dominance_ok
+
+    def test_gap_with_moderate_alpha(self):
+        """Even without full dominance the padded YES instance beats the
+        padded NO instance when alpha is moderately large (the
+        auxiliary perturbation is alpha-independent)."""
+        alpha = 4**10
+        yes = sparse_clique_to_qon(
+            complete_graph(4), k_yes=4, k_no=2, tau=1.0, alpha=alpha, rng=6
+        )
+        no = sparse_clique_to_qon(
+            turan_graph(4, 2), k_yes=4, k_no=2, tau=1.0, alpha=alpha, rng=6
+        )
+        # Perturbation budget from the auxiliary side.
+        slack = float(yes.aux_perturbation_log2())
+        yes_cost = greedy_min_cost(yes.instance.to_log_domain())
+        no_cost = greedy_min_cost(no.instance.to_log_domain())
+        assert log2_of(no_cost.cost) > log2_of(yes_cost.cost) - slack
+
+    def test_yes_bound_matches_dense_formula(self):
+        graph = complete_graph(3)
+        reduction = sparse_clique_to_qon(
+            graph, k_yes=3, k_no=1, tau=0.5, alpha=4, rng=7
+        )
+        from repro.core.gap import k_cd
+
+        assert reduction.yes_cost_bound() == k_cd(
+            4, reduction.edge_access_cost, reduction.k_yes, reduction.k_no
+        )
+
+
+class TestSparseFH:
+    def test_shape(self):
+        graph = complete_graph(3)
+        reduction = sparse_clique_to_qoh(graph, tau=0.5, alpha=4**4, rng=8)
+        m = reduction.m
+        assert m == 3**4
+        expected = m + math.ceil(m**0.5)
+        assert reduction.query_graph.num_edges == expected
+        assert reduction.instance.num_relations == m
+
+    def test_hub_edges_and_selectivities(self):
+        graph = complete_graph(3)
+        reduction = sparse_clique_to_qoh(graph, tau=0.5, alpha=4**4, rng=9)
+        instance = reduction.instance
+        n = reduction.n
+        for i in range(n):
+            assert instance.graph.has_edge(0, i + 1)
+            assert instance.selectivity(0, i + 1) == Fraction(1, 2**n)
+        # Auxiliary relations have size 2^n and selectivity 1/2 edges.
+        assert instance.size(n + 1) == 2**n
+
+    def test_hub_still_pinned_first(self):
+        from repro.hashjoin.optimizer import is_feasible_sequence
+
+        graph = complete_graph(3)
+        reduction = sparse_clique_to_qoh(graph, tau=0.5, alpha=4**4, rng=10)
+        order = list(range(reduction.instance.num_relations))
+        assert is_feasible_sequence(reduction.instance, order)
+        swapped = [1, 0] + order[2:]
+        assert not is_feasible_sequence(reduction.instance, swapped)
+
+    def test_requires_divisible_by_three(self):
+        with pytest.raises(ValidationError):
+            sparse_clique_to_qoh(complete_graph(4), tau=0.5, alpha=4**4)

@@ -1,0 +1,274 @@
+"""Tests for the SAT substrate: CNF model, DIMACS, solver, MAX-SAT."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import dimacs
+from repro.sat.bounded import (
+    bound_occurrences,
+    lift_assignment,
+    max_occurrences,
+    project_assignment,
+)
+from repro.sat.cnf import all_assignments, Clause, CNFFormula
+from repro.sat.generators import (
+    chain_implication_clauses,
+    pigeonhole_formula,
+    random_3sat,
+    random_planted_3sat,
+    unsatisfiable_core,
+)
+from repro.sat.maxsat import (
+    is_k_satisfiable,
+    local_search_maxsat,
+    max_satisfiable_clauses,
+    max_satisfiable_fraction,
+)
+from repro.sat.solver import DPLLSolver, is_satisfiable, solve
+from repro.utils.validation import ValidationError
+
+
+class TestClause:
+    def test_dedup(self):
+        assert Clause([1, 1, 2]).literals == (1, 2)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            Clause([0])
+
+    def test_tautology(self):
+        assert Clause([1, -1, 2]).is_tautology()
+        assert not Clause([1, 2, 3]).is_tautology()
+
+    def test_variables(self):
+        assert Clause([-3, 1]).variables() == (1, 3)
+
+    def test_satisfied_by(self):
+        clause = Clause([1, -2])
+        assert clause.is_satisfied_by({1: True, 2: True})
+        assert clause.is_satisfied_by({1: False, 2: False})
+        assert not clause.is_satisfied_by({1: False, 2: True})
+
+    def test_contains(self):
+        assert -2 in Clause([1, -2])
+
+
+class TestCNFFormula:
+    def test_out_of_range_literal(self):
+        with pytest.raises(ValidationError):
+            CNFFormula(2, [[3]])
+
+    def test_is_3cnf(self):
+        assert CNFFormula(4, [[1, 2, 3], [4]]).is_3cnf()
+        assert not CNFFormula(4, [[1, 2, 3], [1, 2, 3, 4]]).is_3cnf()
+
+    def test_exactly_3cnf(self):
+        assert CNFFormula(3, [[1, 2, 3]]).is_exactly_3cnf()
+        assert not CNFFormula(3, [[1, 2]]).is_exactly_3cnf()
+
+    def test_occurrence_counts(self):
+        formula = CNFFormula(2, [[1, 2], [1, -2], [-1, 2]])
+        assert formula.occurrence_counts() == {1: 3, 2: 3}
+
+    def test_occurrences_bounded(self):
+        formula = CNFFormula(2, [[1, 2]] * 5)
+        assert formula.occurrences_bounded_by(5)
+        assert not formula.occurrences_bounded_by(4)
+
+    def test_count_satisfied(self):
+        formula = CNFFormula(2, [[1], [2], [-1, -2]])
+        assert formula.count_satisfied({1: True, 2: False}) == 2
+
+    def test_satisfied_fraction_empty(self):
+        assert CNFFormula(0, []).satisfied_fraction({}) == 1.0
+
+    def test_conjoin_and_shift(self):
+        a = CNFFormula(2, [[1, 2]])
+        b = CNFFormula(2, [[1, -2]])
+        shifted = b.shift_variables(2)
+        combined = a.conjoin(shifted)
+        assert combined.num_vars == 4
+        assert combined.num_clauses == 2
+        assert combined.clauses[1].literals == (3, -4)
+
+    def test_equality_and_hash(self):
+        a = CNFFormula(2, [[1, 2]])
+        b = CNFFormula(2, [[2, 1]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_all_assignments_count(self):
+        assert len(list(all_assignments(3))) == 8
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        formula = CNFFormula(3, [[1, -2, 3], [-1, 2]])
+        assert dimacs.loads(dimacs.dumps(formula)) == formula
+
+    def test_comments_ignored(self):
+        text = "c hello\np cnf 2 1\n1 -2 0\n"
+        assert dimacs.loads(text) == CNFFormula(2, [[1, -2]])
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ValidationError):
+            dimacs.loads("1 2 0\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            dimacs.loads("p cnf 2 2\n1 0\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        formula = random_3sat(5, 10, rng=1)
+        path = tmp_path / "f.cnf"
+        dimacs.write_file(formula, path)
+        assert dimacs.read_file(path) == formula
+
+
+class TestSolver:
+    def test_satisfiable_simple(self):
+        formula = CNFFormula(2, [[1, 2], [-1, 2]])
+        model = solve(formula)
+        assert model is not None
+        assert formula.is_satisfied_by(model)
+
+    def test_unsatisfiable_pair(self):
+        formula = CNFFormula(1, [[1], [-1]])
+        assert solve(formula) is None
+
+    def test_unsatisfiable_core(self):
+        assert not is_satisfiable(unsatisfiable_core())
+
+    def test_pigeonhole_unsat(self):
+        assert not is_satisfiable(pigeonhole_formula(2))
+
+    def test_empty_formula(self):
+        assert is_satisfiable(CNFFormula(2, []))
+
+    def test_empty_clause(self):
+        assert not is_satisfiable(CNFFormula(1, [[]]))
+
+    def test_model_is_total(self):
+        formula = CNFFormula(5, [[1]])
+        model = solve(formula)
+        assert set(model) == {1, 2, 3, 4, 5}
+
+    def test_planted_always_sat(self):
+        for seed in range(5):
+            formula, planted = random_planted_3sat(6, 15, rng=seed)
+            assert formula.is_satisfied_by(planted)
+            assert is_satisfiable(formula)
+
+    def test_decision_budget(self):
+        formula = pigeonhole_formula(4)
+        solver = DPLLSolver(formula, max_decisions=1)
+        with pytest.raises(RuntimeError):
+            solver.solve()
+
+
+class TestMaxSat:
+    def test_core_is_seven_eighths(self):
+        best, assignment = max_satisfiable_clauses(unsatisfiable_core())
+        assert best == 7
+        assert unsatisfiable_core().count_satisfied(assignment) == 7
+
+    def test_satisfiable_formula_reaches_all(self):
+        formula, _ = random_planted_3sat(5, 12, rng=2)
+        best, _ = max_satisfiable_clauses(formula)
+        assert best == formula.num_clauses
+
+    def test_is_k_satisfiable(self):
+        core = unsatisfiable_core()
+        assert is_k_satisfiable(core, 7)
+        assert not is_k_satisfiable(core, 8)
+
+    def test_fraction(self):
+        assert max_satisfiable_fraction(unsatisfiable_core()) == pytest.approx(7 / 8)
+
+    def test_fraction_empty(self):
+        assert max_satisfiable_fraction(CNFFormula(1, [])) == 1.0
+
+    def test_local_search_respects_exact(self):
+        core = unsatisfiable_core()
+        best, assignment = local_search_maxsat(core, rng=3)
+        assert best <= 7
+        assert best == core.count_satisfied(assignment)
+
+    def test_local_search_finds_satisfying(self):
+        formula, _ = random_planted_3sat(6, 10, rng=4)
+        best, _ = local_search_maxsat(formula, max_flips=2000, rng=4)
+        assert best == formula.num_clauses
+
+
+class TestGenerators:
+    def test_random_3sat_shape(self):
+        formula = random_3sat(6, 20, rng=0)
+        assert formula.num_clauses == 20
+        assert formula.is_exactly_3cnf()
+
+    def test_random_3sat_deterministic(self):
+        assert random_3sat(6, 10, rng=42) == random_3sat(6, 10, rng=42)
+
+    def test_chain_clauses_cycle(self):
+        clauses = chain_implication_clauses([1, 2, 3])
+        assert clauses == [[-1, 2], [-2, 3], [-3, 1]]
+
+    def test_chain_single(self):
+        assert chain_implication_clauses([5]) == []
+
+    def test_pigeonhole_shape(self):
+        formula = pigeonhole_formula(2)
+        assert formula.num_vars == 6
+
+
+class TestBoundedOccurrences:
+    def test_already_bounded_unchanged(self):
+        formula = CNFFormula(3, [[1, 2, 3]])
+        bounded, copy_map = bound_occurrences(formula, bound=13)
+        assert bounded == formula
+        assert copy_map == {1: [1], 2: [2], 3: [3]}
+
+    def test_bounding_caps_occurrences(self):
+        # Variable 1 in 20 clauses.
+        clauses = [[1, 2, 3] for _ in range(10)] + [[-1, 2, 3] for _ in range(10)]
+        formula = CNFFormula(3, clauses)
+        bounded, _ = bound_occurrences(formula, bound=13)
+        assert max_occurrences(bounded) <= 13
+
+    def test_preserves_satisfiability(self):
+        formula, _ = random_planted_3sat(4, 16, rng=5)
+        bounded, _ = bound_occurrences(formula, bound=3)
+        assert is_satisfiable(bounded)
+
+    def test_preserves_unsatisfiability(self):
+        # Stack the 8-clause core with duplicated clauses to push
+        # occurrences over a small bound.
+        core = unsatisfiable_core()
+        doubled = CNFFormula(3, list(core.clauses) + list(core.clauses))
+        bounded, _ = bound_occurrences(doubled, bound=3)
+        assert not is_satisfiable(bounded)
+
+    def test_lift_and_project(self):
+        clauses = [[1, 2, 3] for _ in range(6)]
+        formula = CNFFormula(3, clauses)
+        bounded, copy_map = bound_occurrences(formula, bound=3)
+        lifted = lift_assignment({1: True, 2: False, 3: True}, copy_map)
+        assert bounded.is_satisfied_by(lifted)
+        back = project_assignment(lifted, copy_map)
+        assert back == {1: True, 2: False, 3: True}
+
+    def test_small_bound_rejected(self):
+        with pytest.raises(ValidationError):
+            bound_occurrences(CNFFormula(1, [[1]]), bound=2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_random_3sat_satisfied_fraction_bounds(seed):
+    formula = random_3sat(5, 8, rng=seed)
+    best, assignment = max_satisfiable_clauses(formula)
+    # Any 3CNF admits an assignment satisfying >= 7/8 of clauses.
+    assert best >= (7 * formula.num_clauses) // 8
+    assert formula.count_satisfied(assignment) == best

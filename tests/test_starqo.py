@@ -1,0 +1,221 @@
+"""Tests for the SQO-CP substrate, PARTITION and SPPCS."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.starqo.cost import join_costs, plan_cost, prefix_pages, prefix_tuples
+from repro.starqo.instance import JoinMethod, SQOCPInstance, StarPlan
+from repro.starqo.optimizer import best_plan, decide, enumerate_plans, feasible_sequences
+from repro.starqo.partition import (
+    PartitionInstance,
+    find_partition,
+    from_standard_instance,
+    has_partition,
+    verify_partition,
+)
+from repro.starqo.sppcs import (
+    SPPCSInstance,
+    sppcs_best_subset,
+    sppcs_brute_force,
+    sppcs_decide,
+)
+from repro.utils.validation import ValidationError
+
+NL = JoinMethod.NESTED_LOOPS
+SM = JoinMethod.SORT_MERGE
+
+
+@pytest.fixture
+def star3():
+    """Central R0 (100 tuples) with three satellites."""
+    return SQOCPInstance(
+        num_satellites=3,
+        sort_passes=4,
+        page_size=8,
+        tuples=[100, 50, 80, 40],
+        pages=[100, 50, 80, 40],
+        sort_costs=[400, 200, 320, 160],
+        selectivities=[Fraction(1, 10), Fraction(1, 8), Fraction(1, 4)],
+        satellite_access=[5, 10, 10],
+        center_access=[100, 100, 100],
+        threshold=None,
+    )
+
+
+class TestPartition:
+    def test_yes(self):
+        assert has_partition(PartitionInstance([2, 2, 4]))
+
+    def test_no(self):
+        assert not has_partition(PartitionInstance([2, 4, 8]))
+
+    def test_witness_verifies(self):
+        instance = PartitionInstance([6, 2, 4, 8, 10, 2])
+        witness = find_partition(instance)
+        assert witness is not None
+        assert verify_partition(instance, witness)
+
+    def test_zero_total(self):
+        assert has_partition(PartitionInstance([0, 0]))
+
+    def test_odd_total_rejected(self):
+        with pytest.raises(ValidationError):
+            PartitionInstance([1, 2])
+
+    def test_from_standard_doubles(self):
+        instance = from_standard_instance([1, 2, 3])
+        assert instance.values == (2, 4, 6)
+        assert has_partition(instance)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=8))
+    def test_property_dp_matches_brute_force(self, raw):
+        import itertools
+
+        values = [2 * v for v in raw]
+        instance = PartitionInstance(values)
+        brute = any(
+            sum(combo) == instance.half
+            for r in range(len(values) + 1)
+            for combo in itertools.combinations(values, r)
+        )
+        assert has_partition(instance) == brute
+
+
+class TestSPPCS:
+    def test_objective_empty_subset(self):
+        instance = SPPCSInstance([(2, 3), (5, 7)], 100)
+        assert instance.objective([]) == 1 + 3 + 7
+
+    def test_objective_full_subset(self):
+        instance = SPPCSInstance([(2, 3), (5, 7)], 100)
+        assert instance.objective([0, 1]) == 10
+
+    def test_decide(self):
+        # Objectives: {} -> 11, {0} -> 9, {1} -> 8, {0,1} -> 10.
+        assert sppcs_decide(SPPCSInstance([(2, 3), (5, 7)], 8))
+        assert not sppcs_decide(SPPCSInstance([(2, 3), (5, 7)], 7))
+
+    def test_zero_p_handled(self):
+        instance = SPPCSInstance([(0, 100), (3, 1)], 5)
+        best, subset = sppcs_best_subset(instance)
+        assert best == instance.objective(subset)
+        assert best <= 1  # include the zero: product 0, complement c=1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=12),
+                st.integers(min_value=0, max_value=20),
+            ),
+            min_size=1,
+            max_size=7,
+        )
+    )
+    def test_property_branch_bound_matches_brute(self, pairs):
+        instance = SPPCSInstance(pairs, 0)
+        assert sppcs_best_subset(instance)[0] == sppcs_brute_force(instance)[0]
+
+
+class TestStarPlanModel:
+    def test_method_count_enforced(self):
+        with pytest.raises(ValidationError):
+            StarPlan(sequence=(0, 1, 2), methods=(NL,))
+
+    def test_feasibility(self, star3):
+        assert star3.is_feasible_sequence((0, 2, 1, 3))
+        assert star3.is_feasible_sequence((2, 0, 1, 3))
+        assert not star3.is_feasible_sequence((2, 1, 0, 3))
+        assert not star3.is_feasible_sequence((0, 1, 2))  # not a permutation
+
+    def test_prefix_tuples(self, star3):
+        # n(R0, R1) = 100 * 50 * 1/10 = 500.
+        assert prefix_tuples(star3, (0, 1)) == 500
+        # Adding R2: * 80 / 8 = 5000.
+        assert prefix_tuples(star3, (0, 1, 2)) == 5000
+
+    def test_prefix_pages_base_relation(self, star3):
+        assert prefix_pages(star3, (2,)) == 80
+
+    def test_prefix_tuples_requires_center(self, star3):
+        with pytest.raises(ValidationError):
+            prefix_tuples(star3, (1, 2))
+
+
+class TestStarCosts:
+    def test_first_join_nl_from_center(self, star3):
+        plan = StarPlan((0, 1, 2, 3), (NL, NL, NL))
+        costs = join_costs(star3, plan)
+        # b0 + n0 * w_1 = 100 + 100*5.
+        assert costs[0] == 600
+
+    def test_first_join_nl_from_satellite(self, star3):
+        plan = StarPlan((1, 0, 2, 3), (NL, NL, NL))
+        costs = join_costs(star3, plan)
+        # b1 + n1 * w_{0,1} = 50 + 50*100.
+        assert costs[0] == 5050
+
+    def test_first_join_sort_merge(self, star3):
+        plan = StarPlan((0, 1, 2, 3), (SM, NL, NL))
+        costs = join_costs(star3, plan)
+        # C_sm = b0*ks + b1*ks = 400 + 200.
+        assert costs[0] == 600
+
+    def test_later_nl_cost(self, star3):
+        plan = StarPlan((0, 1, 2, 3), (NL, NL, NL))
+        costs = join_costs(star3, plan)
+        # n(R0 R1) * w_2 = 500 * 10.
+        assert costs[1] == 5000
+
+    def test_later_sm_cost(self, star3):
+        plan = StarPlan((0, 1, 2, 3), (NL, SM, NL))
+        costs = join_costs(star3, plan)
+        # b(W)(ks-1) + A_2 = 500*3 + 320.
+        assert costs[1] == 1820
+
+    def test_plan_cost_is_sum(self, star3):
+        plan = StarPlan((0, 1, 2, 3), (NL, SM, NL))
+        assert plan_cost(star3, plan) == sum(join_costs(star3, plan))
+
+    def test_infeasible_plan_rejected(self, star3):
+        plan = StarPlan((1, 2, 0, 3), (NL, NL, NL))
+        with pytest.raises(ValidationError):
+            plan_cost(star3, plan)
+
+
+class TestStarOptimizer:
+    def test_feasible_sequence_count(self, star3):
+        # 3! starting with R0 plus 3 * 2! starting with a satellite.
+        assert len(list(feasible_sequences(star3))) == 6 + 6
+
+    def test_enumerate_plan_count(self, star3):
+        # 12 sequences * 2^3 method vectors.
+        assert len(list(enumerate_plans(star3))) == 12 * 8
+
+    def test_best_matches_enumeration(self, star3):
+        cost, plan = best_plan(star3)
+        brute = min(plan_cost(star3, p) for p in enumerate_plans(star3))
+        assert cost == brute
+        assert plan_cost(star3, plan) == cost
+
+    def test_decide_needs_threshold(self, star3):
+        with pytest.raises(ValidationError):
+            decide(star3)
+
+    def test_guard(self):
+        instance = SQOCPInstance(
+            num_satellites=9,
+            sort_passes=4,
+            page_size=4,
+            tuples=[10] * 10,
+            pages=[10] * 10,
+            sort_costs=[40] * 10,
+            selectivities=[Fraction(1, 2)] * 9,
+            satellite_access=[5] * 9,
+            center_access=[10] * 9,
+        )
+        with pytest.raises(ValidationError):
+            best_plan(instance)

@@ -1,0 +1,87 @@
+"""Tests for the SQO-CP subset DP optimizer."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.starqo.cost import plan_cost
+from repro.starqo.dp import dp_best_plan
+from repro.starqo.instance import SQOCPInstance
+from repro.starqo.optimizer import best_plan
+from repro.utils.validation import ValidationError
+
+
+def _random_instance(rng, m):
+    tuples = [rng.randint(10, 500) for _ in range(m + 1)]
+    pages = [max(1, t // rng.randint(1, 4)) for t in tuples]
+    return SQOCPInstance(
+        num_satellites=m,
+        sort_passes=rng.randint(2, 5),
+        page_size=8,
+        tuples=tuples,
+        pages=pages,
+        sort_costs=[p * 4 for p in pages],
+        selectivities=[
+            Fraction(1, rng.randint(1, tuples[i + 1])) for i in range(m)
+        ],
+        satellite_access=[rng.randint(1, 50) for _ in range(m)],
+        center_access=[rng.randint(1, 500) for _ in range(m)],
+    )
+
+
+class TestDPAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exhaustive(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        instance = _random_instance(rng, rng.randint(2, 4))
+        exhaustive_cost, _ = best_plan(instance)
+        dp_cost, dp_plan = dp_best_plan(instance)
+        assert dp_cost == exhaustive_cost
+        assert plan_cost(instance, dp_plan) == dp_cost
+
+    def test_plan_is_feasible(self):
+        import random
+
+        instance = _random_instance(random.Random(42), 5)
+        _, plan = dp_best_plan(instance)
+        assert instance.is_feasible_sequence(plan.sequence)
+
+    def test_satellite_first_form_reachable(self):
+        """An instance where starting with a satellite then R_0 wins."""
+        instance = SQOCPInstance(
+            num_satellites=2,
+            sort_passes=4,
+            page_size=8,
+            tuples=[10_000, 3, 5_000],
+            pages=[10_000, 1, 5_000],
+            sort_costs=[40_000, 4, 20_000],
+            selectivities=[Fraction(1, 10_000), Fraction(1, 5_000)],
+            satellite_access=[1, 1],
+            center_access=[1, 1],
+        )
+        cost, plan = dp_best_plan(instance)
+        brute_cost, brute_plan = best_plan(instance)
+        assert cost == brute_cost
+        # Starting with the tiny satellite avoids reading R_0's pages.
+        assert plan.sequence[0] == 1
+        assert plan.sequence[1] == 0
+
+    def test_guard(self):
+        import random
+
+        instance = _random_instance(random.Random(0), 3)
+        with pytest.raises(ValidationError):
+            dp_best_plan(instance, max_satellites=2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_dp_equals_exhaustive(seed):
+    import random
+
+    rng = random.Random(seed)
+    instance = _random_instance(rng, 3)
+    assert dp_best_plan(instance)[0] == best_plan(instance)[0]

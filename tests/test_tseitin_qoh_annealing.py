@@ -1,0 +1,152 @@
+"""Tests for the Tseitin encoder and the QO_H annealer."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.graph import Graph
+from repro.hashjoin.annealing import qoh_simulated_annealing
+from repro.hashjoin.instance import QOHInstance
+from repro.hashjoin.optimizer import qoh_optimal
+from repro.sat.cnf import all_assignments
+from repro.sat.solver import is_satisfiable, solve
+from repro.sat.tseitin import (
+    and_,
+    circuit_inputs,
+    evaluate,
+    neg,
+    or_,
+    tseitin_encode,
+    var,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestTseitin:
+    def test_single_variable(self):
+        formula, root = tseitin_encode(var(1))
+        assert root == 1
+        assert is_satisfiable(formula)
+
+    def test_negation(self):
+        formula, root = tseitin_encode(neg(var(1)))
+        model = solve(formula)
+        assert model is not None
+        assert model[1] is False
+
+    def test_and_gate(self):
+        formula, _ = tseitin_encode(and_(var(1), var(2)))
+        model = solve(formula)
+        assert model[1] and model[2]
+
+    def test_contradiction_unsat(self):
+        circuit = and_(var(1), neg(var(1)))
+        formula, _ = tseitin_encode(circuit)
+        assert not is_satisfiable(formula)
+
+    def test_or_of_contradictions(self):
+        circuit = or_(and_(var(1), neg(var(1))), and_(var(2), neg(var(2))))
+        formula, _ = tseitin_encode(circuit)
+        assert not is_satisfiable(formula)
+
+    def test_is_3cnf(self):
+        circuit = or_(and_(var(1), var(2)), neg(and_(var(2), var(3))))
+        formula, _ = tseitin_encode(circuit)
+        assert formula.is_3cnf()
+
+    def test_circuit_inputs(self):
+        circuit = or_(var(3), and_(var(1), neg(var(3))))
+        assert circuit_inputs(circuit) == {1, 3}
+
+    def test_num_inputs_too_small(self):
+        with pytest.raises(ValidationError):
+            tseitin_encode(var(5), num_inputs=3)
+
+    def test_equisatisfiability_exhaustive(self):
+        """The CNF accepts exactly the circuit's satisfying inputs."""
+        circuit = or_(and_(var(1), neg(var(2))), and_(var(2), var(3)))
+        formula, _ = tseitin_encode(circuit, num_inputs=3)
+        circuit_sat = any(
+            evaluate(circuit, assignment) for assignment in all_assignments(3)
+        )
+        assert is_satisfiable(formula) == circuit_sat
+        model = solve(formula)
+        inputs = {v: model[v] for v in (1, 2, 3)}
+        assert evaluate(circuit, inputs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_tseitin_models_project(seed):
+    """Random circuits: every CNF model projects to a circuit model."""
+    import random
+
+    rng = random.Random(seed)
+
+    def random_circuit(depth: int):
+        if depth == 0 or rng.random() < 0.3:
+            node = var(rng.randint(1, 4))
+            return neg(node) if rng.random() < 0.5 else node
+        gate = and_ if rng.random() < 0.5 else or_
+        return gate(random_circuit(depth - 1), random_circuit(depth - 1))
+
+    circuit = random_circuit(3)
+    formula, _ = tseitin_encode(circuit, num_inputs=4)
+    model = solve(formula)
+    circuit_sat = any(
+        evaluate(circuit, assignment) for assignment in all_assignments(4)
+    )
+    assert (model is not None) == circuit_sat
+    if model is not None:
+        inputs = {v: model[v] for v in range(1, 5)}
+        assert evaluate(circuit, inputs)
+
+
+class TestQOHAnnealing:
+    @pytest.fixture
+    def instance(self):
+        graph = Graph(5, [(0, 1), (0, 2), (0, 3), (3, 4)])
+        return QOHInstance(
+            graph,
+            [5_000, 400, 900, 1_600, 100],
+            {
+                (0, 1): Fraction(1, 400),
+                (0, 2): Fraction(1, 900),
+                (0, 3): Fraction(1, 1_600),
+                (3, 4): Fraction(1, 100),
+            },
+            memory=2_000,
+        )
+
+    def test_finds_feasible_plan(self, instance):
+        plan = qoh_simulated_annealing(instance, rng=0)
+        assert plan is not None
+        assert sorted(plan.sequence) == list(range(5))
+
+    def test_never_beats_optimum(self, instance):
+        optimum = qoh_optimal(instance)
+        plan = qoh_simulated_annealing(instance, rng=1)
+        assert plan.cost >= optimum.cost
+
+    def test_deterministic_seed(self, instance):
+        a = qoh_simulated_annealing(instance, rng=3)
+        b = qoh_simulated_annealing(instance, rng=3)
+        assert a.cost == b.cost
+
+    def test_pinned_hub_respected(self):
+        from repro.workloads.gaps import qoh_gap_pair
+
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        plan = qoh_simulated_annealing(
+            pair.no_reduction.instance, steps_per_temperature=4, rng=4
+        )
+        assert plan is not None
+        assert plan.sequence[0] == 0
+
+    def test_infeasible_returns_none(self):
+        graph = Graph(2, [(0, 1)])
+        instance = QOHInstance(
+            graph, [10_000, 10_000], {(0, 1): Fraction(1, 2)}, memory=4
+        )
+        assert qoh_simulated_annealing(instance, rng=5) is None
