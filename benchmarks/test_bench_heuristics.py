@@ -17,31 +17,36 @@ from benchmarks._tables import emit_table
 from repro.core.certificates import qon_certificate_sequence
 from repro.core.gap import polylog_budget_log2
 from repro.joinopt.cost import total_cost
-from repro.joinopt.optimizers import (
-    dp_optimal,
-    genetic_algorithm,
-    greedy_min_cost,
-    greedy_min_size,
-    iterative_improvement,
-    random_sampling,
-    simulated_annealing,
-)
+from repro.joinopt.optimizers import greedy_min_cost, simulated_annealing
+from repro.runtime.runner import grid_tasks, run_sweep
 from repro.utils.lognum import log2_of
 from repro.workloads.gaps import qon_gap_pair
 from repro.workloads.queries import chain_query, clique_query, cycle_query, random_query
 
+#: (table column, runner registry name, seed-independent kwargs).  The
+#: randomized heuristics additionally get ``rng=<seed>`` per cell.
 HEURISTICS = [
-    ("greedy-min-cost", lambda inst, seed: greedy_min_cost(inst)),
-    ("greedy-min-size", lambda inst, seed: greedy_min_size(inst)),
-    ("iter-improve", lambda inst, seed: iterative_improvement(inst, restarts=5, rng=seed)),
-    ("sim-anneal", lambda inst, seed: simulated_annealing(inst, rng=seed)),
-    ("sampling", lambda inst, seed: random_sampling(inst, samples=100, rng=seed)),
-    ("genetic", lambda inst, seed: genetic_algorithm(inst, generations=15, rng=seed)),
+    ("greedy-min-cost", "greedy-cost", {}),
+    ("greedy-min-size", "greedy-size", {}),
+    ("iter-improve", "iterative", {"restarts": 5}),
+    ("sim-anneal", "annealing", {}),
+    ("sampling", "sampling", {"samples": 100}),
+    ("genetic", "genetic", {"generations": 15}),
 ]
+_SEEDED = {"iterative", "annealing", "sampling", "genetic"}
+_EXTRA = {registry: extra for _, registry, extra in HEURISTICS}
+
+
+def _heuristic_kwargs(registry_name: str, seed: int) -> dict:
+    kwargs = dict(_EXTRA.get(registry_name, {}))
+    if registry_name in _SEEDED:
+        kwargs["rng"] = seed
+    return kwargs
 
 
 def test_benign_ratio_table(benchmark):
     def build():
+        optimizers = ["dp"] + [registry for _, registry, _ in HEURISTICS]
         rows = []
         for label, factory in [
             ("chain", chain_query),
@@ -49,20 +54,38 @@ def test_benign_ratio_table(benchmark):
             ("clique", clique_query),
             ("random", random_query),
         ]:
-            ratios = {name: [] for name, _ in HEURISTICS}
-            for seed in range(4):
-                instance = factory(8, rng=seed)
-                optimum = dp_optimal(instance).cost
-                for name, run in HEURISTICS:
-                    ratios[name].append(run(instance, seed).ratio_to(optimum))
+            instances = [
+                (f"{label}-s{seed}", factory(8, rng=seed))
+                for seed in range(4)
+            ]
+            sweep = run_sweep(
+                grid_tasks(
+                    optimizers,
+                    instances,
+                    kwargs_for=lambda name, inst_label: (
+                        {} if name == "dp" else _heuristic_kwargs(
+                            name, int(inst_label.rsplit("-s", 1)[1])
+                        )
+                    ),
+                ),
+                workers=1,
+            )
+            cells = {(o.label, o.optimizer): o for o in sweep}
+            ratios = {registry: [] for _, registry, _ in HEURISTICS}
+            for inst_label, _ in instances:
+                optimum = cells[(inst_label, "dp")].result.cost
+                for _, registry, _ in HEURISTICS:
+                    outcome = cells[(inst_label, registry)]
+                    assert outcome.ok, outcome.error
+                    ratios[registry].append(outcome.result.ratio_to(optimum))
             rows.append(
                 [label]
-                + [f"{mean(ratios[name]):.3f}" for name, _ in HEURISTICS]
+                + [f"{mean(ratios[registry]):.3f}" for _, registry, _ in HEURISTICS]
             )
         return emit_table(
             "EXP-HEUR",
             "Benign workloads (n=8): mean competitive ratio vs exact optimum",
-            ["workload"] + [name for name, _ in HEURISTICS],
+            ["workload"] + [name for name, _, _ in HEURISTICS],
             rows,
         )
 
@@ -73,7 +96,9 @@ def test_benign_ratio_table(benchmark):
 
 def test_gap_family_table(benchmark):
     def build():
-        rows = []
+        heuristic_names = [registry for _, registry, _ in HEURISTICS]
+        bounds = {}
+        instances = []
         for n in (8, 10, 12):
             k_yes = n - 2
             k_no = 2 + (k_yes % 2)
@@ -86,12 +111,29 @@ def test_gap_family_table(benchmark):
             )
             floor_log2 = log2_of(pair.no_reduction.no_cost_lower_bound())
             k_log2 = log2_of(pair.yes_reduction.yes_cost_bound())
-            budget = polylog_budget_log2(k_log2, delta=0.5)
-            instance = pair.no_reduction.instance.to_log_domain()
+            bounds[n] = (cert_log2, floor_log2, polylog_budget_log2(k_log2, delta=0.5))
+            instances.append(
+                (f"gap-n{n}", pair.no_reduction.instance.to_log_domain())
+            )
+        sweep = run_sweep(
+            grid_tasks(
+                heuristic_names,
+                instances,
+                kwargs_for=lambda name, _label: _heuristic_kwargs(name, 0),
+            ),
+            workers=1,
+        )
+        cells = {(o.label, o.optimizer): o for o in sweep}
+        rows = []
+        for inst_label, _ in instances:
+            n = int(inst_label.rsplit("-n", 1)[1])
+            cert_log2, floor_log2, budget = bounds[n]
             row = [n, f"{floor_log2 - cert_log2:.0f}", f"{budget:.0f}"]
             beats = True
-            for name, run in HEURISTICS:
-                found = log2_of(run(instance, 0).cost) - cert_log2
+            for registry in heuristic_names:
+                outcome = cells[(inst_label, registry)]
+                assert outcome.ok, outcome.error
+                found = log2_of(outcome.result.cost) - cert_log2
                 row.append(f"{found:.0f}")
                 beats = beats and found > budget
             row.append("gap >> budget" if beats else "check")
@@ -100,7 +142,7 @@ def test_gap_family_table(benchmark):
             "EXP-HEUR",
             "Gap family (alpha=4^n): log2 ratio to YES certificate vs 2^{log^{1/2} K} budget",
             ["n", "provable floor", "polylog budget"]
-            + [name for name, _ in HEURISTICS]
+            + [name for name, _, _ in HEURISTICS]
             + ["verdict"],
             rows,
         )

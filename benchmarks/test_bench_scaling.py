@@ -6,8 +6,6 @@ optimizers against the polynomial heuristics across n, and ablate
 exhaustive-with-pruning vs subset DP.
 """
 
-import time
-
 import pytest
 
 from benchmarks._tables import emit_table
@@ -17,39 +15,38 @@ from repro.joinopt.optimizers import (
     exhaustive_optimal,
     greedy_min_cost,
 )
+from repro.runtime.runner import grid_tasks, run_sweep
 from repro.workloads.queries import random_query
+
+#: table column label -> runner registry name
+SCALING_OPTIMIZERS = [
+    ("exhaustive", "exhaustive"),
+    ("branch&bound", "bnb"),
+    ("subset DP", "dp"),
+    ("greedy", "greedy-cost"),
+]
 
 
 def test_scaling_table(benchmark):
     def build():
+        instances = [
+            (f"n{n}", random_query(n, rng=n)) for n in (5, 7, 9, 11)
+        ]
+        sweep = run_sweep(
+            grid_tasks([reg for _, reg in SCALING_OPTIMIZERS], instances),
+            workers=1,  # serial: one shared cache, deterministic timings
+        )
+        cells = {(o.label, o.optimizer): o for o in sweep}
         rows = []
-        for n in (5, 7, 9, 11):
-            instance = random_query(n, rng=n)
-            timings = {}
-            explored = {}
-            for name, run in [
-                ("exhaustive", lambda: exhaustive_optimal(instance)),
-                ("branch&bound", lambda: branch_and_bound(instance)),
-                ("subset DP", lambda: dp_optimal(instance)),
-                ("greedy", lambda: greedy_min_cost(instance)),
-            ]:
-                start = time.perf_counter()
-                result = run()
-                timings[name] = time.perf_counter() - start
-                explored[name] = result.explored
-            rows.append(
-                (
-                    n,
-                    explored["exhaustive"],
-                    f"{timings['exhaustive'] * 1e3:.1f}",
-                    explored["branch&bound"],
-                    f"{timings['branch&bound'] * 1e3:.1f}",
-                    explored["subset DP"],
-                    f"{timings['subset DP'] * 1e3:.1f}",
-                    explored["greedy"],
-                    f"{timings['greedy'] * 1e3:.1f}",
-                )
-            )
+        for label, _ in instances:
+            n = int(label[1:])
+            row = [n]
+            for _, registry_name in SCALING_OPTIMIZERS:
+                outcome = cells[(label, registry_name)]
+                assert outcome.ok, outcome.error
+                row.append(outcome.explored)
+                row.append(f"{outcome.wall_time * 1e3:.1f}")
+            rows.append(tuple(row))
         return emit_table(
             "EXP-SCALE",
             "Exact vs heuristic optimizer work (plans/states explored, ms)",

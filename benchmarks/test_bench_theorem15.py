@@ -16,7 +16,7 @@ import pytest
 
 from benchmarks._tables import emit_table
 from repro.core.certificates import qoh_certificate_plan
-from repro.hashjoin.optimizer import best_decomposition, qoh_greedy, qoh_optimal
+from repro.hashjoin.optimizer import best_decomposition, qoh_optimal
 from repro.hashjoin.pipeline import PipelineDecomposition, decomposition_cost
 from repro.utils.lognum import log2_of
 from repro.utils.rng import make_rng
@@ -151,25 +151,36 @@ def test_search_scale_table(benchmark):
     search, annealing and random sampling can find between them."""
 
     def build():
-        from repro.hashjoin.annealing import qoh_simulated_annealing
-        from repro.hashjoin.search import qoh_beam_search
+        from repro.runtime.costcache import CostCache, use_cache
+        from repro.runtime.runner import grid_tasks, run_sweep
+        from repro.hashjoin.search import cached_best_decomposition
 
+        searcher_kwargs = {
+            "qoh-greedy": {},
+            "qoh-beam": {"beam_width": 8, "rng": 1},
+            "qoh-annealing": {"steps_per_temperature": 4, "rng": 1},
+        }
         rows = []
         for n in (9, 12):
             pair = qoh_gap_pair(n, Fraction(1, 2), alpha=4**n)
             cert = qoh_certificate_plan(pair.yes_reduction, pair.yes_clique)
             instance = pair.no_reduction.instance
-            candidates = [
-                qoh_greedy(instance),
-                qoh_beam_search(instance, beam_width=8, rng=1),
-                qoh_simulated_annealing(
-                    instance, steps_per_temperature=4, rng=1
+            sweep = run_sweep(
+                grid_tasks(
+                    list(searcher_kwargs),
+                    [(f"no-n{n}", instance)],
+                    kwargs_for=lambda name, _label: searcher_kwargs[name],
                 ),
-            ]
+                workers=1,
+            )
+            candidates = [o.result for o in sweep if o.ok]
             rng = make_rng(1)
-            for _ in range(20):
-                order = [0] + [1 + v for v in rng.sample(range(n), n)]
-                candidates.append(best_decomposition(instance, order))
+            with use_cache(CostCache()):
+                for _ in range(20):
+                    order = [0] + [1 + v for v in rng.sample(range(n), n)]
+                    candidates.append(
+                        cached_best_decomposition(instance, tuple(order))
+                    )
             costs = [plan.cost for plan in candidates if plan is not None]
             no_found = min(costs)
             gap = log2_of(no_found) - log2_of(cert.cost)

@@ -13,7 +13,7 @@ Three layers:
 
 import pytest
 
-from benchmarks._tables import emit_table
+from benchmarks._tables import RESULTS_DIR, emit_table
 from repro.core.certificates import qon_certificate_sequence
 from repro.core.gap import (
     default_alpha_exponent,
@@ -24,19 +24,34 @@ from repro.core.gap import (
 )
 from repro.joinopt.cost import total_cost
 from repro.joinopt.optimizers import dp_optimal, greedy_min_cost
+from repro.runtime.metrics import sweep_metrics, validate_metrics, write_metrics
+from repro.runtime.runner import grid_tasks, run_sweep
 from repro.utils.lognum import log2_of
 from repro.workloads.gaps import qon_gap_pair
 
 
 def test_exact_small_scale_table(benchmark):
     def build():
+        combos = [(8, 6, 2), (9, 7, 3), (10, 8, 2)]
+        pairs = {
+            n: qon_gap_pair(n, k_yes, k_no, alpha=4)
+            for n, k_yes, k_no in combos
+        }
+        sweep = run_sweep(
+            grid_tasks(
+                ["dp"],
+                [(f"no-n{n}", pairs[n].no_reduction.instance) for n, _, _ in combos],
+            ),
+            workers=1,
+        )
+        no_optima = {o.label: o.result.cost for o in sweep if o.ok}
         rows = []
-        for n, k_yes, k_no in [(8, 6, 2), (9, 7, 3), (10, 8, 2)]:
-            pair = qon_gap_pair(n, k_yes, k_no, alpha=4)
+        for n, k_yes, k_no in combos:
+            pair = pairs[n]
             cert = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
             yes_cost = total_cost(pair.yes_reduction.instance, cert)
             k_bound = pair.yes_reduction.yes_cost_bound()
-            no_cost = dp_optimal(pair.no_reduction.instance).cost
+            no_cost = no_optima[f"no-n{n}"]
             floor = pair.no_reduction.no_cost_lower_bound()
             ok = yes_cost <= k_bound and no_cost >= floor and no_cost > yes_cost
             rows.append(
@@ -60,6 +75,84 @@ def test_exact_small_scale_table(benchmark):
 
     table = benchmark.pedantic(build, rounds=1, iterations=1)
     assert "VIOLATED" not in table
+
+
+def test_cached_sweep_ablation_table(benchmark):
+    """The Theorem 9 grid through the cached runner: identical results,
+    measurably fewer cost evaluations, hit-rate > 0, metrics emitted."""
+
+    def build():
+        # n = 8 keeps the exhaustive baseline fast: pruning cannot help
+        # on the complete gap graph, so n = 9 would cost ~9! evaluations.
+        instances = []
+        for n, k_yes, k_no in [(8, 6, 2)]:
+            pair = qon_gap_pair(n, k_yes, k_no, alpha=4)
+            instances.append((f"yes-n{n}", pair.yes_reduction.instance))
+            instances.append((f"no-n{n}", pair.no_reduction.instance))
+        optimizers = ["dp", "bnb", "exhaustive"]
+        tasks = grid_tasks(optimizers, instances)
+        cached = run_sweep(tasks, workers=1, cache=True)
+        baseline = run_sweep(tasks, workers=1, cache=False)
+
+        # Identical sweeps produce identical tables.
+        for with_cache, without in zip(cached, baseline):
+            assert with_cache.ok and without.ok
+            assert with_cache.result.cost == without.result.cost
+            assert with_cache.result.sequence == without.result.sequence
+        totals = cached.cache_totals()
+        assert totals.hits > 0
+        assert cached.evaluations < baseline.evaluations
+
+        payload = sweep_metrics(
+            cached,
+            grid={
+                "experiment": "EXP-T9-ablation",
+                "optimizers": optimizers,
+                "instances": [label for label, _ in instances],
+                "baseline_evaluations": baseline.evaluations,
+            },
+        )
+        validate_metrics(payload)
+        write_metrics(payload, RESULTS_DIR / "EXP-T9-metrics.json")
+
+        rows = []
+        for label, _ in instances:
+            for name in optimizers:
+                outcome = next(
+                    o for o in cached
+                    if o.label == label and o.optimizer == name
+                )
+                rows.append(
+                    (
+                        label,
+                        name,
+                        f"{log2_of(outcome.result.cost):.1f}",
+                        outcome.explored,
+                        outcome.cache.hits,
+                        outcome.cache.misses,
+                    )
+                )
+        saved = baseline.evaluations - cached.evaluations
+        rows.append(
+            (
+                "TOTAL",
+                f"{cached.evaluations} vs {baseline.evaluations} evals",
+                "-",
+                cached.explored_total,
+                totals.hits,
+                f"{totals.misses} (saved {saved})",
+            )
+        )
+        return emit_table(
+            "EXP-T9",
+            "Theorem 9 grid through the cached runner (alpha=4): "
+            "cache ablation vs uncached baseline",
+            ["instance", "optimizer", "log2 cost", "explored", "hits", "misses"],
+            rows,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "TOTAL" in table
 
 
 def test_certificate_scale_table(benchmark):

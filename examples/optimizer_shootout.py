@@ -5,6 +5,11 @@ constant factors of the optimum.  On the paper's gap family the same
 heuristics are *provably unable* (Theorem 9) to stay within any
 polylogarithmic factor — and measurably blow up.
 
+Both sections fan their optimizer x instance grid through the
+instrumented sweep runner (:mod:`repro.runtime.runner`), so repeated
+cost evaluations are memoized and the cache/work counters are printed
+at the end.
+
 Run:  python examples/optimizer_shootout.py
 """
 
@@ -12,25 +17,36 @@ from statistics import mean
 
 from repro.core.certificates import qon_certificate_sequence
 from repro.joinopt.cost import total_cost
-from repro.joinopt.optimizers import (
-    dp_optimal,
-    greedy_min_cost,
-    greedy_min_size,
-    iterative_improvement,
-    random_sampling,
-    simulated_annealing,
-)
+from repro.runtime.runner import SweepResult, grid_tasks, run_sweep
 from repro.utils.lognum import log2_of
 from repro.workloads.gaps import qon_gap_pair
 from repro.workloads.queries import chain_query, clique_query, cycle_query, random_query
 
+#: (display name, runner registry name) — randomized ones get rng=<seed>.
 HEURISTICS = [
-    ("greedy-min-cost", lambda inst, seed: greedy_min_cost(inst)),
-    ("greedy-min-size", lambda inst, seed: greedy_min_size(inst)),
-    ("iterative-improve", lambda inst, seed: iterative_improvement(inst, rng=seed)),
-    ("simulated-anneal", lambda inst, seed: simulated_annealing(inst, rng=seed)),
-    ("random-sampling", lambda inst, seed: random_sampling(inst, rng=seed)),
+    ("greedy-min-cost", "greedy-cost"),
+    ("greedy-min-size", "greedy-size"),
+    ("iterative-improve", "iterative"),
+    ("simulated-anneal", "annealing"),
+    ("random-sampling", "sampling"),
 ]
+_SEEDED = {"iterative", "annealing", "sampling"}
+
+
+def _kwargs_for(name: str, label: str) -> dict:
+    if name in _SEEDED:
+        return {"rng": int(label.rsplit("-s", 1)[1])}
+    return {}
+
+
+def _report_sweep(section: str, sweep: SweepResult) -> None:
+    totals = sweep.cache_totals()
+    print(
+        f"[{section}] {len(sweep)} tasks in {sweep.wall_time:.2f}s "
+        f"({sweep.mode}); plans explored: {sweep.explored_total}; "
+        f"cost evaluations: {totals.misses} "
+        f"(cache hits: {totals.hits}, hit rate {totals.hit_rate:.1%})"
+    )
 
 
 def benign_section() -> None:
@@ -41,18 +57,32 @@ def benign_section() -> None:
         ("clique", clique_query),
         ("random", random_query),
     ]
+    instances = [
+        (f"{label}-s{seed}", factory(8, rng=seed))
+        for label, factory in workloads
+        for seed in range(5)
+    ]
+    optimizers = ["dp"] + [registry for _, registry in HEURISTICS]
+    sweep = run_sweep(
+        grid_tasks(optimizers, instances, kwargs_for=_kwargs_for),
+        workers=1,
+    )
+    cells = {(o.label, o.optimizer): o.result for o in sweep if o.ok}
     print(f"{'workload':<10}" + "".join(f"{name:>20}" for name, _ in HEURISTICS))
-    for label, factory in workloads:
-        ratios = {name: [] for name, _ in HEURISTICS}
+    for label, _factory in workloads:
+        ratios = {registry: [] for _, registry in HEURISTICS}
         for seed in range(5):
-            instance = factory(8, rng=seed)
-            optimum = dp_optimal(instance).cost
-            for name, run in HEURISTICS:
-                ratios[name].append(run(instance, seed).ratio_to(optimum))
+            optimum = cells[(f"{label}-s{seed}", "dp")].cost
+            for _, registry in HEURISTICS:
+                result = cells[(f"{label}-s{seed}", registry)]
+                ratios[registry].append(result.ratio_to(optimum))
         print(
             f"{label:<10}"
-            + "".join(f"{mean(ratios[name]):>20.3f}" for name, _ in HEURISTICS)
+            + "".join(
+                f"{mean(ratios[registry]):>20.3f}" for _, registry in HEURISTICS
+            )
         )
+    _report_sweep("benign", sweep)
 
 
 def adversarial_section() -> None:
@@ -61,16 +91,31 @@ def adversarial_section() -> None:
     header = f"{'n':>4}{'k_yes':>7}{'k_no':>6}{'floor':>9}"
     header += "".join(f"{name:>20}" for name, _ in HEURISTICS)
     print(header)
-    for n, k_yes, k_no in [(8, 6, 2), (10, 8, 2), (12, 9, 3)]:
+    combos = [(8, 6, 2), (10, 8, 2), (12, 9, 3)]
+    bounds = {}
+    instances = []
+    for n, k_yes, k_no in combos:
         pair = qon_gap_pair(n, k_yes, k_no, alpha=4**n)
         certificate = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
         cert_log2 = log2_of(total_cost(pair.yes_reduction.instance, certificate))
         floor_log2 = log2_of(pair.no_reduction.no_cost_lower_bound())
+        bounds[n] = (cert_log2, floor_log2)
         # Heuristics attack the NO instance (log-domain for speed).
-        instance = pair.no_reduction.instance.to_log_domain()
+        instances.append((f"gap-n{n}-s0", pair.no_reduction.instance.to_log_domain()))
+    sweep = run_sweep(
+        grid_tasks(
+            [registry for _, registry in HEURISTICS],
+            instances,
+            kwargs_for=_kwargs_for,
+        ),
+        workers=1,
+    )
+    cells = {(o.label, o.optimizer): o.result for o in sweep if o.ok}
+    for n, k_yes, k_no in combos:
+        cert_log2, floor_log2 = bounds[n]
         row = f"{n:>4}{k_yes:>7}{k_no:>6}{floor_log2 - cert_log2:>9.1f}"
-        for name, run in HEURISTICS:
-            found = run(instance, 0)
+        for _, registry in HEURISTICS:
+            found = cells[(f"gap-n{n}-s0", registry)]
             row += f"{log2_of(found.cost) - cert_log2:>20.1f}"
         print(row)
     print(
@@ -78,6 +123,7 @@ def adversarial_section() -> None:
         "polynomial algorithm can do better than the floor on NO "
         "instances, which is the hardness gap."
     )
+    _report_sweep("adversarial", sweep)
 
 
 def main() -> None:

@@ -7,6 +7,7 @@ Usage (installed as ``python -m repro``):
     python -m repro reduce-sat --variables 6 --clauses 16 --satisfiable \\
         --target qon --out hard.json
     python -m repro gap-report --relations 10 --alpha-exp 20
+    python -m repro sweep --family random --n 6,8 --algorithms dp,greedy-cost
 
 Instances travel as the JSON format of :mod:`repro.io`.
 """
@@ -22,21 +23,15 @@ from repro import io
 from repro.core.chains import hardness_chain_qoh, hardness_chain_qon
 from repro.core.gap import gap_factor_log2, k_cd_log2, polylog_budget_log2
 from repro.joinopt.instance import QONInstance
-from repro.joinopt.optimizers import (
-    branch_and_bound,
-    dp_optimal,
-    exhaustive_optimal,
-    genetic_algorithm,
-    greedy_min_cost,
-    greedy_min_size,
-    ikkbz,
-    iterative_improvement,
-    random_sampling,
-    simulated_annealing,
-)
 from repro.engine import execute_sequence, generate_database
 from repro.engine.data import harmonize_sizes
 from repro.joinopt.explain import explain
+from repro.runtime.runner import (
+    OPTIMIZERS,
+    default_workers,
+    grid_tasks,
+    run_sweep,
+)
 from repro.sat.gapfamilies import no_instance, yes_instance
 from repro.utils.lognum import log2_of
 from repro.workloads import (
@@ -56,17 +51,11 @@ _FAMILIES = {
     "random": random_query,
 }
 
+#: QO_N algorithms exposed on the CLI — the shared runtime registry
+#: minus the QO_H entries (those take QOHInstance inputs).
 _ALGORITHMS = {
-    "exhaustive": exhaustive_optimal,
-    "bnb": branch_and_bound,
-    "dp": dp_optimal,
-    "ikkbz": ikkbz,
-    "greedy-cost": greedy_min_cost,
-    "greedy-size": greedy_min_size,
-    "iterative": iterative_improvement,
-    "annealing": simulated_annealing,
-    "sampling": random_sampling,
-    "genetic": genetic_algorithm,
+    name: run for name, run in OPTIMIZERS.items()
+    if not name.startswith("qoh-")
 }
 
 
@@ -180,6 +169,135 @@ def _cmd_execute(args: argparse.Namespace) -> int:
     return 0
 
 
+_RANDOMIZED = {"iterative", "annealing", "sampling", "genetic"}
+
+#: Fast algorithms for --quick smoke runs.
+_QUICK_ALGORITHMS = ["dp", "greedy-cost", "sampling"]
+
+
+def _sweep_instances(args: argparse.Namespace):
+    """Build the labelled instance list and a label -> seed map."""
+    instances = []
+    seeds = {}
+    for n in args.n_values:
+        if args.family == "gap":
+            if n < 6:  # k_yes = n-2 must clear k_no = 2 or 3
+                raise SystemExit("gap family needs --n >= 6")
+            k_yes = n - 2
+            k_no = 2 + (k_yes % 2)
+            pair = qon_gap_pair(n, k_yes, k_no, alpha=4)
+            for side, reduction in (
+                ("yes", pair.yes_reduction), ("no", pair.no_reduction)
+            ):
+                label = f"gap-{side}-n{n}"
+                instances.append((label, reduction.instance))
+                seeds[label] = 0
+            continue
+        factory = _FAMILIES[args.family]
+        for seed in range(args.seeds):
+            label = f"{args.family}-n{n}-s{seed}"
+            instances.append((label, factory(n, rng=seed)))
+            seeds[label] = seed
+    return instances, seeds
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runtime.metrics import sweep_metrics, write_metrics
+
+    try:
+        args.n_values = [int(part) for part in args.n.split(",") if part]
+    except ValueError:
+        print(
+            f"--n expects a comma-separated list of integers, got {args.n!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.n_values:
+        print("--n needs at least one instance size", file=sys.stderr)
+        return 2
+    if args.algorithms:
+        names = [part for part in args.algorithms.split(",") if part]
+    elif args.quick:
+        names = list(_QUICK_ALGORITHMS)
+    else:
+        names = ["dp", "greedy-cost", "greedy-size", "iterative", "sampling"]
+    unknown = [name for name in names if name not in _ALGORITHMS]
+    if unknown:
+        print(
+            f"unknown algorithms: {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(_ALGORITHMS))})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.quick:
+        args.seeds = 1
+
+    instances, seeds = _sweep_instances(args)
+
+    def kwargs_for(name: str, label: str):
+        if name in _RANDOMIZED:
+            return {"rng": seeds.get(label, 0)}
+        return {}
+
+    tasks = grid_tasks(names, instances, kwargs_for=kwargs_for)
+    result = run_sweep(
+        tasks,
+        workers=args.workers,
+        cache=not args.no_cache,
+        cache_maxsize=args.cache_maxsize,
+        timeout=args.timeout,
+    )
+
+    header = (
+        f"{'instance':<16}{'algorithm':<14}{'log2 cost':>10}"
+        f"{'explored':>10}{'ms':>9}{'hits':>7}{'misses':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for outcome in result:
+        if outcome.timed_out:
+            shown = "TIMEOUT"
+        elif outcome.error:
+            shown = "ERROR"
+        else:
+            shown = f"{log2_of(outcome.result.cost):.1f}"
+        print(
+            f"{outcome.label:<16}{outcome.optimizer:<14}{shown:>10}"
+            f"{outcome.explored:>10}{outcome.wall_time * 1e3:>9.1f}"
+            f"{outcome.cache.hits:>7}{outcome.cache.misses:>8}"
+        )
+        if outcome.error and not outcome.timed_out:
+            print(f"    {outcome.error}")
+    totals = result.cache_totals()
+    print(
+        f"\n{len(result)} tasks ({result.mode}, {result.workers} worker"
+        f"{'s' if result.workers != 1 else ''}) in {result.wall_time:.2f}s | "
+        f"cost evaluations: {totals.misses} | cache hits: {totals.hits} "
+        f"(hit rate {totals.hit_rate:.1%}) | "
+        f"peak subproblems: {totals.peak_size}"
+    )
+
+    metrics_out = args.metrics_out
+    if metrics_out is None:
+        from pathlib import Path
+
+        results_dir = Path("benchmarks") / "results"
+        target = results_dir if results_dir.is_dir() else Path(".")
+        metrics_out = target / "sweep-metrics.json"
+    payload = sweep_metrics(
+        result,
+        grid={
+            "family": args.family,
+            "n": args.n_values,
+            "seeds": args.seeds,
+            "algorithms": names,
+        },
+    )
+    path = write_metrics(payload, metrics_out)
+    print(f"metrics written to {path}")
+    return 0 if all(o.ok for o in result) else 1
+
+
 def _cmd_scorecard(args: argparse.Namespace) -> int:
     from repro.core.scorecard import build_scorecard
 
@@ -262,6 +380,49 @@ def build_parser() -> argparse.ArgumentParser:
         "scorecard", help="verify every theorem's fast checks"
     )
     scorecard.set_defaults(func=_cmd_scorecard)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run an optimizer x instance grid through the cached "
+        "parallel runner and emit metrics JSON",
+    )
+    sweep.add_argument(
+        "--family",
+        choices=sorted(_FAMILIES) + ["gap"],
+        default="random",
+        help="workload family; 'gap' sweeps the Theorem 9 YES/NO pair",
+    )
+    sweep.add_argument(
+        "--n", default="6,8",
+        help="comma-separated instance sizes, e.g. 4,6,8",
+    )
+    sweep.add_argument("--seeds", type=int, default=2,
+                       help="instances per size (ignored for gap)")
+    sweep.add_argument(
+        "--algorithms",
+        help="comma-separated algorithm names "
+        f"(default depends on --quick; choose from "
+        f"{', '.join(sorted(_ALGORITHMS))})",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help=f"pool size (default: min(cores - 1, 8) = "
+        f"{default_workers()}; 1 forces serial)",
+    )
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-task wall-clock budget in seconds")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable memoization (evaluations still counted)")
+    sweep.add_argument(
+        "--cache-maxsize", type=int, default=None,
+        help="bound the cost cache (LRU) at this many entries",
+    )
+    sweep.add_argument("--metrics-out", default=None,
+                       help="metrics JSON path (default: benchmarks/results/"
+                       "sweep-metrics.json when that directory exists)")
+    sweep.add_argument("--quick", action="store_true",
+                       help="small smoke grid: fast algorithms, one seed")
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -11,10 +11,12 @@ hardness instances' scales are handled.
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from repro.hashjoin.instance import QOHInstance
-from repro.hashjoin.optimizer import QOHPlan, best_decomposition
+from repro.hashjoin.optimizer import QOHPlan
+from repro.hashjoin.search import cached_best_decomposition
 from repro.utils.lognum import log2_of
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require
@@ -69,14 +71,16 @@ def qoh_simulated_annealing(
     current_sequence = _initial_sequence(instance, generator)
     if current_sequence is None:
         return None
-    current_plan = best_decomposition(instance, current_sequence)
+    current_plan = cached_best_decomposition(instance, current_sequence)
+    explored = 1
     # The random start may be infeasible (oversized relation displaced);
     # retry a few times before giving up.
     for _ in range(20):
         if current_plan is not None:
             break
         current_sequence = _initial_sequence(instance, generator)
-        current_plan = best_decomposition(instance, current_sequence)
+        current_plan = cached_best_decomposition(instance, current_sequence)
+        explored += 1
     if current_plan is None:
         return None
 
@@ -88,7 +92,10 @@ def qoh_simulated_annealing(
     while temperature > min_temperature:
         for _ in range(steps_per_temperature):
             candidate_sequence = _neighbor(current_plan.sequence, generator)
-            candidate_plan = best_decomposition(instance, candidate_sequence)
+            candidate_plan = cached_best_decomposition(
+                instance, candidate_sequence
+            )
+            explored += 1
             if candidate_plan is None:
                 continue
             delta = log2_of(candidate_plan.cost) - current_log
@@ -99,4 +106,5 @@ def qoh_simulated_annealing(
                     best_plan = current_plan
                     best_log = current_log
         temperature *= cooling
-    return best_plan
+    # explored counts every sequence the annealer costed.
+    return replace(best_plan, explored=explored)

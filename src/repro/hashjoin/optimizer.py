@@ -16,7 +16,7 @@ the f_H reduction uses to pin ``R_0`` to the first position.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from fractions import Fraction
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -160,6 +160,7 @@ def qoh_greedy(instance: QOHInstance) -> Optional[QOHPlan]:
     """
     n = instance.num_relations
     best: Optional[QOHPlan] = None
+    explored = 0
     for first in range(n):
         others = [r for r in range(n) if r != first]
         if any(instance.hjmin(r) > instance.memory for r in others):
@@ -176,6 +177,7 @@ def qoh_greedy(instance: QOHInstance) -> Optional[QOHPlan]:
                         size = size * selectivity
                 return size
 
+            explored += len(remaining)
             choice = min(sorted(remaining), key=resulting_size)
             current = resulting_size(choice)
             sequence.append(choice)
@@ -183,4 +185,8 @@ def qoh_greedy(instance: QOHInstance) -> Optional[QOHPlan]:
         plan = best_decomposition(instance, sequence)
         if plan is not None and (best is None or plan.cost < best.cost):
             best = plan
-    return best
+    if best is None:
+        return None
+    # explored counts every partial sequence the greedy examined across
+    # all starting relations, not just the winning decomposition DP.
+    return replace(best, explored=explored)

@@ -16,13 +16,35 @@ Complements the exhaustive optimizer (practical to ~8 relations):
 
 from __future__ import annotations
 
+from dataclasses import replace
 from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
 
 from repro.hashjoin.instance import QOHInstance
 from repro.hashjoin.optimizer import QOHPlan, best_decomposition
+from repro.runtime.costcache import active_cache
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require
+
+
+def cached_best_decomposition(
+    instance: QOHInstance, sequence: Sequence[int]
+) -> Optional[QOHPlan]:
+    """``best_decomposition`` through the active cost cache.
+
+    The decomposition DP depends only on ``(instance, sequence)``, and
+    the search layers (beam search, annealing, random sampling) revisit
+    sequences constantly — so the plan is memoized keyed on the
+    sequence tuple.  Without an active cache this is a plain call.
+    """
+    cache = active_cache()
+    key = tuple(sequence)
+    if cache is None:
+        return best_decomposition(instance, key)
+    return cache.get_or_compute(
+        instance, "qoh-plan", key,
+        lambda: best_decomposition(instance, key),
+    )
 
 
 def qoh_trivial_lower_bound(instance: QOHInstance) -> Fraction:
@@ -89,6 +111,7 @@ def qoh_beam_search(
     ]
     if not beams:
         return None
+    explored = len(beams)
     beams.sort(key=lambda item: (item[0], generator.random()))
     beams = beams[:beam_width]
 
@@ -105,12 +128,17 @@ def qoh_beam_search(
                     if selectivity != 1:
                         new_size = new_size * selectivity
                 extended.append((new_size, prefix + (candidate,)))
+        explored += len(extended)
         extended.sort(key=lambda item: (item[0], generator.random()))
         beams = extended[:beam_width]
 
     best: Optional[QOHPlan] = None
     for _, sequence in beams:
-        plan = best_decomposition(instance, sequence)
+        plan = cached_best_decomposition(instance, sequence)
         if plan is not None and (best is None or plan.cost < best.cost):
             best = plan
-    return best
+    if best is None:
+        return None
+    # explored counts every partial sequence the beam examined, not
+    # just the winning decomposition DP's transitions.
+    return replace(best, explored=explored)

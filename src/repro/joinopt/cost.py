@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.joinopt.instance import QONInstance
+from repro.runtime.costcache import active_cache
 from repro.utils.validation import require
 
 JoinSequence = Sequence[int]
@@ -72,13 +73,31 @@ def join_costs(instance: QONInstance, sequence: JoinSequence) -> List:
     return costs
 
 
-def total_cost(instance: QONInstance, sequence: JoinSequence):
-    """``C(Z)``, the sum of the join costs."""
+def _total_cost_uncached(instance: QONInstance, sequence: JoinSequence):
     costs = join_costs(instance, sequence)
     total = costs[0]
     for cost in costs[1:]:
         total = total + cost
     return total
+
+
+def total_cost(instance: QONInstance, sequence: JoinSequence):
+    """``C(Z)``, the sum of the join costs.
+
+    Consults the active :class:`~repro.runtime.costcache.CostCache`
+    (if any) keyed on the full sequence — the metaheuristics revisit
+    the same permutations constantly, and a cached value is returned
+    exactly as the miss path computed it, so results are bit-identical
+    with and without the cache.
+    """
+    cache = active_cache()
+    if cache is None:
+        return _total_cost_uncached(instance, sequence)
+    key = tuple(sequence)
+    return cache.get_or_compute(
+        instance, "qon-cost", key,
+        lambda: _total_cost_uncached(instance, key),
+    )
 
 
 def partial_costs(instance: QONInstance, sequence: JoinSequence) -> Tuple[List, List]:

@@ -20,6 +20,7 @@ from typing import List, Tuple
 from repro.joinopt.instance import QONInstance
 from repro.joinopt.optimizers.base import OptimizerResult
 from repro.joinopt.optimizers.greedy import greedy_min_cost
+from repro.runtime.costcache import active_cache
 from repro.utils.validation import require
 
 
@@ -56,12 +57,31 @@ def branch_and_bound(
     seed = greedy_min_cost(instance)
     best_cost = seed.cost
     best_sequence: Tuple[int, ...] = seed.sequence
+    cache = active_cache()
     explored = 0
 
     prefix: List[int] = []
     used = [False] * n
 
-    def recurse(prefix_size, partial_cost) -> None:
+    def extension_size(prefix_size, candidate, prefix_mask):
+        """``N(prefix + candidate)`` — cache-shared (key: bitmask)
+        with the subset DP and the pruned exhaustive search."""
+
+        def compute():
+            size = prefix_size * instance.size(candidate)
+            for earlier in prefix:
+                selectivity = instance.selectivity(earlier, candidate)
+                if selectivity != 1:
+                    size = size * selectivity
+            return size
+
+        if cache is None:
+            return compute()
+        return cache.get_or_compute(
+            instance, "qon-size", prefix_mask | (1 << candidate), compute
+        )
+
+    def recurse(prefix_size, partial_cost, prefix_mask) -> None:
         nonlocal best_cost, best_sequence, explored
         depth = len(prefix)
         if depth == n:
@@ -81,11 +101,7 @@ def branch_and_bound(
                 )
                 step = prefix_size * probe
                 new_cost = partial_cost + step
-                new_size = prefix_size * instance.size(candidate)
-                for earlier in prefix:
-                    selectivity = instance.selectivity(earlier, candidate)
-                    if selectivity != 1:
-                        new_size = new_size * selectivity
+                new_size = extension_size(prefix_size, candidate, prefix_mask)
             else:
                 new_cost = 0
                 new_size = instance.size(candidate)
@@ -104,11 +120,11 @@ def branch_and_bound(
                 continue
             used[candidate] = True
             prefix.append(candidate)
-            recurse(new_size, new_cost)
+            recurse(new_size, new_cost, prefix_mask | (1 << candidate))
             prefix.pop()
             used[candidate] = False
 
-    recurse(0, 0)
+    recurse(0, 0, 0)
     return OptimizerResult(
         cost=best_cost,
         sequence=best_sequence,

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.joinopt.instance import QONInstance
 from repro.joinopt.optimizers.base import OptimizerResult
+from repro.runtime.costcache import active_cache
 from repro.utils.validation import require
 
 
@@ -42,11 +43,14 @@ def dp_optimal(
 
     graph = instance.graph
     full = (1 << n) - 1
+    cache = active_cache()
 
     # best_cost[mask] -> cost; parent[mask] -> (previous mask, joined relation)
     best_cost: Dict[int, object] = {}
     parent: Dict[int, Tuple[int, int]] = {}
-    # prefix_size[mask] = N(relations in mask); order-independent.
+    # prefix_size[mask] = N(relations in mask); order-independent, so
+    # the entries are shared through the cost cache (key: the bitmask)
+    # with branch-and-bound and the pruned exhaustive search.
     prefix_size: Dict[int, object] = {}
 
     for first in range(n):
@@ -79,12 +83,20 @@ def dp_optimal(
                 best_cost[new_mask] = new_cost
                 parent[new_mask] = (mask, j)
                 if new_mask not in prefix_size:
-                    new_size = base_size * instance.size(j)
-                    for k in members:
-                        selectivity = instance.selectivity(k, j)
-                        if selectivity != 1:
-                            new_size = new_size * selectivity
-                    prefix_size[new_mask] = new_size
+                    def extend_size(base=base_size, j=j, members=members):
+                        size = base * instance.size(j)
+                        for k in members:
+                            selectivity = instance.selectivity(k, j)
+                            if selectivity != 1:
+                                size = size * selectivity
+                        return size
+
+                    if cache is not None:
+                        prefix_size[new_mask] = cache.get_or_compute(
+                            instance, "qon-size", new_mask, extend_size
+                        )
+                    else:
+                        prefix_size[new_mask] = extend_size()
 
     if full not in best_cost:
         # Disconnected graph with cartesian products forbidden.

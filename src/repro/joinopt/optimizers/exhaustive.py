@@ -12,6 +12,7 @@ from typing import List, Optional, Tuple
 
 from repro.joinopt.instance import QONInstance
 from repro.joinopt.optimizers.base import OptimizerResult
+from repro.runtime.costcache import active_cache
 from repro.utils.validation import require
 
 
@@ -43,6 +44,7 @@ def exhaustive_optimal(
         )
 
     graph = instance.graph
+    cache = active_cache()
     best_cost = None
     best_sequence: Optional[Tuple[int, ...]] = None
     explored = 0
@@ -50,7 +52,25 @@ def exhaustive_optimal(
     prefix: List[int] = []
     used = [False] * n
 
-    def recurse(prefix_size, partial_cost) -> None:
+    def extension_size(prefix_size, candidate, prefix_mask):
+        """``N(prefix + candidate)`` — order-free, so cache-shared
+        (key: the extended bitmask) with the subset DP and B&B."""
+
+        def compute():
+            size = prefix_size * instance.size(candidate)
+            for earlier in prefix:
+                selectivity = instance.selectivity(earlier, candidate)
+                if selectivity != 1:
+                    size = size * selectivity
+            return size
+
+        if cache is None:
+            return compute()
+        return cache.get_or_compute(
+            instance, "qon-size", prefix_mask | (1 << candidate), compute
+        )
+
+    def recurse(prefix_size, partial_cost, prefix_mask) -> None:
         nonlocal best_cost, best_sequence, explored
         if len(prefix) == n:
             explored += 1
@@ -79,21 +99,17 @@ def exhaustive_optimal(
                 if best_cost is not None and new_cost >= best_cost:
                     explored += 1
                     continue
-                new_size = prefix_size * instance.size(candidate)
-                for earlier in prefix:
-                    selectivity = instance.selectivity(earlier, candidate)
-                    if selectivity != 1:
-                        new_size = new_size * selectivity
+                new_size = extension_size(prefix_size, candidate, prefix_mask)
             else:
                 new_cost = partial_cost
                 new_size = instance.size(candidate)
             used[candidate] = True
             prefix.append(candidate)
-            recurse(new_size, new_cost)
+            recurse(new_size, new_cost, prefix_mask | (1 << candidate))
             prefix.pop()
             used[candidate] = False
 
-    recurse(None, None)
+    recurse(None, None, 0)
     if best_sequence is None:
         # Every sequence was filtered out (disconnected graph with
         # allow_cartesian=False): fall back to allowing products.

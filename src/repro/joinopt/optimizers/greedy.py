@@ -33,8 +33,11 @@ def _greedy_from(
     first: int,
     prefer_size: bool,
     allow_cartesian: bool,
-) -> Optional[Tuple[int, ...]]:
-    """One greedy rollout starting from ``first``; None if stuck.
+) -> Tuple[Optional[Tuple[int, ...]], int]:
+    """One greedy rollout starting from ``first``.
+
+    Returns ``(sequence, examined)`` where ``examined`` counts the
+    candidate partial plans evaluated; the sequence is None if stuck.
 
     Incremental state per remaining candidate c:
       * probe[c]   = min over joined k of w[k][c];
@@ -44,6 +47,7 @@ def _greedy_from(
     n = instance.num_relations
     graph = instance.graph
     sequence = [first]
+    examined = 0
     remaining = [v for v in range(n) if v != first]
     probe = {}
     selprod = {}
@@ -63,6 +67,7 @@ def _greedy_from(
                 # If no connected candidate exists at all this rollout
                 # fails; the caller then retries with products allowed.
                 continue
+            examined += 1
             new_size = prefix_size * instance.size(candidate)
             selectivity = selprod[candidate]
             if selectivity != 1:
@@ -73,7 +78,7 @@ def _greedy_from(
                 best_candidate = candidate
                 best_size = new_size
         if best_candidate is None:
-            return None
+            return None, examined
         sequence.append(best_candidate)
         remaining.remove(best_candidate)
         prefix_size = best_size
@@ -88,7 +93,7 @@ def _greedy_from(
                 best_candidate, candidate
             ):
                 connected[candidate] = True
-    return tuple(sequence)
+    return tuple(sequence), examined
 
 
 def _starting_relations(instance: QONInstance, max_full_starts: int) -> List[int]:
@@ -117,9 +122,14 @@ def _greedy(
         return OptimizerResult(cost=0, sequence=(0,), optimizer=name, explored=1)
     best_cost = None
     best_sequence: Optional[Tuple[int, ...]] = None
+    # explored counts candidate partial plans examined across rollouts,
+    # so the work metric reflects the O(n^2)-per-rollout enumeration.
     explored = 0
     for first in _starting_relations(instance, max_full_starts):
-        sequence = _greedy_from(instance, first, prefer_size, allow_cartesian)
+        sequence, examined = _greedy_from(
+            instance, first, prefer_size, allow_cartesian
+        )
+        explored += examined
         if sequence is None:
             continue
         explored += 1

@@ -1,0 +1,67 @@
+"""Runtime orchestration: parallel sweeps, cost caching, metrics.
+
+Three layers:
+
+* :mod:`repro.runtime.costcache` — the memoization layer the
+  optimizers consult (``use_cache`` / ``CostCache``);
+* :mod:`repro.runtime.runner` — the parallel sweep runner
+  (``run_sweep`` / ``SweepTask`` / ``grid_tasks``);
+* :mod:`repro.runtime.metrics` — the JSON instrumentation schema
+  (``sweep_metrics`` / ``validate_metrics`` / ``write_metrics``).
+
+The cache symbols are imported eagerly; the runner and metrics layers
+load lazily on first attribute access because the cost model itself
+imports :mod:`repro.runtime.costcache` (PEP 562 keeps that import
+acyclic).
+"""
+
+from repro.runtime.costcache import (
+    CacheStats,
+    CostCache,
+    active_cache,
+    fingerprint,
+    install_cache,
+    use_cache,
+)
+
+__all__ = [
+    "CacheStats",
+    "CostCache",
+    "active_cache",
+    "fingerprint",
+    "install_cache",
+    "use_cache",
+    # lazily resolved:
+    "OPTIMIZERS",
+    "SweepTask",
+    "TaskOutcome",
+    "SweepResult",
+    "run_sweep",
+    "grid_tasks",
+    "default_workers",
+    "sweep_metrics",
+    "validate_metrics",
+    "write_metrics",
+    "load_metrics",
+]
+
+_RUNNER_NAMES = {
+    "OPTIMIZERS", "SweepTask", "TaskOutcome", "SweepResult",
+    "run_sweep", "grid_tasks", "default_workers", "SweepTimeout",
+}
+_METRICS_NAMES = {
+    "sweep_metrics", "validate_metrics", "write_metrics", "load_metrics",
+    "SCHEMA",
+}
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_NAMES:
+        from repro.runtime import runner
+
+        return getattr(runner, name)
+    if name in _METRICS_NAMES:
+        from repro.runtime import metrics
+
+        return getattr(metrics, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,234 @@
+"""Cost-evaluation cache shared by the optimizers.
+
+Every optimizer in this repository ultimately evaluates one of two
+order-free quantities over and over:
+
+* the total cost ``C(Z)`` of a full join sequence ``Z`` (metaheuristics
+  revisit the same permutations across restarts, generations and
+  annealing steps);
+* the prefix size ``N(X)`` of a relation *set* ``X`` (the exact
+  optimizers — subset DP, branch and bound, pruned exhaustive search —
+  all walk the same subset lattice, each recomputing the same big-int
+  products).
+
+:class:`CostCache` memoizes both, keyed on ``(instance fingerprint,
+kind, subplan key)``, where the subplan key is the sequence tuple for
+full-plan costs and the relation bitmask for subset sizes.  The QO_H
+search layer reuses the same store for pipeline-decomposition plans
+keyed on the sequence.
+
+A cache is installed for a dynamic extent with :func:`use_cache` (or
+process-wide with :func:`install_cache`, which the parallel sweep
+runner uses in its worker initializer).  When no cache is active the
+optimizers run exactly as before — the only overhead is one global
+read per optimizer call.
+
+Three capacity modes:
+
+* ``CostCache()`` — unbounded memoization;
+* ``CostCache(maxsize=k)`` — bounded LRU: the least recently touched
+  entry is evicted once ``k`` entries are held (``evictions`` counts);
+* ``CostCache(maxsize=0)`` — pass-through: nothing is ever stored, so
+  every lookup is a miss.  This mode exists so *uncached* baselines
+  count their cost evaluations through the same instrumentation
+  (``misses`` equals the number of evaluations performed either way).
+
+Determinism: a cached value is returned exactly as it was computed by
+the miss path, so with exact arithmetic (``int``/``Fraction``) cached
+and uncached runs are bit-identical — a property test enforces this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+#: The cache consulted by the optimizers; None means "memoization off".
+_ACTIVE: Optional["CostCache"] = None
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of cache counters (all monotone except ``size``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    peak_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter movement since an ``earlier`` snapshot."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            size=self.size,
+            peak_size=self.peak_size,
+        )
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate counters from an independent cache (worker pools)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            size=self.size + other.size,
+            peak_size=self.peak_size + other.peak_size,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "peak_size": self.peak_size,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def fingerprint(instance) -> str:
+    """A stable content hash of a problem instance.
+
+    Covers the graph, the sizes and the per-edge statistics through the
+    instance's public API, so two structurally equal instances (even
+    built independently) share cache entries, while any statistic
+    change produces a fresh key space.
+    """
+    digest = hashlib.sha1()
+    digest.update(type(instance).__name__.encode())
+    graph = instance.graph
+    n = graph.num_vertices
+    digest.update(str(n).encode())
+    for u, v in sorted(graph.edges):
+        digest.update(f"e{u},{v}".encode())
+        digest.update(repr(instance.selectivity(u, v)).encode())
+    for relation in range(n):
+        digest.update(repr(instance.size(relation)).encode())
+    access_cost = getattr(instance, "access_cost", None)
+    if access_cost is not None:
+        for u, v in sorted(graph.edges):
+            digest.update(repr(access_cost(u, v)).encode())
+            digest.update(repr(access_cost(v, u)).encode())
+    memory = getattr(instance, "memory", None)
+    if memory is not None:
+        digest.update(repr(memory).encode())
+    return digest.hexdigest()
+
+
+class CostCache:
+    """Memoization of subplan costs with hit/miss/eviction counters."""
+
+    __slots__ = (
+        "_maxsize", "_entries", "_tokens",
+        "hits", "misses", "evictions", "peak_size",
+    )
+
+    def __init__(self, maxsize: Optional[int] = None):
+        if maxsize is not None and maxsize < 0:
+            raise ValueError("maxsize must be None (unbounded) or >= 0")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        # id(instance) -> (instance, fingerprint).  The strong reference
+        # keeps the id stable for the cache's lifetime, so the hash is
+        # computed once per (cache, instance) pair.
+        self._tokens: Dict[int, Tuple[object, str]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.peak_size = 0
+
+    @property
+    def maxsize(self) -> Optional[int]:
+        return self._maxsize
+
+    @property
+    def is_passthrough(self) -> bool:
+        return self._maxsize == 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def token(self, instance) -> str:
+        """The instance's fingerprint, computed once per instance."""
+        key = id(instance)
+        entry = self._tokens.get(key)
+        if entry is None:
+            entry = (instance, fingerprint(instance))
+            self._tokens[key] = entry
+        return entry[1]
+
+    def get_or_compute(
+        self, instance, kind: str, key, compute: Callable[[], object]
+    ):
+        """Return the memoized value for ``(instance, kind, key)``.
+
+        ``compute`` runs on a miss; its result is stored (unless in
+        pass-through mode) and returned unchanged.
+        """
+        full_key = (self.token(instance), kind, key)
+        entries = self._entries
+        if full_key in entries:
+            self.hits += 1
+            entries.move_to_end(full_key)
+            return entries[full_key]
+        self.misses += 1
+        value = compute()
+        if self._maxsize == 0:
+            return value
+        entries[full_key] = value
+        if self._maxsize is not None and len(entries) > self._maxsize:
+            entries.popitem(last=False)
+            self.evictions += 1
+        if len(entries) > self.peak_size:
+            self.peak_size = len(entries)
+        return value
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._entries),
+            peak_size=self.peak_size,
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._tokens.clear()
+
+
+def active_cache() -> Optional[CostCache]:
+    """The cache the optimizers should consult, or None."""
+    return _ACTIVE
+
+
+def install_cache(cache: Optional[CostCache]) -> Optional[CostCache]:
+    """Install ``cache`` process-wide; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    return previous
+
+
+@contextmanager
+def use_cache(cache: Optional[CostCache]) -> Iterator[Optional[CostCache]]:
+    """Install ``cache`` for the dynamic extent of the ``with`` block."""
+    previous = install_cache(cache)
+    try:
+        yield cache
+    finally:
+        install_cache(previous)

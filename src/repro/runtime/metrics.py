@@ -1,0 +1,200 @@
+"""Instrumentation schema for sweep runs.
+
+Turns a :class:`~repro.runtime.runner.SweepResult` into a plain-dict
+payload (schema ``repro.sweep/1``), validates it, and writes it as JSON
+— by convention next to the text tables under ``benchmarks/results/``.
+
+Payload layout::
+
+    {
+      "schema": "repro.sweep/1",
+      "grid": {...},                  # caller-supplied description
+      "mode": "serial" | "parallel",
+      "workers": int,
+      "cache_enabled": bool,
+      "wall_time_s": float,           # whole-sweep wall clock
+      "tasks": [
+        {"index": int, "optimizer": str, "label": str,
+         "ok": bool, "timed_out": bool, "error": str | null,
+         "wall_time_s": float, "explored": int,
+         "cache": {"hits": int, "misses": int, "evictions": int,
+                   "size": int, "peak_size": int, "hit_rate": float}},
+        ...
+      ],
+      "totals": {
+        "tasks": int, "ok": int, "timed_out": int, "errors": int,
+        "wall_time_s": float,         # summed task wall clock
+        "plans_explored": int,
+        "cost_evaluations": int,      # cache misses = work performed
+        "cache_hits": int, "cache_hit_rate": float,
+        "cache_evictions": int,
+        "peak_subproblems": int       # peak memoized-entry count
+      }
+    }
+
+``validate_metrics`` is the schema check the tests run against every
+emitted payload; it raises :class:`ValidationError` with the offending
+path on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.utils.validation import ValidationError, require
+
+SCHEMA = "repro.sweep/1"
+
+PathLike = Union[str, Path]
+
+
+def sweep_metrics(result, grid: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build the schema payload for one sweep result."""
+    tasks = []
+    for outcome in result.outcomes:
+        tasks.append(
+            {
+                "index": outcome.index,
+                "optimizer": outcome.optimizer,
+                "label": outcome.label,
+                "ok": outcome.ok,
+                "timed_out": outcome.timed_out,
+                "error": outcome.error,
+                "wall_time_s": outcome.wall_time,
+                "explored": outcome.explored,
+                "cache": outcome.cache.to_dict(),
+            }
+        )
+    totals_cache = result.cache_totals()
+    payload = {
+        "schema": SCHEMA,
+        "grid": dict(grid or {}),
+        "mode": result.mode,
+        "workers": result.workers,
+        "cache_enabled": result.cache_enabled,
+        "wall_time_s": result.wall_time,
+        "tasks": tasks,
+        "totals": {
+            "tasks": len(result.outcomes),
+            "ok": sum(1 for o in result.outcomes if o.ok),
+            "timed_out": sum(1 for o in result.outcomes if o.timed_out),
+            "errors": sum(
+                1 for o in result.outcomes if o.error and not o.timed_out
+            ),
+            "wall_time_s": sum(o.wall_time for o in result.outcomes),
+            "plans_explored": result.explored_total,
+            "cost_evaluations": totals_cache.misses,
+            "cache_hits": totals_cache.hits,
+            "cache_hit_rate": totals_cache.hit_rate,
+            "cache_evictions": totals_cache.evictions,
+            "peak_subproblems": totals_cache.peak_size,
+        },
+    }
+    validate_metrics(payload)
+    return payload
+
+
+_TASK_FIELDS = {
+    "index": int,
+    "optimizer": str,
+    "label": str,
+    "ok": bool,
+    "timed_out": bool,
+    "wall_time_s": (int, float),
+    "explored": int,
+}
+
+_CACHE_FIELDS = {
+    "hits": int,
+    "misses": int,
+    "evictions": int,
+    "size": int,
+    "peak_size": int,
+    "hit_rate": (int, float),
+}
+
+_TOTALS_FIELDS = {
+    "tasks": int,
+    "ok": int,
+    "timed_out": int,
+    "errors": int,
+    "wall_time_s": (int, float),
+    "plans_explored": int,
+    "cost_evaluations": int,
+    "cache_hits": int,
+    "cache_hit_rate": (int, float),
+    "cache_evictions": int,
+    "peak_subproblems": int,
+}
+
+
+def _check_fields(payload: Dict[str, Any], fields: Dict, where: str) -> None:
+    for name, kind in fields.items():
+        require(name in payload, f"{where}: missing field {name!r}")
+        value = payload[name]
+        # bool is an int subclass; don't let True satisfy a numeric field.
+        ok = isinstance(value, kind) and not (
+            kind is not bool and isinstance(value, bool)
+        )
+        require(
+            ok, f"{where}.{name}: expected {kind}, got {type(value).__name__}"
+        )
+
+
+def validate_metrics(payload: Dict[str, Any]) -> None:
+    """Raise :class:`ValidationError` unless ``payload`` fits the schema."""
+    require(isinstance(payload, dict), "metrics payload must be a dict")
+    require(
+        payload.get("schema") == SCHEMA,
+        f"metrics schema must be {SCHEMA!r}, got {payload.get('schema')!r}",
+    )
+    for name in ("grid", "mode", "workers", "cache_enabled",
+                 "wall_time_s", "tasks", "totals"):
+        require(name in payload, f"metrics: missing field {name!r}")
+    require(isinstance(payload["grid"], dict), "metrics.grid must be a dict")
+    require(
+        payload["mode"] in ("serial", "parallel"),
+        f"metrics.mode must be serial|parallel, got {payload['mode']!r}",
+    )
+    require(isinstance(payload["tasks"], list), "metrics.tasks must be a list")
+    for position, task in enumerate(payload["tasks"]):
+        where = f"metrics.tasks[{position}]"
+        require(isinstance(task, dict), f"{where} must be a dict")
+        _check_fields(task, _TASK_FIELDS, where)
+        require("error" in task, f"{where}: missing field 'error'")
+        require(
+            task["error"] is None or isinstance(task["error"], str),
+            f"{where}.error must be null or a string",
+        )
+        require("cache" in task, f"{where}: missing field 'cache'")
+        _check_fields(task["cache"], _CACHE_FIELDS, f"{where}.cache")
+    totals = payload["totals"]
+    require(isinstance(totals, dict), "metrics.totals must be a dict")
+    _check_fields(totals, _TOTALS_FIELDS, "metrics.totals")
+    require(
+        totals["tasks"] == len(payload["tasks"]),
+        "metrics.totals.tasks must equal len(metrics.tasks)",
+    )
+    hit_rate = totals["cache_hit_rate"]
+    require(
+        0.0 <= hit_rate <= 1.0,
+        f"metrics.totals.cache_hit_rate must lie in [0, 1], got {hit_rate}",
+    )
+
+
+def write_metrics(payload: Dict[str, Any], path: PathLike) -> Path:
+    """Validate and write the payload as pretty JSON; returns the path."""
+    validate_metrics(payload)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_metrics(path: PathLike) -> Dict[str, Any]:
+    """Read and validate a previously written payload."""
+    payload = json.loads(Path(path).read_text())
+    validate_metrics(payload)
+    return payload

@@ -1,0 +1,352 @@
+"""Parallel instrumented sweep runner for optimizer x instance grids.
+
+The gap-family experiments (Theorems 9/15/16/17) are verified by
+sweeping many reduction instances through many optimizers.  This module
+turns such a grid into a list of :class:`SweepTask` and executes it
+
+* over a ``multiprocessing`` pool when one is available (results come
+  back in deterministic task order regardless of completion order),
+* serially — with identical semantics — when ``workers <= 1``, the
+  platform cannot fork, or pool creation fails for any reason,
+
+with per-task wall-clock timeouts (SIGALRM-based, so a stuck optimizer
+returns a *marked* partial outcome instead of hanging the sweep) and a
+:class:`~repro.runtime.costcache.CostCache` installed around every
+task.  In serial mode one cache is shared by the whole sweep, so
+cross-task reuse (e.g. three exact optimizers walking the same subset
+lattice) is captured; in parallel mode each worker process holds its
+own cache and per-task counter deltas are aggregated at the end.
+
+Every outcome carries wall time, plans explored, and the cache-counter
+movement attributable to that task — the raw material for
+:mod:`repro.runtime.metrics`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.hashjoin.annealing import qoh_simulated_annealing
+from repro.hashjoin.optimizer import qoh_greedy, qoh_optimal
+from repro.hashjoin.search import qoh_beam_search
+from repro.joinopt.optimizers import (
+    branch_and_bound,
+    dp_optimal,
+    exhaustive_optimal,
+    genetic_algorithm,
+    greedy_min_cost,
+    greedy_min_size,
+    ikkbz,
+    iterative_improvement,
+    random_sampling,
+    simulated_annealing,
+)
+from repro.runtime.costcache import (
+    CacheStats,
+    CostCache,
+    install_cache,
+    use_cache,
+)
+from repro.utils.validation import require
+
+#: Name -> callable registry shared with the CLI.  Values must be
+#: module-level functions so task specs pickle across processes.
+OPTIMIZERS: Dict[str, Callable] = {
+    "exhaustive": exhaustive_optimal,
+    "bnb": branch_and_bound,
+    "dp": dp_optimal,
+    "ikkbz": ikkbz,
+    "greedy-cost": greedy_min_cost,
+    "greedy-size": greedy_min_size,
+    "iterative": iterative_improvement,
+    "annealing": simulated_annealing,
+    "sampling": random_sampling,
+    "genetic": genetic_algorithm,
+    "qoh-exhaustive": qoh_optimal,
+    "qoh-greedy": qoh_greedy,
+    "qoh-beam": qoh_beam_search,
+    "qoh-annealing": qoh_simulated_annealing,
+}
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of the grid: run ``optimizer`` on ``instance``.
+
+    ``optimizer`` is a registry name or any picklable callable taking
+    the instance as its first argument plus ``kwargs``.
+    """
+
+    optimizer: Union[str, Callable]
+    instance: object
+    label: str = ""
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+    timeout: Optional[float] = None
+
+    def with_kwargs(self, **kwargs) -> "SweepTask":
+        return replace(self, kwargs=tuple(sorted(kwargs.items())))
+
+    @property
+    def optimizer_name(self) -> str:
+        if isinstance(self.optimizer, str):
+            return self.optimizer
+        return getattr(self.optimizer, "__name__", repr(self.optimizer))
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What happened when one task ran."""
+
+    index: int
+    optimizer: str
+    label: str
+    result: object = None
+    wall_time: float = 0.0
+    timed_out: bool = False
+    error: Optional[str] = None
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.timed_out
+
+    @property
+    def explored(self) -> int:
+        return getattr(self.result, "explored", 0) if self.result else 0
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All outcomes of one sweep, in task order."""
+
+    outcomes: Tuple[TaskOutcome, ...]
+    mode: str  # "parallel" or "serial"
+    workers: int
+    cache_enabled: bool
+    wall_time: float
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def cache_totals(self) -> CacheStats:
+        """Cache-counter movement summed over every task."""
+        total = CacheStats()
+        for outcome in self.outcomes:
+            total = total.merged(outcome.cache)
+        return total
+
+    @property
+    def evaluations(self) -> int:
+        """Cost evaluations actually performed (cache misses)."""
+        return self.cache_totals().misses
+
+    @property
+    def explored_total(self) -> int:
+        return sum(outcome.explored for outcome in self.outcomes)
+
+
+class SweepTimeout(Exception):
+    """Raised inside a task when its wall-clock budget expires."""
+
+
+def _raise_timeout(signum, frame):  # pragma: no cover - signal plumbing
+    raise SweepTimeout()
+
+
+def _call_with_timeout(run: Callable[[], object], timeout: Optional[float]):
+    """Run ``run()`` under a real-time alarm when the platform has one."""
+    if not timeout or timeout <= 0 or not hasattr(signal, "setitimer"):
+        return run()
+    try:
+        previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    except ValueError:  # not in the main thread: no alarm available
+        return run()
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return run()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _resolve(task: SweepTask) -> Callable:
+    if isinstance(task.optimizer, str):
+        require(
+            task.optimizer in OPTIMIZERS,
+            f"unknown optimizer {task.optimizer!r}; "
+            f"known: {sorted(OPTIMIZERS)}",
+        )
+        return OPTIMIZERS[task.optimizer]
+    return task.optimizer
+
+
+def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
+             default_timeout: Optional[float]) -> TaskOutcome:
+    """Run one task against ``cache`` (may be None) and time it."""
+    run = _resolve(task)
+    kwargs = dict(task.kwargs)
+    timeout = task.timeout if task.timeout is not None else default_timeout
+    before = cache.stats() if cache is not None else CacheStats()
+    start = time.perf_counter()
+    result = None
+    timed_out = False
+    error: Optional[str] = None
+    try:
+        with use_cache(cache):
+            result = _call_with_timeout(
+                lambda: run(task.instance, **kwargs), timeout
+            )
+    except SweepTimeout:
+        timed_out = True
+        error = f"timeout after {timeout}s"
+    except Exception as exc:  # noqa: BLE001 - outcomes report, not raise
+        error = f"{type(exc).__name__}: {exc}"
+    wall = time.perf_counter() - start
+    after = cache.stats() if cache is not None else CacheStats()
+    return TaskOutcome(
+        index=index,
+        optimizer=task.optimizer_name,
+        label=task.label,
+        result=result,
+        wall_time=wall,
+        timed_out=timed_out,
+        error=error,
+        cache=after.delta(before),
+    )
+
+
+# -- parallel plumbing -------------------------------------------------
+#: Per-worker-process cache, installed by the pool initializer.
+_WORKER_CACHE: Optional[CostCache] = None
+
+
+def _worker_init(cache_enabled: bool, cache_maxsize: Optional[int]) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = (
+        CostCache(maxsize=cache_maxsize) if cache_enabled
+        else CostCache(maxsize=0)
+    )
+    install_cache(None)  # tasks install it per-call via _execute
+
+
+def _worker_run(payload: Tuple[int, SweepTask, Optional[float]]) -> TaskOutcome:
+    index, task, default_timeout = payload
+    return _execute(index, task, _WORKER_CACHE, default_timeout)
+
+
+def _make_pool(workers: int, cache_enabled: bool,
+               cache_maxsize: Optional[int]):
+    """Create the worker pool (split out so tests can force failure)."""
+    import multiprocessing
+
+    return multiprocessing.get_context().Pool(
+        processes=workers,
+        initializer=_worker_init,
+        initargs=(cache_enabled, cache_maxsize),
+    )
+
+
+def default_workers() -> int:
+    count = os.cpu_count() or 1
+    return max(1, min(count - 1, 8))
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    workers: Optional[int] = None,
+    cache: bool = True,
+    cache_maxsize: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> SweepResult:
+    """Run every task and return outcomes in task order.
+
+    Args:
+        tasks: the grid, already flattened (order defines output order).
+        workers: pool size; ``None`` picks a machine default, ``<= 1``
+            runs serially.  Pool creation failure falls back to serial.
+        cache: memoize cost evaluations.  When False a pass-through
+            cache still *counts* evaluations, so cached and uncached
+            sweeps are comparable on the same instrumentation.
+        cache_maxsize: bound the cache (LRU) at this many entries;
+            ``None`` is unbounded.
+        timeout: default per-task wall-clock budget in seconds
+            (``SweepTask.timeout`` overrides per task).
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = default_workers()
+    start = time.perf_counter()
+
+    outcomes: Optional[List[TaskOutcome]] = None
+    mode = "serial"
+    if workers > 1 and len(tasks) > 1:
+        payloads = [(i, task, timeout) for i, task in enumerate(tasks)]
+        try:
+            pool = _make_pool(workers, cache, cache_maxsize)
+        except Exception:  # no semaphores / sandboxed: degrade quietly
+            pool = None
+        if pool is not None:
+            try:
+                with pool:
+                    outcomes = list(pool.imap_unordered(_worker_run, payloads))
+                outcomes.sort(key=lambda outcome: outcome.index)
+                mode = "parallel"
+            except Exception:
+                outcomes = None  # fall back to serial below
+
+    if outcomes is None:
+        shared = (
+            CostCache(maxsize=cache_maxsize) if cache else CostCache(maxsize=0)
+        )
+        outcomes = [
+            _execute(index, task, shared, timeout)
+            for index, task in enumerate(tasks)
+        ]
+
+    return SweepResult(
+        outcomes=tuple(outcomes),
+        mode=mode,
+        workers=workers if mode == "parallel" else 1,
+        cache_enabled=cache,
+        wall_time=time.perf_counter() - start,
+    )
+
+
+def grid_tasks(
+    optimizers: Sequence[Union[str, Callable]],
+    instances: Sequence[Tuple[str, object]],
+    kwargs_for: Optional[Callable[[str, str], Dict]] = None,
+    timeout: Optional[float] = None,
+) -> List[SweepTask]:
+    """Flatten an optimizer x instance grid into tasks.
+
+    ``instances`` is a sequence of ``(label, instance)`` pairs;
+    ``kwargs_for(optimizer_name, label)`` supplies per-cell kwargs.
+    Task order is instance-major, so serial caching sees all optimizers
+    of one instance back to back.
+    """
+    tasks: List[SweepTask] = []
+    for label, instance in instances:
+        for optimizer in optimizers:
+            name = (
+                optimizer if isinstance(optimizer, str)
+                else getattr(optimizer, "__name__", repr(optimizer))
+            )
+            kwargs = kwargs_for(name, label) if kwargs_for else {}
+            tasks.append(
+                SweepTask(
+                    optimizer=optimizer,
+                    instance=instance,
+                    label=label,
+                    kwargs=tuple(sorted(kwargs.items())),
+                    timeout=timeout,
+                )
+            )
+    return tasks

@@ -143,3 +143,52 @@ class TestExecuteCommand:
         ])
         with pytest.raises(ValidationError):
             main(["execute", str(out), "--harmonize"])
+
+
+class TestSweepCommand:
+    def test_quick_sweep_prints_table_and_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "sweep", "--n", "5", "--quick", "--workers", "1",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "algorithm" in output
+        assert "hit" in output
+        assert metrics_path.exists()
+
+        from repro.runtime.metrics import load_metrics, validate_metrics
+
+        payload = load_metrics(metrics_path)
+        validate_metrics(payload)
+        assert payload["totals"]["ok"] == payload["totals"]["tasks"]
+
+    def test_gap_family_sweep(self, tmp_path, capsys):
+        metrics_path = tmp_path / "gap.json"
+        code = main([
+            "sweep", "--family", "gap", "--n", "6",
+            "--algorithms", "dp,greedy-cost", "--workers", "1",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "gap-yes-n6" in output
+        assert "gap-no-n6" in output
+
+    def test_rejects_unknown_algorithm(self, capsys):
+        assert main(["sweep", "--n", "5", "--algorithms", "nope"]) == 2
+
+    def test_no_cache_flag_disables_hits(self, tmp_path, capsys):
+        metrics_path = tmp_path / "nocache.json"
+        code = main([
+            "sweep", "--n", "5", "--quick", "--workers", "1",
+            "--no-cache", "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+
+        from repro.runtime.metrics import load_metrics
+
+        payload = load_metrics(metrics_path)
+        assert payload["totals"]["cache_hits"] == 0
+        assert payload["totals"]["cost_evaluations"] > 0

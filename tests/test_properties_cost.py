@@ -1,0 +1,230 @@
+"""Property-based tests for the QO_N cost model and optimizers.
+
+``hypothesis`` is not available in this environment, so each property
+is exercised over a deterministic battery of seeded ``random.Random``
+cases — failures are reproducible and the offending seed appears in
+the assertion message.
+
+Three property families:
+
+* **Lemma 5 structure** — on f_N reduction instances the cost of any
+  sequence equals the closed form ``sum_i t^i * alpha^{-D_i} * probe``
+  (``D_i`` = edges within the first ``i`` vertices, probe = ``w`` when
+  the incoming vertex is connected, else ``t``), and therefore a
+  connected sequence whose ``D`` profile pointwise dominates another's
+  never costs more.
+* **Approximation sanity** — no heuristic ever beats the exhaustive
+  optimum (``ratio_to >= 1``) on instances small enough to enumerate.
+* **Cache transparency** — costs computed through a
+  :class:`~repro.runtime.costcache.CostCache` are bit-identical to the
+  uncached values, and repeat lookups are served as hits.
+"""
+
+import random
+from fractions import Fraction
+
+from repro.core.reductions.clique_to_qon import clique_to_qon
+from repro.graphs.generators import gnp_random_graph
+from repro.joinopt.cost import (
+    back_edge_counts,
+    prefix_edge_counts,
+    total_cost,
+)
+from repro.joinopt.optimizers import exhaustive_optimal, ikkbz
+from repro.runtime.costcache import CostCache, use_cache
+from repro.runtime.runner import OPTIMIZERS
+from repro.workloads.queries import chain_query, random_query
+
+#: registry heuristics valid on arbitrary (possibly cyclic) QO_N
+#: instances; ikkbz (tree-only) is exercised separately.
+_HEURISTIC_NAMES = [
+    "greedy-cost",
+    "greedy-size",
+    "iterative",
+    "annealing",
+    "sampling",
+    "genetic",
+]
+_RANDOMIZED = {"iterative", "annealing", "sampling", "genetic"}
+
+
+def _heuristic(name, instance, seed):
+    kwargs = {"rng": seed} if name in _RANDOMIZED else {}
+    return OPTIMIZERS[name](instance, **kwargs)
+
+
+def _random_connected_sequence(graph, rng):
+    """A uniform-ish connected permutation, or None if stuck."""
+    n = graph.num_vertices
+    sequence = [rng.randrange(n)]
+    remaining = set(range(n)) - {sequence[0]}
+    while remaining:
+        frontier = sorted(
+            v for v in remaining
+            if any(graph.has_edge(v, u) for u in sequence)
+        )
+        if not frontier:
+            return None
+        choice = frontier[rng.randrange(len(frontier))]
+        sequence.append(choice)
+        remaining.discard(choice)
+    return tuple(sequence)
+
+
+def _lemma5_closed_form(reduction, sequence):
+    """``C(Z) = sum_{i=1}^{n-1} t^i * alpha^{-D_i} * probe_i``."""
+    t = reduction.relation_size
+    w = reduction.edge_access_cost
+    alpha = reduction.alpha
+    back = back_edge_counts(reduction.instance, sequence)
+    prefix = prefix_edge_counts(reduction.instance, sequence)
+    total = Fraction(0)
+    for i in range(1, reduction.n):
+        probe = w if back[i] > 0 else t
+        total += Fraction(t**i, alpha ** prefix[i - 1]) * probe
+    return total
+
+
+class TestLemma5Structure:
+    def test_cost_matches_closed_form(self):
+        """Every permutation of an f_N instance obeys the Lemma 5 sum."""
+        for seed in range(12):
+            rng = random.Random(seed)
+            n = rng.randrange(5, 8)
+            graph = gnp_random_graph(n, 0.6, rng=rng.randrange(10**6))
+            reduction = clique_to_qon(graph, k_yes=n - 1, k_no=1, alpha=4)
+            for _ in range(6):
+                order = list(range(n))
+                rng.shuffle(order)
+                expected = _lemma5_closed_form(reduction, order)
+                actual = total_cost(reduction.instance, order)
+                assert actual == expected, (
+                    f"seed={seed} order={order}: "
+                    f"cost {actual} != closed form {expected}"
+                )
+
+    def test_dominating_prefix_profile_never_costs_more(self):
+        """Connected sequences: D-profile domination => cost order.
+
+        Lemma 5's monotonicity: with uniform sizes and edge costs,
+        packing more query-graph edges into every prefix shrinks every
+        intermediate, so the total cost can only go down.
+        """
+        compared = 0
+        for seed in range(30):
+            rng = random.Random(1000 + seed)
+            n = rng.randrange(5, 8)
+            graph = gnp_random_graph(n, 0.7, rng=rng.randrange(10**6))
+            reduction = clique_to_qon(graph, k_yes=n - 1, k_no=1, alpha=4)
+            sequences = []
+            for _ in range(8):
+                sequence = _random_connected_sequence(graph, rng)
+                if sequence is not None:
+                    sequences.append(sequence)
+            profiles = {
+                sequence: prefix_edge_counts(reduction.instance, sequence)
+                for sequence in sequences
+            }
+            for a in sequences:
+                for b in sequences:
+                    if all(x >= y for x, y in zip(profiles[a], profiles[b])):
+                        compared += 1
+                        cost_a = total_cost(reduction.instance, a)
+                        cost_b = total_cost(reduction.instance, b)
+                        assert cost_a <= cost_b, (
+                            f"seed={seed}: {a} dominates {b} "
+                            f"but costs more ({cost_a} > {cost_b})"
+                        )
+        # The battery must actually exercise the property.
+        assert compared > 50
+
+
+class TestApproximationSanity:
+    def test_heuristics_never_beat_exhaustive(self):
+        """ratio_to >= 1 for every non-exact optimizer on n <= 6."""
+        for seed in range(8):
+            instance = random_query(6, rng=seed)
+            optimum = exhaustive_optimal(instance).cost
+            for name in _HEURISTIC_NAMES:
+                result = _heuristic(name, instance, seed)
+                ratio = result.ratio_to(optimum)
+                assert ratio >= 1.0 - 1e-9, (
+                    f"seed={seed}: {name} ratio {ratio} < 1 "
+                    f"(cost {result.cost} vs optimum {optimum})"
+                )
+                assert result.cost >= optimum
+
+    def test_ikkbz_exact_among_connected_sequences(self):
+        """On tree queries ikkbz finds the best *connected* sequence.
+
+        (The exhaustive optimum may use a cartesian product, which
+        ikkbz's precedence ordering excludes by construction — so the
+        comparison enumerates cartesian-free permutations directly.)
+        """
+        from itertools import permutations
+
+        from repro.joinopt.cost import has_cartesian_product
+
+        for seed in range(6):
+            instance = chain_query(6, rng=seed)
+            connected_optimum = min(
+                total_cost(instance, order)
+                for order in permutations(range(6))
+                if not has_cartesian_product(instance, order)
+            )
+            result = ikkbz(instance)
+            assert result.cost == connected_optimum
+            assert result.cost >= exhaustive_optimal(instance).cost
+
+
+class TestCacheTransparency:
+    def test_cached_costs_bit_identical(self):
+        """Cache on/off gives the same value, type and repr."""
+        for seed in range(6):
+            instance = random_query(7, rng=seed)
+            rng = random.Random(seed)
+            sequences = []
+            for _ in range(10):
+                order = list(range(7))
+                rng.shuffle(order)
+                sequences.append(tuple(order))
+            uncached = [total_cost(instance, s) for s in sequences]
+            cache = CostCache()
+            with use_cache(cache):
+                first = [total_cost(instance, s) for s in sequences]
+                second = [total_cost(instance, s) for s in sequences]
+            for u, c1, c2 in zip(uncached, first, second):
+                assert u == c1 == c2
+                assert type(u) is type(c1)
+                assert repr(u) == repr(c1)
+            # Second pass must have been served from the cache.
+            assert cache.stats().hits >= len(sequences)
+
+    def test_cached_optimizers_match_uncached(self):
+        """Exact optimizers return identical plans with caching on."""
+        for seed in range(4):
+            instance = random_query(6, rng=seed)
+            plain = {
+                name: OPTIMIZERS[name](instance)
+                for name in ("exhaustive", "bnb", "dp")
+            }
+            with use_cache(CostCache()):
+                for name, expected in plain.items():
+                    cached = OPTIMIZERS[name](instance)
+                    assert cached.cost == expected.cost
+                    assert cached.sequence == expected.sequence
+
+    def test_lru_bound_is_respected(self):
+        """A bounded cache evicts rather than grow past maxsize."""
+        instance = random_query(7, rng=0)
+        cache = CostCache(maxsize=16)
+        rng = random.Random(0)
+        with use_cache(cache):
+            for _ in range(100):
+                order = list(range(7))
+                rng.shuffle(order)
+                total_cost(instance, tuple(order))
+        stats = cache.stats()
+        assert stats.size <= 16
+        assert stats.peak_size <= 16
+        assert stats.evictions > 0

@@ -1,0 +1,101 @@
+"""Regression pins for the committed benchmark result tables.
+
+``benchmarks/results/EXP-T9.txt`` and ``EXP-T15.txt`` are checked in;
+these tests parse the certificate columns out of them and recompute
+the same quantities from scratch, so any drift in the reductions, the
+cost model, or the certificate constructions shows up as a diff
+against the committed numbers — not just as a silently different
+table on the next benchmark run.
+"""
+
+import re
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.core.certificates import qoh_certificate_plan, qon_certificate_sequence
+from repro.joinopt.cost import total_cost
+from repro.utils.lognum import log2_of
+from repro.workloads.gaps import qoh_gap_pair, qon_gap_pair
+
+RESULTS_DIR = Path(__file__).parent.parent / "benchmarks" / "results"
+
+
+def _parse_table(path: Path, title_prefix: str):
+    """Rows of the first table in ``path`` whose title starts so."""
+    lines = path.read_text().splitlines()
+    for index, line in enumerate(lines):
+        if line.startswith(title_prefix):
+            break
+    else:
+        pytest.fail(f"table {title_prefix!r} not found in {path.name}")
+    rows = []
+    for line in lines[index + 3:]:  # skip title, header, dashes
+        if not line.strip():
+            break
+        rows.append(re.split(r"\s{2,}", line.strip()))
+    assert rows, f"table {title_prefix!r} in {path.name} has no rows"
+    return rows
+
+
+class TestTheorem9Pins:
+    def test_exact_certificate_costs_match_committed_table(self):
+        rows = _parse_table(
+            RESULTS_DIR / "EXP-T9.txt", "Theorem 9 exact (alpha=4)"
+        )
+        by_n = {int(row[0]): row for row in rows}
+        for n, k_yes, k_no in [(8, 6, 2), (9, 7, 3), (10, 8, 2)]:
+            pair = qon_gap_pair(n, k_yes, k_no, alpha=4)
+            cert = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
+            yes_cost = total_cost(pair.yes_reduction.instance, cert)
+            k_bound = pair.yes_reduction.yes_cost_bound()
+            row = by_n[n]
+            assert f"{log2_of(yes_cost):.1f}" == row[3], (
+                f"n={n}: certificate cost drifted from committed table"
+            )
+            assert f"{log2_of(k_bound):.1f}" == row[4]
+            assert yes_cost <= k_bound
+            assert row[7] == "OK"
+
+    def test_certificate_scale_costs_match_committed_table(self):
+        rows = _parse_table(
+            RESULTS_DIR / "EXP-T9.txt", "Theorem 9 at certificate scale"
+        )
+        by_n = {int(row[0]): row for row in rows}
+        for n in (20, 40, 60):
+            k_yes = n - 4
+            k_no = 4 if (k_yes + 4) % 2 == 0 else 5
+            pair = qon_gap_pair(n, k_yes, k_no, alpha=4**n)
+            cert = qon_certificate_sequence(pair.yes_reduction, pair.yes_clique)
+            log_instance = pair.yes_reduction.instance.to_log_domain()
+            cert_log2 = log2_of(total_cost(log_instance, cert))
+            assert f"{cert_log2:.0f}" == by_n[n][1], (
+                f"n={n}: log-domain certificate cost drifted"
+            )
+            assert by_n[n][5] == "OK"
+
+
+class TestTheorem15Pins:
+    def test_exact_certificate_cost_matches_committed_table(self):
+        rows = _parse_table(
+            RESULTS_DIR / "EXP-T15.txt", "Theorem 15 exact (n=6"
+        )
+        yes_row = next(row for row in rows if row[0].startswith("YES"))
+        pair = qoh_gap_pair(6, Fraction(1, 2), alpha=4**6)
+        cert = qoh_certificate_plan(pair.yes_reduction, pair.yes_clique)
+        assert f"{log2_of(cert.cost):.1f}" == yes_row[2]
+        assert f"{float(pair.yes_reduction.l_bound_log2()):.1f}" == yes_row[3]
+
+    def test_search_scale_certificates_match_committed_table(self):
+        rows = _parse_table(
+            RESULTS_DIR / "EXP-T15.txt", "Theorem 15 at search scale"
+        )
+        by_n = {int(row[0]): row for row in rows}
+        for n in (9, 12):
+            pair = qoh_gap_pair(n, Fraction(1, 2), alpha=4**n)
+            cert = qoh_certificate_plan(pair.yes_reduction, pair.yes_clique)
+            assert f"{log2_of(cert.cost):.1f}" == by_n[n][1], (
+                f"n={n}: QO_H certificate cost drifted"
+            )
+            assert by_n[n][4] == "OK"

@@ -1,0 +1,295 @@
+"""Tests for the parallel sweep runner, cost cache and metrics layer.
+
+The differential identity test is the load-bearing one: a parallel
+sweep must return exactly what the serial sweep returns, in the same
+order, regardless of worker completion order.
+"""
+
+import json
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.hashjoin.instance import QOHInstance
+from repro.runtime import metrics as metrics_mod
+from repro.runtime.costcache import CostCache, fingerprint, use_cache
+from repro.runtime.metrics import (
+    SCHEMA,
+    ValidationError,
+    load_metrics,
+    sweep_metrics,
+    validate_metrics,
+    write_metrics,
+)
+from repro.runtime.runner import (
+    OPTIMIZERS,
+    SweepTask,
+    default_workers,
+    grid_tasks,
+    run_sweep,
+)
+from repro.workloads.queries import chain_query, random_query
+
+_RANDOMIZED = {"iterative", "annealing", "sampling", "genetic"}
+
+
+def _qoh_instance():
+    """Path query 0-1-2-3, small enough for every QO_H searcher."""
+    graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    return QOHInstance(
+        graph,
+        [64, 32, 128, 16],
+        {(0, 1): Fraction(1, 8), (1, 2): Fraction(1, 16), (2, 3): Fraction(1, 4)},
+        memory=64,
+    )
+
+
+def _instance_for(name):
+    if name.startswith("qoh-"):
+        return _qoh_instance()
+    if name == "ikkbz":  # tree queries only
+        return chain_query(5, rng=1)
+    return random_query(5, rng=1)
+
+
+def _grid():
+    instances = [
+        (f"g-s{seed}", random_query(5, rng=seed)) for seed in range(3)
+    ]
+    return grid_tasks(
+        ["dp", "bnb", "greedy-cost", "sampling"],
+        instances,
+        kwargs_for=lambda name, label: (
+            {"rng": 0, "samples": 30} if name == "sampling" else {}
+        ),
+    )
+
+
+def _slow_optimizer(instance, **_kwargs):
+    time.sleep(5.0)
+    return OPTIMIZERS["greedy-cost"](instance)
+
+
+def _broken_optimizer(instance, **_kwargs):
+    raise RuntimeError("boom")
+
+
+class TestEveryOptimizerReportsWork:
+    """Satellite: ``OptimizerResult.explored`` gaps are fixed for good."""
+
+    @pytest.mark.parametrize("name", sorted(OPTIMIZERS))
+    def test_explored_positive(self, name):
+        kwargs = {"rng": 0} if name in _RANDOMIZED else {}
+        result = OPTIMIZERS[name](_instance_for(name), **kwargs)
+        assert result is not None
+        assert result.explored > 0, (
+            f"{name} returned explored={result.explored}; every "
+            "optimizer must report the plans it examined"
+        )
+
+
+class TestSerialSweep:
+    def test_outcomes_in_task_order(self):
+        tasks = _grid()
+        result = run_sweep(tasks, workers=1)
+        assert result.mode == "serial"
+        assert len(result) == len(tasks)
+        for index, (outcome, task) in enumerate(zip(result, tasks)):
+            assert outcome.index == index
+            assert outcome.label == task.label
+            assert outcome.optimizer == task.optimizer_name
+            assert outcome.ok
+            assert outcome.explored > 0
+            assert outcome.wall_time >= 0
+
+    def test_shared_cache_accumulates_hits(self):
+        result = run_sweep(_grid(), workers=1, cache=True)
+        totals = result.cache_totals()
+        assert totals.misses > 0
+        assert totals.hits > 0  # dp/bnb share the subset-size lattice
+        assert 0.0 <= totals.hit_rate <= 1.0
+
+    def test_uncached_baseline_counts_evaluations(self):
+        cached = run_sweep(_grid(), workers=1, cache=True)
+        baseline = run_sweep(_grid(), workers=1, cache=False)
+        assert baseline.cache_totals().hits == 0
+        assert baseline.evaluations > cached.evaluations
+        for a, b in zip(cached, baseline):
+            assert a.result.cost == b.result.cost
+            assert a.result.sequence == b.result.sequence
+
+    def test_error_is_an_outcome_not_a_crash(self):
+        task = SweepTask(
+            optimizer=_broken_optimizer,
+            instance=random_query(4, rng=0),
+            label="broken",
+        )
+        result = run_sweep([task], workers=1)
+        outcome = result.outcomes[0]
+        assert not outcome.ok
+        assert "RuntimeError" in outcome.error
+        assert outcome.result is None
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self):
+        """Differential identity: same plans, costs, explored, order."""
+        tasks = _grid()
+        serial = run_sweep(tasks, workers=1)
+        parallel = run_sweep(tasks, workers=2)
+        if parallel.mode != "parallel":
+            pytest.skip("no multiprocessing pool available here")
+        assert [o.label for o in parallel] == [o.label for o in serial]
+        for s, p in zip(serial, parallel):
+            assert p.index == s.index
+            assert p.optimizer == s.optimizer
+            assert p.result.cost == s.result.cost
+            assert p.result.sequence == s.result.sequence
+            assert p.explored == s.explored
+
+    def test_parallel_aggregates_cache_counters(self):
+        tasks = _grid()
+        parallel = run_sweep(tasks, workers=2)
+        if parallel.mode != "parallel":
+            pytest.skip("no multiprocessing pool available here")
+        totals = parallel.cache_totals()
+        assert totals.misses > 0
+        assert any(o.cache.misses > 0 for o in parallel)
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        from repro.runtime import runner as runner_mod
+
+        def explode(*_args, **_kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(runner_mod, "_make_pool", explode)
+        tasks = _grid()
+        result = run_sweep(tasks, workers=4)
+        assert result.mode == "serial"
+        assert all(o.ok for o in result)
+
+    def test_default_workers_is_sane(self):
+        workers = default_workers()
+        assert 1 <= workers <= 8
+
+
+class TestTimeouts:
+    def test_timeout_marks_partial_outcome(self):
+        task = SweepTask(
+            optimizer=_slow_optimizer,
+            instance=random_query(4, rng=0),
+            label="slow",
+            timeout=0.2,
+        )
+        start = time.perf_counter()
+        result = run_sweep([task], workers=1)
+        elapsed = time.perf_counter() - start
+        outcome = result.outcomes[0]
+        assert outcome.timed_out
+        assert not outcome.ok
+        assert "timeout" in outcome.error
+        assert outcome.result is None
+        assert elapsed < 4.0  # the 5s sleep was actually interrupted
+
+    def test_timeout_does_not_poison_later_tasks(self):
+        tasks = [
+            SweepTask(
+                optimizer=_slow_optimizer,
+                instance=random_query(4, rng=0),
+                label="slow",
+                timeout=0.2,
+            ),
+            SweepTask(
+                optimizer="dp",
+                instance=random_query(4, rng=0),
+                label="fast",
+            ),
+        ]
+        result = run_sweep(tasks, workers=1)
+        assert result.outcomes[0].timed_out
+        assert result.outcomes[1].ok
+        assert result.outcomes[1].result.cost is not None
+
+
+class TestCostCacheUnit:
+    def test_get_or_compute_counts(self):
+        instance = random_query(4, rng=0)
+        cache = CostCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute(instance, "k", 1, compute) == 42
+        assert cache.get_or_compute(instance, "k", 1, compute) == 42
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+
+    def test_distinct_instances_do_not_collide(self):
+        a = random_query(4, rng=0)
+        b = random_query(4, rng=1)
+        assert fingerprint(a) != fingerprint(b)
+        cache = CostCache()
+        assert cache.get_or_compute(a, "k", 1, lambda: "a") == "a"
+        assert cache.get_or_compute(b, "k", 1, lambda: "b") == "b"
+
+    def test_passthrough_mode_stores_nothing(self):
+        instance = random_query(4, rng=0)
+        cache = CostCache(maxsize=0)
+        for _ in range(3):
+            cache.get_or_compute(instance, "k", 1, lambda: 7)
+        stats = cache.stats()
+        assert stats.hits == 0
+        assert stats.misses == 3
+        assert stats.size == 0
+
+
+class TestMetrics:
+    def _payload(self):
+        result = run_sweep(_grid(), workers=1)
+        return sweep_metrics(result, grid={"purpose": "unit-test"})
+
+    def test_schema_round_trip(self, tmp_path):
+        payload = self._payload()
+        validate_metrics(payload)
+        assert payload["schema"] == SCHEMA
+        path = tmp_path / "metrics.json"
+        write_metrics(payload, path)
+        loaded = load_metrics(path)
+        assert loaded == payload
+        # The file is plain JSON, usable outside this codebase.
+        assert json.loads(path.read_text())["totals"]["tasks"] == len(_grid())
+
+    def test_totals_are_consistent(self):
+        payload = self._payload()
+        totals = payload["totals"]
+        assert totals["tasks"] == len(payload["tasks"])
+        assert totals["ok"] == sum(1 for t in payload["tasks"] if t["ok"])
+        assert totals["plans_explored"] == sum(
+            t["explored"] for t in payload["tasks"]
+        )
+        assert 0.0 <= totals["cache_hit_rate"] <= 1.0
+
+    def test_validation_rejects_corrupt_payloads(self):
+        payload = self._payload()
+        broken = dict(payload, schema="bogus/9")
+        with pytest.raises(ValidationError):
+            validate_metrics(broken)
+        broken = json.loads(json.dumps(payload))
+        broken["totals"]["cache_hit_rate"] = 3.5
+        with pytest.raises(ValidationError):
+            validate_metrics(broken)
+        broken = json.loads(json.dumps(payload))
+        del broken["totals"]["tasks"]
+        with pytest.raises(ValidationError):
+            validate_metrics(broken)
+
+    def test_metrics_module_is_lazy_loaded(self):
+        import repro.runtime as runtime
+
+        assert runtime.sweep_metrics is metrics_mod.sweep_metrics
