@@ -24,6 +24,7 @@ from repro.core.gap import (
 )
 from repro.joinopt.cost import total_cost
 from repro.joinopt.optimizers import dp_optimal, greedy_min_cost
+from repro.observability import counter_totals, hot_span, validate_trace
 from repro.runtime.metrics import sweep_metrics, validate_metrics, write_metrics
 from repro.runtime.runner import grid_tasks, run_sweep
 from repro.utils.lognum import log2_of
@@ -79,7 +80,8 @@ def test_exact_small_scale_table(benchmark):
 
 def test_cached_sweep_ablation_table(benchmark):
     """The Theorem 9 grid through the cached runner: identical results,
-    measurably fewer cost evaluations, hit-rate > 0, metrics emitted."""
+    measurably fewer cost evaluations, hit-rate > 0, metrics emitted,
+    and a traced "where did the time go" attribution per task."""
 
     def build():
         # n = 8 keeps the exhaustive baseline fast: pruning cannot help
@@ -91,7 +93,7 @@ def test_cached_sweep_ablation_table(benchmark):
             instances.append((f"no-n{n}", pair.no_reduction.instance))
         optimizers = ["dp", "bnb", "exhaustive"]
         tasks = grid_tasks(optimizers, instances)
-        cached = run_sweep(tasks, workers=1, cache=True)
+        cached = run_sweep(tasks, workers=1, cache=True, trace=True)
         baseline = run_sweep(tasks, workers=1, cache=False)
 
         # Identical sweeps produce identical tables.
@@ -115,6 +117,20 @@ def test_cached_sweep_ablation_table(benchmark):
         validate_metrics(payload)
         write_metrics(payload, RESULTS_DIR / "EXP-T9-metrics.json")
 
+        # "Where did the time go": per-task wall-clock share from the
+        # span trace; the counters must agree with the runner exactly.
+        records = cached.trace_records()
+        validate_trace(records)
+        assert counter_totals(records)["cost_evaluations"] == (
+            cached.evaluations
+        )
+        wall = records[0]["duration_s"] or 1.0
+        share_of = {
+            (r["attrs"]["label"], r["attrs"]["optimizer"]):
+                r["duration_s"] / wall
+            for r in records if r["name"] == "task"
+        }
+
         rows = []
         for label, _ in instances:
             for name in optimizers:
@@ -130,9 +146,11 @@ def test_cached_sweep_ablation_table(benchmark):
                         outcome.explored,
                         outcome.cache.hits,
                         outcome.cache.misses,
+                        f"{share_of[(label, name)]:.1%}",
                     )
                 )
         saved = baseline.evaluations - cached.evaluations
+        hot = hot_span(records)
         rows.append(
             (
                 "TOTAL",
@@ -141,13 +159,15 @@ def test_cached_sweep_ablation_table(benchmark):
                 cached.explored_total,
                 totals.hits,
                 f"{totals.misses} (saved {saved})",
+                f"hot: {hot[0]}" if hot else "-",
             )
         )
         return emit_table(
             "EXP-T9",
             "Theorem 9 grid through the cached runner (alpha=4): "
-            "cache ablation vs uncached baseline",
-            ["instance", "optimizer", "log2 cost", "explored", "hits", "misses"],
+            "cache ablation vs uncached baseline, with traced time shares",
+            ["instance", "optimizer", "log2 cost", "explored", "hits",
+             "misses", "% wall"],
             rows,
         )
 

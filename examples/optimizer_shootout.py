@@ -5,22 +5,22 @@ constant factors of the optimum.  On the paper's gap family the same
 heuristics are *provably unable* (Theorem 9) to stay within any
 polylogarithmic factor — and measurably blow up.
 
-Both sections fan their optimizer x instance grid through the
-instrumented sweep runner (:mod:`repro.runtime.runner`), so repeated
-cost evaluations are memoized and the cache/work counters are printed
-at the end.
+Both sections fan their optimizer x instance grid through the public
+facade (:func:`repro.api.sweep`, backed by the instrumented runner),
+so repeated cost evaluations are memoized and the cache/work counters
+are printed at the end.
 
 Run:  python examples/optimizer_shootout.py
 """
 
 from statistics import mean
 
+from repro import api
+from repro.api import SweepResult
 from repro.core.certificates import qon_certificate_sequence
 from repro.joinopt.cost import total_cost
-from repro.runtime.runner import SweepResult, grid_tasks, run_sweep
 from repro.utils.lognum import log2_of
 from repro.workloads.gaps import qon_gap_pair
-from repro.workloads.queries import chain_query, clique_query, cycle_query, random_query
 
 #: (display name, runner registry name) — randomized ones get rng=<seed>.
 HEURISTICS = [
@@ -51,25 +51,24 @@ def _report_sweep(section: str, sweep: SweepResult) -> None:
 
 def benign_section() -> None:
     print("== benign workloads: ratio to the exact optimum (n = 8) ==")
-    workloads = [
-        ("chain", chain_query),
-        ("cycle", cycle_query),
-        ("clique", clique_query),
-        ("random", random_query),
-    ]
+    workloads = ["chain", "cycle", "clique", "random"]
     instances = [
-        (f"{label}-s{seed}", factory(8, rng=seed))
-        for label, factory in workloads
+        (f"{label}-s{seed}", api.generate(label, 8, seed=seed))
+        for label in workloads
         for seed in range(5)
     ]
     optimizers = ["dp"] + [registry for _, registry in HEURISTICS]
-    sweep = run_sweep(
-        grid_tasks(optimizers, instances, kwargs_for=_kwargs_for),
+    sweep = api.sweep(
+        {
+            "optimizers": optimizers,
+            "instances": instances,
+            "kwargs_for": _kwargs_for,
+        },
         workers=1,
     )
     cells = {(o.label, o.optimizer): o.result for o in sweep if o.ok}
     print(f"{'workload':<10}" + "".join(f"{name:>20}" for name, _ in HEURISTICS))
-    for label, _factory in workloads:
+    for label in workloads:
         ratios = {registry: [] for _, registry in HEURISTICS}
         for seed in range(5):
             optimum = cells[(f"{label}-s{seed}", "dp")].cost
@@ -102,12 +101,12 @@ def adversarial_section() -> None:
         bounds[n] = (cert_log2, floor_log2)
         # Heuristics attack the NO instance (log-domain for speed).
         instances.append((f"gap-n{n}-s0", pair.no_reduction.instance.to_log_domain()))
-    sweep = run_sweep(
-        grid_tasks(
-            [registry for _, registry in HEURISTICS],
-            instances,
-            kwargs_for=_kwargs_for,
-        ),
+    sweep = api.sweep(
+        {
+            "optimizers": [registry for _, registry in HEURISTICS],
+            "instances": instances,
+            "kwargs_for": _kwargs_for,
+        },
         workers=1,
     )
     cells = {(o.label, o.optimizer): o.result for o in sweep if o.ok}

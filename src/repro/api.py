@@ -1,0 +1,200 @@
+"""Stable public facade over the three substrates.
+
+This is the documented entry point for scripts, notebooks and the CLI;
+everything here speaks plain data (family names, algorithm names,
+:class:`~repro.core.results.PlanResult`) so callers never need to know
+which subpackage implements what.
+
+    from repro import api
+
+    instance = api.generate("random", n=8, seed=1)
+    result = api.optimize(instance, algorithm="dp")
+    chain = api.reduce("qon", formula)
+    sweep = api.sweep({"optimizers": ["dp", "greedy-cost"],
+                       "instances": [("q0", instance)]}, trace=True)
+
+The deeper modules remain importable — the facade adds no state — but
+only the names exported here are covered by the compatibility promise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.results import PlanResult
+from repro.runtime.runner import (
+    OPTIMIZERS,
+    SweepResult,
+    SweepTask,
+    grid_tasks,
+    run_sweep,
+)
+from repro.utils.validation import require
+from repro.workloads import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    random_query,
+    star_query,
+)
+
+#: Workload family name -> generator (all take ``(n, rng=seed, ...)``).
+FAMILIES: Dict[str, Callable] = {
+    "chain": chain_query,
+    "star": star_query,
+    "cycle": cycle_query,
+    "clique": clique_query,
+    "random": random_query,
+}
+
+
+def _reduction_registry() -> Dict[str, Callable]:
+    # Resolved lazily: the chains import the substrate packages, and a
+    # module-level import here would make ``repro.api`` heavy for
+    # callers who only generate workloads.
+    from repro.core.chains import hardness_chain_qoh, hardness_chain_qon
+    from repro.core.reductions.clique_to_qoh import clique_to_qoh
+    from repro.core.reductions.clique_to_qon import clique_to_qon
+    from repro.core.reductions.partition_to_sppcs import partition_to_sppcs
+    from repro.core.reductions.sat_to_clique import sat_to_clique
+    from repro.core.reductions.sat_to_two_thirds_clique import (
+        sat_to_two_thirds_clique,
+    )
+    from repro.core.reductions.sat_to_vc import sat_to_vertex_cover
+    from repro.core.reductions.sparse import (
+        sparse_clique_to_qoh,
+        sparse_clique_to_qon,
+    )
+    from repro.core.reductions.sppcs_to_sqocp import sppcs_to_sqocp
+
+    return {
+        "qon": hardness_chain_qon,
+        "qoh": hardness_chain_qoh,
+        "sat-to-vertex-cover": sat_to_vertex_cover,
+        "sat-to-clique": sat_to_clique,
+        "sat-to-two-thirds-clique": sat_to_two_thirds_clique,
+        "clique-to-qon": clique_to_qon,
+        "clique-to-qoh": clique_to_qoh,
+        "sparse-clique-to-qon": sparse_clique_to_qon,
+        "sparse-clique-to-qoh": sparse_clique_to_qoh,
+        "partition-to-sppcs": partition_to_sppcs,
+        "sppcs-to-sqocp": sppcs_to_sqocp,
+    }
+
+
+def reduction_names() -> List[str]:
+    """The chain names :func:`reduce` accepts."""
+    return sorted(_reduction_registry())
+
+
+def optimizer_names() -> List[str]:
+    """The algorithm names :func:`optimize` / :func:`sweep` accept."""
+    return sorted(OPTIMIZERS)
+
+
+def generate(family: str, n: int, seed: int = 0, **kwargs):
+    """Generate a workload instance of the given family and size.
+
+    ``family`` is one of :data:`FAMILIES`; extra keyword arguments pass
+    through to the generator (e.g. ``size_max``, ``domain_max``).
+    """
+    require(
+        family in FAMILIES,
+        f"unknown family {family!r}; known: {sorted(FAMILIES)}",
+    )
+    return FAMILIES[family](n, rng=seed, **kwargs)
+
+
+def reduce(chain: str, source, **kwargs):
+    """Run a named reduction (or full hardness chain) on ``source``.
+
+    ``chain`` is one of :func:`reduction_names` — the end-to-end chains
+    (``"qon"``, ``"qoh"``, taking a gap formula) or an individual step.
+    Returns the reduction's construction object with all intermediate
+    artifacts retained.
+    """
+    registry = _reduction_registry()
+    require(
+        chain in registry,
+        f"unknown reduction chain {chain!r}; known: {sorted(registry)}",
+    )
+    return registry[chain](source, **kwargs)
+
+
+def optimize(instance, algorithm: str = "dp", **kwargs) -> PlanResult:
+    """Run one optimizer on one instance; returns a :class:`PlanResult`.
+
+    ``algorithm`` is a name from :func:`optimizer_names`; the instance
+    type must match the algorithm's substrate (``qoh-*`` expect a
+    :class:`~repro.hashjoin.instance.QOHInstance`, ``sqocp-*`` a
+    :class:`~repro.starqo.instance.SQOCPInstance`, the rest a
+    :class:`~repro.joinopt.instance.QONInstance`).
+    """
+    require(
+        algorithm in OPTIMIZERS,
+        f"unknown algorithm {algorithm!r}; known: {sorted(OPTIMIZERS)}",
+    )
+    return OPTIMIZERS[algorithm](instance, **kwargs)
+
+
+GridLike = Union[Sequence[SweepTask], Mapping]
+
+
+def sweep(
+    grid: GridLike,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    cache_maxsize: Optional[int] = None,
+    timeout: Optional[float] = None,
+    trace: bool = False,
+) -> SweepResult:
+    """Run an optimizer x instance grid through the instrumented runner.
+
+    ``grid`` is either a prepared sequence of
+    :class:`~repro.runtime.runner.SweepTask` or a mapping with
+
+    * ``"optimizers"`` — algorithm names (or callables),
+    * ``"instances"`` — ``(label, instance)`` pairs,
+    * ``"kwargs_for"`` — optional ``(name, label) -> dict`` hook,
+
+    which is flattened with :func:`~repro.runtime.runner.grid_tasks`.
+    The remaining arguments mirror
+    :func:`~repro.runtime.runner.run_sweep`; with ``trace=True`` the
+    result's :meth:`~repro.runtime.runner.SweepResult.trace_records`
+    yields the merged ``repro.trace/1`` span tree.
+    """
+    if isinstance(grid, Mapping):
+        require(
+            "optimizers" in grid and "instances" in grid,
+            "grid mapping needs 'optimizers' and 'instances' keys",
+        )
+        tasks = grid_tasks(
+            grid["optimizers"],
+            grid["instances"],
+            kwargs_for=grid.get("kwargs_for"),
+            timeout=grid.get("timeout"),
+        )
+    else:
+        tasks = list(grid)
+    return run_sweep(
+        tasks,
+        workers=workers,
+        cache=cache,
+        cache_maxsize=cache_maxsize,
+        timeout=timeout,
+        trace=trace,
+    )
+
+
+__all__ = [
+    "FAMILIES",
+    "PlanResult",
+    "SweepResult",
+    "SweepTask",
+    "generate",
+    "optimize",
+    "optimizer_names",
+    "reduce",
+    "reduction_names",
+    "sweep",
+]

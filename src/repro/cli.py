@@ -19,7 +19,7 @@ import sys
 from fractions import Fraction
 from typing import List, Optional
 
-from repro import io
+from repro import api, io
 from repro.core.chains import hardness_chain_qoh, hardness_chain_qon
 from repro.core.gap import gap_factor_log2, k_cd_log2, polylog_budget_log2
 from repro.joinopt.instance import QONInstance
@@ -30,39 +30,30 @@ from repro.runtime.runner import (
     OPTIMIZERS,
     default_workers,
     grid_tasks,
-    run_sweep,
 )
 from repro.sat.gapfamilies import no_instance, yes_instance
 from repro.utils.lognum import log2_of
-from repro.workloads import (
-    chain_query,
-    clique_query,
-    cycle_query,
-    qon_gap_pair,
-    random_query,
-    star_query,
-)
+from repro.workloads import qon_gap_pair
 
-_FAMILIES = {
-    "chain": chain_query,
-    "star": star_query,
-    "cycle": cycle_query,
-    "clique": clique_query,
-    "random": random_query,
-}
+#: Workload families come from the public facade.
+_FAMILIES = api.FAMILIES
+
+#: Families that sweep the Theorem 9 YES/NO hardness pair ("qon" is the
+#: substrate-named alias of the historical "gap").
+_GAP_FAMILIES = ("gap", "qon")
 
 #: QO_N algorithms exposed on the CLI — the shared runtime registry
-#: minus the QO_H entries (those take QOHInstance inputs).
+#: minus the QO_H and SQO-CP entries (those take QOHInstance /
+#: SQOCPInstance inputs).
 _ALGORITHMS = {
     name: run for name, run in OPTIMIZERS.items()
-    if not name.startswith("qoh-")
+    if not name.startswith(("qoh-", "sqocp-"))
 }
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
-    factory = _FAMILIES[args.family]
-    instance = factory(
-        args.relations, rng=args.seed,
+    instance = api.generate(
+        args.family, args.relations, seed=args.seed,
         size_max=args.size_max, domain_max=args.domain_max,
     )
     io.save(instance, args.out)
@@ -75,8 +66,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     if not isinstance(instance, QONInstance):
         print("optimize currently supports QO_N instances", file=sys.stderr)
         return 2
-    algorithm = _ALGORITHMS[args.algorithm]
-    result = algorithm(instance)
+    result = api.optimize(instance, algorithm=args.algorithm)
     print(f"algorithm:  {result.optimizer}")
     print(f"sequence:   {list(result.sequence)}")
     print(f"cost:       2^{log2_of(result.cost):.3f}")
@@ -180,7 +170,7 @@ def _sweep_instances(args: argparse.Namespace):
     instances = []
     seeds = {}
     for n in args.n_values:
-        if args.family == "gap":
+        if args.family in _GAP_FAMILIES:
             if n < 6:  # k_yes = n-2 must clear k_no = 2 or 3
                 raise SystemExit("gap family needs --n >= 6")
             k_yes = n - 2
@@ -240,12 +230,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return {}
 
     tasks = grid_tasks(names, instances, kwargs_for=kwargs_for)
-    result = run_sweep(
+    result = api.sweep(
         tasks,
         workers=args.workers,
         cache=not args.no_cache,
         cache_maxsize=args.cache_maxsize,
         timeout=args.timeout,
+        trace=args.trace_out is not None,
     )
 
     header = (
@@ -295,7 +286,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     path = write_metrics(payload, metrics_out)
     print(f"metrics written to {path}")
+
+    if args.trace_out is not None:
+        from repro.observability import hot_span, write_trace
+
+        records = result.trace_records()
+        trace_path = write_trace(
+            records, args.trace_out,
+            meta={
+                "grid": payload["grid"],
+                "mode": result.mode,
+                "workers": result.workers,
+            },
+        )
+        print(f"trace written to {trace_path} ({len(records)} spans)")
+        hot = hot_span(records)
+        if hot is not None:
+            name, share = hot
+            print(f"hottest span: {name} ({share:.1%} of sweep wall time)")
     return 0 if all(o.ok for o in result) else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        flame_report,
+        hot_span,
+        load_trace,
+        summary_table,
+    )
+    from repro.utils.validation import ValidationError
+
+    try:
+        trace = load_trace(args.trace)
+    except (OSError, ValidationError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if trace.meta:
+        parts = [f"{key}={value}" for key, value in sorted(trace.meta.items())]
+        print(f"meta: {'  '.join(parts)}")
+    print(f"{len(trace.records)} spans\n")
+    if args.flat:
+        print(summary_table(trace.records, top=args.top))
+    else:
+        print(flame_report(
+            trace.records, max_depth=args.depth, min_share=args.min_share,
+        ))
+    hot = hot_span(trace.records)
+    if hot is not None:
+        name, share = hot
+        print(f"\nhottest span: {name} ({share:.1%} of wall time)")
+    return 0
 
 
 def _cmd_scorecard(args: argparse.Namespace) -> int:
@@ -388,9 +428,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--family",
-        choices=sorted(_FAMILIES) + ["gap"],
+        choices=sorted(_FAMILIES) + ["gap", "qon"],
         default="random",
-        help="workload family; 'gap' sweeps the Theorem 9 YES/NO pair",
+        help="workload family; 'gap' (alias 'qon') sweeps the "
+        "Theorem 9 YES/NO pair",
     )
     sweep.add_argument(
         "--n", default="6,8",
@@ -422,7 +463,31 @@ def build_parser() -> argparse.ArgumentParser:
                        "sweep-metrics.json when that directory exists)")
     sweep.add_argument("--quick", action="store_true",
                        help="small smoke grid: fast algorithms, one seed")
+    sweep.add_argument(
+        "--trace-out", default=None,
+        help="also record a repro.trace/1 span tree (JSONL) at this path",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render a repro.trace/1 file (from sweep --trace-out) as a "
+        "where-did-the-time-go report",
+    )
+    trace.add_argument("trace", help="trace JSONL path")
+    trace.add_argument(
+        "--flat", action="store_true",
+        help="aggregate by span name instead of the nested flame view",
+    )
+    trace.add_argument("--depth", type=int, default=None,
+                       help="limit flame view nesting depth")
+    trace.add_argument(
+        "--min-share", type=float, default=0.0,
+        help="hide flame rows below this share of total time (e.g. 0.01)",
+    )
+    trace.add_argument("--top", type=int, default=None,
+                       help="limit --flat rows to the N hottest span names")
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -12,44 +12,48 @@ Layout:
 * :mod:`repro.core.certificates` — constructive YES-side witnesses
   (the cheap join sequences of Lemma 6 and Lemma 12);
 * :mod:`repro.core.chains` — end-to-end composed reductions with all
-  intermediate artifacts retained for inspection.
+  intermediate artifacts retained for inspection;
+* :mod:`repro.core.results` — the unified :class:`PlanResult` every
+  optimizer returns.
+
+Exports resolve lazily (PEP 562): :mod:`repro.core.results` must be
+importable from the substrate packages (``hashjoin``, ``joinopt``,
+``starqo``) that :mod:`repro.core.chains` itself builds on, so eagerly
+importing the chains here would create an import cycle.
 """
 
-from repro.core.gap import (
-    default_alpha_exponent,
-    gap_factor_log2,
-    k_cd,
-    k_cd_log2,
-    l_bound_log2,
-    g_bound_log2,
-    polylog_budget_log2,
-)
-from repro.core.certificates import (
-    qoh_certificate_plan,
-    qon_certificate_sequence,
-)
-from repro.core.report import QONHardnessReport, build_qon_report
-from repro.core.chains import (
-    QOHHardnessInstance,
-    QONHardnessInstance,
-    hardness_chain_qoh,
-    hardness_chain_qon,
-)
+from importlib import import_module
 
-__all__ = [
-    "default_alpha_exponent",
-    "gap_factor_log2",
-    "k_cd",
-    "k_cd_log2",
-    "l_bound_log2",
-    "g_bound_log2",
-    "polylog_budget_log2",
-    "qoh_certificate_plan",
-    "qon_certificate_sequence",
-    "QONHardnessReport",
-    "build_qon_report",
-    "QOHHardnessInstance",
-    "QONHardnessInstance",
-    "hardness_chain_qoh",
-    "hardness_chain_qon",
-]
+_EXPORTS = {
+    "default_alpha_exponent": "repro.core.gap",
+    "gap_factor_log2": "repro.core.gap",
+    "k_cd": "repro.core.gap",
+    "k_cd_log2": "repro.core.gap",
+    "l_bound_log2": "repro.core.gap",
+    "g_bound_log2": "repro.core.gap",
+    "polylog_budget_log2": "repro.core.gap",
+    "qoh_certificate_plan": "repro.core.certificates",
+    "qon_certificate_sequence": "repro.core.certificates",
+    "QONHardnessReport": "repro.core.report",
+    "build_qon_report": "repro.core.report",
+    "QOHHardnessInstance": "repro.core.chains",
+    "QONHardnessInstance": "repro.core.chains",
+    "hardness_chain_qoh": "repro.core.chains",
+    "hardness_chain_qon": "repro.core.chains",
+    "PlanResult": "repro.core.results",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -12,7 +12,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.reductions.clique_to_qoh import FHReduction
 from repro.core.reductions.clique_to_qon import FNReduction
 from repro.graphs.graph import Graph
-from repro.hashjoin.optimizer import QOHPlan
+from repro.core.results import PlanResult
 from repro.hashjoin.pipeline import PipelineDecomposition, decomposition_cost
 from repro.utils.validation import require
 
@@ -63,7 +63,7 @@ def qon_certificate_sequence(
 
 def qoh_certificate_plan(
     reduction: FHReduction, clique: Sequence[int]
-) -> QOHPlan:
+) -> PlanResult:
     """The Lemma 12 plan: ``v_0``, then the 2n/3 clique, then the rest,
     split into the five pipelines P(1,1), P(2, n/3), P(n/3+1, 2n/3),
     P(2n/3+1, n-1), P(n, n).
@@ -94,4 +94,9 @@ def qoh_certificate_plan(
     decomposition = PipelineDecomposition.from_breaks(num_joins, breaks)
     cost = decomposition_cost(reduction.instance, sequence, decomposition)
     require(cost is not None, "certificate decomposition is infeasible")
-    return QOHPlan(sequence=sequence, decomposition=decomposition, cost=cost)
+    return PlanResult(
+        cost=cost,
+        sequence=sequence,
+        optimizer="lemma12-certificate",
+        plan=decomposition,
+    )

@@ -29,7 +29,7 @@ from repro.core.reductions.sat_to_two_thirds_clique import (
     TwoThirdsCliqueReduction,
     sat_to_two_thirds_clique,
 )
-from repro.hashjoin.optimizer import QOHPlan
+from repro.core.results import PlanResult
 from repro.sat.gapfamilies import GapFormula
 from repro.utils.validation import require
 
@@ -61,7 +61,7 @@ class QOHHardnessInstance:
     source: GapFormula
     clique_step: TwoThirdsCliqueReduction
     fh_step: FHReduction
-    certificate_plan: Optional[QOHPlan]
+    certificate_plan: Optional[PlanResult]
 
     @property
     def instance(self):
@@ -135,7 +135,7 @@ def hardness_chain_qoh(
         alpha=alpha,
         delta=delta,
     )
-    certificate: Optional[QOHPlan] = None
+    certificate: Optional[PlanResult] = None
     if source.satisfiable:
         assert source.witness is not None
         clique = clique_step.clique_from_assignment(source.witness)

@@ -35,6 +35,7 @@ from repro.hashjoin.cost_model import HashJoinCostModel
 from repro.hashjoin.instance import QOHInstance
 from repro.utils.lognum import log2_of
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,7 @@ class FHReduction:
         )
 
 
+@traced("reduce.f_H")
 def clique_to_qoh(
     graph: Graph,
     epsilon: Optional[Fraction] = None,

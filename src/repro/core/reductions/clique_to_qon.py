@@ -34,6 +34,7 @@ from repro.core.gap import default_alpha_exponent, k_cd, no_side_lower_bound
 from repro.graphs.graph import Graph
 from repro.joinopt.instance import QONInstance
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,7 @@ class FNReduction:
         )
 
 
+@traced("reduce.f_N")
 def clique_to_qon(
     graph: Graph,
     k_yes: int,

@@ -57,6 +57,7 @@ from typing import Tuple
 from repro.starqo.partition import PartitionInstance
 from repro.starqo.sppcs import SPPCSInstance
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 def floor_pow2_exp(x: Fraction, q: int) -> int:
@@ -108,6 +109,7 @@ def _paper_pq(total: int, n: int) -> Tuple[int, int]:
     return p, q
 
 
+@traced("reduce.partition_to_sppcs")
 def partition_to_sppcs(source: PartitionInstance) -> SPPCSConstruction:
     """The repaired PARTITION -> SPPCS reduction (see module docstring).
 

@@ -39,6 +39,7 @@ from repro.graphs.graph import Graph
 from repro.sat.cnf import Assignment, CNFFormula
 from repro.sat.gapfamilies import GapFormula
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,7 @@ class CliqueReduction:
         return sorted(members)
 
 
+@traced("reduce.sat_to_clique")
 def sat_to_clique(source: GapFormula | CNFFormula) -> CliqueReduction:
     """Apply the Lemma 3 reduction to a (gap) 3SAT formula."""
     if isinstance(source, GapFormula):

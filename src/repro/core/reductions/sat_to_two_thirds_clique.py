@@ -26,6 +26,7 @@ from repro.graphs.graph import Graph
 from repro.sat.cnf import Assignment, CNFFormula
 from repro.sat.gapfamilies import GapFormula
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,7 @@ class TwoThirdsCliqueReduction:
         return sorted(members)
 
 
+@traced("reduce.sat_to_two_thirds_clique")
 def sat_to_two_thirds_clique(
     source: GapFormula | CNFFormula,
 ) -> TwoThirdsCliqueReduction:

@@ -28,6 +28,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 from repro.graphs.graph import Graph
 from repro.sat.cnf import Assignment, CNFFormula
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 @dataclass(frozen=True)
@@ -120,6 +121,7 @@ class VCReduction:
         return sorted(cover)
 
 
+@traced("reduce.sat_to_vertex_cover")
 def sat_to_vertex_cover(formula: CNFFormula) -> VCReduction:
     """Build the Garey-Johnson graph for a 3CNF formula.
 

@@ -36,6 +36,7 @@ from repro.hashjoin.instance import QOHInstance
 from repro.joinopt.instance import QONInstance
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import ValidationError, require
+from repro.observability.tracer import traced
 
 EdgeBudget = Callable[[int], int]
 
@@ -140,6 +141,7 @@ class SparseFNReduction:
         return Fraction(beta_log2) * self.n * aux_vertices
 
 
+@traced("reduce.sparse_f_N")
 def sparse_clique_to_qon(
     graph: Graph,
     k_yes: int,
@@ -264,6 +266,7 @@ class SparseFHReduction:
         return self.query_graph.num_vertices
 
 
+@traced("reduce.sparse_f_H")
 def sparse_clique_to_qoh(
     graph: Graph,
     epsilon: Optional[Fraction] = None,

@@ -35,6 +35,7 @@ from repro.hashjoin.search import (
     qoh_trivial_lower_bound,
 )
 from repro.hashjoin.optimizer import (
+    PlanResult,
     QOHPlan,
     best_decomposition,
     feasible_sequences,
@@ -51,6 +52,7 @@ __all__ = [
     "decomposition_cost",
     "pipeline_cost",
     "allocate_memory",
+    "PlanResult",
     "QOHPlan",
     "best_decomposition",
     "feasible_sequences",

@@ -15,11 +15,12 @@ from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from repro.hashjoin.instance import QOHInstance
-from repro.hashjoin.optimizer import QOHPlan
+from repro.core.results import PlanResult
 from repro.hashjoin.search import cached_best_decomposition
 from repro.utils.lognum import log2_of
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 def _initial_sequence(instance: QOHInstance, rng) -> Optional[Tuple[int, ...]]:
@@ -53,6 +54,7 @@ def _neighbor(sequence: Tuple[int, ...], rng) -> Tuple[int, ...]:
     return tuple(candidate)
 
 
+@traced("optimize.qoh_annealing")
 def qoh_simulated_annealing(
     instance: QOHInstance,
     initial_temperature: float = 12.0,
@@ -60,7 +62,7 @@ def qoh_simulated_annealing(
     steps_per_temperature: int = 12,
     min_temperature: float = 0.1,
     rng: RngLike = None,
-) -> Optional[QOHPlan]:
+) -> Optional[PlanResult]:
     """Anneal over sequences; each state costed by the decomposition DP.
 
     Returns None when no feasible sequence exists.
@@ -107,4 +109,4 @@ def qoh_simulated_annealing(
                     best_log = current_log
         temperature *= cooling
     # explored counts every sequence the annealer costed.
-    return replace(best_plan, explored=explored)
+    return replace(best_plan, optimizer="qoh-annealing", explored=explored)

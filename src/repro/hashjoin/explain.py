@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.hashjoin.instance import QOHInstance
-from repro.hashjoin.optimizer import QOHPlan
+from repro.core.results import PlanResult
 from repro.hashjoin.pipeline import pipeline_allocation
 from repro.utils.lognum import log2_of
 
@@ -28,7 +28,7 @@ def _format_number(value) -> str:
 
 def explain_plan(
     instance: QOHInstance,
-    plan: QOHPlan,
+    plan: PlanResult,
     relation_names: Sequence[str] | None = None,
 ) -> str:
     """Render a QO_H plan (sequence + decomposition) as text."""

@@ -16,10 +16,13 @@ the f_H reduction uses to pin ``R_0`` to the first position.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from fractions import Fraction
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+# QOHPlan is re-exported for backwards compatibility; it is now a
+# deprecated alias of PlanResult (the decomposition lives in ``plan``).
+from repro.core.results import PlanResult, QOHPlan  # noqa: F401
 from repro.hashjoin.instance import QOHInstance
 from repro.hashjoin.pipeline import (
     Pipeline,
@@ -27,16 +30,7 @@ from repro.hashjoin.pipeline import (
     pipeline_cost,
 )
 from repro.utils.validation import require
-
-
-@dataclass(frozen=True)
-class QOHPlan:
-    """A complete QO_H plan: sequence + decomposition + cost."""
-
-    sequence: Tuple[int, ...]
-    decomposition: PipelineDecomposition
-    cost: Fraction
-    explored: int = 0
+from repro.observability.tracer import traced
 
 
 def is_feasible_sequence(instance: QOHInstance, sequence: Sequence[int]) -> bool:
@@ -69,7 +63,7 @@ def feasible_sequences(instance: QOHInstance) -> Iterator[Tuple[int, ...]]:
 
 def best_decomposition(
     instance: QOHInstance, sequence: Sequence[int]
-) -> Optional[QOHPlan]:
+) -> Optional[PlanResult]:
     """Optimal pipeline decomposition for a fixed sequence (DP).
 
     ``dp[k]`` = least cost to execute joins ``1..k``; transitions try
@@ -117,17 +111,19 @@ def best_decomposition(
             breaks.append(i - 1)
         k = i - 1
     decomposition = PipelineDecomposition.from_breaks(num_joins, breaks)
-    return QOHPlan(
-        sequence=tuple(sequence),
-        decomposition=decomposition,
+    return PlanResult(
         cost=dp[num_joins],
+        sequence=tuple(sequence),
+        optimizer="qoh-dp",
         explored=explored,
+        plan=decomposition,
     )
 
 
+@traced("optimize.qoh_exhaustive")
 def qoh_optimal(
     instance: QOHInstance, max_relations: int = 9
-) -> Optional[QOHPlan]:
+) -> Optional[PlanResult]:
     """Exact QO_H optimum: exhaustive sequences x decomposition DP."""
     n = instance.num_relations
     require(
@@ -135,7 +131,7 @@ def qoh_optimal(
         f"exhaustive QO_H search limited to {max_relations} relations "
         f"(instance has {n}); raise max_relations explicitly to override",
     )
-    best: Optional[QOHPlan] = None
+    best: Optional[PlanResult] = None
     explored = 0
     for sequence in feasible_sequences(instance):
         plan = best_decomposition(instance, sequence)
@@ -143,23 +139,22 @@ def qoh_optimal(
         if plan is None:
             continue
         if best is None or plan.cost < best.cost:
-            best = QOHPlan(
-                sequence=plan.sequence,
-                decomposition=plan.decomposition,
-                cost=plan.cost,
-                explored=explored,
+            best = replace(
+                plan, optimizer="qoh-optimal", explored=explored,
+                is_exact=True,
             )
     return best
 
 
-def qoh_greedy(instance: QOHInstance) -> Optional[QOHPlan]:
+@traced("optimize.qoh_greedy")
+def qoh_greedy(instance: QOHInstance) -> Optional[PlanResult]:
     """Polynomial heuristic: greedy min-intermediate sequence, then DP.
 
     Starts from each feasible first relation, grows the sequence by
     smallest next intermediate size, and keeps the best plan.
     """
     n = instance.num_relations
-    best: Optional[QOHPlan] = None
+    best: Optional[PlanResult] = None
     explored = 0
     for first in range(n):
         others = [r for r in range(n) if r != first]
@@ -189,4 +184,4 @@ def qoh_greedy(instance: QOHInstance) -> Optional[QOHPlan]:
         return None
     # explored counts every partial sequence the greedy examined across
     # all starting relations, not just the winning decomposition DP.
-    return replace(best, explored=explored)
+    return replace(best, optimizer="qoh-greedy", explored=explored)

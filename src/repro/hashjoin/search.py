@@ -21,15 +21,17 @@ from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
 
 from repro.hashjoin.instance import QOHInstance
-from repro.hashjoin.optimizer import QOHPlan, best_decomposition
+from repro.core.results import PlanResult
+from repro.hashjoin.optimizer import best_decomposition
 from repro.runtime.costcache import active_cache
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 def cached_best_decomposition(
     instance: QOHInstance, sequence: Sequence[int]
-) -> Optional[QOHPlan]:
+) -> Optional[PlanResult]:
     """``best_decomposition`` through the active cost cache.
 
     The decomposition DP depends only on ``(instance, sequence)``, and
@@ -80,11 +82,12 @@ def qoh_materialization_lower_bound(
     return intermediates[0] + inner_scans + intermediates[-1]
 
 
+@traced("optimize.qoh_beam")
 def qoh_beam_search(
     instance: QOHInstance,
     beam_width: int = 8,
     rng: RngLike = None,
-) -> Optional[QOHPlan]:
+) -> Optional[PlanResult]:
     """Polynomial-time beam search over join sequences.
 
     Grows prefixes left to right, keeping the ``beam_width`` prefixes
@@ -132,7 +135,7 @@ def qoh_beam_search(
         extended.sort(key=lambda item: (item[0], generator.random()))
         beams = extended[:beam_width]
 
-    best: Optional[QOHPlan] = None
+    best: Optional[PlanResult] = None
     for _, sequence in beams:
         plan = cached_best_decomposition(instance, sequence)
         if plan is not None and (best is None or plan.cost < best.cost):
@@ -141,4 +144,4 @@ def qoh_beam_search(
         return None
     # explored counts every partial sequence the beam examined, not
     # just the winning decomposition DP's transitions.
-    return replace(best, explored=explored)
+    return replace(best, optimizer="qoh-beam", explored=explored)

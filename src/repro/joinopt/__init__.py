@@ -33,6 +33,7 @@ from repro.joinopt.bounds import (
 )
 from repro.joinopt.optimizers import (
     OptimizerResult,
+    PlanResult,
     branch_and_bound,
     dp_optimal,
     exhaustive_optimal,
@@ -57,6 +58,7 @@ __all__ = [
     "first_join_lower_bound",
     "lemma8_style_lower_bound",
     "OptimizerResult",
+    "PlanResult",
     "branch_and_bound",
     "dp_optimal",
     "exhaustive_optimal",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.joinopt.instance import QONInstance
+from repro.observability.tracer import count as trace_count
 from repro.runtime.costcache import active_cache
 from repro.utils.validation import require
 
@@ -92,6 +93,10 @@ def total_cost(instance: QONInstance, sequence: JoinSequence):
     """
     cache = active_cache()
     if cache is None:
+        # Counted under a distinct key: sweep runs always have a cache
+        # (pass-through at minimum), so "cost_evaluations" stays exactly
+        # the cache-miss count the metrics layer reports.
+        trace_count("cost_evaluations_uncached")
         return _total_cost_uncached(instance, sequence)
     key = tuple(sequence)
     return cache.get_or_compute(

@@ -18,7 +18,7 @@ paper lower-bounds):
   :func:`random_sampling` — randomized search.
 """
 
-from repro.joinopt.optimizers.base import OptimizerResult
+from repro.joinopt.optimizers.base import OptimizerResult, PlanResult
 from repro.joinopt.optimizers.exhaustive import exhaustive_optimal
 from repro.joinopt.optimizers.dynamic_programming import dp_optimal
 from repro.joinopt.optimizers.greedy import greedy_min_cost, greedy_min_size
@@ -33,6 +33,7 @@ from repro.joinopt.optimizers.branch_and_bound import branch_and_bound
 
 __all__ = [
     "OptimizerResult",
+    "PlanResult",
     "exhaustive_optimal",
     "dp_optimal",
     "greedy_min_cost",

@@ -12,7 +12,7 @@ from typing import Optional, Tuple
 
 from repro.joinopt.cost import total_cost
 from repro.joinopt.instance import QONInstance
-from repro.joinopt.optimizers.base import OptimizerResult
+from repro.core.results import PlanResult
 from repro.joinopt.optimizers.local_search import (
     _neighbors,
     _random_connected_sequence,
@@ -20,8 +20,10 @@ from repro.joinopt.optimizers.local_search import (
 from repro.utils.lognum import log2_of
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
+@traced("optimize.annealing")
 def simulated_annealing(
     instance: QONInstance,
     initial_temperature: float = 16.0,
@@ -29,7 +31,7 @@ def simulated_annealing(
     steps_per_temperature: int = 20,
     min_temperature: float = 0.05,
     rng: RngLike = None,
-) -> OptimizerResult:
+) -> PlanResult:
     """Simulated annealing; temperature acts on log2(cost) deltas.
 
     A move that multiplies the cost by ``2**d`` is accepted with
@@ -38,7 +40,7 @@ def simulated_annealing(
     n = instance.num_relations
     require(n >= 1, "instance must have at least one relation")
     if n == 1:
-        return OptimizerResult(
+        return PlanResult(
             cost=0, sequence=(0,), optimizer="simulated-annealing", explored=1
         )
     generator = make_rng(rng)
@@ -68,7 +70,7 @@ def simulated_annealing(
                     best_log = current_log
         temperature *= cooling
 
-    return OptimizerResult(
+    return PlanResult(
         cost=best_cost,
         sequence=best_sequence,
         optimizer="simulated-annealing",

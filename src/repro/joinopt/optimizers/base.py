@@ -1,43 +1,13 @@
-"""Common result type shared by every QO_N optimizer."""
+"""Result type shared by every QO_N optimizer.
+
+Since the result unification this module only re-exports the unified
+:class:`repro.core.results.PlanResult` plus the deprecated
+``OptimizerResult`` alias (which warns once when constructed).  New
+code should import :class:`PlanResult` from :mod:`repro.core.results`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from repro.core.results import OptimizerResult, PlanResult
 
-
-@dataclass(frozen=True)
-class OptimizerResult:
-    """Outcome of one optimizer run.
-
-    Attributes:
-        cost: cost of the best join sequence found (instance-numeric:
-            ``int``/``Fraction`` in exact mode, ``LogNumber`` in log
-            mode).
-        sequence: the best join sequence (tuple of relation indices).
-        optimizer: name of the algorithm that produced it.
-        explored: number of (partial) plans examined — the work metric
-            reported by the scaling benchmarks.
-        is_exact: True when the algorithm guarantees optimality for the
-            instance it was given.
-    """
-
-    cost: object
-    sequence: Tuple[int, ...]
-    optimizer: str
-    explored: int = 0
-    is_exact: bool = False
-
-    def ratio_to(self, optimal_cost) -> float:
-        """Competitive ratio against a known optimal cost.
-
-        Computed in log2 domain so astronomically large costs work:
-        returns ``2 ** (log2(cost) - log2(optimal))`` as a float, or
-        ``inf`` when out of float range.
-        """
-        from repro.utils.lognum import log2_of
-
-        gap_log2 = log2_of(self.cost) - log2_of(optimal_cost)
-        if gap_log2 > 1023:
-            return float("inf")
-        return 2.0 ** gap_log2
+__all__ = ["OptimizerResult", "PlanResult"]

@@ -18,16 +18,18 @@ from fractions import Fraction
 from typing import List, Tuple
 
 from repro.joinopt.instance import QONInstance
-from repro.joinopt.optimizers.base import OptimizerResult
+from repro.core.results import PlanResult
 from repro.joinopt.optimizers.greedy import greedy_min_cost
 from repro.runtime.costcache import active_cache
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
+@traced("optimize.bnb")
 def branch_and_bound(
     instance: QONInstance,
     max_relations: int = 13,
-) -> OptimizerResult:
+) -> PlanResult:
     """Optimal join sequence via bounded DFS (exact)."""
     n = instance.num_relations
     require(n >= 1, "instance must have at least one relation")
@@ -37,7 +39,7 @@ def branch_and_bound(
         f"(instance has {n}); raise max_relations explicitly to override",
     )
     if n == 1:
-        return OptimizerResult(
+        return PlanResult(
             cost=0, sequence=(0,), optimizer="branch-and-bound",
             explored=1, is_exact=True,
         )
@@ -125,7 +127,7 @@ def branch_and_bound(
             used[candidate] = False
 
     recurse(0, 0, 0)
-    return OptimizerResult(
+    return PlanResult(
         cost=best_cost,
         sequence=best_sequence,
         optimizer="branch-and-bound",

@@ -18,16 +18,18 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.joinopt.instance import QONInstance
-from repro.joinopt.optimizers.base import OptimizerResult
+from repro.core.results import PlanResult
 from repro.runtime.costcache import active_cache
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
+@traced("optimize.dp")
 def dp_optimal(
     instance: QONInstance,
     allow_cartesian: bool = True,
     max_relations: int = 18,
-) -> OptimizerResult:
+) -> PlanResult:
     """Optimal join sequence by subset DP (exact, ``O(2^n n^2)``)."""
     n = instance.num_relations
     require(n >= 1, "instance must have at least one relation")
@@ -37,7 +39,7 @@ def dp_optimal(
         f"(instance has {n}); raise max_relations explicitly to override",
     )
     if n == 1:
-        return OptimizerResult(
+        return PlanResult(
             cost=0, sequence=(0,), optimizer="dp", explored=1, is_exact=True
         )
 
@@ -116,7 +118,7 @@ def dp_optimal(
         sequence.append(joined)
     sequence.reverse()
 
-    return OptimizerResult(
+    return PlanResult(
         cost=best_cost[full],
         sequence=tuple(sequence),
         optimizer="dp",

@@ -11,16 +11,18 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.joinopt.instance import QONInstance
-from repro.joinopt.optimizers.base import OptimizerResult
+from repro.core.results import PlanResult
 from repro.runtime.costcache import active_cache
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
+@traced("optimize.exhaustive")
 def exhaustive_optimal(
     instance: QONInstance,
     allow_cartesian: bool = True,
     max_relations: int = 12,
-) -> OptimizerResult:
+) -> PlanResult:
     """Optimal join sequence by pruned exhaustive enumeration.
 
     Args:
@@ -38,7 +40,7 @@ def exhaustive_optimal(
         f"(instance has {n}); raise max_relations explicitly to override",
     )
     if n == 1:
-        return OptimizerResult(
+        return PlanResult(
             cost=0, sequence=(0,), optimizer="exhaustive", explored=1,
             is_exact=True,
         )
@@ -120,7 +122,7 @@ def exhaustive_optimal(
         return exhaustive_optimal(
             instance, allow_cartesian=True, max_relations=max_relations
         )
-    return OptimizerResult(
+    return PlanResult(
         cost=best_cost,
         sequence=best_sequence,
         optimizer="exhaustive",

@@ -15,11 +15,12 @@ from typing import List, Optional, Tuple
 
 from repro.joinopt.cost import total_cost
 from repro.joinopt.instance import QONInstance
-from repro.joinopt.optimizers.base import OptimizerResult
+from repro.core.results import PlanResult
 from repro.joinopt.optimizers.local_search import _random_connected_sequence
 from repro.utils.lognum import log2_of
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 def _order_crossover(
@@ -49,6 +50,7 @@ def _swap_mutation(sequence: Tuple[int, ...], rng) -> Tuple[int, ...]:
     return tuple(mutated)
 
 
+@traced("optimize.genetic")
 def genetic_algorithm(
     instance: QONInstance,
     population_size: int = 32,
@@ -56,13 +58,13 @@ def genetic_algorithm(
     mutation_rate: float = 0.25,
     tournament: int = 3,
     rng: RngLike = None,
-) -> OptimizerResult:
+) -> PlanResult:
     """Evolve a population of join sequences; returns the best found."""
     n = instance.num_relations
     require(n >= 1, "instance must have at least one relation")
     require(population_size >= 2, "population must have at least 2 members")
     if n == 1:
-        return OptimizerResult(cost=0, sequence=(0,), optimizer="genetic", explored=1)
+        return PlanResult(cost=0, sequence=(0,), optimizer="genetic", explored=1)
     generator = make_rng(rng)
 
     def fitness(sequence: Tuple[int, ...]) -> float:
@@ -101,7 +103,7 @@ def genetic_algorithm(
             best_score = scores[generation_best]
             best_sequence = population[generation_best]
 
-    return OptimizerResult(
+    return PlanResult(
         cost=total_cost(instance, best_sequence),
         sequence=best_sequence,
         optimizer="genetic",

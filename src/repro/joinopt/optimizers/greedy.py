@@ -24,8 +24,9 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.joinopt.cost import total_cost
 from repro.joinopt.instance import QONInstance
-from repro.joinopt.optimizers.base import OptimizerResult
+from repro.core.results import PlanResult
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 def _greedy_from(
@@ -115,11 +116,11 @@ def _greedy(
     allow_cartesian: bool,
     name: str,
     max_full_starts: int,
-) -> OptimizerResult:
+) -> PlanResult:
     n = instance.num_relations
     require(n >= 1, "instance must have at least one relation")
     if n == 1:
-        return OptimizerResult(cost=0, sequence=(0,), optimizer=name, explored=1)
+        return PlanResult(cost=0, sequence=(0,), optimizer=name, explored=1)
     best_cost = None
     best_sequence: Optional[Tuple[int, ...]] = None
     # explored counts candidate partial plans examined across rollouts,
@@ -140,7 +141,7 @@ def _greedy(
     if best_sequence is None:
         # No cartesian-free sequence from any start (disconnected graph).
         return _greedy(instance, prefer_size, True, name, max_full_starts)
-    return OptimizerResult(
+    return PlanResult(
         cost=best_cost,
         sequence=best_sequence,
         optimizer=name,
@@ -148,22 +149,24 @@ def _greedy(
     )
 
 
+@traced("optimize.greedy_min_cost")
 def greedy_min_cost(
     instance: QONInstance,
     allow_cartesian: bool = False,
     max_full_starts: int = 24,
-) -> OptimizerResult:
+) -> PlanResult:
     """Greedy by cheapest next join, best over the tried starts."""
     return _greedy(
         instance, False, allow_cartesian, "greedy-min-cost", max_full_starts
     )
 
 
+@traced("optimize.greedy_min_size")
 def greedy_min_size(
     instance: QONInstance,
     allow_cartesian: bool = False,
     max_full_starts: int = 24,
-) -> OptimizerResult:
+) -> PlanResult:
     """Greedy by smallest next intermediate, best over the tried starts."""
     return _greedy(
         instance, True, allow_cartesian, "greedy-min-size", max_full_starts

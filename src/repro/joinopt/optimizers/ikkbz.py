@@ -28,9 +28,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.joinopt.cost import total_cost
 from repro.joinopt.instance import QONInstance
-from repro.joinopt.optimizers.base import OptimizerResult
+from repro.core.results import PlanResult
 from repro.utils.lognum import LogNumber
 from repro.utils.validation import ValidationError, require
+from repro.observability.tracer import traced
 
 
 @dataclass
@@ -134,7 +135,8 @@ def _sequence_for_root(instance: QONInstance, root: int) -> Tuple[int, ...]:
     return tuple(sequence)
 
 
-def ikkbz(instance: QONInstance) -> OptimizerResult:
+@traced("optimize.ikkbz")
+def ikkbz(instance: QONInstance) -> PlanResult:
     """Optimal cartesian-product-free sequence for a tree query graph.
 
     Polynomial time; exact among sequences that respect the tree
@@ -144,7 +146,7 @@ def ikkbz(instance: QONInstance) -> OptimizerResult:
     _require_tree(instance)
     n = instance.num_relations
     if n == 1:
-        return OptimizerResult(
+        return PlanResult(
             cost=0, sequence=(0,), optimizer="ikkbz", explored=1, is_exact=True
         )
     best_cost = None
@@ -156,7 +158,7 @@ def ikkbz(instance: QONInstance) -> OptimizerResult:
             best_cost = cost
             best_sequence = sequence
     assert best_sequence is not None
-    return OptimizerResult(
+    return PlanResult(
         cost=best_cost,
         sequence=best_sequence,
         optimizer="ikkbz",

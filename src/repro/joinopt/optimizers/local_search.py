@@ -13,9 +13,10 @@ from typing import List, Optional, Tuple
 
 from repro.joinopt.cost import total_cost
 from repro.joinopt.instance import QONInstance
-from repro.joinopt.optimizers.base import OptimizerResult
+from repro.core.results import PlanResult
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 
 def _random_connected_sequence(
@@ -61,13 +62,14 @@ def _neighbors(sequence: Tuple[int, ...], rng, count: int) -> List[Tuple[int, ..
     return result
 
 
+@traced("optimize.iterative")
 def iterative_improvement(
     instance: QONInstance,
     restarts: int = 10,
     neighborhood_samples: int = 30,
     max_rounds: int = 200,
     rng: RngLike = None,
-) -> OptimizerResult:
+) -> PlanResult:
     """Iterative improvement from random starts.
 
     Each restart descends by sampled neighborhood moves until no
@@ -76,7 +78,7 @@ def iterative_improvement(
     n = instance.num_relations
     require(n >= 1, "instance must have at least one relation")
     if n == 1:
-        return OptimizerResult(
+        return PlanResult(
             cost=0, sequence=(0,), optimizer="iterative-improvement", explored=1
         )
     generator = make_rng(rng)
@@ -101,7 +103,7 @@ def iterative_improvement(
         if best_cost is None or current_cost < best_cost:
             best_cost, best_sequence = current_cost, current
     assert best_sequence is not None
-    return OptimizerResult(
+    return PlanResult(
         cost=best_cost,
         sequence=best_sequence,
         optimizer="iterative-improvement",
@@ -109,17 +111,18 @@ def iterative_improvement(
     )
 
 
+@traced("optimize.sampling")
 def random_sampling(
     instance: QONInstance,
     samples: int = 200,
     avoid_cartesian: bool = True,
     rng: RngLike = None,
-) -> OptimizerResult:
+) -> PlanResult:
     """Best of ``samples`` random sequences (cartesian-avoiding by default)."""
     n = instance.num_relations
     require(n >= 1, "instance must have at least one relation")
     if n == 1:
-        return OptimizerResult(
+        return PlanResult(
             cost=0, sequence=(0,), optimizer="random-sampling", explored=1
         )
     generator = make_rng(rng)
@@ -136,7 +139,7 @@ def random_sampling(
         if best_cost is None or cost < best_cost:
             best_cost, best_sequence = cost, sequence
     assert best_sequence is not None
-    return OptimizerResult(
+    return PlanResult(
         cost=best_cost,
         sequence=best_sequence,
         optimizer="random-sampling",

@@ -1,0 +1,57 @@
+"""Structured tracing for the reduction/optimization pipeline.
+
+Public surface:
+
+* :class:`Tracer`, :func:`use_tracer` / :func:`install_tracer` /
+  :func:`active_tracer` — collect a span tree for a dynamic extent;
+* :func:`span` / :func:`count` / :func:`traced` — instrumentation
+  points (no-ops when no tracer is installed);
+* :data:`SCHEMA`, :func:`write_trace` / :func:`load_trace` /
+  :func:`validate_trace`, :class:`Trace` — ``repro.trace/1`` JSONL;
+* :func:`summary_table` / :func:`flame_report` / :func:`aggregate` /
+  :func:`hot_span` / :func:`counter_totals` — reporting.
+"""
+
+from repro.observability.report import (
+    aggregate,
+    flame_report,
+    hot_span,
+    summary_table,
+)
+from repro.observability.trace_io import (
+    SCHEMA,
+    Trace,
+    load_trace,
+    validate_trace,
+    write_trace,
+)
+from repro.observability.tracer import (
+    Tracer,
+    active_tracer,
+    count,
+    counter_totals,
+    install_tracer,
+    span,
+    traced,
+    use_tracer,
+)
+
+__all__ = [
+    "SCHEMA",
+    "Trace",
+    "Tracer",
+    "active_tracer",
+    "aggregate",
+    "count",
+    "counter_totals",
+    "flame_report",
+    "hot_span",
+    "install_tracer",
+    "load_trace",
+    "span",
+    "summary_table",
+    "traced",
+    "use_tracer",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,163 @@
+"""Text reports over traces: per-name aggregates and a flame tree.
+
+Two views of the same records:
+
+* :func:`aggregate` — flat "where did the time go" table rows, one per
+  span *name*, with call counts, total and self time, and summed
+  counters;
+* :func:`flame_report` — a flame-style tree: same-named siblings under
+  the same parent path are merged, each line showing total time, its
+  share of the root, call count and the interesting counters.
+
+Both work on the plain record lists produced by
+:class:`~repro.observability.tracer.Tracer` or loaded via
+:func:`~repro.observability.trace_io.load_trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Counters surfaced inline in the reports, in display order.
+_SHOWN_COUNTERS = (
+    "cost_evaluations",
+    "cache_hits",
+    "plans_explored",
+    "subproblem_peak",
+)
+
+
+def _self_times(records: Sequence[dict]) -> Dict[int, float]:
+    """duration minus the direct children's durations, per span id."""
+    own = {r["id"]: r["duration_s"] for r in records}
+    for record in records:
+        parent = record["parent"]
+        if parent is not None and parent in own:
+            own[parent] -= record["duration_s"]
+    return {span_id: max(0.0, value) for span_id, value in own.items()}
+
+
+def aggregate(records: Sequence[dict]) -> List[dict]:
+    """Per-name totals, sorted by total time descending.
+
+    Each row: ``{"name", "calls", "total_s", "self_s", "counters"}``.
+    """
+    self_times = _self_times(records)
+    rows: Dict[str, dict] = {}
+    for record in records:
+        row = rows.setdefault(
+            record["name"],
+            {"name": record["name"], "calls": 0, "total_s": 0.0,
+             "self_s": 0.0, "counters": {}},
+        )
+        row["calls"] += 1
+        row["total_s"] += record["duration_s"]
+        row["self_s"] += self_times[record["id"]]
+        for key, value in record["counters"].items():
+            row["counters"][key] = row["counters"].get(key, 0) + value
+    return sorted(rows.values(), key=lambda row: -row["total_s"])
+
+
+def hot_span(records: Sequence[dict],
+             skip: Tuple[str, ...] = ("sweep", "task")) -> Optional[Tuple[str, float]]:
+    """The span name with the largest *self* time and its share.
+
+    ``skip`` names structural containers (the sweep/task wrappers) that
+    should not win the attribution.  Returns ``(name, fraction of the
+    trace's wall clock)`` or None for an empty trace.
+    """
+    if not records:
+        return None
+    wall = sum(r["duration_s"] for r in records if r["parent"] is None)
+    best_name, best_self = None, -1.0
+    for row in aggregate(records):
+        if row["name"] in skip:
+            continue
+        if row["self_s"] > best_self:
+            best_name, best_self = row["name"], row["self_s"]
+    if best_name is None:
+        return None
+    return best_name, (best_self / wall if wall > 0 else 0.0)
+
+
+def _format_counters(counters: Dict[str, int]) -> str:
+    parts = [
+        f"{key}={counters[key]}" for key in _SHOWN_COUNTERS if key in counters
+    ]
+    parts.extend(
+        f"{key}={value}" for key, value in sorted(counters.items())
+        if key not in _SHOWN_COUNTERS
+    )
+    return "  ".join(parts)
+
+
+def summary_table(records: Sequence[dict], top: Optional[int] = None) -> str:
+    """The flat per-name table as printable text."""
+    rows = aggregate(records)
+    if top is not None:
+        rows = rows[:top]
+    width = max([len(row["name"]) for row in rows] + [4])
+    header = (
+        f"{'span':<{width}}  {'calls':>6}  {'total s':>9}  {'self s':>9}"
+        "  counters"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<{width}}  {row['calls']:>6}  "
+            f"{row['total_s']:>9.4f}  {row['self_s']:>9.4f}  "
+            f"{_format_counters(row['counters'])}"
+        )
+    return "\n".join(lines)
+
+
+def flame_report(records: Sequence[dict], max_depth: Optional[int] = None,
+                 min_share: float = 0.0) -> str:
+    """A flame-style tree: nested spans with durations and shares.
+
+    Same-named siblings are merged (calls are summed), so a sweep of
+    120 identical tasks renders as one line ``x120`` instead of 120.
+    ``min_share`` hides merged nodes below that fraction of the root.
+    """
+    by_parent: Dict[Optional[int], List[dict]] = {}
+    for record in records:
+        by_parent.setdefault(record["parent"], []).append(record)
+    roots = by_parent.get(None, [])
+    wall = sum(r["duration_s"] for r in roots) or 1.0
+
+    lines: List[str] = []
+
+    def render(group: List[dict], depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        merged: Dict[str, dict] = {}
+        for record in group:
+            node = merged.setdefault(
+                record["name"],
+                {"name": record["name"], "calls": 0, "total_s": 0.0,
+                 "counters": {}, "ids": []},
+            )
+            node["calls"] += 1
+            node["total_s"] += record["duration_s"]
+            node["ids"].append(record["id"])
+            for key, value in record["counters"].items():
+                node["counters"][key] = node["counters"].get(key, 0) + value
+        for node in sorted(merged.values(), key=lambda n: -n["total_s"]):
+            share = node["total_s"] / wall
+            if depth > 0 and share < min_share:
+                continue
+            calls = f" x{node['calls']}" if node["calls"] > 1 else ""
+            counters = _format_counters(node["counters"])
+            lines.append(
+                f"{'  ' * depth}{node['name']}{calls}"
+                f"  {node['total_s']:.4f}s ({share:6.1%})"
+                + (f"  [{counters}]" if counters else "")
+            )
+            children: List[dict] = []
+            for span_id in node["ids"]:
+                children.extend(by_parent.get(span_id, []))
+            if children:
+                render(children, depth + 1)
+
+    render(roots, 0)
+    return "\n".join(lines)

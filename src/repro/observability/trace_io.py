@@ -1,0 +1,173 @@
+"""JSONL persistence for traces (schema ``repro.trace/1``).
+
+File layout — one JSON object per line:
+
+* line 1, the header::
+
+      {"schema": "repro.trace/1", "meta": {...}}
+
+  ``meta`` is a free-form dict describing how the trace was produced
+  (grid, mode, workers, ...).
+
+* every further line, one span record::
+
+      {"id": int, "parent": int | null, "name": str,
+       "start_s": float, "duration_s": float,
+       "counters": {str: int}, "attrs": {...}?}
+
+Invariants enforced by :func:`validate_trace` (and therefore by both
+:func:`write_trace` and :func:`load_trace`):
+
+* ids are unique non-negative integers;
+* a ``parent`` is either null (a subtree root) or an id that appeared
+  on an *earlier* line — the file is topologically sorted, so a single
+  forward pass can rebuild the tree;
+* times are non-negative finite numbers; counter values are ints.
+
+``start_s`` offsets are relative to the producing tracer's origin; in
+a merged parallel sweep each task subtree keeps its worker-local clock
+(durations, which is what the reports aggregate, are always
+comparable).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.utils.validation import ValidationError, require
+
+SCHEMA = "repro.trace/1"
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A loaded trace file: header meta + topologically sorted spans."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    records: List[dict] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def roots(self) -> List[dict]:
+        return [r for r in self.records if r["parent"] is None]
+
+    def children_of(self, span_id: Optional[int]) -> List[dict]:
+        return [r for r in self.records if r["parent"] == span_id]
+
+
+def _check_number(value, where: str) -> None:
+    ok = (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+        and value >= 0
+    )
+    require(ok, f"{where} must be a finite non-negative number, got {value!r}")
+
+
+def validate_trace(records: Sequence[dict],
+                   meta: Optional[Dict[str, Any]] = None) -> None:
+    """Raise :class:`ValidationError` unless the records fit the schema."""
+    if meta is not None:
+        require(isinstance(meta, dict), "trace meta must be a dict")
+    seen: set = set()
+    for position, record in enumerate(records):
+        where = f"trace[{position}]"
+        require(isinstance(record, dict), f"{where} must be a dict")
+        for name in ("id", "parent", "name", "start_s", "duration_s",
+                     "counters"):
+            require(name in record, f"{where}: missing field {name!r}")
+        span_id = record["id"]
+        require(
+            isinstance(span_id, int) and not isinstance(span_id, bool)
+            and span_id >= 0,
+            f"{where}.id must be a non-negative int, got {span_id!r}",
+        )
+        require(span_id not in seen, f"{where}.id {span_id} is duplicated")
+        parent = record["parent"]
+        require(
+            parent is None
+            or (isinstance(parent, int) and not isinstance(parent, bool)),
+            f"{where}.parent must be null or an int",
+        )
+        if parent is not None:
+            require(
+                parent in seen,
+                f"{where}.parent {parent} does not precede the span "
+                "(traces must be topologically sorted)",
+            )
+        seen.add(span_id)
+        require(
+            isinstance(record["name"], str) and record["name"],
+            f"{where}.name must be a non-empty string",
+        )
+        _check_number(record["start_s"], f"{where}.start_s")
+        _check_number(record["duration_s"], f"{where}.duration_s")
+        counters = record["counters"]
+        require(isinstance(counters, dict), f"{where}.counters must be a dict")
+        for key, value in counters.items():
+            require(isinstance(key, str), f"{where}.counters keys must be str")
+            require(
+                isinstance(value, int) and not isinstance(value, bool),
+                f"{where}.counters[{key!r}] must be an int, got {value!r}",
+            )
+        if "attrs" in record:
+            require(
+                isinstance(record["attrs"], dict),
+                f"{where}.attrs must be a dict",
+            )
+
+
+def write_trace(records: Sequence[dict], path: PathLike,
+                meta: Optional[Dict[str, Any]] = None) -> Path:
+    """Validate and write a trace as JSONL; returns the path."""
+    validate_trace(records, meta)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        handle.write(json.dumps(
+            {"schema": SCHEMA, "meta": dict(meta or {})}, sort_keys=True
+        ))
+        handle.write("\n")
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return target
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read and validate a previously written trace file."""
+    lines = Path(path).read_text().splitlines()
+    require(bool(lines), "trace file is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"trace header is not JSON: {exc}") from exc
+    require(isinstance(header, dict), "trace header must be a JSON object")
+    require(
+        header.get("schema") == SCHEMA,
+        f"trace schema must be {SCHEMA!r}, got {header.get('schema')!r}",
+    )
+    meta = header.get("meta", {})
+    records = []
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"trace line {number} is not JSON: {exc}"
+            ) from exc
+    validate_trace(records, meta)
+    return Trace(meta=meta, records=records)

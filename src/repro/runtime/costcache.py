@@ -46,6 +46,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
+from repro.observability.tracer import count as _trace_count
+
 #: The cache consulted by the optimizers; None means "memoization off".
 _ACTIVE: Optional["CostCache"] = None
 
@@ -183,9 +185,14 @@ class CostCache:
         entries = self._entries
         if full_key in entries:
             self.hits += 1
+            _trace_count("cache_hits")
             entries.move_to_end(full_key)
             return entries[full_key]
         self.misses += 1
+        # A miss IS a cost evaluation — counting here (and only here)
+        # keeps per-span trace counters exactly equal to the sweep
+        # metrics totals, whose ``cost_evaluations`` is the miss count.
+        _trace_count("cost_evaluations")
         value = compute()
         if self._maxsize == 0:
             return value

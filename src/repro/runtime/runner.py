@@ -45,12 +45,15 @@ from repro.joinopt.optimizers import (
     random_sampling,
     simulated_annealing,
 )
+from repro.observability.tracer import Tracer, use_tracer
 from repro.runtime.costcache import (
     CacheStats,
     CostCache,
     install_cache,
     use_cache,
 )
+from repro.starqo.dp import sqocp_dp
+from repro.starqo.optimizer import sqocp_optimal
 from repro.utils.validation import require
 
 #: Name -> callable registry shared with the CLI.  Values must be
@@ -70,6 +73,8 @@ OPTIMIZERS: Dict[str, Callable] = {
     "qoh-greedy": qoh_greedy,
     "qoh-beam": qoh_beam_search,
     "qoh-annealing": qoh_simulated_annealing,
+    "sqocp-exhaustive": sqocp_optimal,
+    "sqocp-dp": sqocp_dp,
 }
 
 
@@ -109,6 +114,9 @@ class TaskOutcome:
     timed_out: bool = False
     error: Optional[str] = None
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Per-task span records (plain dicts, ids local to this task),
+    #: present when the sweep ran with tracing enabled.
+    trace: Optional[Tuple[dict, ...]] = None
 
     @property
     def ok(self) -> bool:
@@ -141,6 +149,48 @@ class SweepResult:
         for outcome in self.outcomes:
             total = total.merged(outcome.cache)
         return total
+
+    def trace_records(self) -> List[dict]:
+        """Per-task traces merged into one ``repro.trace/1`` span tree.
+
+        A synthetic ``sweep`` root (id 0, duration = the sweep's wall
+        time) adopts each task's subtree, in task-index order with ids
+        offset — so the merge is deterministic regardless of which
+        worker finished first.  Subtrees from pool workers keep their
+        worker-local ``start_s`` clocks; ``duration_s``, which is what
+        the reports aggregate, is always comparable.
+        """
+        records: List[dict] = [{
+            "id": 0,
+            "parent": None,
+            "name": "sweep",
+            "start_s": 0.0,
+            "duration_s": self.wall_time,
+            "counters": {},
+            "attrs": {
+                "mode": self.mode,
+                "workers": self.workers,
+                "cache_enabled": self.cache_enabled,
+                "tasks": len(self.outcomes),
+            },
+        }]
+        next_id = 1
+        for outcome in self.outcomes:
+            if not outcome.trace:
+                continue
+            offset = next_id
+            top = 0
+            for record in outcome.trace:
+                merged = dict(record)
+                merged["id"] = record["id"] + offset
+                merged["parent"] = (
+                    0 if record["parent"] is None
+                    else record["parent"] + offset
+                )
+                top = max(top, merged["id"])
+                records.append(merged)
+            next_id = top + 1
+        return records
 
     @property
     def evaluations(self) -> int:
@@ -188,11 +238,26 @@ def _resolve(task: SweepTask) -> Callable:
 
 
 def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
-             default_timeout: Optional[float]) -> TaskOutcome:
-    """Run one task against ``cache`` (may be None) and time it."""
+             default_timeout: Optional[float],
+             trace: bool = False) -> TaskOutcome:
+    """Run one task against ``cache`` (may be None) and time it.
+
+    With ``trace`` a per-task :class:`Tracer` is installed for the
+    task's dynamic extent — in serial and parallel mode alike, so the
+    merged sweep trace is identical in shape either way.  The tracer
+    survives timeouts and optimizer errors: ``finish()`` force-closes
+    whatever spans the exception left open.
+    """
     run = _resolve(task)
     kwargs = dict(task.kwargs)
     timeout = task.timeout if task.timeout is not None else default_timeout
+    tracer = Tracer("task") if trace else None
+    if tracer is not None:
+        tracer.root["attrs"] = {
+            "index": index,
+            "optimizer": task.optimizer_name,
+            "label": task.label,
+        }
     before = cache.stats() if cache is not None else CacheStats()
     start = time.perf_counter()
     result = None
@@ -200,9 +265,15 @@ def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
     error: Optional[str] = None
     try:
         with use_cache(cache):
-            result = _call_with_timeout(
-                lambda: run(task.instance, **kwargs), timeout
-            )
+            if tracer is not None:
+                with use_tracer(tracer):
+                    result = _call_with_timeout(
+                        lambda: run(task.instance, **kwargs), timeout
+                    )
+            else:
+                result = _call_with_timeout(
+                    lambda: run(task.instance, **kwargs), timeout
+                )
     except SweepTimeout:
         timed_out = True
         error = f"timeout after {timeout}s"
@@ -210,6 +281,15 @@ def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
         error = f"{type(exc).__name__}: {exc}"
     wall = time.perf_counter() - start
     after = cache.stats() if cache is not None else CacheStats()
+    delta = after.delta(before)
+    trace_records: Optional[Tuple[dict, ...]] = None
+    if tracer is not None:
+        records = tracer.finish()
+        if delta.peak_size > 0:
+            # Peak size of the subproblem store as of this task's end —
+            # how deep the shared lattice had grown.
+            tracer.root["counters"]["subproblem_peak"] = delta.peak_size
+        trace_records = tuple(records)
     return TaskOutcome(
         index=index,
         optimizer=task.optimizer_name,
@@ -218,7 +298,8 @@ def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
         wall_time=wall,
         timed_out=timed_out,
         error=error,
-        cache=after.delta(before),
+        cache=delta,
+        trace=trace_records,
     )
 
 
@@ -236,9 +317,11 @@ def _worker_init(cache_enabled: bool, cache_maxsize: Optional[int]) -> None:
     install_cache(None)  # tasks install it per-call via _execute
 
 
-def _worker_run(payload: Tuple[int, SweepTask, Optional[float]]) -> TaskOutcome:
-    index, task, default_timeout = payload
-    return _execute(index, task, _WORKER_CACHE, default_timeout)
+def _worker_run(
+    payload: Tuple[int, SweepTask, Optional[float], bool]
+) -> TaskOutcome:
+    index, task, default_timeout, trace = payload
+    return _execute(index, task, _WORKER_CACHE, default_timeout, trace=trace)
 
 
 def _make_pool(workers: int, cache_enabled: bool,
@@ -264,6 +347,7 @@ def run_sweep(
     cache: bool = True,
     cache_maxsize: Optional[int] = None,
     timeout: Optional[float] = None,
+    trace: bool = False,
 ) -> SweepResult:
     """Run every task and return outcomes in task order.
 
@@ -278,6 +362,8 @@ def run_sweep(
             ``None`` is unbounded.
         timeout: default per-task wall-clock budget in seconds
             (``SweepTask.timeout`` overrides per task).
+        trace: record a per-task span tree on every outcome; merge the
+            lot with :meth:`SweepResult.trace_records`.
     """
     tasks = list(tasks)
     if workers is None:
@@ -287,7 +373,7 @@ def run_sweep(
     outcomes: Optional[List[TaskOutcome]] = None
     mode = "serial"
     if workers > 1 and len(tasks) > 1:
-        payloads = [(i, task, timeout) for i, task in enumerate(tasks)]
+        payloads = [(i, task, timeout, trace) for i, task in enumerate(tasks)]
         try:
             pool = _make_pool(workers, cache, cache_maxsize)
         except Exception:  # no semaphores / sandboxed: degrade quietly
@@ -306,7 +392,7 @@ def run_sweep(
             CostCache(maxsize=cache_maxsize) if cache else CostCache(maxsize=0)
         )
         outcomes = [
-            _execute(index, task, shared, timeout)
+            _execute(index, task, shared, timeout, trace=trace)
             for index, task in enumerate(tasks)
         ]
 

@@ -24,8 +24,8 @@ from repro.starqo.partition import PartitionInstance, has_partition
 from repro.starqo.sppcs import SPPCSInstance, sppcs_best_subset, sppcs_decide
 from repro.starqo.instance import JoinMethod, SQOCPInstance, StarPlan
 from repro.starqo.cost import plan_cost
-from repro.starqo.optimizer import best_plan, enumerate_plans
-from repro.starqo.dp import dp_best_plan
+from repro.starqo.optimizer import best_plan, enumerate_plans, sqocp_optimal
+from repro.starqo.dp import dp_best_plan, sqocp_dp
 
 __all__ = [
     "PartitionInstance",
@@ -40,4 +40,6 @@ __all__ = [
     "best_plan",
     "enumerate_plans",
     "dp_best_plan",
+    "sqocp_optimal",
+    "sqocp_dp",
 ]

@@ -20,17 +20,24 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.results import PlanResult
 from repro.starqo.cost import _first_join_cost, _later_join_cost
 from repro.starqo.instance import JoinMethod, SQOCPInstance, StarPlan
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 _METHODS = (JoinMethod.NESTED_LOOPS, JoinMethod.SORT_MERGE)
 
 
 def dp_best_plan(
-    instance: SQOCPInstance, max_satellites: int = 18
+    instance: SQOCPInstance, max_satellites: int = 18,
+    stats: Optional[dict] = None,
 ) -> Tuple[Fraction, StarPlan]:
-    """The optimal SQO-CP plan by subset DP (exact)."""
+    """The optimal SQO-CP plan by subset DP (exact).
+
+    When ``stats`` is a dict, ``stats["explored"]`` receives the number
+    of DP transitions evaluated.
+    """
     m = instance.num_satellites
     require(
         m <= max_satellites,
@@ -45,6 +52,7 @@ def dp_best_plan(
     best: Dict[int, Fraction] = {}
     parent: Dict[int, Tuple[int, int, JoinMethod, Optional[str]]] = {}
 
+    explored = 0
     # Seed: the first join always involves R_0 and one satellite.
     for satellite in range(1, m + 1):
         mask = 1 << (satellite - 1)
@@ -54,6 +62,7 @@ def dp_best_plan(
             (0, satellite, JoinMethod.SORT_MERGE, "center-first"),
         ):
             cost = _first_join_cost(instance, first, second, method)
+            explored += 1
             if mask not in best or cost < best[mask]:
                 best[mask] = cost
                 parent[mask] = (0, satellite, method, form)
@@ -75,6 +84,7 @@ def dp_best_plan(
                 cost = base + _later_join_cost(
                     instance, prefix, satellite, method
                 )
+                explored += 1
                 if new_mask not in best or cost < best[new_mask]:
                     best[new_mask] = cost
                     parent[new_mask] = (mask, satellite, method, None)
@@ -100,4 +110,23 @@ def dp_best_plan(
     else:
         ordered = (0, *sequence)
     plan = StarPlan(sequence=ordered, methods=tuple(methods))
+    if stats is not None:
+        stats["explored"] = explored
     return best[full], plan
+
+
+@traced("optimize.sqocp_dp")
+def sqocp_dp(
+    instance: SQOCPInstance, max_satellites: int = 18
+) -> PlanResult:
+    """:func:`dp_best_plan` with the unified result type."""
+    stats: dict = {}
+    cost, plan = dp_best_plan(instance, max_satellites, stats=stats)
+    return PlanResult(
+        cost=cost,
+        sequence=plan.sequence,
+        optimizer="sqocp-dp",
+        explored=stats["explored"],
+        is_exact=True,
+        plan=plan,
+    )

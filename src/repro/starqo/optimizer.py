@@ -14,9 +14,11 @@ import itertools
 from fractions import Fraction
 from typing import Iterator, List, Optional, Tuple
 
+from repro.core.results import PlanResult
 from repro.starqo.cost import _first_join_cost, _later_join_cost
 from repro.starqo.instance import JoinMethod, SQOCPInstance, StarPlan
 from repro.utils.validation import require
+from repro.observability.tracer import traced
 
 _METHODS = (JoinMethod.NESTED_LOOPS, JoinMethod.SORT_MERGE)
 
@@ -41,9 +43,15 @@ def enumerate_plans(instance: SQOCPInstance) -> Iterator[StarPlan]:
 
 
 def best_plan(
-    instance: SQOCPInstance, max_satellites: int = 7
+    instance: SQOCPInstance, max_satellites: int = 7,
+    stats: Optional[dict] = None,
 ) -> Tuple[Fraction, StarPlan]:
-    """The optimal plan by pruned exhaustive search."""
+    """The optimal plan by pruned exhaustive search.
+
+    When ``stats`` is a dict, ``stats["explored"]`` receives the number
+    of search states examined (the work metric the unified
+    :func:`sqocp_optimal` wrapper reports).
+    """
     require(
         instance.num_satellites <= max_satellites,
         f"exhaustive SQO-CP search limited to {max_satellites} satellites "
@@ -52,6 +60,7 @@ def best_plan(
     )
     best_cost: Optional[Fraction] = None
     best: Optional[StarPlan] = None
+    explored = 0
 
     for sequence in feasible_sequences(instance):
         # Depth-first over method choices with running-cost pruning.
@@ -61,6 +70,7 @@ def best_plan(
             stack.append((2, cost, (method,)))
         while stack:
             position, cost, methods = stack.pop()
+            explored += 1
             if best_cost is not None and cost >= best_cost:
                 continue
             if position == len(sequence):
@@ -75,7 +85,26 @@ def best_plan(
                 )
                 stack.append((position + 1, cost + step, methods + (method,)))
     assert best_cost is not None and best is not None
+    if stats is not None:
+        stats["explored"] = explored
     return best_cost, best
+
+
+@traced("optimize.sqocp_exhaustive")
+def sqocp_optimal(
+    instance: SQOCPInstance, max_satellites: int = 7
+) -> PlanResult:
+    """:func:`best_plan` with the unified result type."""
+    stats: dict = {}
+    cost, plan = best_plan(instance, max_satellites, stats=stats)
+    return PlanResult(
+        cost=cost,
+        sequence=plan.sequence,
+        optimizer="sqocp-exhaustive",
+        explored=stats["explored"],
+        is_exact=True,
+        plan=plan,
+    )
 
 
 def decide(instance: SQOCPInstance) -> bool:

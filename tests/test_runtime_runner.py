@@ -30,6 +30,7 @@ from repro.runtime.runner import (
     grid_tasks,
     run_sweep,
 )
+from repro.starqo.instance import SQOCPInstance
 from repro.workloads.queries import chain_query, random_query
 
 _RANDOMIZED = {"iterative", "annealing", "sampling", "genetic"}
@@ -46,9 +47,26 @@ def _qoh_instance():
     )
 
 
+def _sqocp_instance():
+    """Three-satellite star, small enough for both SQO-CP solvers."""
+    return SQOCPInstance(
+        num_satellites=3,
+        sort_passes=2,
+        page_size=8,
+        tuples=[120, 40, 80, 24],
+        pages=[15, 5, 10, 3],
+        sort_costs=[60, 20, 40, 12],
+        selectivities=[Fraction(1, 4), Fraction(1, 8), Fraction(1, 2)],
+        satellite_access=[4, 6, 2],
+        center_access=[12, 20, 8],
+    )
+
+
 def _instance_for(name):
     if name.startswith("qoh-"):
         return _qoh_instance()
+    if name.startswith("sqocp-"):
+        return _sqocp_instance()
     if name == "ikkbz":  # tree queries only
         return chain_query(5, rng=1)
     return random_query(5, rng=1)
