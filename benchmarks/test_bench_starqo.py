@@ -19,9 +19,9 @@ from repro.starqo.sppcs import SPPCSInstance
 
 
 def _random_instance(seed: int, m: int) -> SQOCPInstance:
-    import random
+    from repro.utils.rng import make_rng
 
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     tuples = [rng.randint(10, 500) for _ in range(m + 1)]
     pages = [max(1, t // rng.randint(1, 4)) for t in tuples]
     return SQOCPInstance(

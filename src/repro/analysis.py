@@ -18,7 +18,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.utils.lognum import log2_of
+from repro.utils.lognum import Numeric, log2_of
 from repro.utils.validation import require
 
 
@@ -59,7 +59,7 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
     )
 
 
-def competitive_ratio_log2(found_cost, optimal_cost) -> float:
+def competitive_ratio_log2(found_cost: Numeric, optimal_cost: Numeric) -> float:
     """``log2(found / optimal)``, safe for astronomically large costs."""
     return float(log2_of(found_cost) - log2_of(optimal_cost))
 

@@ -19,13 +19,31 @@ only the names exported here are covered by the compatibility promise.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.results import PlanResult
+from repro.runtime.metrics import (
+    load_metrics,
+    sweep_metrics,
+    validate_metrics,
+    write_metrics,
+)
 from repro.runtime.runner import (
     OPTIMIZERS,
     SweepResult,
     SweepTask,
+    default_workers,
     grid_tasks,
     run_sweep,
 )
@@ -87,12 +105,50 @@ def reduction_names() -> List[str]:
     return sorted(_reduction_registry())
 
 
-def optimizer_names() -> List[str]:
-    """The algorithm names :func:`optimize` / :func:`sweep` accept."""
-    return sorted(OPTIMIZERS)
+def optimizer_names(substrate: Optional[str] = None) -> List[str]:
+    """The algorithm names :func:`optimize` / :func:`sweep` accept.
+
+    With ``substrate`` (``"qon"``, ``"qoh"`` or ``"sqocp"``) only the
+    algorithms taking that substrate's instances are listed; registry
+    names are substrate-prefixed for QO_H/SQO-CP, unprefixed for QO_N.
+    """
+    if substrate is None:
+        return sorted(OPTIMIZERS)
+    require(
+        substrate in ("qon", "qoh", "sqocp"),
+        f"unknown substrate {substrate!r}; known: qon, qoh, sqocp",
+    )
+    if substrate == "qon":
+        return sorted(
+            name for name in OPTIMIZERS
+            if not name.startswith(("qoh-", "sqocp-"))
+        )
+    return sorted(
+        name for name in OPTIMIZERS if name.startswith(substrate + "-")
+    )
 
 
-def generate(family: str, n: int, seed: int = 0, **kwargs):
+def substrate_of(instance: object) -> Optional[str]:
+    """Which substrate an instance belongs to, or None.
+
+    Returns ``"qon"``, ``"qoh"`` or ``"sqocp"`` — the value accepted by
+    :func:`optimizer_names` — so callers (the CLI above all) can
+    validate inputs without importing the substrate packages.
+    """
+    from repro.hashjoin.instance import QOHInstance
+    from repro.joinopt.instance import QONInstance
+    from repro.starqo.instance import SQOCPInstance
+
+    if isinstance(instance, QONInstance):
+        return "qon"
+    if isinstance(instance, QOHInstance):
+        return "qoh"
+    if isinstance(instance, SQOCPInstance):
+        return "sqocp"
+    return None
+
+
+def generate(family: str, n: int, seed: int = 0, **kwargs: Any) -> Any:
     """Generate a workload instance of the given family and size.
 
     ``family`` is one of :data:`FAMILIES`; extra keyword arguments pass
@@ -105,7 +161,7 @@ def generate(family: str, n: int, seed: int = 0, **kwargs):
     return FAMILIES[family](n, rng=seed, **kwargs)
 
 
-def reduce(chain: str, source, **kwargs):
+def reduce(chain: str, source: Any, **kwargs: Any) -> Any:
     """Run a named reduction (or full hardness chain) on ``source``.
 
     ``chain`` is one of :func:`reduction_names` — the end-to-end chains
@@ -121,7 +177,7 @@ def reduce(chain: str, source, **kwargs):
     return registry[chain](source, **kwargs)
 
 
-def optimize(instance, algorithm: str = "dp", **kwargs) -> PlanResult:
+def optimize(instance: Any, algorithm: str = "dp", **kwargs: Any) -> PlanResult:
     """Run one optimizer on one instance; returns a :class:`PlanResult`.
 
     ``algorithm`` is a name from :func:`optimizer_names`; the instance
@@ -186,15 +242,185 @@ def sweep(
     )
 
 
+def gap_formula(
+    variables: int = 6,
+    clauses: int = 16,
+    satisfiable: bool = True,
+    seed: int = 0,
+) -> Any:
+    """A YES- or NO-promise 3SAT(13) gap formula for :func:`reduce`.
+
+    The YES side plants a satisfying assignment (seeded); the NO side
+    chains enough certified unsatisfiable cores to reach roughly the
+    requested clause count.
+    """
+    from repro.sat.gapfamilies import no_instance, yes_instance
+
+    if satisfiable:
+        return yes_instance(variables, clauses, rng=seed)
+    return no_instance(max(1, clauses // 8))
+
+
+def gap_pair(n: int, k_yes: int, k_no: int, alpha: int = 4) -> Any:
+    """The Theorem 9 YES/NO QO_N reduction pair on ``n`` relations.
+
+    Returns a :class:`~repro.workloads.gaps.GapPair` whose
+    ``yes_reduction`` / ``no_reduction`` carry the f_N constructions.
+    """
+    from repro.workloads import qon_gap_pair
+
+    return qon_gap_pair(n, k_yes, k_no, alpha=alpha)
+
+
+def gap_report_numbers(
+    relations: int,
+    alpha_exp: int,
+    deltas: Sequence[float] = (0.9, 0.5, 0.25),
+) -> Dict[str, Any]:
+    """The Theorem 9 gap quantities, as plain data.
+
+    For ``n`` relations and ``alpha = 4 ** alpha_exp``: the YES/NO
+    clique sizes, ``log2 K_{c,d}``, the log2 gap factor, and for each
+    ``delta`` the ``2^{log^{1-delta} K}`` budget with whether the gap
+    exceeds it (the theorem's "no polylog-approximation" statement).
+    """
+    from repro.core.gap import (
+        gap_factor_log2,
+        k_cd_log2,
+        polylog_budget_log2,
+    )
+    from repro.utils.lognum import log2_of
+
+    k_yes = relations - 2
+    k_no = 2 + (k_yes % 2)
+    pair = gap_pair(relations, k_yes, k_no, alpha=4**alpha_exp)
+    fn = pair.yes_reduction
+    k_log2 = float(
+        k_cd_log2(fn.alpha_log2, log2_of(fn.edge_access_cost), fn.k_yes, fn.k_no)
+    )
+    gap_log2 = float(gap_factor_log2(fn.alpha_log2, fn.k_yes, fn.k_no))
+    budgets = [
+        {
+            "delta": delta,
+            "budget_log2": polylog_budget_log2(k_log2, delta=delta),
+            "gap_wins": gap_log2 > polylog_budget_log2(k_log2, delta=delta),
+        }
+        for delta in deltas
+    ]
+    return {
+        "n": relations,
+        "alpha_exp": alpha_exp,
+        "k_yes": fn.k_yes,
+        "k_no": fn.k_no,
+        "k_cd_log2": k_log2,
+        "gap_log2": gap_log2,
+        "budgets": budgets,
+    }
+
+
+def explain_plan(instance: object, algorithm: str = "dp") -> str:
+    """Optimize a QO_N instance and render its plan as text."""
+    from repro.joinopt.explain import explain
+    from repro.joinopt.instance import QONInstance
+
+    require(
+        isinstance(instance, QONInstance),
+        "explain_plan supports QO_N instances",
+    )
+    assert isinstance(instance, QONInstance)
+    result = optimize(instance, algorithm=algorithm)
+    return explain(instance, result.sequence)
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Outcome of :func:`execute_plan`: model predictions vs reality.
+
+    ``joins`` holds one ``(output_rows, probe_rows)`` pair per join, in
+    plan order, to compare against ``predicted_sizes`` (the model's
+    ``N_i``) and ``predicted_costs`` (the model's ``H_i``).
+    """
+
+    result: PlanResult
+    exact: bool
+    predicted_sizes: Tuple[Any, ...]
+    predicted_costs: Tuple[Any, ...]
+    joins: Tuple[Tuple[int, int], ...]
+    result_rows: int
+
+
+def execute_plan(
+    instance: object,
+    algorithm: str = "dp",
+    harmonize: bool = False,
+) -> ExecutionReport:
+    """Optimize a QO_N instance, materialize data, run the plan.
+
+    With ``harmonize`` the relation sizes are rounded so the synthetic
+    database reproduces the model's estimates exactly (``exact`` is
+    then True and model columns must equal the measured ones).
+    """
+    from repro.engine import execute_sequence, generate_database
+    from repro.engine.data import harmonize_sizes
+    from repro.joinopt.cost import intermediate_sizes, join_costs
+    from repro.joinopt.instance import QONInstance
+
+    require(
+        isinstance(instance, QONInstance),
+        "execute_plan supports QO_N instances",
+    )
+    assert isinstance(instance, QONInstance)
+    if harmonize:
+        instance = harmonize_sizes(instance)
+    database = generate_database(instance)
+    result = optimize(instance, algorithm=algorithm)
+    trace = execute_sequence(database, result.sequence)
+    return ExecutionReport(
+        result=result,
+        exact=database.exact,
+        predicted_sizes=tuple(intermediate_sizes(instance, result.sequence)),
+        predicted_costs=tuple(join_costs(instance, result.sequence)),
+        joins=tuple(
+            (join.output_rows, join.probe_rows) for join in trace.joins
+        ),
+        result_rows=trace.result_rows,
+    )
+
+
+def scorecard() -> Any:
+    """Run every theorem's fast verification checks.
+
+    Returns the :class:`~repro.core.scorecard.Scorecard` (``render()``
+    for the table, ``ok`` for the verdict).
+    """
+    from repro.core.scorecard import build_scorecard
+
+    return build_scorecard()
+
+
 __all__ = [
     "FAMILIES",
+    "ExecutionReport",
     "PlanResult",
     "SweepResult",
     "SweepTask",
+    "default_workers",
+    "execute_plan",
+    "explain_plan",
+    "gap_formula",
+    "gap_pair",
+    "gap_report_numbers",
     "generate",
+    "grid_tasks",
+    "load_metrics",
     "optimize",
     "optimizer_names",
     "reduce",
     "reduction_names",
+    "scorecard",
+    "substrate_of",
     "sweep",
+    "sweep_metrics",
+    "validate_metrics",
+    "write_metrics",
 ]

@@ -8,32 +8,22 @@ Usage (installed as ``python -m repro``):
         --target qon --out hard.json
     python -m repro gap-report --relations 10 --alpha-exp 20
     python -m repro sweep --family random --n 6,8 --algorithms dp,greedy-cost
+    python -m repro lint src benchmarks examples
 
-Instances travel as the JSON format of :mod:`repro.io`.
+Instances travel as the JSON format of :mod:`repro.io`.  Every
+subcommand speaks to the substrates exclusively through the
+:mod:`repro.api` facade — lint rule ``RPR007`` enforces that this
+module never imports optimizer or reduction internals directly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from fractions import Fraction
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import api, io
-from repro.core.chains import hardness_chain_qoh, hardness_chain_qon
-from repro.core.gap import gap_factor_log2, k_cd_log2, polylog_budget_log2
-from repro.joinopt.instance import QONInstance
-from repro.engine import execute_sequence, generate_database
-from repro.engine.data import harmonize_sizes
-from repro.joinopt.explain import explain
-from repro.runtime.runner import (
-    OPTIMIZERS,
-    default_workers,
-    grid_tasks,
-)
-from repro.sat.gapfamilies import no_instance, yes_instance
 from repro.utils.lognum import log2_of
-from repro.workloads import qon_gap_pair
 
 #: Workload families come from the public facade.
 _FAMILIES = api.FAMILIES
@@ -42,13 +32,18 @@ _FAMILIES = api.FAMILIES
 #: substrate-named alias of the historical "gap").
 _GAP_FAMILIES = ("gap", "qon")
 
-#: QO_N algorithms exposed on the CLI — the shared runtime registry
-#: minus the QO_H and SQO-CP entries (those take QOHInstance /
-#: SQOCPInstance inputs).
-_ALGORITHMS = {
-    name: run for name, run in OPTIMIZERS.items()
-    if not name.startswith(("qoh-", "sqocp-"))
-}
+#: QO_N algorithm names exposed on the CLI — the shared runtime
+#: registry minus the QO_H and SQO-CP entries (those take
+#: QOHInstance / SQOCPInstance inputs).
+_ALGORITHMS = api.optimizer_names(substrate="qon")
+
+
+def _require_qon(instance: object, command: str) -> bool:
+    """Print the standard substrate error unless ``instance`` is QO_N."""
+    if api.substrate_of(instance) == "qon":
+        return True
+    print(f"{command} currently supports QO_N instances", file=sys.stderr)
+    return False
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
@@ -63,8 +58,7 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     instance = io.load(args.instance)
-    if not isinstance(instance, QONInstance):
-        print("optimize currently supports QO_N instances", file=sys.stderr)
+    if not _require_qon(instance, "optimize"):
         return 2
     result = api.optimize(instance, algorithm=args.algorithm)
     print(f"algorithm:  {result.optimizer}")
@@ -76,19 +70,13 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_reduce_sat(args: argparse.Namespace) -> int:
-    if args.satisfiable:
-        formula = yes_instance(args.variables, args.clauses, rng=args.seed)
-    else:
-        cores = max(1, args.clauses // 8)
-        formula = no_instance(cores)
-    if args.target == "qon":
-        chain = hardness_chain_qon(formula, alpha=args.alpha)
-        instance = chain.instance
-        n = chain.fn_step.n
-    else:
-        chain = hardness_chain_qoh(formula, alpha=args.alpha)
-        instance = chain.instance
-        n = chain.fh_step.n
+    formula = api.gap_formula(
+        args.variables, args.clauses,
+        satisfiable=args.satisfiable, seed=args.seed,
+    )
+    chain = api.reduce(args.target, formula, alpha=args.alpha)
+    instance = chain.instance
+    n = chain.fn_step.n if args.target == "qon" else chain.fh_step.n
     io.save(instance, args.out)
     print(
         f"reduced {'YES' if args.satisfiable else 'NO'} 3SAT(13) formula "
@@ -99,63 +87,47 @@ def _cmd_reduce_sat(args: argparse.Namespace) -> int:
 
 
 def _cmd_gap_report(args: argparse.Namespace) -> int:
-    n = args.relations
-    k_yes = n - 2
-    k_no = 2 + (k_yes % 2)
-    alpha = 4**args.alpha_exp
-    pair = qon_gap_pair(n, k_yes, k_no, alpha=alpha)
-    fn = pair.yes_reduction
-    k_log2 = float(
-        k_cd_log2(fn.alpha_log2, log2_of(fn.edge_access_cost), fn.k_yes, fn.k_no)
-    )
-    gap_log2 = float(gap_factor_log2(fn.alpha_log2, fn.k_yes, fn.k_no))
-    print(f"f_N gap report (n={n}, alpha=4^{args.alpha_exp})")
-    print(f"  k_yes / k_no:       {fn.k_yes} / {fn.k_no}")
-    print(f"  log2 K_{{c,d}}:       {k_log2:.1f}")
-    print(f"  log2 gap factor:    {gap_log2:.1f}")
-    for delta in (0.9, 0.5, 0.25):
-        budget = polylog_budget_log2(k_log2, delta=delta)
-        verdict = "gap wins" if gap_log2 > budget else "budget wins"
+    numbers = api.gap_report_numbers(args.relations, args.alpha_exp)
+    print(f"f_N gap report (n={args.relations}, alpha=4^{args.alpha_exp})")
+    print(f"  k_yes / k_no:       {numbers['k_yes']} / {numbers['k_no']}")
+    print(f"  log2 K_{{c,d}}:       {numbers['k_cd_log2']:.1f}")
+    print(f"  log2 gap factor:    {numbers['gap_log2']:.1f}")
+    for entry in numbers["budgets"]:
+        verdict = "gap wins" if entry["gap_wins"] else "budget wins"
         print(
-            f"  vs 2^{{log^{{{1 - delta:.2f}}} K}} budget: "
-            f"{budget:.1f}  -> {verdict}"
+            f"  vs 2^{{log^{{{1 - entry['delta']:.2f}}} K}} budget: "
+            f"{entry['budget_log2']:.1f}  -> {verdict}"
         )
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     instance = io.load(args.instance)
-    if not isinstance(instance, QONInstance):
-        print("explain currently supports QO_N instances", file=sys.stderr)
+    if not _require_qon(instance, "explain"):
         return 2
-    result = _ALGORITHMS[args.algorithm](instance)
-    print(explain(instance, result.sequence))
+    print(api.explain_plan(instance, algorithm=args.algorithm))
     return 0
 
 
 def _cmd_execute(args: argparse.Namespace) -> int:
     instance = io.load(args.instance)
-    if not isinstance(instance, QONInstance):
-        print("execute currently supports QO_N instances", file=sys.stderr)
+    if not _require_qon(instance, "execute"):
         return 2
-    if args.harmonize:
-        instance = harmonize_sizes(instance)
-    database = generate_database(instance)
-    result = _ALGORITHMS[args.algorithm](instance)
-    trace = execute_sequence(database, result.sequence)
-    from repro.joinopt.cost import intermediate_sizes, join_costs
-
-    predicted_n = intermediate_sizes(instance, result.sequence)
-    predicted_h = join_costs(instance, result.sequence)
-    print(f"sequence: {list(result.sequence)}  (exactness guaranteed: {database.exact})")
+    report = api.execute_plan(
+        instance, algorithm=args.algorithm, harmonize=args.harmonize
+    )
+    print(
+        f"sequence: {list(report.result.sequence)}  "
+        f"(exactness guaranteed: {report.exact})"
+    )
     print(f"{'join':<6}{'N model':>12}{'N real':>12}{'H model':>12}{'H real':>12}")
-    for index, join in enumerate(trace.joins):
+    for index, (output_rows, probe_rows) in enumerate(report.joins):
         print(
-            f"J_{index + 1:<4}{str(predicted_n[index]):>12}"
-            f"{join.output_rows:>12}{str(predicted_h[index]):>12}"
-            f"{join.probe_rows:>12}"
+            f"J_{index + 1:<4}{str(report.predicted_sizes[index]):>12}"
+            f"{output_rows:>12}{str(report.predicted_costs[index]):>12}"
+            f"{probe_rows:>12}"
         )
-    print(f"result rows: {trace.result_rows}")
+    print(f"result rows: {report.result_rows}")
     return 0
 
 
@@ -165,17 +137,19 @@ _RANDOMIZED = {"iterative", "annealing", "sampling", "genetic"}
 _QUICK_ALGORITHMS = ["dp", "greedy-cost", "sampling"]
 
 
-def _sweep_instances(args: argparse.Namespace):
+def _sweep_instances(
+    args: argparse.Namespace,
+) -> Tuple[List[Tuple[str, object]], Dict[str, int]]:
     """Build the labelled instance list and a label -> seed map."""
-    instances = []
-    seeds = {}
+    instances: List[Tuple[str, object]] = []
+    seeds: Dict[str, int] = {}
     for n in args.n_values:
         if args.family in _GAP_FAMILIES:
             if n < 6:  # k_yes = n-2 must clear k_no = 2 or 3
                 raise SystemExit("gap family needs --n >= 6")
             k_yes = n - 2
             k_no = 2 + (k_yes % 2)
-            pair = qon_gap_pair(n, k_yes, k_no, alpha=4)
+            pair = api.gap_pair(n, k_yes, k_no, alpha=4)
             for side, reduction in (
                 ("yes", pair.yes_reduction), ("no", pair.no_reduction)
             ):
@@ -192,8 +166,6 @@ def _sweep_instances(args: argparse.Namespace):
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.runtime.metrics import sweep_metrics, write_metrics
-
     try:
         args.n_values = [int(part) for part in args.n.split(",") if part]
     except ValueError:
@@ -224,12 +196,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     instances, seeds = _sweep_instances(args)
 
-    def kwargs_for(name: str, label: str):
+    def kwargs_for(name: str, label: str) -> Dict[str, object]:
         if name in _RANDOMIZED:
             return {"rng": seeds.get(label, 0)}
         return {}
 
-    tasks = grid_tasks(names, instances, kwargs_for=kwargs_for)
+    tasks = api.grid_tasks(names, instances, kwargs_for=kwargs_for)
     result = api.sweep(
         tasks,
         workers=args.workers,
@@ -275,7 +247,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         results_dir = Path("benchmarks") / "results"
         target = results_dir if results_dir.is_dir() else Path(".")
         metrics_out = target / "sweep-metrics.json"
-    payload = sweep_metrics(
+    payload = api.sweep_metrics(
         result,
         grid={
             "family": args.family,
@@ -284,7 +256,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "algorithms": names,
         },
     )
-    path = write_metrics(payload, metrics_out)
+    path = api.write_metrics(payload, metrics_out)
     print(f"metrics written to {path}")
 
     if args.trace_out is not None:
@@ -339,11 +311,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_scorecard(args: argparse.Namespace) -> int:
-    from repro.core.scorecard import build_scorecard
-
-    scorecard = build_scorecard()
+    scorecard = api.scorecard()
     print(scorecard.render())
     return 0 if scorecard.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import lint_paths, render_json, render_text
+    from repro.devtools.reporter import render_rule_list
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    select = None
+    if args.select:
+        select = [part for part in args.select.split(",") if part.strip()]
+    try:
+        report = lint_paths(args.paths or ["src"], select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -448,7 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--workers", type=int, default=None,
         help=f"pool size (default: min(cores - 1, 8) = "
-        f"{default_workers()}; 1 forces serial)",
+        f"{api.default_workers()}; 1 forces serial)",
     )
     sweep.add_argument("--timeout", type=float, default=None,
                        help="per-task wall-clock budget in seconds")
@@ -488,6 +480,29 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--top", type=int, default=None,
                        help="limit --flat rows to the N hottest span names")
     trace.set_defaults(func=_cmd_trace)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the project invariant linter (RPR rules) over "
+        "files/directories",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json follows the repro.lint/1 schema)",
+    )
+    lint.add_argument(
+        "--select",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

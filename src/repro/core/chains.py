@@ -30,6 +30,8 @@ from repro.core.reductions.sat_to_two_thirds_clique import (
     sat_to_two_thirds_clique,
 )
 from repro.core.results import PlanResult
+from repro.hashjoin.instance import QOHInstance
+from repro.joinopt.instance import QONInstance
 from repro.sat.gapfamilies import GapFormula
 from repro.utils.validation import require
 
@@ -44,7 +46,7 @@ class QONHardnessInstance:
     certificate_sequence: Optional[Tuple[int, ...]]
 
     @property
-    def instance(self):
+    def instance(self) -> QONInstance:
         return self.fn_step.instance
 
     def yes_cost_bound(self) -> int:
@@ -64,7 +66,7 @@ class QOHHardnessInstance:
     certificate_plan: Optional[PlanResult]
 
     @property
-    def instance(self):
+    def instance(self) -> QOHInstance:
         return self.fh_step.instance
 
 

@@ -52,7 +52,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from repro.starqo.partition import PartitionInstance
 from repro.starqo.sppcs import SPPCSInstance
@@ -163,7 +163,7 @@ def partition_to_sppcs(source: PartitionInstance) -> SPPCSConstruction:
     )
 
 
-def _tiny_partition_decision(values, total: int) -> bool:
+def _tiny_partition_decision(values: Sequence[int], total: int) -> bool:
     """Decide PARTITION directly for totals below 4."""
     if total == 0:
         return True

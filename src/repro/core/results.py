@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -43,13 +43,13 @@ class PlanResult:
     trace: Optional[str] = field(default=None, compare=False)
 
     @property
-    def decomposition(self):
+    def decomposition(self) -> object:
         """The QO_H pipeline decomposition, when this result has one."""
         if self.plan is not None and hasattr(self.plan, "pipelines"):
             return self.plan
         return None
 
-    def ratio_to(self, optimal_cost) -> float:
+    def ratio_to(self, optimal_cost: object) -> float:
         """Competitive ratio against a known optimal cost.
 
         Computed in log2 domain so astronomically large costs work:
@@ -75,7 +75,7 @@ class PlanResult:
         return max(1.0, 2.0 ** gap_log2)
 
 
-_warned: set = set()
+_warned: Set[str] = set()
 
 
 def _warn_once(old_name: str) -> None:
@@ -97,8 +97,10 @@ def _reset_deprecation_warnings() -> None:
 class OptimizerResult(PlanResult):
     """Deprecated alias of :class:`PlanResult` (old QO_N result type)."""
 
-    def __init__(self, cost, sequence=(), optimizer="", explored=0,
-                 is_exact=False, plan=None, trace=None):
+    def __init__(self, cost: object, sequence: Iterable[int] = (),
+                 optimizer: str = "", explored: int = 0,
+                 is_exact: bool = False, plan: object = None,
+                 trace: Optional[str] = None) -> None:
         _warn_once("OptimizerResult")
         PlanResult.__init__(
             self, cost=cost, sequence=tuple(sequence), optimizer=optimizer,
@@ -113,8 +115,11 @@ class QOHPlan(PlanResult):
     ``plan`` (and still readable via the ``decomposition`` property).
     """
 
-    def __init__(self, sequence=(), decomposition=None, cost=0, explored=0,
-                 optimizer="", is_exact=False, plan=None, trace=None):
+    def __init__(self, sequence: Iterable[int] = (),
+                 decomposition: object = None, cost: object = 0,
+                 explored: int = 0, optimizer: str = "",
+                 is_exact: bool = False, plan: object = None,
+                 trace: Optional[str] = None) -> None:
         _warn_once("QOHPlan")
         PlanResult.__init__(
             self, cost=cost, sequence=tuple(sequence), optimizer=optimizer,
@@ -122,6 +127,23 @@ class QOHPlan(PlanResult):
             plan=decomposition if decomposition is not None else plan,
             trace=trace,
         )
+
+
+def deprecated_alias(name: str) -> type:
+    """Resolve a deprecated alias class by name, for the module-level
+    ``__getattr__`` shims at the aliases' historical import homes
+    (``repro.joinopt``, ``repro.hashjoin.optimizer``, ...).
+
+    Those modules must not *statically* import the aliases — the
+    ``repro lint`` pass (rule RPR003) forbids internal alias use — but
+    ``from repro.hashjoin.optimizer import QOHPlan`` has to keep
+    working for external callers until the aliases are removed.
+    """
+    if name in ("OptimizerResult", "QOHPlan"):
+        alias = globals()[name]
+        assert isinstance(alias, type)
+        return alias
+    raise AttributeError(f"no deprecated result alias named {name!r}")
 
 
 __all__ = ["PlanResult", "OptimizerResult", "QOHPlan"]

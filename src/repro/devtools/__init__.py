@@ -1,0 +1,35 @@
+"""Project-specific static analysis (the ``repro lint`` pass).
+
+The paper's gap theorems are only as trustworthy as the code
+discipline behind them: cost arithmetic must stay exact, randomness
+must stay seeded, every optimizer must be registered and span-traced,
+and the sweep runner must never swallow a worker failure.  This
+package machine-checks those invariants with an AST-based linter —
+stdlib only, no runtime dependencies — exposed as the ``repro lint``
+CLI subcommand and enforced in CI alongside ``mypy --strict``.
+
+* :mod:`repro.devtools.diagnostics` — the :class:`Diagnostic` record;
+* :mod:`repro.devtools.project` — file classification and the
+  cross-file facts rules need (the runtime optimizer registry);
+* :mod:`repro.devtools.rules` — the rule registry (``RPR001``...);
+* :mod:`repro.devtools.noqa` — ``# repro: noqa[RPRxxx]`` suppressions;
+* :mod:`repro.devtools.engine` — file collection and rule driving;
+* :mod:`repro.devtools.reporter` — text and JSON renderers.
+"""
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.engine import LintReport, lint_paths
+from repro.devtools.reporter import JSON_SCHEMA_VERSION, render_json, render_text
+from repro.devtools.rules import RULES, Rule, rule_codes
+
+__all__ = [
+    "Diagnostic",
+    "JSON_SCHEMA_VERSION",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rule_codes",
+]

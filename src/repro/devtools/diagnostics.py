@@ -1,0 +1,40 @@
+"""The diagnostic record every lint rule emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+#: Code reserved for files the linter cannot parse at all.
+PARSE_ERROR_CODE = "RPR000"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``path:line:col: CODE message``.
+
+    Ordering is lexicographic on ``(path, line, col, code)`` so reports
+    are deterministic regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line human-readable form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, Union[str, int]]:
+        """The JSON-reporter form (all keys always present)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+        }

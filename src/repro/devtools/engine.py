@@ -1,0 +1,124 @@
+"""File collection and rule driving for ``repro lint``."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.devtools.diagnostics import PARSE_ERROR_CODE, Diagnostic
+from repro.devtools.noqa import is_suppressed, suppression_map
+from repro.devtools.project import Project, classify
+from repro.devtools.rules import RULES, Rule
+
+PathLike = Union[str, Path]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", "results", ".git", ".hypothesis"}
+
+
+def collect_files(paths: Sequence[PathLike]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    Directories are walked recursively for ``*.py``; hidden directories,
+    caches and ``*.egg-info`` trees are skipped.  Missing paths raise
+    ``FileNotFoundError`` — a typo'd path must fail the build, not lint
+    zero files successfully.
+    """
+    seen: Dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                parts = found.parts
+                if any(
+                    part in _SKIP_DIRS
+                    or part.startswith(".")
+                    or part.endswith(".egg-info")
+                    for part in parts
+                ):
+                    continue
+                seen.setdefault(found, None)
+        elif path.is_file():
+            seen.setdefault(path, None)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything one lint run produced."""
+
+    files_checked: int
+    diagnostics: Tuple[Diagnostic, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def counts(self) -> Dict[str, int]:
+        """Diagnostic count per code, sorted by code."""
+        totals: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            totals[diagnostic.code] = totals.get(diagnostic.code, 0) + 1
+        return dict(sorted(totals.items()))
+
+
+def _select_rules(select: Optional[Iterable[str]]) -> List[Rule]:
+    if select is None:
+        return [RULES[code] for code in sorted(RULES)]
+    chosen: List[Rule] = []
+    for code in select:
+        normalized = code.strip().upper()
+        if normalized not in RULES:
+            raise ValueError(
+                f"unknown rule code {code!r}; known: {sorted(RULES)}"
+            )
+        chosen.append(RULES[normalized])
+    return sorted(chosen, key=lambda rule: rule.code)
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    select: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the selected rules.
+
+    ``select`` restricts the run to the given codes (default: all).
+    Unreadable or unparsable files yield an ``RPR000`` diagnostic —
+    parse errors are findings, not crashes — but ``RPR000`` cannot be
+    suppressed or deselected.
+    """
+    rules = _select_rules(select)
+    project = Project()
+    diagnostics: List[Diagnostic] = []
+    files = collect_files(paths)
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            diagnostics.append(
+                Diagnostic(
+                    path=str(path),
+                    line=int(line),
+                    col=0,
+                    code=PARSE_ERROR_CODE,
+                    rule="parse-error",
+                    message=f"cannot lint file: {exc}",
+                )
+            )
+            continue
+        file = classify(path, source, tree)
+        suppressed = suppression_map(file.lines)
+        for rule in rules:
+            for diagnostic in rule.run(file, project):
+                if not is_suppressed(diagnostic, suppressed):
+                    diagnostics.append(diagnostic)
+    return LintReport(
+        files_checked=len(files),
+        diagnostics=tuple(sorted(diagnostics)),
+    )

@@ -1,0 +1,155 @@
+"""File classification and cross-file context for the lint rules.
+
+Most rules are local to one file, but they need to know *which* file
+they are looking at (a cost-model module, the CLI, a benchmark) and a
+few need project-wide facts — above all the runtime optimizer registry
+(:data:`repro.runtime.runner.OPTIMIZERS`), which rule ``RPR004``
+cross-checks against the ``@traced`` decorators in the optimizer
+packages.
+
+Classification is purely path-based so the linter works on any tree
+that mirrors the repository layout (the test fixtures build miniature
+``repro`` packages under a tmpdir): the dotted module name is the path
+relative to the innermost ``repro`` package directory, benchmarks are
+anything under a ``benchmarks/`` directory, examples anything under
+``examples/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed file plus everything the rules ask about it."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+    #: Dotted module path relative to the ``repro`` package
+    #: (``"joinopt.cost"``), ``""`` for the package ``__init__`` and
+    #: for files outside any ``repro`` package.
+    module: str
+    #: Path of the ``repro`` package directory this file lives under,
+    #: or None for benchmarks/examples/stray files.
+    package_root: Optional[Path]
+    is_benchmark: bool
+    is_example: bool
+
+
+def classify(path: Path, source: str, tree: ast.Module) -> SourceFile:
+    """Build the :class:`SourceFile` record for one parsed file."""
+    resolved = path.resolve()
+    parts = resolved.parts
+    module = ""
+    package_root: Optional[Path] = None
+    if "repro" in parts:
+        anchor = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        package_root = Path(*parts[: anchor + 1])
+        relative = parts[anchor + 1 :]
+        pieces: List[str] = list(relative[:-1])
+        stem = Path(relative[-1]).stem if relative else ""
+        if stem and stem != "__init__":
+            pieces.append(stem)
+        module = ".".join(pieces)
+    return SourceFile(
+        path=path,
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+        module=module,
+        package_root=package_root,
+        is_benchmark="benchmarks" in parts,
+        is_example="examples" in parts,
+    )
+
+
+def _registry_from_ast(tree: ast.Module) -> Optional[FrozenSet[str]]:
+    """Function names referenced by the ``OPTIMIZERS`` dict literal."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "OPTIMIZERS"
+                and isinstance(value, ast.Dict)
+            ):
+                names = {
+                    entry.id
+                    for entry in value.values
+                    if isinstance(entry, ast.Name)
+                }
+                names.update(
+                    entry.attr
+                    for entry in value.values
+                    if isinstance(entry, ast.Attribute)
+                )
+                return frozenset(names)
+    return None
+
+
+def _live_registry() -> FrozenSet[str]:
+    """The installed registry, used when the linted tree has none."""
+    from repro.runtime.runner import OPTIMIZERS
+
+    return frozenset(
+        getattr(run, "__name__", str(run)) for run in OPTIMIZERS.values()
+    )
+
+
+@dataclass
+class Project:
+    """Cross-file lint context, shared by every file of one run."""
+
+    _registries: Dict[Path, Optional[FrozenSet[str]]] = field(
+        default_factory=dict
+    )
+
+    def registered_optimizers(
+        self, file: SourceFile
+    ) -> Optional[FrozenSet[str]]:
+        """The optimizer function names registered for ``file``'s tree.
+
+        Parsed from ``runtime/runner.py`` next to the file's ``repro``
+        package root when present (so fixture trees are self-contained);
+        falls back to the installed registry.  Returns None only when
+        even the fallback is unavailable — rules must then skip rather
+        than guess.
+        """
+        root = file.package_root
+        if root is None:
+            return None
+        if root not in self._registries:
+            self._registries[root] = self._load_registry(root)
+        return self._registries[root]
+
+    def _load_registry(self, root: Path) -> Optional[FrozenSet[str]]:
+        runner = root / "runtime" / "runner.py"
+        if runner.is_file():
+            try:
+                tree = ast.parse(runner.read_text(encoding="utf-8"))
+            except SyntaxError:
+                return None
+            return _registry_from_ast(tree)
+        try:
+            return _live_registry()
+        except Exception:  # pragma: no cover - broken installation only
+            return None
+
+
+def module_matches(module: str, prefixes: Sequence[str]) -> bool:
+    """True when ``module`` equals or nests under any of ``prefixes``."""
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )

@@ -1,0 +1,69 @@
+"""Text and JSON renderers for lint reports."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.devtools.engine import LintReport
+from repro.devtools.rules import RULES
+
+#: Schema tag of the JSON report (bump on incompatible change).
+JSON_SCHEMA_VERSION = "repro.lint/1"
+
+
+def render_text(report: LintReport) -> str:
+    """One ``path:line:col: CODE message`` line per finding + summary."""
+    lines = [diagnostic.render() for diagnostic in report.diagnostics]
+    if report.ok:
+        lines.append(
+            f"{report.files_checked} files checked: no invariant violations"
+        )
+    else:
+        counts = ", ".join(
+            f"{code} x{count}" for code, count in report.counts().items()
+        )
+        lines.append(
+            f"{report.files_checked} files checked: "
+            f"{len(report.diagnostics)} violation"
+            f"{'s' if len(report.diagnostics) != 1 else ''} ({counts})"
+        )
+    return "\n".join(lines)
+
+
+def report_payload(report: LintReport) -> Dict[str, Any]:
+    """The JSON report as a plain dict (see :data:`JSON_SCHEMA_VERSION`).
+
+    Layout::
+
+        {"version": "repro.lint/1",
+         "ok": bool,
+         "files_checked": int,
+         "counts": {code: int},
+         "diagnostics": [{"path", "line", "col", "code", "rule",
+                          "message"}, ...]}
+    """
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "counts": report.counts(),
+        "diagnostics": [
+            diagnostic.to_json() for diagnostic in report.diagnostics
+        ],
+    }
+
+
+def render_json(report: LintReport) -> str:
+    """The JSON report, pretty-printed with stable key order."""
+    return json.dumps(report_payload(report), indent=2, sort_keys=False)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` table: code, slug, one-line description."""
+    lines: List[str] = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        lines.append(f"{code}  {rule.name}")
+        lines.append(f"       {rule.description}")
+    return "\n".join(lines)

@@ -1,0 +1,553 @@
+"""The invariant rules (``RPR001``...) and their registry.
+
+Each rule is a generator over one parsed file (plus the shared
+:class:`~repro.devtools.project.Project` context) yielding
+``(line, col, message)`` findings; the registry wraps those into
+:class:`~repro.devtools.diagnostics.Diagnostic` records.  Rules are
+deliberately narrow: each one machine-checks a discipline the gap
+theorems (or the PR 1/PR 2 infrastructure) depend on, documented in
+``docs/devtools.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.project import Project, SourceFile, module_matches
+
+Finding = Tuple[int, int, str]
+CheckFn = Callable[[SourceFile, Project], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: a code, a slug, and its check function."""
+
+    code: str
+    name: str
+    description: str
+    check: CheckFn
+
+    def run(self, file: SourceFile, project: Project) -> List[Diagnostic]:
+        return [
+            Diagnostic(
+                path=str(file.path),
+                line=line,
+                col=col,
+                code=self.code,
+                rule=self.name,
+                message=message,
+            )
+            for line, col, message in self.check(file, project)
+        ]
+
+
+#: Code -> rule, in registration (= code) order.
+RULES: Dict[str, Rule] = {}
+
+
+def rule_codes() -> List[str]:
+    """All registered codes, sorted."""
+    return sorted(RULES)
+
+
+def register(code: str, name: str, description: str) -> Callable[[CheckFn], CheckFn]:
+    def decorate(check: CheckFn) -> CheckFn:
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(
+            code=code, name=name, description=description, check=check
+        )
+        return check
+
+    return decorate
+
+
+def _loc(node: ast.AST) -> Tuple[int, int]:
+    return getattr(node, "lineno", 1), getattr(node, "col_offset", 0)
+
+
+# ---------------------------------------------------------------------
+# RPR001 — exact cost arithmetic
+# ---------------------------------------------------------------------
+
+#: Modules implementing the paper's cost recursions.  Costs there are
+#: compared across gaps of size alpha**Theta(n); one float round-trip
+#: collapses the Theorem 9/15 separations, so these modules must stay
+#: on int / Fraction / LogNumber arithmetic.
+COST_MODEL_MODULES = ("joinopt.cost", "hashjoin.cost_model", "starqo.cost")
+
+
+@register(
+    "RPR001",
+    "raw-float-in-cost-model",
+    "cost-model modules must use exact arithmetic "
+    "(int/Fraction/LogNumber), not raw floats",
+)
+def _check_raw_float(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if file.module not in COST_MODEL_MODULES:
+        return
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            line, col = _loc(node)
+            yield line, col, (
+                f"float literal {node.value!r} in cost-model module; "
+                "use int, Fraction or LogNumber so gap comparisons stay exact"
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        ):
+            line, col = _loc(node)
+            yield line, col, (
+                "float(...) conversion in cost-model module; "
+                "cost values must not round-trip through floats"
+            )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "math":
+                    line, col = _loc(node)
+                    yield line, col, (
+                        "math import in cost-model module; float-domain "
+                        "helpers belong in repro.utils.lognum"
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module == "math":
+            line, col = _loc(node)
+            yield line, col, (
+                "math import in cost-model module; float-domain "
+                "helpers belong in repro.utils.lognum"
+            )
+
+
+# ---------------------------------------------------------------------
+# RPR002 — seeded randomness only
+# ---------------------------------------------------------------------
+
+#: The one module allowed to touch ``random`` directly; everything
+#: else takes a seed or ``random.Random`` through
+#: :func:`repro.utils.rng.make_rng`, keeping experiments replayable.
+RNG_HOME = "utils.rng"
+
+
+@register(
+    "RPR002",
+    "unmanaged-randomness",
+    "direct random/numpy.random use outside repro.utils.rng breaks "
+    "experiment reproducibility",
+)
+def _check_randomness(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if file.module == RNG_HOME:
+        return
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith(
+                    ("random.", "numpy.random")
+                ):
+                    line, col = _loc(node)
+                    yield line, col, (
+                        f"direct import of {alias.name!r}; route all "
+                        "randomness through repro.utils.rng (seeded)"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "random" or module.startswith("numpy.random"):
+                line, col = _loc(node)
+                yield line, col, (
+                    f"direct import from {module!r}; route all "
+                    "randomness through repro.utils.rng (seeded)"
+                )
+            elif module == "numpy" and any(
+                alias.name == "random" for alias in node.names
+            ):
+                line, col = _loc(node)
+                yield line, col, (
+                    "direct import of numpy.random; route all "
+                    "randomness through repro.utils.rng (seeded)"
+                )
+
+
+# ---------------------------------------------------------------------
+# RPR003 — no internal use of deprecated result aliases
+# ---------------------------------------------------------------------
+
+DEPRECATED_ALIASES = ("OptimizerResult", "QOHPlan")
+
+#: Where the aliases are defined (and may be named).
+ALIAS_HOME = "core.results"
+
+
+@register(
+    "RPR003",
+    "deprecated-result-alias",
+    "internal code must use repro.core.results.PlanResult, not the "
+    "deprecated OptimizerResult/QOHPlan aliases",
+)
+def _check_deprecated_alias(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if file.module == ALIAS_HOME:
+        return
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in DEPRECATED_ALIASES:
+                    line, col = _loc(node)
+                    yield line, col, (
+                        f"import of deprecated alias {alias.name!r}; "
+                        "use repro.core.results.PlanResult"
+                    )
+        elif isinstance(node, ast.Name) and node.id in DEPRECATED_ALIASES:
+            line, col = _loc(node)
+            yield line, col, (
+                f"use of deprecated alias {node.id!r}; "
+                "use repro.core.results.PlanResult"
+            )
+        elif (
+            isinstance(node, ast.Attribute)
+            and node.attr in DEPRECATED_ALIASES
+        ):
+            line, col = _loc(node)
+            yield line, col, (
+                f"attribute access to deprecated alias {node.attr!r}; "
+                "use repro.core.results.PlanResult"
+            )
+
+
+# ---------------------------------------------------------------------
+# RPR004 — optimizers registered and span-instrumented
+# ---------------------------------------------------------------------
+
+#: Packages whose ``@traced("optimize.*")`` functions are optimizer
+#: entry points and must be drivable by the sweep runner.
+OPTIMIZER_PACKAGES = ("joinopt.optimizers", "hashjoin", "starqo")
+
+
+def _traced_span_name(decorator: ast.expr) -> Optional[str]:
+    """The span-name argument when ``decorator`` is ``@traced(...)``."""
+    if not isinstance(decorator, ast.Call):
+        return None
+    func = decorator.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if name != "traced" or not decorator.args:
+        return None
+    first = decorator.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+@register(
+    "RPR004",
+    "unregistered-optimizer",
+    "every optimizer entry point must be registered in "
+    "repro.runtime.runner.OPTIMIZERS and carry a @traced span",
+)
+def _check_optimizer_registry(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if not module_matches(file.module, OPTIMIZER_PACKAGES):
+        return
+    registered = project.registered_optimizers(file)
+    if registered is None:  # no registry to check against: skip, not guess
+        return
+    for node in file.tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        spans = [
+            span
+            for span in map(_traced_span_name, node.decorator_list)
+            if span is not None
+        ]
+        optimizer_span = any(span.startswith("optimize") for span in spans)
+        if optimizer_span and node.name not in registered:
+            line, col = _loc(node)
+            yield line, col, (
+                f"optimizer {node.name!r} is span-instrumented but not "
+                "registered in repro.runtime.runner.OPTIMIZERS; sweeps "
+                "and the CLI cannot drive it"
+            )
+        elif node.name in registered and not optimizer_span:
+            line, col = _loc(node)
+            yield line, col, (
+                f"registered optimizer {node.name!r} lacks a "
+                '@traced("optimize.*") span; its work would be invisible '
+                "to the observability layer"
+            )
+
+
+# ---------------------------------------------------------------------
+# RPR005 — no swallowed exceptions
+# ---------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = ("Exception", "BaseException")
+
+
+def _is_broad(handler_type: Optional[ast.expr]) -> bool:
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD_EXCEPTIONS
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(element) for element in handler_type.elts)
+    return False
+
+
+def _is_noop_body(body: Sequence[ast.stmt]) -> bool:
+    for statement in body:
+        if isinstance(statement, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or bare ``...``
+        return False
+    return True
+
+
+@register(
+    "RPR005",
+    "swallowed-exception",
+    "bare except clauses and broad do-nothing handlers hide worker "
+    "failures the sweep outcomes must report",
+)
+def _check_swallowed_exceptions(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            line, col = _loc(node)
+            yield line, col, (
+                "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                "name the exception types"
+            )
+        elif _is_broad(node.type) and _is_noop_body(node.body):
+            line, col = _loc(node)
+            yield line, col, (
+                "broad exception handler discards the failure; record it "
+                "(the sweep runner must surface worker errors) or narrow "
+                "the exception type"
+            )
+
+
+# ---------------------------------------------------------------------
+# RPR006 — no mutable default arguments
+# ---------------------------------------------------------------------
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CONSTRUCTORS = ("list", "dict", "set", "bytearray")
+
+
+def _is_mutable_default(default: ast.expr) -> bool:
+    if isinstance(default, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(default, ast.Call)
+        and isinstance(default.func, ast.Name)
+        and default.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+@register(
+    "RPR006",
+    "mutable-default-argument",
+    "mutable default arguments alias state across calls",
+)
+def _check_mutable_defaults(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    for node in ast.walk(file.tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        defaults = list(node.args.defaults) + [
+            default
+            for default in node.args.kw_defaults
+            if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                line, col = _loc(default)
+                yield line, col, (
+                    "mutable default argument is shared across calls; "
+                    "default to None and build inside the function"
+                )
+
+
+# ---------------------------------------------------------------------
+# RPR007 — the CLI routes through the facade
+# ---------------------------------------------------------------------
+
+CLI_MODULES = ("cli", "__main__")
+
+#: What the CLI may import from the project: the public facade, the
+#: serialization layer, the devtools pass itself, utilities, and the
+#: observability report renderers.  Everything else (optimizer
+#: implementations, reductions, the runner) must be reached through
+#: ``repro.api`` so the facade stays the single compatibility surface.
+CLI_ALLOWED_PREFIXES = (
+    "repro.api",
+    "repro.cli",  # ``__main__`` dispatches to the CLI module itself
+    "repro.io",
+    "repro.devtools",
+    "repro.utils",
+    "repro.observability",
+)
+_CLI_ALLOWED_TOP_NAMES = tuple(
+    prefix.split(".", 1)[1] for prefix in CLI_ALLOWED_PREFIXES
+)
+
+
+@register(
+    "RPR007",
+    "cli-bypasses-facade",
+    "CLI subcommands must route through repro.api (plus io/utils/"
+    "observability/devtools), never core internals",
+)
+def _check_cli_routing(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if file.module not in CLI_MODULES:
+        return
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or not alias.name.startswith(
+                    "repro."
+                ):
+                    continue
+                if not module_matches(alias.name, CLI_ALLOWED_PREFIXES):
+                    line, col = _loc(node)
+                    yield line, col, (
+                        f"CLI imports internal module {alias.name!r}; "
+                        "expose what it needs on repro.api instead"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "repro":
+                for alias in node.names:
+                    if alias.name not in _CLI_ALLOWED_TOP_NAMES:
+                        line, col = _loc(node)
+                        yield line, col, (
+                            f"CLI imports repro.{alias.name}; "
+                            "expose what it needs on repro.api instead"
+                        )
+            elif module.startswith("repro.") and not module_matches(
+                module, CLI_ALLOWED_PREFIXES
+            ):
+                line, col = _loc(node)
+                yield line, col, (
+                    f"CLI imports internal module {module!r}; "
+                    "expose what it needs on repro.api instead"
+                )
+
+
+# ---------------------------------------------------------------------
+# RPR008 — benchmarks leave global state alone
+# ---------------------------------------------------------------------
+
+#: Process-wide installers; benchmarks must use the scoped ``use_*``
+#: context managers instead so EXP tables cannot leak state into each
+#: other within one pytest process.
+_GLOBAL_INSTALLERS = ("install_cache", "install_tracer")
+
+
+@register(
+    "RPR008",
+    "benchmark-global-mutation",
+    "benchmarks must not mutate global state (module attributes, "
+    "os.environ, process-wide installers); EXP tables must be "
+    "order-independent",
+)
+def _check_benchmark_globals(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if not file.is_benchmark:
+        return
+    imported: Set[str] = set()
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                imported.add(alias.asname or alias.name)
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Global):
+            line, col = _loc(node)
+            yield line, col, (
+                "global statement in a benchmark; pass state explicitly"
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in imported
+                ):
+                    line, col = _loc(target)
+                    yield line, col, (
+                        f"benchmark mutates imported name "
+                        f"{target.value.id!r} ({target.value.id}."
+                        f"{target.attr} = ...); benchmarks must be "
+                        "side-effect free"
+                    )
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "environ"
+                ):
+                    line, col = _loc(target)
+                    yield line, col, (
+                        "benchmark writes os.environ; environment "
+                        "mutation leaks across EXP tables"
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name in _GLOBAL_INSTALLERS:
+                line, col = _loc(node)
+                yield line, col, (
+                    f"benchmark calls process-wide {name}(); use the "
+                    "scoped use_cache/use_tracer context managers"
+                )

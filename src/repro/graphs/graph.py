@@ -25,7 +25,8 @@ class Graph:
 
     __slots__ = ("_n", "_adjacency", "_edges")
 
-    def __init__(self, num_vertices: int, edges: Iterable[Sequence[int]] = ()):
+    def __init__(self, num_vertices: int,
+                 edges: Iterable[Sequence[int]] = ()) -> None:
         require(num_vertices >= 0, "num_vertices must be non-negative")
         self._n = num_vertices
         adjacency: List[Set[int]] = [set() for _ in range(num_vertices)]

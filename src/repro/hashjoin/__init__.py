@@ -36,13 +36,23 @@ from repro.hashjoin.search import (
 )
 from repro.hashjoin.optimizer import (
     PlanResult,
-    QOHPlan,
     best_decomposition,
     feasible_sequences,
     is_feasible_sequence,
     qoh_greedy,
     qoh_optimal,
 )
+
+
+def __getattr__(name: str) -> type:
+    # Deprecated alias kept importable (lazily, so internal code
+    # cannot pick it up by accident; see lint rule RPR003).
+    if name == "QOHPlan":
+        from repro.core.results import deprecated_alias
+
+        return deprecated_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "HashJoinCostModel",

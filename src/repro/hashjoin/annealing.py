@@ -18,12 +18,14 @@ from repro.hashjoin.instance import QOHInstance
 from repro.core.results import PlanResult
 from repro.hashjoin.search import cached_best_decomposition
 from repro.utils.lognum import log2_of
-from repro.utils.rng import RngLike, make_rng
+from repro.utils.rng import Random, RngLike, make_rng
 from repro.utils.validation import require
 from repro.observability.tracer import traced
 
 
-def _initial_sequence(instance: QOHInstance, rng) -> Optional[Tuple[int, ...]]:
+def _initial_sequence(
+    instance: QOHInstance, rng: Random
+) -> Optional[Tuple[int, ...]]:
     """A random feasible sequence (oversized relation first, if any)."""
     n = instance.num_relations
     oversized = [
@@ -40,7 +42,7 @@ def _initial_sequence(instance: QOHInstance, rng) -> Optional[Tuple[int, ...]]:
     return tuple(order)
 
 
-def _neighbor(sequence: Tuple[int, ...], rng) -> Tuple[int, ...]:
+def _neighbor(sequence: Tuple[int, ...], rng: Random) -> Tuple[int, ...]:
     n = len(sequence)
     candidate = list(sequence)
     if rng.random() < 0.5 and n >= 2:

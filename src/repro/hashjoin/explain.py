@@ -13,10 +13,10 @@ from typing import List, Sequence
 from repro.hashjoin.instance import QOHInstance
 from repro.core.results import PlanResult
 from repro.hashjoin.pipeline import pipeline_allocation
-from repro.utils.lognum import log2_of
+from repro.utils.lognum import Numeric, log2_of
 
 
-def _format_number(value) -> str:
+def _format_number(value: Numeric) -> str:
     try:
         log2 = log2_of(value)
     except (TypeError, ValueError):

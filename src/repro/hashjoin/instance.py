@@ -37,7 +37,7 @@ class QOHInstance:
         selectivities: Mapping[EdgeKey, Fraction],
         memory: int,
         model: HashJoinCostModel = HashJoinCostModel(),
-    ):
+    ) -> None:
         n = graph.num_vertices
         require(len(sizes) == n, f"need {n} sizes, got {len(sizes)}")
         for index, size in enumerate(sizes):

@@ -20,9 +20,7 @@ from dataclasses import replace
 from fractions import Fraction
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-# QOHPlan is re-exported for backwards compatibility; it is now a
-# deprecated alias of PlanResult (the decomposition lives in ``plan``).
-from repro.core.results import PlanResult, QOHPlan  # noqa: F401
+from repro.core.results import PlanResult
 from repro.hashjoin.instance import QOHInstance
 from repro.hashjoin.pipeline import (
     Pipeline,
@@ -185,3 +183,13 @@ def qoh_greedy(instance: QOHInstance) -> Optional[PlanResult]:
     # explored counts every partial sequence the greedy examined across
     # all starting relations, not just the winning decomposition DP.
     return replace(best, optimizer="qoh-greedy", explored=explored)
+
+
+def __getattr__(name: str) -> type:
+    # Deprecated ``QOHPlan`` alias kept importable (lazily, so internal
+    # code cannot pick it up by accident; see lint rule RPR003).
+    if name == "QOHPlan":
+        from repro.core.results import deprecated_alias
+
+        return deprecated_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -28,7 +28,7 @@ from repro.utils.validation import ValidationError, require
 PathLike = Union[str, Path]
 
 
-def _encode_number(value) -> str:
+def _encode_number(value: Union[int, Fraction]) -> str:
     if isinstance(value, Fraction):
         return f"{value.numerator}/{value.denominator}"
     if isinstance(value, int):
@@ -38,7 +38,7 @@ def _encode_number(value) -> str:
     )
 
 
-def _decode_number(text: str):
+def _decode_number(text: str) -> Union[int, Fraction]:
     if "/" in text:
         numerator, denominator = text.split("/", 1)
         return Fraction(int(numerator), int(denominator))
@@ -204,14 +204,14 @@ _DECODERS = {
 }
 
 
-def dumps(obj) -> str:
+def dumps(obj: Any) -> str:
     """Serialize any supported instance to JSON text."""
     encoder = _ENCODERS.get(type(obj))
     require(encoder is not None, f"cannot serialize {type(obj)!r}")
     return json.dumps(encoder(obj), indent=2, sort_keys=True)
 
 
-def loads(text: str):
+def loads(text: str) -> Any:
     """Deserialize JSON text produced by :func:`dumps`."""
     payload = json.loads(text)
     decoder = _DECODERS.get(payload.get("type"))
@@ -219,9 +219,9 @@ def loads(text: str):
     return decoder(payload)
 
 
-def save(obj, path: PathLike) -> None:
+def save(obj: Any, path: PathLike) -> None:
     Path(path).write_text(dumps(obj), encoding="ascii")
 
 
-def load(path: PathLike):
+def load(path: PathLike) -> Any:
     return loads(Path(path).read_text(encoding="ascii"))

@@ -32,7 +32,6 @@ from repro.joinopt.bounds import (
     lemma8_style_lower_bound,
 )
 from repro.joinopt.optimizers import (
-    OptimizerResult,
     PlanResult,
     branch_and_bound,
     dp_optimal,
@@ -45,6 +44,17 @@ from repro.joinopt.optimizers import (
     random_sampling,
     simulated_annealing,
 )
+
+
+def __getattr__(name: str) -> type:
+    # Deprecated alias kept importable (lazily, so internal code
+    # cannot pick it up by accident; see lint rule RPR003).
+    if name == "OptimizerResult":
+        from repro.core.results import deprecated_alias
+
+        return deprecated_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "QONInstance",

@@ -30,7 +30,7 @@ if TYPE_CHECKING:  # avoid a circular import: core builds on joinopt
     from repro.core.reductions.clique_to_qon import FNReduction
 
 
-def first_join_lower_bound(instance: QONInstance):
+def first_join_lower_bound(instance: QONInstance) -> Optional[Fraction]:
     """Every sequence's very first join costs at least this."""
     n = instance.num_relations
     require(n >= 2, "need at least two relations")
@@ -45,7 +45,9 @@ def first_join_lower_bound(instance: QONInstance):
     return best
 
 
-def dominance_lower_bound(instance: QONInstance, prefix_length: int):
+def dominance_lower_bound(
+    instance: QONInstance, prefix_length: int
+) -> Fraction:
     """A floor on H at position ``prefix_length`` over all sequences.
 
     ``N(X)`` for any ``p`` relations is at least the product of the
@@ -76,7 +78,9 @@ def dominance_lower_bound(instance: QONInstance, prefix_length: int):
     return size_product * min(probes)
 
 
-def lemma8_style_lower_bound(reduction: "FNReduction", clique_bound: int):
+def lemma8_style_lower_bound(
+    reduction: "FNReduction", clique_bound: int
+) -> int:
     """Lemma 8 for any clique-bounded f_N instance, computed exactly.
 
     If ``omega(query graph) <= clique_bound``, then for every sequence

@@ -74,7 +74,9 @@ def join_costs(instance: QONInstance, sequence: JoinSequence) -> List:
     return costs
 
 
-def _total_cost_uncached(instance: QONInstance, sequence: JoinSequence):
+def _total_cost_uncached(
+    instance: QONInstance, sequence: JoinSequence
+) -> object:
     costs = join_costs(instance, sequence)
     total = costs[0]
     for cost in costs[1:]:
@@ -82,7 +84,7 @@ def _total_cost_uncached(instance: QONInstance, sequence: JoinSequence):
     return total
 
 
-def total_cost(instance: QONInstance, sequence: JoinSequence):
+def total_cost(instance: QONInstance, sequence: JoinSequence) -> object:
     """``C(Z)``, the sum of the join costs.
 
     Consults the active :class:`~repro.runtime.costcache.CostCache`

@@ -19,10 +19,10 @@ from repro.joinopt.cost import (
     total_cost,
 )
 from repro.joinopt.instance import QONInstance
-from repro.utils.lognum import log2_of
+from repro.utils.lognum import Numeric, log2_of
 
 
-def _format_number(value) -> str:
+def _format_number(value: Numeric) -> str:
     """Exact rendering for small numbers, log2 form for huge ones."""
     try:
         log2 = log2_of(value)

@@ -65,7 +65,7 @@ class QONInstance:
         selectivities: Mapping[EdgeKey, object],
         access_costs: Optional[Mapping[EdgeKey, object]] = None,
         validate: bool = True,
-    ):
+    ) -> None:
         n = graph.num_vertices
         require(len(sizes) == n, f"need {n} sizes, got {len(sizes)}")
         self._graph = graph
@@ -135,13 +135,13 @@ class QONInstance:
         """t_j, the number of tuples (= pages) of relation j."""
         return self._sizes[relation]
 
-    def selectivity(self, i: int, j: int):
+    def selectivity(self, i: int, j: int) -> object:
         """s_ij; 1 when there is no predicate between R_i and R_j."""
         if not self._graph.has_edge(i, j):
             return 1
         return self._selectivities[_edge_key(i, j)]
 
-    def access_cost(self, i: int, j: int):
+    def access_cost(self, i: int, j: int) -> object:
         """w_ij: least cost of probing R_j given one tuple of R_i.
 
         For non-edges this is ``t_j`` (all tuples of R_j qualify).

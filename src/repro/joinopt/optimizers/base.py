@@ -8,6 +8,14 @@ code should import :class:`PlanResult` from :mod:`repro.core.results`.
 
 from __future__ import annotations
 
-from repro.core.results import OptimizerResult, PlanResult
+from repro.core.results import PlanResult
 
 __all__ = ["OptimizerResult", "PlanResult"]
+
+
+def __getattr__(name: str) -> type:
+    if name == "OptimizerResult":
+        from repro.core.results import deprecated_alias
+
+        return deprecated_alias(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -65,11 +65,13 @@ def branch_and_bound(
     prefix: List[int] = []
     used = [False] * n
 
-    def extension_size(prefix_size, candidate, prefix_mask):
+    def extension_size(
+        prefix_size: object, candidate: int, prefix_mask: int
+    ) -> object:
         """``N(prefix + candidate)`` — cache-shared (key: bitmask)
         with the subset DP and the pruned exhaustive search."""
 
-        def compute():
+        def compute() -> object:
             size = prefix_size * instance.size(candidate)
             for earlier in prefix:
                 selectivity = instance.selectivity(earlier, candidate)
@@ -83,7 +85,9 @@ def branch_and_bound(
             instance, "qon-size", prefix_mask | (1 << candidate), compute
         )
 
-    def recurse(prefix_size, partial_cost, prefix_mask) -> None:
+    def recurse(
+        prefix_size: object, partial_cost: object, prefix_mask: int
+    ) -> None:
         nonlocal best_cost, best_sequence, explored
         depth = len(prefix)
         if depth == n:

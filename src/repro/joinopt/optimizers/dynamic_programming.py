@@ -85,7 +85,11 @@ def dp_optimal(
                 best_cost[new_mask] = new_cost
                 parent[new_mask] = (mask, j)
                 if new_mask not in prefix_size:
-                    def extend_size(base=base_size, j=j, members=members):
+                    def extend_size(
+                        base: object = base_size,
+                        j: int = j,
+                        members: List[int] = members,
+                    ) -> object:
                         size = base * instance.size(j)
                         for k in members:
                             selectivity = instance.selectivity(k, j)

@@ -54,11 +54,13 @@ def exhaustive_optimal(
     prefix: List[int] = []
     used = [False] * n
 
-    def extension_size(prefix_size, candidate, prefix_mask):
+    def extension_size(
+        prefix_size: object, candidate: int, prefix_mask: int
+    ) -> object:
         """``N(prefix + candidate)`` — order-free, so cache-shared
         (key: the extended bitmask) with the subset DP and B&B."""
 
-        def compute():
+        def compute() -> object:
             size = prefix_size * instance.size(candidate)
             for earlier in prefix:
                 selectivity = instance.selectivity(earlier, candidate)
@@ -72,7 +74,9 @@ def exhaustive_optimal(
             instance, "qon-size", prefix_mask | (1 << candidate), compute
         )
 
-    def recurse(prefix_size, partial_cost, prefix_mask) -> None:
+    def recurse(
+        prefix_size: object, partial_cost: object, prefix_mask: int
+    ) -> None:
         nonlocal best_cost, best_sequence, explored
         if len(prefix) == n:
             explored += 1

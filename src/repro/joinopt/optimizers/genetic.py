@@ -18,13 +18,13 @@ from repro.joinopt.instance import QONInstance
 from repro.core.results import PlanResult
 from repro.joinopt.optimizers.local_search import _random_connected_sequence
 from repro.utils.lognum import log2_of
-from repro.utils.rng import RngLike, make_rng
+from repro.utils.rng import Random, RngLike, make_rng
 from repro.utils.validation import require
 from repro.observability.tracer import traced
 
 
 def _order_crossover(
-    parent_a: Tuple[int, ...], parent_b: Tuple[int, ...], rng
+    parent_a: Tuple[int, ...], parent_b: Tuple[int, ...], rng: Random
 ) -> Tuple[int, ...]:
     """OX1: copy a slice of A, fill the rest in B's relative order."""
     n = len(parent_a)
@@ -42,7 +42,9 @@ def _order_crossover(
     return tuple(child)  # type: ignore[arg-type]
 
 
-def _swap_mutation(sequence: Tuple[int, ...], rng) -> Tuple[int, ...]:
+def _swap_mutation(
+    sequence: Tuple[int, ...], rng: Random
+) -> Tuple[int, ...]:
     n = len(sequence)
     i, j = rng.randrange(n), rng.randrange(n)
     mutated = list(sequence)

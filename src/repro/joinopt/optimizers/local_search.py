@@ -14,13 +14,13 @@ from typing import List, Optional, Tuple
 from repro.joinopt.cost import total_cost
 from repro.joinopt.instance import QONInstance
 from repro.core.results import PlanResult
-from repro.utils.rng import RngLike, make_rng
+from repro.utils.rng import Random, RngLike, make_rng
 from repro.utils.validation import require
 from repro.observability.tracer import traced
 
 
 def _random_connected_sequence(
-    instance: QONInstance, rng
+    instance: QONInstance, rng: Random
 ) -> Tuple[int, ...]:
     """A random permutation avoiding cartesian products when possible.
 
@@ -44,7 +44,9 @@ def _random_connected_sequence(
     return tuple(sequence)
 
 
-def _neighbors(sequence: Tuple[int, ...], rng, count: int) -> List[Tuple[int, ...]]:
+def _neighbors(
+    sequence: Tuple[int, ...], rng: Random, count: int
+) -> List[Tuple[int, ...]]:
     """Sample ``count`` neighbors: adjacent swaps and single moves."""
     n = len(sequence)
     result: List[Tuple[int, ...]] = []

@@ -36,7 +36,7 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.utils.validation import ValidationError, require
 
@@ -55,7 +55,7 @@ class Trace:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[dict]:
         return iter(self.records)
 
     def roots(self) -> List[dict]:
@@ -65,7 +65,7 @@ class Trace:
         return [r for r in self.records if r["parent"] == span_id]
 
 
-def _check_number(value, where: str) -> None:
+def _check_number(value: object, where: str) -> None:
     ok = (
         isinstance(value, (int, float))
         and not isinstance(value, bool)

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 #: The tracer instrumented code reports to; None means "tracing off".
 _ACTIVE: Optional["Tracer"] = None
@@ -57,7 +57,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         return None
 
 
@@ -69,7 +69,7 @@ class _SpanHandle:
 
     __slots__ = ("_tracer", "_name", "_record")
 
-    def __init__(self, tracer: "Tracer", name: str):
+    def __init__(self, tracer: "Tracer", name: str) -> None:
         self._tracer = tracer
         self._name = name
         self._record: Optional[dict] = None
@@ -78,7 +78,7 @@ class _SpanHandle:
         self._record = self._tracer._open(self._name)
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self._tracer._close(self._record)
         self._record = None
 
@@ -94,7 +94,7 @@ class Tracer:
 
     __slots__ = ("_origin", "_records", "_stack", "_next_id", "_finished")
 
-    def __init__(self, root_name: str = "trace"):
+    def __init__(self, root_name: str = "trace") -> None:
         self._origin = time.perf_counter()
         self._records: List[dict] = []
         self._stack: List[dict] = []
@@ -186,7 +186,7 @@ def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
         install_tracer(previous)
 
 
-def span(name: str):
+def span(name: str) -> object:
     """Open a span on the active tracer; no-op when tracing is off."""
     tracer = _ACTIVE
     if tracer is None:
@@ -201,7 +201,9 @@ def count(key: str, amount: int = 1) -> None:
         tracer.count(key, amount)
 
 
-def traced(name: str, explored_counter: str = "plans_explored"):
+def traced(
+    name: str, explored_counter: str = "plans_explored"
+) -> Callable[[Callable], Callable]:
     """Decorator: run the function under a span named ``name``.
 
     When the wrapped function returns an object with an integer
@@ -214,9 +216,9 @@ def traced(name: str, explored_counter: str = "plans_explored"):
     """
     import functools
 
-    def decorate(fn):
+    def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: object, **kwargs: object) -> object:
             tracer = _ACTIVE
             if tracer is None:
                 return fn(*args, **kwargs)

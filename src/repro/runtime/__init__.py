@@ -55,7 +55,7 @@ _METRICS_NAMES = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _RUNNER_NAMES:
         from repro.runtime import runner
 

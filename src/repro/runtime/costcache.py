@@ -102,7 +102,7 @@ class CacheStats:
         }
 
 
-def fingerprint(instance) -> str:
+def fingerprint(instance: object) -> str:
     """A stable content hash of a problem instance.
 
     Covers the graph, the sizes and the per-edge statistics through the
@@ -139,7 +139,7 @@ class CostCache:
         "hits", "misses", "evictions", "peak_size",
     )
 
-    def __init__(self, maxsize: Optional[int] = None):
+    def __init__(self, maxsize: Optional[int] = None) -> None:
         if maxsize is not None and maxsize < 0:
             raise ValueError("maxsize must be None (unbounded) or >= 0")
         self._maxsize = maxsize
@@ -164,7 +164,7 @@ class CostCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def token(self, instance) -> str:
+    def token(self, instance: object) -> str:
         """The instance's fingerprint, computed once per instance."""
         key = id(instance)
         entry = self._tokens.get(key)
@@ -174,8 +174,9 @@ class CostCache:
         return entry[1]
 
     def get_or_compute(
-        self, instance, kind: str, key, compute: Callable[[], object]
-    ):
+        self, instance: object, kind: str, key: object,
+        compute: Callable[[], object],
+    ) -> object:
         """Return the memoized value for ``(instance, kind, key)``.
 
         ``compute`` runs on a miss; its result is stored (unless in

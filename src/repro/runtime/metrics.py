@@ -41,16 +41,21 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from repro.utils.validation import ValidationError, require
+
+if TYPE_CHECKING:  # circular at runtime: runner imports metrics
+    from repro.runtime.runner import SweepResult
 
 SCHEMA = "repro.sweep/1"
 
 PathLike = Union[str, Path]
 
 
-def sweep_metrics(result, grid: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+def sweep_metrics(
+    result: "SweepResult", grid: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
     """Build the schema payload for one sweep result."""
     tasks = []
     for outcome in result.outcomes:

@@ -28,7 +28,16 @@ import os
 import signal
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.hashjoin.annealing import qoh_simulated_annealing
 from repro.hashjoin.optimizer import qoh_greedy, qoh_optimal
@@ -92,7 +101,7 @@ class SweepTask:
     kwargs: Tuple[Tuple[str, object], ...] = ()
     timeout: Optional[float] = None
 
-    def with_kwargs(self, **kwargs) -> "SweepTask":
+    def with_kwargs(self, **kwargs: object) -> "SweepTask":
         return replace(self, kwargs=tuple(sorted(kwargs.items())))
 
     @property
@@ -137,7 +146,7 @@ class SweepResult:
     cache_enabled: bool
     wall_time: float
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TaskOutcome]:
         return iter(self.outcomes)
 
     def __len__(self) -> int:
@@ -206,11 +215,15 @@ class SweepTimeout(Exception):
     """Raised inside a task when its wall-clock budget expires."""
 
 
-def _raise_timeout(signum, frame):  # pragma: no cover - signal plumbing
+def _raise_timeout(
+    signum: int, frame: object
+) -> None:  # pragma: no cover - signal plumbing
     raise SweepTimeout()
 
 
-def _call_with_timeout(run: Callable[[], object], timeout: Optional[float]):
+def _call_with_timeout(
+    run: Callable[[], object], timeout: Optional[float]
+) -> object:
     """Run ``run()`` under a real-time alarm when the platform has one."""
     if not timeout or timeout <= 0 or not hasattr(signal, "setitimer"):
         return run()
@@ -325,7 +338,7 @@ def _worker_run(
 
 
 def _make_pool(workers: int, cache_enabled: bool,
-               cache_maxsize: Optional[int]):
+               cache_maxsize: Optional[int]) -> object:
     """Create the worker pool (split out so tests can force failure)."""
     import multiprocessing
 

@@ -30,7 +30,7 @@ class Clause:
 
     literals: Tuple[int, ...]
 
-    def __init__(self, literals: Iterable[int]):
+    def __init__(self, literals: Iterable[int]) -> None:
         unique = tuple(sorted(set(literals), key=lambda lit: (abs(lit), lit < 0)))
         for lit in unique:
             require(lit != 0, "literal 0 is not allowed (DIMACS terminator)")
@@ -69,7 +69,9 @@ class CNFFormula:
 
     __slots__ = ("_num_vars", "_clauses")
 
-    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int] | Clause]):
+    def __init__(
+        self, num_vars: int, clauses: Iterable[Sequence[int] | Clause]
+    ) -> None:
         require(num_vars >= 0, "num_vars must be non-negative")
         normalized = []
         for clause in clauses:

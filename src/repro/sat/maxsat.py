@@ -9,8 +9,7 @@ formulas too large for exact certification.
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.sat.cnf import Assignment, CNFFormula
 from repro.utils.rng import RngLike, make_rng

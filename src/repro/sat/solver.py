@@ -25,7 +25,9 @@ class DPLLSolver:
             assert formula.is_satisfied_by(result)
     """
 
-    def __init__(self, formula: CNFFormula, max_decisions: Optional[int] = None):
+    def __init__(
+        self, formula: CNFFormula, max_decisions: Optional[int] = None
+    ) -> None:
         self._formula = formula
         self._max_decisions = max_decisions
         self.decisions = 0

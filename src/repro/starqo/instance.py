@@ -78,7 +78,7 @@ class SQOCPInstance:
         satellite_access: Sequence[int],
         center_access: Sequence[int],
         threshold: Optional[int] = None,
-    ):
+    ) -> None:
         m = num_satellites
         require(m >= 1, "need at least one satellite relation")
         require(sort_passes >= 2, "k_s models a 2-pass sort; must be >= 2")

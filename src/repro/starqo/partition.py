@@ -20,7 +20,7 @@ class PartitionInstance:
 
     values: Tuple[int, ...]
 
-    def __init__(self, values: Sequence[int]):
+    def __init__(self, values: Sequence[int]) -> None:
         normalized = tuple(int(v) for v in values)
         for value in normalized:
             require(value >= 0, "PARTITION values must be non-negative")

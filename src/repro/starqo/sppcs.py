@@ -25,7 +25,7 @@ class SPPCSInstance:
     pairs: Tuple[Tuple[int, int], ...]
     bound: int
 
-    def __init__(self, pairs: Sequence[Sequence[int]], bound: int):
+    def __init__(self, pairs: Sequence[Sequence[int]], bound: int) -> None:
         normalized = tuple((int(p), int(c)) for p, c in pairs)
         for p, c in normalized:
             require(p >= 0 and c >= 0, "SPPCS values must be non-negative")

@@ -73,7 +73,7 @@ class LogNumber:
 
     __slots__ = ("_log2",)
 
-    def __init__(self, value: Numeric = 0):
+    def __init__(self, value: Numeric = 0) -> None:
         if isinstance(value, LogNumber):
             self._log2 = value._log2
         else:

@@ -11,6 +11,10 @@ from __future__ import annotations
 import random
 from typing import Optional, Union
 
+#: Re-exported so other modules can annotate RNG parameters without
+#: importing :mod:`random` themselves (lint rule RPR002).
+Random = random.Random
+
 RngLike = Union[int, random.Random, None]
 
 

@@ -15,11 +15,13 @@ from typing import Dict, Tuple
 
 from repro.graphs.graph import Graph
 from repro.joinopt.instance import QONInstance
-from repro.utils.rng import RngLike, make_rng
+from repro.utils.rng import Random, RngLike, make_rng
 from repro.utils.validation import require
 
 
-def _random_sizes(rng, n: int, size_min: int, size_max: int) -> list[int]:
+def _random_sizes(
+    rng: Random, n: int, size_min: int, size_max: int
+) -> list[int]:
     low = math.log(size_min)
     high = math.log(size_max)
     return [
@@ -28,7 +30,7 @@ def _random_sizes(rng, n: int, size_min: int, size_max: int) -> list[int]:
 
 
 def _random_selectivities(
-    rng, graph: Graph, domain_min: int, domain_max: int
+    rng: Random, graph: Graph, domain_min: int, domain_max: int
 ) -> Dict[Tuple[int, int], Fraction]:
     low = math.log(domain_min)
     high = math.log(domain_max)

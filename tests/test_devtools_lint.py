@@ -1,0 +1,459 @@
+"""Tests for the project invariant linter (``repro.devtools``).
+
+Covers, per ISSUE requirements:
+
+* one failing fixture per RPR rule (miniature ``repro`` trees under a
+  tmpdir, exercising the path-based classification);
+* the clean-tree assertion: ``repro lint`` over the real ``src``,
+  ``benchmarks`` and ``examples`` trees reports zero violations;
+* ``# repro: noqa`` suppression semantics;
+* the ``repro.lint/1`` JSON reporter schema;
+* the ``repro lint`` CLI subcommand (exit codes, --select, --format,
+  --list-rules).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools import (
+    JSON_SCHEMA_VERSION,
+    RULES,
+    lint_paths,
+    render_json,
+    render_text,
+    rule_codes,
+)
+from repro.devtools.diagnostics import PARSE_ERROR_CODE
+from repro.devtools.engine import collect_files
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def make_tree(root: Path, files: dict) -> Path:
+    """Materialize ``{relative path: source}`` under ``root``."""
+    for relative, content in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    return root
+
+
+def codes_of(report) -> list:
+    return [diagnostic.code for diagnostic in report.diagnostics]
+
+
+# ---------------------------------------------------------------------
+# Per-rule failing fixtures
+# ---------------------------------------------------------------------
+
+
+class TestRuleFixtures:
+    def test_rpr001_flags_floats_in_cost_model(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/joinopt/cost.py": """\
+                import math
+                SCALE = 0.5
+
+                def total_cost(x):
+                    return float(x) * math.sqrt(2)
+            """,
+        })
+        report = lint_paths([tree])
+        assert codes_of(report) == ["RPR001", "RPR001", "RPR001"]
+        messages = " ".join(d.message for d in report.diagnostics)
+        assert "float literal" in messages
+        assert "float(...)" in messages
+        assert "math import" in messages
+
+    def test_rpr001_ignores_floats_elsewhere(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/joinopt/explain.py": "SHARE = 0.5\n",
+        })
+        assert lint_paths([tree]).ok
+
+    def test_rpr002_flags_direct_random(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py": """\
+                import random
+                from numpy.random import default_rng
+            """,
+        })
+        report = lint_paths([tree])
+        assert codes_of(report) == ["RPR002", "RPR002"]
+
+    def test_rpr002_allows_rng_home(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/utils/rng.py": "import random\n",
+        })
+        assert lint_paths([tree]).ok
+
+    def test_rpr003_flags_deprecated_alias_import(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/engine/data.py": """\
+                from repro.joinopt.optimizers import OptimizerResult
+
+                def build(plan: OptimizerResult):
+                    return plan
+            """,
+            "src/repro/hashjoin/search.py": """\
+                import repro.hashjoin.optimizer as opt
+
+                def best():
+                    return opt.QOHPlan
+            """,
+        })
+        report = lint_paths([tree])
+        assert codes_of(report).count("RPR003") == len(report.diagnostics)
+        # import site + annotation use + attribute access
+        assert len(report.diagnostics) == 3
+
+    def test_rpr003_allows_the_alias_home(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/core/results.py": """\
+                class PlanResult:
+                    pass
+
+                class OptimizerResult(PlanResult):
+                    pass
+
+                class QOHPlan(PlanResult):
+                    pass
+            """,
+        })
+        assert lint_paths([tree]).ok
+
+    def test_rpr004_traced_but_unregistered(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/runtime/runner.py": """\
+                OPTIMIZERS = {"dp": dp_optimal}
+            """,
+            "src/repro/joinopt/optimizers/exact.py": """\
+                @traced("optimize.secret")
+                def secret_optimizer(instance):
+                    return None
+            """,
+        })
+        report = lint_paths([tree], select=["RPR004"])
+        assert codes_of(report) == ["RPR004"]
+        assert "not registered" in report.diagnostics[0].message
+
+    def test_rpr004_registered_but_untraced(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/runtime/runner.py": """\
+                OPTIMIZERS = {"dp": dp_optimal}
+            """,
+            "src/repro/joinopt/optimizers/exact.py": """\
+                def dp_optimal(instance):
+                    return None
+            """,
+        })
+        report = lint_paths([tree], select=["RPR004"])
+        assert codes_of(report) == ["RPR004"]
+        assert "lacks" in report.diagnostics[0].message
+
+    def test_rpr004_clean_when_traced_and_registered(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/runtime/runner.py": """\
+                OPTIMIZERS = {"dp": dp_optimal}
+            """,
+            "src/repro/joinopt/optimizers/exact.py": """\
+                @traced("optimize.dp")
+                def dp_optimal(instance):
+                    return None
+            """,
+        })
+        assert lint_paths([tree], select=["RPR004"]).ok
+
+    def test_rpr005_bare_and_swallowed_excepts(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/runtime/worker.py": """\
+                def run(task):
+                    try:
+                        task()
+                    except:
+                        raise
+                    try:
+                        task()
+                    except Exception:
+                        pass
+            """,
+        })
+        report = lint_paths([tree], select=["RPR005"])
+        assert codes_of(report) == ["RPR005", "RPR005"]
+
+    def test_rpr005_allows_handled_broad_except(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/runtime/worker.py": """\
+                def run(task):
+                    try:
+                        task()
+                    except Exception as exc:
+                        return str(exc)
+            """,
+        })
+        assert lint_paths([tree], select=["RPR005"]).ok
+
+    def test_rpr006_mutable_defaults(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/engine/data.py": """\
+                def build(rows=[], lookup={}, tags=set(), *, extra=list()):
+                    return rows, lookup, tags, extra
+            """,
+        })
+        report = lint_paths([tree], select=["RPR006"])
+        assert codes_of(report) == ["RPR006"] * 4
+
+    def test_rpr007_cli_must_route_through_facade(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/cli.py": """\
+                from repro import api, io
+                from repro.joinopt.instance import QONInstance
+                from repro import joinopt
+                import repro.runtime.runner
+            """,
+        })
+        report = lint_paths([tree], select=["RPR007"])
+        assert codes_of(report) == ["RPR007"] * 3
+
+    def test_rpr007_ignores_non_cli_modules(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/engine/data.py": """\
+                from repro.joinopt.instance import QONInstance
+            """,
+        })
+        assert lint_paths([tree], select=["RPR007"]).ok
+
+    def test_rpr008_benchmark_global_mutation(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "benchmarks/test_bench_demo.py": """\
+                import os
+                from repro.runtime import cache
+                from repro.runtime.cache import install_cache
+
+                COUNTER = 0
+
+                def test_bench():
+                    global COUNTER
+                    cache.default_size = 10
+                    os.environ["REPRO_MODE"] = "bench"
+                    install_cache()
+            """,
+        })
+        report = lint_paths([tree], select=["RPR008"])
+        assert codes_of(report) == ["RPR008"] * 4
+
+    def test_rpr008_only_applies_to_benchmarks(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/runtime/cache.py": """\
+                import os
+
+                def configure():
+                    os.environ["REPRO_MODE"] = "cache"
+            """,
+        })
+        assert lint_paths([tree], select=["RPR008"]).ok
+
+    def test_rpr000_parse_error_is_a_finding(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/broken.py": "def oops(:\n",
+        })
+        report = lint_paths([tree])
+        assert codes_of(report) == [PARSE_ERROR_CODE]
+        assert not report.ok
+
+    def test_every_rule_has_a_registry_entry(self):
+        assert rule_codes() == [
+            "RPR001", "RPR002", "RPR003", "RPR004",
+            "RPR005", "RPR006", "RPR007", "RPR008",
+        ]
+        for code, rule in RULES.items():
+            assert rule.code == code
+            assert rule.name
+            assert rule.description
+
+
+# ---------------------------------------------------------------------
+# noqa suppression
+# ---------------------------------------------------------------------
+
+
+class TestNoqa:
+    def test_repro_noqa_with_code_suppresses(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py":
+                "import random  # repro: noqa[RPR002]\n",
+        })
+        assert lint_paths([tree]).ok
+
+    def test_repro_noqa_bare_suppresses_all(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py": "import random  # repro: noqa\n",
+        })
+        assert lint_paths([tree]).ok
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py":
+                "import random  # repro: noqa[RPR001]\n",
+        })
+        report = lint_paths([tree])
+        assert codes_of(report) == ["RPR002"]
+
+    def test_plain_flake8_noqa_is_not_honored(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py": "import random  # noqa\n",
+        })
+        report = lint_paths([tree])
+        assert codes_of(report) == ["RPR002"]
+
+
+# ---------------------------------------------------------------------
+# Engine behavior
+# ---------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "definitely-not-here"])
+
+    def test_unknown_select_raises(self, tmp_path):
+        make_tree(tmp_path, {"src/repro/a.py": "X = 1\n"})
+        with pytest.raises(ValueError):
+            lint_paths([tmp_path], select=["RPR999"])
+
+    def test_select_is_case_insensitive(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py": "import random\n",
+        })
+        report = lint_paths([tree], select=["rpr002"])
+        assert codes_of(report) == ["RPR002"]
+
+    def test_collect_skips_caches_and_hidden_dirs(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/a.py": "X = 1\n",
+            "src/repro/__pycache__/a.py": "X = 1\n",
+            "src/.hidden/b.py": "X = 1\n",
+            "src/repro.egg-info/c.py": "X = 1\n",
+        })
+        files = collect_files([tmp_path])
+        assert [path.name for path in files] == ["a.py"]
+
+    def test_counts_aggregates_per_code(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py": "import random\n",
+            "src/repro/engine/data.py": "def f(x=[]):\n    return x\n",
+        })
+        report = lint_paths([tree])
+        assert report.counts() == {"RPR002": 1, "RPR006": 1}
+
+
+# ---------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------
+
+
+class TestReporters:
+    def test_json_schema(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py": "import random\n",
+        })
+        report = lint_paths([tree])
+        payload = json.loads(render_json(report))
+        assert payload["version"] == JSON_SCHEMA_VERSION == "repro.lint/1"
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"RPR002": 1}
+        (entry,) = payload["diagnostics"]
+        assert set(entry) == {
+            "path", "line", "col", "code", "rule", "message",
+        }
+        assert entry["code"] == "RPR002"
+        assert entry["line"] == 1
+
+    def test_text_report_lists_findings_and_summary(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py": "import random\n",
+        })
+        text = render_text(lint_paths([tree]))
+        assert "RPR002" in text
+        assert "workloads.py:1:" in text
+        assert "1 violation" in text
+
+    def test_text_report_clean(self, tmp_path):
+        tree = make_tree(tmp_path, {"src/repro/a.py": "X = 1\n"})
+        text = render_text(lint_paths([tree]))
+        assert "no invariant violations" in text
+
+
+# ---------------------------------------------------------------------
+# The real tree is clean
+# ---------------------------------------------------------------------
+
+
+class TestCleanTree:
+    def test_repo_sources_pass_their_own_linter(self):
+        report = lint_paths([
+            REPO_ROOT / "src",
+            REPO_ROOT / "benchmarks",
+            REPO_ROOT / "examples",
+        ])
+        assert report.diagnostics == ()
+        assert report.files_checked > 100
+
+    def test_lint_cli_on_src_exits_zero(self, capsys):
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0
+        out = capsys.readouterr().out
+        assert "no invariant violations" in out
+
+
+# ---------------------------------------------------------------------
+# CLI subcommand
+# ---------------------------------------------------------------------
+
+
+class TestLintCli:
+    def test_findings_exit_one(self, tmp_path, capsys):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py": "import random\n",
+        })
+        assert main(["lint", str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR002" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py": "import random\n",
+        })
+        assert main(["lint", str(tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "repro.lint/1"
+        assert payload["ok"] is False
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py": "import random\n",
+        })
+        assert main(["lint", str(tree), "--select", "RPR006"]) == 0
+        assert "no invariant violations" in capsys.readouterr().out
+
+    def test_unknown_select_exits_two(self, tmp_path, capsys):
+        tree = make_tree(tmp_path, {"src/repro/a.py": "X = 1\n"})
+        assert main(["lint", str(tree), "--select", "RPR999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in rule_codes():
+            assert code in out
