@@ -387,6 +387,49 @@ def execute_plan(
     )
 
 
+def run_bench(
+    smoke: bool = False, seed: int = 0, out: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Run the pinned perf microbenchmark suite (``repro.bench/1``).
+
+    Measures the compiled/incremental evaluation layer against the
+    reference cost path on the Theorem-9/15 gap families; see
+    :mod:`repro.perf.bench`.  With ``out`` the validated payload is also
+    written as JSON.
+    """
+    from repro.perf.bench import run_bench as _run_bench
+
+    return _run_bench(smoke=smoke, seed=seed, out=out)
+
+
+def bench_summary_lines(payload: Dict[str, Any]) -> List[str]:
+    """Per-case summary lines for a ``repro.bench/1`` payload."""
+    from repro.perf.bench import bench_summary_lines as _summary
+
+    return _summary(payload)
+
+
+def validate_bench(payload: Dict[str, Any]) -> None:
+    """Schema-check a ``repro.bench/1`` payload (raises on mismatch)."""
+    from repro.perf.bench import validate_bench as _validate
+
+    _validate(payload)
+
+
+def write_bench(payload: Dict[str, Any], path: Any) -> Any:
+    """Validate and write a bench payload as JSON; returns the path."""
+    from repro.perf.bench import write_bench as _write
+
+    return _write(payload, path)
+
+
+def load_bench(path: Any) -> Dict[str, Any]:
+    """Read and validate a previously written bench payload."""
+    from repro.perf.bench import load_bench as _load
+
+    return _load(path)
+
+
 def scorecard() -> Any:
     """Run every theorem's fast verification checks.
 
@@ -404,6 +447,7 @@ __all__ = [
     "PlanResult",
     "SweepResult",
     "SweepTask",
+    "bench_summary_lines",
     "default_workers",
     "execute_plan",
     "explain_plan",
@@ -412,15 +456,19 @@ __all__ = [
     "gap_report_numbers",
     "generate",
     "grid_tasks",
+    "load_bench",
     "load_metrics",
     "optimize",
     "optimizer_names",
     "reduce",
     "reduction_names",
+    "run_bench",
     "scorecard",
     "substrate_of",
     "sweep",
     "sweep_metrics",
+    "validate_bench",
     "validate_metrics",
+    "write_bench",
     "write_metrics",
 ]

@@ -551,3 +551,85 @@ def _check_benchmark_globals(
                     f"benchmark calls process-wide {name}(); use the "
                     "scoped use_cache/use_tracer context managers"
                 )
+
+
+# ---------------------------------------------------------------------
+# RPR009 — perf kernels stay exact and cache-routed
+# ---------------------------------------------------------------------
+
+#: The compiled/incremental evaluation layer.  Its contract is
+#: bit-identity with the reference cost path, so the same exact-
+#: arithmetic discipline as the cost models applies (floats would make
+#: "identical" meaningless)...
+PERF_EXACT_MODULES = ("perf.kernels", "perf.incremental", "perf.qoh")
+
+#: ...and the evaluator modules must consult the active CostCache so
+#: sweeps report exact cost_evaluations/cache_hits whichever path
+#: computed an entry.
+PERF_CACHE_ROUTED_MODULES = ("perf.incremental", "perf.qoh")
+
+CACHE_HOME = "repro.runtime.costcache"
+
+
+@register(
+    "RPR009",
+    "perf-kernel-discipline",
+    "perf evaluation kernels must stay on exact arithmetic and route "
+    "evaluations through the active cost cache",
+)
+def _check_perf_kernels(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if file.module in PERF_EXACT_MODULES:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, float
+            ):
+                line, col = _loc(node)
+                yield line, col, (
+                    f"float literal {node.value!r} in a perf kernel "
+                    "module; kernels must reproduce the reference costs "
+                    "bit for bit (int/Fraction, or replaying the "
+                    "instance's own values)"
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                line, col = _loc(node)
+                yield line, col, (
+                    "float(...) conversion in a perf kernel module; "
+                    "kernel results must not round-trip through floats"
+                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "math":
+                        line, col = _loc(node)
+                        yield line, col, (
+                            "math import in a perf kernel module; "
+                            "float-domain helpers belong in "
+                            "repro.utils.lognum"
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "math":
+                line, col = _loc(node)
+                yield line, col, (
+                    "math import in a perf kernel module; float-domain "
+                    "helpers belong in repro.utils.lognum"
+                )
+    if file.module in PERF_CACHE_ROUTED_MODULES:
+        routed = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == CACHE_HOME
+            or (
+                isinstance(node, ast.Import)
+                and any(alias.name == CACHE_HOME for alias in node.names)
+            )
+            for node in ast.walk(file.tree)
+        )
+        if not routed:
+            yield 1, 0, (
+                f"evaluator module {file.module!r} never imports "
+                f"{CACHE_HOME}; kernel evaluations must flow through "
+                "the active CostCache so sweep metrics stay exact"
+            )

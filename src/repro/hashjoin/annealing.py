@@ -16,7 +16,8 @@ from typing import List, Optional, Tuple
 
 from repro.hashjoin.instance import QOHInstance
 from repro.core.results import PlanResult
-from repro.hashjoin.search import cached_best_decomposition
+from repro.perf.incremental import sample_moves
+from repro.perf.qoh import QOHEvaluator
 from repro.utils.lognum import log2_of
 from repro.utils.rng import Random, RngLike, make_rng
 from repro.utils.validation import require
@@ -43,17 +44,14 @@ def _initial_sequence(
 
 
 def _neighbor(sequence: Tuple[int, ...], rng: Random) -> Tuple[int, ...]:
-    n = len(sequence)
-    candidate = list(sequence)
-    if rng.random() < 0.5 and n >= 2:
-        i = rng.randrange(n - 1)
-        candidate[i], candidate[i + 1] = candidate[i + 1], candidate[i]
-    else:
-        i = rng.randrange(n)
-        j = rng.randrange(n)
-        moved = candidate.pop(i)
-        candidate.insert(j, moved)
-    return tuple(candidate)
+    """A single non-identity neighbor (swap or single-relation move).
+
+    Delegates to :func:`~repro.perf.incremental.sample_moves`, which
+    redraws degenerate move targets — a no-op "neighbor" used to count
+    toward ``explored`` without exploring anything.
+    """
+    (move,) = sample_moves(len(sequence), rng, 1)
+    return move.apply(sequence)
 
 
 @traced("optimize.qoh_annealing")
@@ -72,10 +70,11 @@ def qoh_simulated_annealing(
     n = instance.num_relations
     require(n >= 2, "need at least two relations")
     generator = make_rng(rng)
+    evaluator = QOHEvaluator(instance)
     current_sequence = _initial_sequence(instance, generator)
     if current_sequence is None:
         return None
-    current_plan = cached_best_decomposition(instance, current_sequence)
+    current_plan = evaluator.best_plan(current_sequence)
     explored = 1
     # The random start may be infeasible (oversized relation displaced);
     # retry a few times before giving up.
@@ -83,7 +82,7 @@ def qoh_simulated_annealing(
         if current_plan is not None:
             break
         current_sequence = _initial_sequence(instance, generator)
-        current_plan = cached_best_decomposition(instance, current_sequence)
+        current_plan = evaluator.best_plan(current_sequence)
         explored += 1
     if current_plan is None:
         return None
@@ -96,9 +95,7 @@ def qoh_simulated_annealing(
     while temperature > min_temperature:
         for _ in range(steps_per_temperature):
             candidate_sequence = _neighbor(current_plan.sequence, generator)
-            candidate_plan = cached_best_decomposition(
-                instance, candidate_sequence
-            )
+            candidate_plan = evaluator.best_plan(candidate_sequence)
             explored += 1
             if candidate_plan is None:
                 continue

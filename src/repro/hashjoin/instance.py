@@ -28,7 +28,12 @@ def _edge_key(i: int, j: int) -> EdgeKey:
 class QOHInstance:
     """A QO_H problem instance."""
 
-    __slots__ = ("_graph", "_sizes", "_selectivities", "_memory", "_model")
+    # __weakref__ so caches can memoize per live instance without
+    # pinning it (see repro.runtime.costcache / repro.perf.kernels).
+    __slots__ = (
+        "_graph", "_sizes", "_selectivities", "_memory", "_model",
+        "__weakref__",
+    )
 
     def __init__(
         self,

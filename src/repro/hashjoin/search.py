@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.hashjoin.instance import QOHInstance
 from repro.core.results import PlanResult
 from repro.hashjoin.optimizer import best_decomposition
+from repro.perf.qoh import QOHEvaluator
 from repro.runtime.costcache import active_cache
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require
@@ -94,21 +95,27 @@ def qoh_beam_search(
     with the smallest current intermediate size (the quantity that
     drives every downstream cost in this model), breaking ties
     randomly; finishes each survivor with the exact decomposition DP.
+
+    Prefix sizes come from the compiled kernel's set-keyed memo
+    (:class:`~repro.perf.qoh.QOHEvaluator`): siblings extending the
+    same parent share the parent's product, so each extension costs one
+    mask lookup or one multiplication chain instead of a prefix scan —
+    with identical ``Fraction`` values, so the beam (and the rng
+    tie-break consumption) is unchanged.
     """
     require(beam_width >= 1, "beam width must be positive")
     n = instance.num_relations
     generator = make_rng(rng)
+    evaluator = QOHEvaluator(instance)
+    feasible_mask = evaluator.kernel.feasible_mask
+    full_mask = evaluator.kernel.full_mask
 
     # Feasible heads: relations whose removal leaves all others hashable.
     def feasible_head(first: int) -> bool:
-        return all(
-            instance.hjmin(r) <= instance.memory
-            for r in range(n)
-            if r != first
-        )
+        return feasible_mask | (1 << first) == full_mask
 
-    beams: List[Tuple[Fraction, Tuple[int, ...]]] = [
-        (Fraction(instance.size(first)), (first,))
+    beams: List[Tuple[Fraction, Tuple[int, ...], int]] = [
+        (evaluator.mask_size(1 << first), (first,), 1 << first)
         for first in range(n)
         if feasible_head(first)
     ]
@@ -119,25 +126,20 @@ def qoh_beam_search(
     beams = beams[:beam_width]
 
     for _ in range(n - 1):
-        extended: List[Tuple[Fraction, Tuple[int, ...]]] = []
-        for size, prefix in beams:
-            used = set(prefix)
+        extended: List[Tuple[Fraction, Tuple[int, ...], int]] = []
+        for _size, prefix, mask in beams:
             for candidate in range(n):
-                if candidate in used:
+                if mask >> candidate & 1:
                     continue
-                new_size = size * instance.size(candidate)
-                for earlier in prefix:
-                    selectivity = instance.selectivity(earlier, candidate)
-                    if selectivity != 1:
-                        new_size = new_size * selectivity
-                extended.append((new_size, prefix + (candidate,)))
+                new_mask, new_size = evaluator.extend(mask, candidate)
+                extended.append((new_size, prefix + (candidate,), new_mask))
         explored += len(extended)
         extended.sort(key=lambda item: (item[0], generator.random()))
         beams = extended[:beam_width]
 
     best: Optional[PlanResult] = None
-    for _, sequence in beams:
-        plan = cached_best_decomposition(instance, sequence)
+    for _, sequence, _mask in beams:
+        plan = evaluator.best_plan(sequence)
         if plan is not None and (best is None or plan.cost < best.cost):
             best = plan
     if best is None:

@@ -108,8 +108,31 @@ def total_cost(instance: QONInstance, sequence: JoinSequence) -> object:
 
 
 def partial_costs(instance: QONInstance, sequence: JoinSequence) -> Tuple[List, List]:
-    """Both ``join_costs`` and ``intermediate_sizes`` in one pass."""
-    return join_costs(instance, sequence), intermediate_sizes(instance, sequence)
+    """Both ``join_costs`` and ``intermediate_sizes`` in one pass.
+
+    One validation and one prefix walk: ``H_i`` is taken before the
+    prefix size is extended to ``N_i``, in the same operation order as
+    the two single-purpose functions, so the lists are identical to
+    calling them separately.
+    """
+    check_sequence(instance, sequence)
+    costs: List = []
+    sizes: List = []
+    prefix_size = instance.size(sequence[0])
+    for position in range(1, len(sequence)):
+        incoming = sequence[position]
+        probe = min(
+            instance.access_cost(earlier, incoming)
+            for earlier in sequence[:position]
+        )
+        costs.append(prefix_size * probe)
+        prefix_size = prefix_size * instance.size(incoming)
+        for earlier in sequence[:position]:
+            selectivity = instance.selectivity(earlier, incoming)
+            if selectivity != 1:
+                prefix_size = prefix_size * selectivity
+        sizes.append(prefix_size)
+    return costs, sizes
 
 
 def back_edge_counts(instance: QONInstance, sequence: JoinSequence) -> List[int]:

@@ -56,7 +56,11 @@ class QONInstance:
             LogNumber sweeps, where exact comparisons are meaningless).
     """
 
-    __slots__ = ("_graph", "_sizes", "_selectivities", "_access_costs")
+    # __weakref__ so caches can memoize per live instance without
+    # pinning it (see repro.runtime.costcache / repro.perf.kernels).
+    __slots__ = (
+        "_graph", "_sizes", "_selectivities", "_access_costs", "__weakref__",
+    )
 
     def __init__(
         self,

@@ -10,13 +10,10 @@ from __future__ import annotations
 import math
 from typing import Optional, Tuple
 
-from repro.joinopt.cost import total_cost
 from repro.joinopt.instance import QONInstance
 from repro.core.results import PlanResult
-from repro.joinopt.optimizers.local_search import (
-    _neighbors,
-    _random_connected_sequence,
-)
+from repro.joinopt.optimizers.local_search import _random_connected_sequence
+from repro.perf.incremental import PrefixEvaluator, sample_moves
 from repro.utils.lognum import log2_of
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require
@@ -44,8 +41,9 @@ def simulated_annealing(
             cost=0, sequence=(0,), optimizer="simulated-annealing", explored=1
         )
     generator = make_rng(rng)
+    evaluator = PrefixEvaluator(instance)
     current = _random_connected_sequence(instance, generator)
-    current_cost = total_cost(instance, current)
+    current_cost = evaluator.rebase(current)
     current_log = log2_of(current_cost)
     best_cost, best_sequence = current_cost, current
     best_log = current_log
@@ -54,12 +52,15 @@ def simulated_annealing(
     temperature = initial_temperature
     while temperature > min_temperature:
         for _ in range(steps_per_temperature):
-            (candidate,) = _neighbors(current, generator, 1)
-            candidate_cost = total_cost(instance, candidate)
+            (move,) = sample_moves(n, generator, 1)
+            ((_, candidate, candidate_cost),) = evaluator.evaluate_neighbors(
+                current, [move]
+            )
             candidate_log = log2_of(candidate_cost)
             explored += 1
             delta = candidate_log - current_log
             if delta <= 0 or generator.random() < math.exp(-delta / temperature):
+                evaluator.advance(move)
                 current, current_cost, current_log = (
                     candidate,
                     candidate_cost,

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.joinopt.cost import total_cost
 from repro.joinopt.instance import QONInstance
 from repro.core.results import PlanResult
 from repro.joinopt.optimizers.local_search import _random_connected_sequence
+from repro.perf.incremental import PrefixEvaluator
 from repro.utils.lognum import log2_of
 from repro.utils.rng import Random, RngLike, make_rng
 from repro.utils.validation import require
@@ -68,9 +68,15 @@ def genetic_algorithm(
     if n == 1:
         return PlanResult(cost=0, sequence=(0,), optimizer="genetic", explored=1)
     generator = make_rng(rng)
+    evaluator = PrefixEvaluator(instance)
+
+    def evaluate(sequence: Tuple[int, ...]) -> object:
+        if evaluator.base is None:
+            return evaluator.rebase(sequence)
+        return evaluator.evaluate(sequence)
 
     def fitness(sequence: Tuple[int, ...]) -> float:
-        return log2_of(total_cost(instance, sequence))
+        return log2_of(evaluate(sequence))
 
     population = [
         _random_connected_sequence(instance, generator)
@@ -106,7 +112,7 @@ def genetic_algorithm(
             best_sequence = population[generation_best]
 
     return PlanResult(
-        cost=total_cost(instance, best_sequence),
+        cost=evaluate(best_sequence),
         sequence=best_sequence,
         optimizer="genetic",
         explored=explored,

@@ -5,15 +5,21 @@ adapted to sequence space: the neighborhood is adjacent swaps plus
 arbitrary single-relation moves.  These are the practical algorithms
 whose worst-case competitive ratio the paper proves cannot be
 polylogarithmic.
+
+Cost evaluation flows through :class:`~repro.perf.incremental.
+PrefixEvaluator`: neighbors of the current sequence are re-costed from
+checkpointed prefix state (O(n) per candidate instead of O(n^2)), with
+results bit-identical to :func:`~repro.joinopt.cost.total_cost` and the
+same cache/trace accounting.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.joinopt.cost import total_cost
 from repro.joinopt.instance import QONInstance
 from repro.core.results import PlanResult
+from repro.perf.incremental import PrefixEvaluator, sample_moves
 from repro.utils.rng import Random, RngLike, make_rng
 from repro.utils.validation import require
 from repro.observability.tracer import traced
@@ -47,21 +53,17 @@ def _random_connected_sequence(
 def _neighbors(
     sequence: Tuple[int, ...], rng: Random, count: int
 ) -> List[Tuple[int, ...]]:
-    """Sample ``count`` neighbors: adjacent swaps and single moves."""
-    n = len(sequence)
-    result: List[Tuple[int, ...]] = []
-    for _ in range(count):
-        candidate = list(sequence)
-        if rng.random() < 0.5 and n >= 2:
-            i = rng.randrange(n - 1)
-            candidate[i], candidate[i + 1] = candidate[i + 1], candidate[i]
-        else:
-            i = rng.randrange(n)
-            j = rng.randrange(n)
-            moved = candidate.pop(i)
-            candidate.insert(j, moved)
-        result.append(tuple(candidate))
-    return result
+    """Sample ``count`` distinct-from-``sequence`` neighbors.
+
+    Thin wrapper over :func:`~repro.perf.incremental.sample_moves`; kept
+    for callers that want materialized sequences rather than moves.  The
+    move branch redraws the target index when it equals the source, so
+    no-op "neighbors" (which used to inflate ``explored``) cannot occur.
+    """
+    base = tuple(sequence)
+    return [
+        move.apply(base) for move in sample_moves(len(base), rng, count)
+    ]
 
 
 @traced("optimize.iterative")
@@ -75,7 +77,10 @@ def iterative_improvement(
     """Iterative improvement from random starts.
 
     Each restart descends by sampled neighborhood moves until no
-    sampled neighbor improves for a full round.
+    sampled neighbor improves for a full round.  Neighbor costs come
+    from the incremental evaluator; ``explored`` counts evaluated
+    candidates exactly as the reference loop did (first-improvement
+    stops the round, so later samples are never costed or counted).
     """
     n = instance.num_relations
     require(n >= 1, "instance must have at least one relation")
@@ -84,20 +89,25 @@ def iterative_improvement(
             cost=0, sequence=(0,), optimizer="iterative-improvement", explored=1
         )
     generator = make_rng(rng)
+    evaluator = PrefixEvaluator(instance)
     best_cost = None
     best_sequence: Optional[Tuple[int, ...]] = None
     explored = 0
     for _ in range(max(1, restarts)):
         current = _random_connected_sequence(instance, generator)
-        current_cost = total_cost(instance, current)
+        current_cost = evaluator.rebase(current)
         explored += 1
         for _ in range(max_rounds):
             improved = False
-            for candidate in _neighbors(current, generator, neighborhood_samples):
-                candidate_cost = total_cost(instance, candidate)
+            moves = sample_moves(n, generator, neighborhood_samples)
+            for move, _key, candidate_cost in evaluator.evaluate_neighbors(
+                current, moves
+            ):
                 explored += 1
                 if candidate_cost < current_cost:
-                    current, current_cost = candidate, candidate_cost
+                    evaluator.advance(move)
+                    current = move.apply(current)
+                    current_cost = candidate_cost
                     improved = True
                     break
             if not improved:
@@ -128,6 +138,7 @@ def random_sampling(
             cost=0, sequence=(0,), optimizer="random-sampling", explored=1
         )
     generator = make_rng(rng)
+    evaluator = PrefixEvaluator(instance)
     best_cost = None
     best_sequence: Optional[Tuple[int, ...]] = None
     for _ in range(max(1, samples)):
@@ -137,7 +148,10 @@ def random_sampling(
             order = list(range(n))
             generator.shuffle(order)
             sequence = tuple(order)
-        cost = total_cost(instance, sequence)
+        if evaluator.base is None:
+            cost = evaluator.rebase(sequence)
+        else:
+            cost = evaluator.evaluate(sequence)
         if best_cost is None or cost < best_cost:
             best_cost, best_sequence = cost, sequence
     assert best_sequence is not None

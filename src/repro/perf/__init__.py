@@ -1,0 +1,36 @@
+"""High-performance cost-evaluation layer: compiled instance kernels,
+incremental (delta) evaluation for the QO_N/QO_H search loops, and the
+``repro bench`` microbenchmark suite.
+
+Kept import-light: the benchmark harness (``repro.perf.bench``) imports
+the optimizer stack and must be imported explicitly, because the
+optimizer stack in turn imports the evaluators exported here.
+"""
+
+from repro.perf.incremental import (
+    AdjacentSwap,
+    Move,
+    PrefixEvaluator,
+    Reinsert,
+    sample_moves,
+)
+from repro.perf.kernels import (
+    CompiledQOH,
+    CompiledQON,
+    compile_qoh,
+    compile_qon,
+)
+from repro.perf.qoh import QOHEvaluator
+
+__all__ = [
+    "AdjacentSwap",
+    "CompiledQOH",
+    "CompiledQON",
+    "Move",
+    "PrefixEvaluator",
+    "QOHEvaluator",
+    "Reinsert",
+    "compile_qoh",
+    "compile_qon",
+    "sample_moves",
+]

@@ -1,0 +1,614 @@
+"""Incremental (delta) evaluation of QO_N join-sequence costs.
+
+The metaheuristics explore *neighbors*: sequences that differ from a
+base by an adjacent swap or a single-relation move.  The reference path
+re-walks the whole sequence — ``O(n^2)`` exact multiplications — even
+though everything outside a small window is unchanged.
+:class:`PrefixEvaluator` checkpoints the base sequence's prefix state
+once and re-costs only what a move can touch:
+
+* ``N[p]`` — prefix size through position ``p``;
+* ``minw[p]`` — per-candidate running minimum access cost over the
+  prefix (folded in prefix order with a strict ``<``, so it selects
+  exactly the element the reference ``min()`` generator would);
+* ``H[p]`` / ``C[p]`` / ``S[p]`` — per-join costs, their left-fold
+  prefix sums (the reference summation order) and suffix sums;
+* ``f[p]`` — the position's *entry factor* (size times the non-unit
+  selectivities into its prefix), which lets the remove side of a move
+  divide a stored ``N`` instead of re-multiplying the whole prefix.
+
+Bit-identity contract: for exact kernels (``int``/``Fraction``) every
+delta recombines the *same multiset of factors* the reference path
+multiplies, so values — and ``int``-vs-``Fraction`` result types, which
+the evaluator tracks explicitly through the division shortcut — are
+identical to ``total_cost``.  For inexact kernels (``LogNumber``
+floats, where grouping changes bits) the evaluator never takes the
+algebraic shortcuts: it replays the suffix after the longest common
+prefix in the exact reference operation order, which is bit-identical
+by construction.  The Hypothesis differential suite in
+``tests/test_perf_differential.py`` enforces both claims.
+
+Every evaluation flows through the active
+:class:`~repro.runtime.costcache.CostCache` under the same
+``("qon-cost", sequence)`` key the reference ``total_cost`` uses — the
+two paths share cache entries and the ``cost_evaluations`` /
+``cost_evaluations_uncached`` trace counters stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.observability.tracer import count as trace_count
+from repro.perf.kernels import CompiledQON, compile_qon
+from repro.runtime.costcache import active_cache
+from repro.utils.rng import Random
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # annotation-only (the optimizers import this module)
+    from repro.joinopt.instance import QONInstance
+
+
+@dataclass(frozen=True)
+class AdjacentSwap:
+    """Swap positions ``index`` and ``index + 1``."""
+
+    index: int
+
+    def apply(self, sequence: Sequence[int]) -> Tuple[int, ...]:
+        i = self.index
+        out = list(sequence)
+        out[i], out[i + 1] = out[i + 1], out[i]
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class Reinsert:
+    """Remove the element at ``source`` and insert it at ``target``."""
+
+    source: int
+    target: int
+
+    def apply(self, sequence: Sequence[int]) -> Tuple[int, ...]:
+        out = list(sequence)
+        out.insert(self.target, out.pop(self.source))
+        return tuple(out)
+
+
+Move = Union[AdjacentSwap, Reinsert]
+
+
+def sample_moves(n: int, rng: Random, count: int) -> List[Move]:
+    """Sample ``count`` neighborhood moves: adjacent swaps and moves.
+
+    Mirrors the historical ``_neighbors`` draw pattern (one coin, then
+    index draws) but redraws the insertion target while it equals the
+    source — ``Reinsert(i, i)`` is the identity, and such no-ops used
+    to inflate the metaheuristics' ``explored`` counts.
+    """
+    require(n >= 2, "need at least two relations to sample moves")
+    moves: List[Move] = []
+    for _ in range(count):
+        # The historical one-coin draw; not cost arithmetic.
+        if rng.random() < 0.5:  # repro: noqa[RPR009]
+            moves.append(AdjacentSwap(rng.randrange(n - 1)))
+        else:
+            source = rng.randrange(n)
+            target = rng.randrange(n)
+            while target == source:
+                target = rng.randrange(n)
+            moves.append(Reinsert(source, target))
+    return moves
+
+
+def _exact_divide(
+    numerator: object, divisor: object, frac_remaining: int
+) -> object:
+    """``numerator / divisor`` with reference-faithful result types.
+
+    The quotient is exact by construction (the divisor's factor multiset
+    is a subset of the numerator's).  ``frac_remaining`` is the number
+    of ``Fraction`` factors left in the quotient's multiset: when it is
+    zero the reference path would have produced a plain ``int``, so a
+    unit-denominator ``Fraction`` is normalized back.
+    """
+    if isinstance(numerator, int) and isinstance(divisor, int):
+        return numerator // divisor
+    quotient = numerator / divisor
+    if frac_remaining == 0 and isinstance(quotient, Fraction):
+        return int(quotient)
+    return quotient
+
+
+class PrefixEvaluator:
+    """Checkpointed, cache-integrated QO_N sequence costing.
+
+    Usage: ``rebase(start)`` wherever the reference code evaluated a
+    *new current* sequence (counted through the cache exactly like
+    ``total_cost``); ``evaluate_neighbors(base, moves)`` /
+    ``evaluate_move(move)`` for candidates; ``advance(move)`` when a
+    candidate is accepted (pure state update — no cache traffic, just
+    like the reference, which never re-evaluates an accepted neighbor).
+    """
+
+    def __init__(self, instance: Union[QONInstance, CompiledQON]) -> None:
+        kernel = (
+            instance
+            if isinstance(instance, CompiledQON)
+            else compile_qon(instance)
+        )
+        require(kernel.n >= 2, "need at least two relations to evaluate")
+        self.kernel = kernel
+        self._base: Optional[Tuple[int, ...]] = None
+        n = kernel.n
+        self._N: List[object] = [None] * n
+        self._f: List[object] = [None] * n
+        self._ffrac: List[int] = [0] * n
+        self._fcount: List[int] = [0] * n
+        self._H: List[object] = [None] * n
+        self._C: List[object] = [None] * n
+        self._S: List[object] = [None] * (n + 1)
+        self._minw: List[List[object]] = [[] for _ in range(n)]
+        self._mask: List[int] = [0] * n
+        self._total: object = None
+
+    # -- public API ---------------------------------------------------
+    @property
+    def base(self) -> Optional[Tuple[int, ...]]:
+        return self._base
+
+    @property
+    def total(self) -> object:
+        """Cost of the current base sequence."""
+        require(self._base is not None, "no base sequence set; call rebase")
+        return self._total
+
+    def rebase(self, sequence: Sequence[int]) -> object:
+        """Adopt ``sequence`` as the base; returns its (cached) cost.
+
+        Performs one cache lookup, exactly like a ``total_cost`` call —
+        use it where the reference code evaluated a new current
+        sequence, so ``cost_evaluations`` metrics stay identical.
+        """
+        key = tuple(sequence)
+        self._ensure_base(key)
+        return self._cost_through_cache(key, lambda: self._total)
+
+    def evaluate(self, sequence: Sequence[int]) -> object:
+        """Cost of an arbitrary permutation (suffix replay after the LCP).
+
+        Bit-identical for every kernel, exact or not: on a cache miss
+        the suffix after the longest common prefix with the base is
+        recomputed in the reference operation order.
+        """
+        key = tuple(sequence)
+        self.kernel.check_permutation(key)
+        require(self._base is not None, "no base sequence set; call rebase")
+        return self._cost_through_cache(key, lambda: self._replay(key))
+
+    def evaluate_move(self, move: Move) -> Tuple[Tuple[int, ...], object]:
+        """``(neighbor, cost)`` for one move applied to the base."""
+        base = self._base
+        require(base is not None, "no base sequence set; call rebase")
+        n = self.kernel.n
+        if isinstance(move, AdjacentSwap):
+            index = move.index
+            require(0 <= index < n - 1, f"swap index {index} out of range")
+            key = move.apply(base)
+            if self.kernel.exact:
+                cost = self._cost_through_cache(
+                    key, lambda: self._swap_delta(index)
+                )
+            else:
+                cost = self._cost_through_cache(
+                    key, lambda: self._replay(key)
+                )
+            return key, cost
+        source, target = move.source, move.target
+        require(
+            0 <= source < n and 0 <= target < n,
+            f"move ({source}, {target}) out of range",
+        )
+        require(source != target, "no-op move: source equals target")
+        key = move.apply(base)
+        if self.kernel.exact:
+            cost = self._cost_through_cache(
+                key, lambda: self._reinsert_delta(source, target)
+            )
+        else:
+            cost = self._cost_through_cache(key, lambda: self._replay(key))
+        return key, cost
+
+    def evaluate_neighbors(
+        self, base: Sequence[int], moves: Iterable[Move]
+    ) -> Iterator[Tuple[Move, Tuple[int, ...], object]]:
+        """Lazily cost each move against ``base``.
+
+        Lazy on purpose: consumers break on the first improvement, and
+        only the candidates actually pulled are evaluated (and counted)
+        — the ``explored`` semantics of the reference loops.  Consume
+        before mutating the evaluator (``advance``/``rebase``).
+        """
+        self._ensure_base(tuple(base))
+        for move in moves:
+            key, cost = self.evaluate_move(move)
+            yield move, key, cost
+
+    def advance(self, move: Move) -> object:
+        """Apply an accepted move to the base; returns the new total.
+
+        Pure state update — no cache lookups or trace counts, matching
+        the reference loops, which never re-evaluate an accepted
+        candidate.  On exact kernels adjacent swaps update O(1)
+        positions (plus the prefix-sum refresh); moves — and *every*
+        inexact advance, whose float checkpoints must be re-folded in
+        the new sequence order to stay bit-identical — rebuild the
+        checkpoints.
+        """
+        base = self._base
+        require(base is not None, "no base sequence set; call rebase")
+        if isinstance(move, AdjacentSwap) and self.kernel.exact:
+            self._advance_swap(move.index)
+        else:
+            self._recompute(move.apply(base))
+        return self._total
+
+    # -- cache integration -------------------------------------------
+    def _cost_through_cache(self, key: Tuple[int, ...], compute: object) -> object:
+        # Mirrors joinopt.cost.total_cost: same cache kind and key, so
+        # the kernel and reference paths share entries; same counter
+        # discipline, so sweep metrics stay exact.
+        cache = active_cache()
+        if cache is None:
+            trace_count("cost_evaluations_uncached")
+            return compute()  # type: ignore[operator]
+        return cache.get_or_compute(
+            self.kernel.instance, "qon-cost", key, compute  # type: ignore[arg-type]
+        )
+
+    # -- state construction ------------------------------------------
+    def _ensure_base(self, sequence: Tuple[int, ...]) -> None:
+        if sequence != self._base:
+            self._recompute(sequence)
+
+    def _recompute(self, sequence: Tuple[int, ...]) -> None:
+        """Rebuild every checkpoint for ``sequence`` in reference order."""
+        kernel = self.kernel
+        kernel.check_permutation(sequence)
+        n = kernel.n
+        sizes, sel, access, adj = (
+            kernel.sizes, kernel.sel, kernel.access, kernel.adj,
+        )
+        exact = kernel.exact
+        N, f, H, C = self._N, self._f, self._H, self._C
+        ffrac, fcount, minw, mask = (
+            self._ffrac, self._fcount, self._minw, self._mask,
+        )
+        first = sequence[0]
+        head = sizes[first]
+        N[0] = head
+        f[0] = head
+        ffrac[0] = 1 if isinstance(head, Fraction) else 0
+        fcount[0] = ffrac[0]
+        H[0] = None
+        C[0] = None
+        minw[0] = list(access[first])
+        mask[0] = 1 << first
+        for p in range(1, n):
+            vertex = sequence[p]
+            row = minw[p - 1]
+            H[p] = N[p - 1] * row[vertex]
+            C[p] = H[p] if p == 1 else C[p - 1] + H[p]
+            adjacency = adj[vertex]
+            selv = sel[vertex]
+            if exact:
+                # Entry factor first (its multiset equals the reference
+                # per-position factors), then one multiply onto N —
+                # value- and type-identical for exact arithmetic.
+                factor = sizes[vertex]
+                frac = 1 if isinstance(factor, Fraction) else 0
+                if adjacency & mask[p - 1]:
+                    for q in range(p):
+                        u = sequence[q]
+                        if adjacency >> u & 1:
+                            s = selv[u]
+                            factor = factor * s
+                            if isinstance(s, Fraction):
+                                frac += 1
+                f[p] = factor
+                ffrac[p] = frac
+                fcount[p] = fcount[p - 1] + frac
+                N[p] = N[p - 1] * factor
+            else:
+                # Inexact (float-log) values: fold exactly as the
+                # reference does — size first, then selectivities in
+                # prefix order — so checkpoints match it bit for bit.
+                current = N[p - 1] * sizes[vertex]
+                if adjacency & mask[p - 1]:
+                    for q in range(p):
+                        u = sequence[q]
+                        if adjacency >> u & 1:
+                            current = current * selv[u]
+                N[p] = current
+            new_row = list(row)
+            arow = access[vertex]
+            for c in range(n):
+                candidate = arow[c]
+                if candidate < new_row[c]:
+                    new_row[c] = candidate
+            minw[p] = new_row
+            mask[p] = mask[p - 1] | (1 << vertex)
+        if exact:
+            S = self._S
+            S[n - 1] = H[n - 1]
+            for p in range(n - 2, 0, -1):
+                S[p] = H[p] + S[p + 1]
+        self._total = C[n - 1]
+        self._base = sequence
+
+    def _set_position(self, sequence: Tuple[int, ...], p: int) -> None:
+        """Recompute position ``p``'s state from the state at ``p - 1``."""
+        kernel = self.kernel
+        n = kernel.n
+        sizes, sel, access, adj = (
+            kernel.sizes, kernel.sel, kernel.access, kernel.adj,
+        )
+        vertex = sequence[p]
+        row = self._minw[p - 1]
+        self._H[p] = self._N[p - 1] * row[vertex]
+        adjacency = adj[vertex]
+        selv = sel[vertex]
+        if kernel.exact:
+            factor = sizes[vertex]
+            frac = 1 if isinstance(factor, Fraction) else 0
+            if adjacency & self._mask[p - 1]:
+                for q in range(p):
+                    u = sequence[q]
+                    if adjacency >> u & 1:
+                        s = selv[u]
+                        factor = factor * s
+                        if isinstance(s, Fraction):
+                            frac += 1
+            self._f[p] = factor
+            self._ffrac[p] = frac
+            self._fcount[p] = self._fcount[p - 1] + frac
+            self._N[p] = self._N[p - 1] * factor
+        else:
+            current = self._N[p - 1] * sizes[vertex]
+            if adjacency & self._mask[p - 1]:
+                for q in range(p):
+                    u = sequence[q]
+                    if adjacency >> u & 1:
+                        current = current * selv[u]
+            self._N[p] = current
+        new_row = list(row)
+        arow = access[vertex]
+        for c in range(n):
+            candidate = arow[c]
+            if candidate < new_row[c]:
+                new_row[c] = candidate
+        self._minw[p] = new_row
+        self._mask[p] = self._mask[p - 1] | (1 << vertex)
+
+    def _advance_swap(self, index: int) -> None:
+        """In-place state update for an accepted adjacent swap."""
+        kernel = self.kernel
+        n = kernel.n
+        assert self._base is not None
+        sequence = AdjacentSwap(index).apply(self._base)
+        if index == 0:
+            head = kernel.sizes[sequence[0]]
+            self._N[0] = head
+            self._f[0] = head
+            self._ffrac[0] = 1 if isinstance(head, Fraction) else 0
+            self._fcount[0] = self._ffrac[0]
+            self._minw[0] = list(kernel.access[sequence[0]])
+            self._mask[0] = 1 << sequence[0]
+            self._set_position(sequence, 1)
+        else:
+            self._set_position(sequence, index)
+            self._set_position(sequence, index + 1)
+        H, C = self._H, self._C
+        for p in range(max(1, index), n):
+            C[p] = H[p] if p == 1 else C[p - 1] + H[p]
+        if kernel.exact:
+            S = self._S
+            start = min(index + 1, n - 1)
+            for p in range(start, 0, -1):
+                S[p] = H[p] if p == n - 1 else H[p] + S[p + 1]
+        self._total = C[n - 1]
+        self._base = sequence
+
+    # -- replay (generic, bit-identical for any kernel) ---------------
+    def _replay(self, sequence: Tuple[int, ...]) -> object:
+        """Reference-order evaluation reusing the longest common prefix."""
+        kernel = self.kernel
+        n = kernel.n
+        base = self._base
+        assert base is not None
+        lcp = 0
+        while lcp < n and sequence[lcp] == base[lcp]:
+            lcp += 1
+        if lcp == n:
+            return self._total
+        sizes, sel, access, adj = (
+            kernel.sizes, kernel.sel, kernel.access, kernel.adj,
+        )
+        if lcp == 0:
+            first = sequence[0]
+            current = sizes[first]
+            row = list(access[first])
+            total: object = None
+            start = 1
+        else:
+            current = self._N[lcp - 1]
+            row = list(self._minw[lcp - 1])
+            total = self._C[lcp - 1] if lcp >= 2 else None
+            start = lcp
+        for p in range(start, n):
+            vertex = sequence[p]
+            joined = current * row[vertex]
+            total = joined if total is None else total + joined
+            current = current * sizes[vertex]
+            adjacency = adj[vertex]
+            if adjacency:
+                selv = sel[vertex]
+                for q in range(p):
+                    u = sequence[q]
+                    if adjacency >> u & 1:
+                        current = current * selv[u]
+            arow = access[vertex]
+            for c in range(n):
+                candidate = arow[c]
+                if candidate < row[c]:
+                    row[c] = candidate
+        return total
+
+    # -- exact deltas --------------------------------------------------
+    def _swap_delta(self, index: int) -> object:
+        """Cost of the adjacent-swap neighbor; O(deg) multiplications."""
+        kernel = self.kernel
+        n = kernel.n
+        base = self._base
+        assert base is not None
+        a, b = base[index], base[index + 1]
+        if index == 0:
+            total: object = kernel.sizes[b] * kernel.access[b][a]
+            after = 2
+        else:
+            n_prev = self._N[index - 1]
+            row = self._minw[index - 1]
+            joined_b = n_prev * row[b]
+            factor = kernel.sizes[b]
+            adjacency = kernel.adj[b]
+            selb = kernel.sel[b]
+            if adjacency & self._mask[index - 1]:
+                for q in range(index):
+                    u = base[q]
+                    if adjacency >> u & 1:
+                        factor = factor * selb[u]
+            n_mid = n_prev * factor
+            stored = row[a]
+            direct = kernel.access[b][a]
+            probe = direct if direct < stored else stored
+            joined_a = n_mid * probe
+            if index >= 2:
+                total = self._C[index - 1] + joined_b + joined_a
+            else:
+                total = joined_b + joined_a
+            after = index + 2
+        if after <= n - 1:
+            total = total + self._S[after]
+        return total
+
+    def _reinsert_delta(self, source: int, target: int) -> object:
+        """Cost of the single-relation-move neighbor; O(window) work."""
+        if target < source:
+            return self._reinsert_earlier(source, target)
+        return self._reinsert_later(source, target)
+
+    def _reinsert_earlier(self, source: int, target: int) -> object:
+        kernel = self.kernel
+        n = kernel.n
+        base = self._base
+        assert base is not None
+        moved = base[source]
+        sizes, access = kernel.sizes, kernel.access
+        selv = kernel.sel[moved]
+        adjacency = kernel.adj[moved]
+        total: object = self._C[target - 1] if target >= 2 else None
+        if target == 0:
+            gather = sizes[moved]
+            n_prev: object = gather
+        else:
+            factor = sizes[moved]
+            if adjacency & self._mask[target - 1]:
+                for q in range(target):
+                    u = base[q]
+                    if adjacency >> u & 1:
+                        factor = factor * selv[u]
+            joined_v = self._N[target - 1] * self._minw[target - 1][moved]
+            total = joined_v if total is None else total + joined_v
+            gather = factor
+            n_prev = self._N[target - 1] * gather
+        for p in range(target, source):
+            u = base[p]
+            if p == 0:
+                probe = access[moved][u]
+            else:
+                stored = self._minw[p - 1][u]
+                direct = access[moved][u]
+                probe = direct if direct < stored else stored
+            joined = n_prev * probe
+            total = joined if total is None else total + joined
+            if adjacency >> u & 1:
+                gather = gather * selv[u]
+            n_prev = self._N[p] * gather
+        if source + 1 <= n - 1:
+            total = total + self._S[source + 1]
+        return total
+
+    def _reinsert_later(self, source: int, target: int) -> object:
+        kernel = self.kernel
+        n = kernel.n
+        base = self._base
+        assert base is not None
+        moved = base[source]
+        sizes, access = kernel.sizes, kernel.access
+        selv = kernel.sel[moved]
+        adjacency = kernel.adj[moved]
+        total: object = self._C[source - 1] if source >= 2 else None
+        if source == 0:
+            row: Optional[List[object]] = None
+            n_prev: object = None
+        else:
+            row = list(self._minw[source - 1])
+            n_prev = self._N[source - 1]
+        gather = self._f[source]
+        gather_frac = self._ffrac[source]
+        for p in range(source + 1, target + 1):
+            u = base[p]
+            if row is None:
+                # u becomes the new first relation: no join yet.
+                if adjacency >> u & 1:
+                    s = selv[u]
+                    gather = gather * s
+                    if isinstance(s, Fraction):
+                        gather_frac += 1
+                n_prev = _exact_divide(
+                    self._N[p], gather, self._fcount[p] - gather_frac
+                )
+                row = list(access[u])
+                continue
+            joined = n_prev * row[u]
+            total = joined if total is None else total + joined
+            if adjacency >> u & 1:
+                s = selv[u]
+                gather = gather * s
+                if isinstance(s, Fraction):
+                    gather_frac += 1
+            n_prev = _exact_divide(
+                self._N[p], gather, self._fcount[p] - gather_frac
+            )
+            arow = access[u]
+            for c in range(kernel.n):
+                candidate = arow[c]
+                if candidate < row[c]:
+                    row[c] = candidate
+        assert row is not None
+        joined_v = n_prev * row[moved]
+        total = joined_v if total is None else total + joined_v
+        if target + 1 <= n - 1:
+            total = total + self._S[target + 1]
+        return total

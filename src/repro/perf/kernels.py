@@ -1,0 +1,232 @@
+"""Compiled per-instance kernels for the hot cost-evaluation loops.
+
+Every optimizer spends its time evaluating ``C(Z)`` (QO_N) or the
+decomposition DP (QO_H) over and over, and the reference implementations
+pay per *evaluation* for work that only depends on the *instance*:
+``instance.selectivity``/``access_cost`` dict lookups behind
+``graph.has_edge`` checks, and the ``O(n log n)`` permutation sort in
+``check_sequence``.  :func:`compile_qon` / :func:`compile_qoh` hoist all
+of it into dense tuples and per-vertex adjacency bitmasks, computed once
+per instance:
+
+* ``sizes[v]`` — relation size ``t_v``;
+* ``sel[u][v]`` — selectivity ``s_uv`` (``1`` off edges and on the
+  diagonal), exactly the values the instance accessors return;
+* ``access[u][v]`` — probe cost ``w_uv`` into ``R_v`` (``t_v`` off
+  edges; the diagonal is a placeholder and never consulted);
+* ``adj[v]`` — bitmask of the vertices ``u`` with ``s_uv != 1``: the
+  only selectivity factors the reference cost functions multiply in
+  (they skip unit selectivities), so prefix-size products iterate set
+  bits instead of scanning the whole prefix through ``has_edge``.
+
+The kernels are pure data: they never round, convert or reorder values,
+so any computation built from them can reproduce the reference results
+bit for bit.  ``exact`` records whether every statistic is ``int`` /
+``Fraction`` (or an exact counting proxy); the incremental evaluator
+only takes algebraic shortcuts when it is True.
+"""
+
+from __future__ import annotations
+
+import weakref
+from fractions import Fraction
+from typing import TYPE_CHECKING, Iterator, List, Sequence, Tuple
+
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # instance classes only for annotations (import cycle)
+    from repro.hashjoin.instance import QOHInstance
+    from repro.joinopt.instance import QONInstance
+
+_PERMUTATION_MESSAGE = "join sequence must be a permutation of range({n})"
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def is_exact_value(value: object) -> bool:
+    """True for ``int``/``Fraction`` and exact counting proxies."""
+    if isinstance(value, (int, Fraction)):
+        return True
+    return bool(getattr(value, "exact_proxy", False))
+
+
+class CompiledQON:
+    """Dense read-only view of a :class:`QONInstance` (see module docs)."""
+
+    __slots__ = (
+        "instance", "n", "full_mask", "sizes", "sel", "access", "adj",
+        "exact", "__weakref__",
+    )
+
+    def __init__(self, instance: QONInstance) -> None:
+        n = instance.num_relations
+        graph = instance.graph
+        self.instance = instance
+        self.n = n
+        self.full_mask = (1 << n) - 1
+        self.sizes: Tuple = tuple(instance.size(r) for r in range(n))
+        sel_rows: List[Tuple] = []
+        access_rows: List[Tuple] = []
+        adjacency: List[int] = []
+        exact = all(is_exact_value(t) for t in self.sizes)
+        for u in range(n):
+            srow: List = []
+            arow: List = []
+            mask = 0
+            for v in range(n):
+                if v == u:
+                    srow.append(1)
+                    arow.append(self.sizes[u])  # placeholder, never read
+                    continue
+                selectivity = instance.selectivity(u, v)
+                access = instance.access_cost(u, v)
+                srow.append(selectivity)
+                arow.append(access)
+                exact = exact and is_exact_value(access)
+                if graph.has_edge(u, v) and selectivity != 1:
+                    mask |= 1 << v
+                    exact = exact and is_exact_value(selectivity)
+            sel_rows.append(tuple(srow))
+            access_rows.append(tuple(arow))
+            adjacency.append(mask)
+        self.sel: Tuple[Tuple, ...] = tuple(sel_rows)
+        self.access: Tuple[Tuple, ...] = tuple(access_rows)
+        self.adj: Tuple[int, ...] = tuple(adjacency)
+        self.exact = exact
+
+    def check_permutation(self, sequence: Sequence[int]) -> None:
+        """The ``check_sequence`` contract in O(n) via the bitmask."""
+        n = self.n
+        mask = 0
+        for vertex in sequence:
+            if isinstance(vertex, int) and 0 <= vertex < n:
+                mask |= 1 << vertex
+        require(
+            len(sequence) == n and mask == self.full_mask,
+            _PERMUTATION_MESSAGE.format(n=n),
+        )
+
+
+class CompiledQOH:
+    """Dense read-only view of a :class:`QOHInstance`.
+
+    QO_H statistics are all ``int``/``Fraction`` by construction, so the
+    compiled form is always exact; ``hjmin`` (the per-relation hash
+    floor) and the feasibility bitmask are precomputed so sequence
+    feasibility is a mask test instead of n model calls.
+    """
+
+    __slots__ = (
+        "instance", "n", "full_mask", "sizes", "sel", "adj",
+        "hjmin", "memory", "feasible_mask", "__weakref__",
+    )
+
+    def __init__(self, instance: QOHInstance) -> None:
+        n = instance.num_relations
+        graph = instance.graph
+        self.instance = instance
+        self.n = n
+        self.full_mask = (1 << n) - 1
+        self.sizes: Tuple[int, ...] = tuple(
+            instance.size(r) for r in range(n)
+        )
+        self.memory = instance.memory
+        self.hjmin: Tuple[int, ...] = tuple(
+            instance.hjmin(r) for r in range(n)
+        )
+        feasible = 0
+        for r in range(n):
+            if self.hjmin[r] <= self.memory:
+                feasible |= 1 << r
+        self.feasible_mask = feasible
+        sel_rows: List[Tuple] = []
+        adjacency: List[int] = []
+        for u in range(n):
+            srow: List = []
+            mask = 0
+            for v in range(n):
+                if v == u:
+                    srow.append(Fraction(1))
+                    continue
+                selectivity = instance.selectivity(u, v)
+                srow.append(selectivity)
+                if graph.has_edge(u, v) and selectivity != 1:
+                    mask |= 1 << v
+            sel_rows.append(tuple(srow))
+            adjacency.append(mask)
+        self.sel: Tuple[Tuple, ...] = tuple(sel_rows)
+        self.adj: Tuple[int, ...] = tuple(adjacency)
+
+    def check_permutation(self, sequence: Sequence[int]) -> None:
+        """The permutation contract in O(n) via the bitmask."""
+        n = self.n
+        mask = 0
+        for vertex in sequence:
+            if isinstance(vertex, int) and 0 <= vertex < n:
+                mask |= 1 << vertex
+        require(
+            len(sequence) == n and mask == self.full_mask,
+            _PERMUTATION_MESSAGE.format(n=n),
+        )
+
+    def is_feasible(self, sequence: Sequence[int]) -> bool:
+        """True if every inner relation's hjmin floor fits in memory."""
+        feasible = self.feasible_mask
+        return all(feasible >> r & 1 for r in sequence[1:])
+
+    def extend_size(self, size: Fraction, mask: int, vertex: int) -> Fraction:
+        """``N(X v)`` from ``N(X)`` (``mask`` = bits of ``X``).
+
+        Multiplies the size and the non-unit selectivities into ``X``;
+        ``Fraction`` arithmetic is exact, so the result is identical to
+        the reference prefix-order product for any iteration order.
+        """
+        result = size * self.sizes[vertex]
+        sel = self.sel[vertex]
+        for u in iter_bits(self.adj[vertex] & mask):
+            result = result * sel[u]
+        return result
+
+
+# Compiled kernels are memoized per live instance so repeated optimizer
+# calls in a sweep share one compilation.  The memo holds the *kernel*
+# weakly, keyed by instance id: the kernel strongly references its
+# instance, so while any evaluator keeps the kernel alive the id cannot
+# be recycled, and when the last evaluator dies both the entry and the
+# instance become collectable — the memo never pins either side.  (A
+# WeakKeyDictionary would deadlock here: its value referencing its key
+# keeps the key alive forever.)
+_QON_CACHE: "weakref.WeakValueDictionary[int, CompiledQON]" = (
+    weakref.WeakValueDictionary()
+)
+_QOH_CACHE: "weakref.WeakValueDictionary[int, CompiledQOH]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def compile_qon(instance: "QONInstance") -> CompiledQON:
+    """The compiled kernel for ``instance`` (memoized per live object)."""
+    if isinstance(instance, CompiledQON):
+        return instance
+    kernel = _QON_CACHE.get(id(instance))
+    if kernel is None or kernel.instance is not instance:
+        kernel = CompiledQON(instance)
+        _QON_CACHE[id(instance)] = kernel
+    return kernel
+
+
+def compile_qoh(instance: "QOHInstance") -> CompiledQOH:
+    """The compiled kernel for ``instance`` (memoized per live object)."""
+    if isinstance(instance, CompiledQOH):
+        return instance
+    kernel = _QOH_CACHE.get(id(instance))
+    if kernel is None or kernel.instance is not instance:
+        kernel = CompiledQOH(instance)
+        _QOH_CACHE[id(instance)] = kernel
+    return kernel

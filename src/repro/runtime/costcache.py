@@ -41,6 +41,7 @@ and uncached runs are bit-identical — a property test enforces this.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -144,10 +145,12 @@ class CostCache:
             raise ValueError("maxsize must be None (unbounded) or >= 0")
         self._maxsize = maxsize
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
-        # id(instance) -> (instance, fingerprint).  The strong reference
-        # keeps the id stable for the cache's lifetime, so the hash is
-        # computed once per (cache, instance) pair.
-        self._tokens: Dict[int, Tuple[object, str]] = {}
+        # id(instance) -> (weakref, fingerprint).  The weak reference
+        # keeps the hash memo per live instance without pinning the
+        # instance itself (a long-lived sweep cache must not leak every
+        # instance it ever costed); the callback drops the slot when the
+        # instance dies, so a recycled id can never alias a stale hash.
+        self._tokens: Dict[int, Tuple["weakref.ref[object]", str]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -165,13 +168,27 @@ class CostCache:
         return len(self._entries)
 
     def token(self, instance: object) -> str:
-        """The instance's fingerprint, computed once per instance."""
+        """The instance's fingerprint, computed once per live instance.
+
+        Non-weakrefable instances are fingerprinted on every call —
+        memoizing them by id would either pin them forever or risk
+        id-reuse collisions.
+        """
         key = id(instance)
-        entry = self._tokens.get(key)
-        if entry is None:
-            entry = (instance, fingerprint(instance))
-            self._tokens[key] = entry
-        return entry[1]
+        tokens = self._tokens
+        entry = tokens.get(key)
+        if entry is not None and entry[0]() is instance:
+            return entry[1]
+        value = fingerprint(instance)
+        try:
+            ref = weakref.ref(
+                instance,
+                lambda _ref, _key=key, _tokens=tokens: _tokens.pop(_key, None),
+            )
+        except TypeError:
+            return value
+        tokens[key] = (ref, value)
+        return value
 
     def get_or_compute(
         self, instance: object, kind: str, key: object,

@@ -64,6 +64,7 @@ class SQOCPInstance:
         "_satellite_access",
         "_center_access",
         "_threshold",
+        "__weakref__",
     )
 
     def __init__(

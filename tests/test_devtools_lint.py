@@ -259,6 +259,54 @@ class TestRuleFixtures:
         })
         assert lint_paths([tree], select=["RPR008"]).ok
 
+    def test_rpr009_floats_in_perf_kernels(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/perf/kernels.py": """\
+                import math
+                EPSILON = 1e-9
+
+                def approx(value):
+                    return float(value) * math.sqrt(2)
+            """,
+        })
+        report = lint_paths([tree], select=["RPR009"])
+        assert codes_of(report) == ["RPR009"] * 3
+        messages = " ".join(d.message for d in report.diagnostics)
+        assert "float literal" in messages
+        assert "float(...)" in messages
+        assert "math import" in messages
+
+    def test_rpr009_evaluator_must_import_cost_cache(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/perf/incremental.py": """\
+                def evaluate(sequence):
+                    return sum(sequence)
+            """,
+        })
+        report = lint_paths([tree], select=["RPR009"])
+        assert codes_of(report) == ["RPR009"]
+        assert "CostCache" in report.diagnostics[0].message
+
+    def test_rpr009_clean_when_exact_and_routed(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/perf/incremental.py": """\
+                from fractions import Fraction
+
+                from repro.runtime.costcache import active_cache
+
+                def evaluate(sequence):
+                    return Fraction(sum(sequence))
+            """,
+        })
+        assert lint_paths([tree], select=["RPR009"]).ok
+
+    def test_rpr009_ignores_bench_and_instrument(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/perf/bench.py": "SCALE = 0.5\n",
+            "src/repro/perf/instrument.py": "RATE = 2.5\n",
+        })
+        assert lint_paths([tree], select=["RPR009"]).ok
+
     def test_rpr000_parse_error_is_a_finding(self, tmp_path):
         tree = make_tree(tmp_path, {
             "src/repro/broken.py": "def oops(:\n",
@@ -271,6 +319,7 @@ class TestRuleFixtures:
         assert rule_codes() == [
             "RPR001", "RPR002", "RPR003", "RPR004",
             "RPR005", "RPR006", "RPR007", "RPR008",
+            "RPR009",
         ]
         for code, rule in RULES.items():
             assert rule.code == code

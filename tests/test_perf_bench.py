@@ -1,0 +1,177 @@
+"""Tests for the ``repro bench`` microbenchmark harness.
+
+The suite runs the smoke grid once (module-scoped) and asserts the
+acceptance criteria on the resulting payload: schema validity, the
+cross-check that both evaluation paths agree on every case, and the
+deterministic >= 5x multiplication reduction on the EXP-T9 grid at
+``n >= 12``.  Schema rejection paths and the CLI wiring are covered
+against the same payload.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.perf.bench import (
+    MULT_REDUCTION_TARGET,
+    SCHEMA,
+    bench_summary_lines,
+    load_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    return run_bench(smoke=True, seed=0)
+
+
+class TestRunBench:
+    def test_schema_and_structure(self, smoke_payload):
+        validate_bench(smoke_payload)
+        assert smoke_payload["schema"] == SCHEMA == "repro.bench/1"
+        assert smoke_payload["smoke"] is True
+        families = [case["family"] for case in smoke_payload["cases"]]
+        assert "qon-t9" in families
+        assert "qoh-t15" in families
+
+    def test_both_paths_identical_on_every_case(self, smoke_payload):
+        assert smoke_payload["totals"]["identical"] is True
+        assert all(case["identical"] for case in smoke_payload["cases"])
+
+    def test_mult_reduction_target_met(self, smoke_payload):
+        """The headline acceptance number: >= 5x fewer multiplications."""
+        assert smoke_payload["totals"]["meets_mult_target"] is True
+        for case in smoke_payload["cases"]:
+            if case["family"] == "qon-t9" and case["n"] >= 12:
+                assert case["mult_reduction"] >= MULT_REDUCTION_TARGET
+                assert (
+                    case["kernel"]["mults_per_eval"]
+                    < case["reference"]["mults_per_eval"]
+                )
+
+    def test_qoh_fragments_are_shared(self, smoke_payload):
+        for case in smoke_payload["cases"]:
+            if case["family"] == "qoh-t15":
+                assert case["kernel"]["lp_solves"] < case["reference"]["lp_solves"]
+                assert case["kernel"]["fragments_reused"] > 0
+
+    def test_deterministic_measures_reproducible(self, smoke_payload):
+        """Op counts are machine-independent: a re-run matches exactly."""
+        again = run_bench(smoke=True, seed=0)
+        for first, second in zip(smoke_payload["cases"], again["cases"]):
+            if first["family"] == "qon-t9":
+                assert (
+                    first["reference"]["mults_per_eval"]
+                    == second["reference"]["mults_per_eval"]
+                )
+                assert (
+                    first["kernel"]["mults_per_eval"]
+                    == second["kernel"]["mults_per_eval"]
+                )
+                assert first["kernel"]["rebase_mults"] == second["kernel"]["rebase_mults"]
+            else:
+                assert first["reference"]["lp_solves"] == second["reference"]["lp_solves"]
+                assert first["kernel"]["lp_solves"] == second["kernel"]["lp_solves"]
+
+    def test_summary_lines(self, smoke_payload):
+        lines = bench_summary_lines(smoke_payload)
+        assert len(lines) == len(smoke_payload["cases"]) + 1
+        assert any("qon-t9" in line for line in lines)
+        assert any("qoh-t15" in line for line in lines)
+        assert "met" in lines[-1]
+
+
+class TestBenchIO:
+    def test_write_load_roundtrip(self, smoke_payload, tmp_path):
+        target = tmp_path / "nested" / "BENCH_test.json"
+        written = write_bench(smoke_payload, target)
+        assert written == target
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["schema"] == SCHEMA
+        assert load_bench(target) == smoke_payload
+
+    def test_run_bench_writes_when_out_given(self, tmp_path):
+        target = tmp_path / "BENCH_out.json"
+        payload = run_bench(smoke=True, seed=1, out=target)
+        assert load_bench(target) == payload
+
+
+class TestValidateBench:
+    def test_rejects_wrong_schema(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        bad["schema"] = "repro.bench/0"
+        with pytest.raises(ValidationError):
+            validate_bench(bad)
+
+    def test_rejects_missing_case_field(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        del bad["cases"][0]["mult_reduction"]
+        with pytest.raises(ValidationError):
+            validate_bench(bad)
+
+    def test_rejects_unknown_family(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        bad["cases"][0]["family"] = "qon-t10"
+        with pytest.raises(ValidationError):
+            validate_bench(bad)
+
+    def test_rejects_bool_where_number_expected(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        bad["totals"]["min_qon_mult_reduction"] = True
+        with pytest.raises(ValidationError):
+            validate_bench(bad)
+
+    def test_rejects_totals_case_count_mismatch(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        bad["totals"]["cases"] = len(bad["cases"]) + 1
+        with pytest.raises(ValidationError):
+            validate_bench(bad)
+
+    def test_rejects_empty_cases(self, smoke_payload):
+        bad = copy.deepcopy(smoke_payload)
+        bad["cases"] = []
+        with pytest.raises(ValidationError):
+            validate_bench(bad)
+
+
+class TestApiFacade:
+    def test_facade_exports(self):
+        for name in (
+            "run_bench", "validate_bench", "write_bench",
+            "load_bench", "bench_summary_lines",
+        ):
+            assert name in api.__all__
+            assert callable(getattr(api, name))
+
+    def test_facade_round_trip(self, smoke_payload, tmp_path):
+        target = tmp_path / "BENCH_api.json"
+        api.write_bench(smoke_payload, target)
+        assert api.load_bench(target) == smoke_payload
+        assert api.bench_summary_lines(smoke_payload)
+
+
+class TestBenchCli:
+    def test_smoke_run_exits_zero_and_writes(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_cli.json"
+        assert main(["bench", "--smoke", "--out", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "qon-t9" in out
+        assert str(target) in out
+        payload = load_bench(target)
+        assert payload["smoke"] is True
+        assert payload["totals"]["meets_mult_target"] is True
+
+    def test_seed_is_recorded(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_seeded.json"
+        assert main(
+            ["bench", "--smoke", "--seed", "7", "--out", str(target)]
+        ) == 0
+        assert load_bench(target)["seed"] == 7

@@ -1,0 +1,294 @@
+"""Differential suite: the perf kernels are bit-identical to the
+reference cost path.
+
+The incremental evaluators take algebraic shortcuts (factor-multiset
+deltas, set-keyed memos), so the one property that matters is that no
+shortcut is observable: over random instances, random move sequences
+and every cache mode, the values — and for exact arithmetic the
+``int``-vs-``Fraction`` result *types* — match
+:func:`~repro.joinopt.cost.total_cost` /
+:func:`~repro.hashjoin.optimizer.best_decomposition` exactly.
+
+Hypothesis drives instance and move generation; the repro RNG wrappers
+keep every draw reproducible from the reported seed values.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.graph import Graph
+from repro.hashjoin.instance import QOHInstance
+from repro.hashjoin.optimizer import best_decomposition
+from repro.joinopt.cost import (
+    intermediate_sizes,
+    join_costs,
+    partial_costs,
+    total_cost,
+)
+from repro.perf.incremental import PrefixEvaluator, sample_moves
+from repro.perf.qoh import QOHEvaluator
+from repro.runtime.costcache import CostCache, use_cache
+from repro.utils.rng import make_rng
+from repro.workloads.queries import random_query
+
+
+def _shuffled(n, rng):
+    order = list(range(n))
+    rng.shuffle(order)
+    return tuple(order)
+
+
+@st.composite
+def qon_cases(draw):
+    """``(instance, base, moves)`` — a random instance and move batch."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    instance = random_query(n, rng=seed)
+    rng = make_rng(seed + 1)
+    base = _shuffled(n, rng)
+    move_count = draw(st.integers(min_value=1, max_value=25))
+    return instance, base, sample_moves(n, rng, move_count)
+
+
+@st.composite
+def qoh_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    extra = (
+        draw(st.lists(st.sampled_from(all_pairs), unique=True))
+        if all_pairs
+        else []
+    )
+    edges = sorted(set(extra) | {(i, i + 1) for i in range(n - 1)})
+    graph = Graph(n, edges)
+    sizes = [
+        draw(st.integers(min_value=4, max_value=400)) for _ in range(n)
+    ]
+    selectivities = {
+        edge: Fraction(1, draw(st.integers(min_value=1, max_value=20)))
+        for edge in graph.edges
+    }
+    memory = draw(st.integers(min_value=8, max_value=500))
+    return QOHInstance(graph, sizes, selectivities, memory=memory)
+
+
+def _assert_identical(kernel_value, reference_value):
+    assert kernel_value == reference_value
+    assert type(kernel_value) is type(reference_value)
+    assert repr(kernel_value) == repr(reference_value)
+
+
+class TestQONExactIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(qon_cases())
+    def test_neighbor_costs_bit_identical(self, case):
+        """Every delta-evaluated neighbor equals a fresh total_cost."""
+        instance, base, moves = case
+        with use_cache(None):
+            evaluator = PrefixEvaluator(instance)
+            _assert_identical(
+                evaluator.rebase(base), total_cost(instance, base)
+            )
+            for move, key, cost in evaluator.evaluate_neighbors(base, moves):
+                assert key == move.apply(base)
+                _assert_identical(cost, total_cost(instance, key))
+
+    @settings(max_examples=40, deadline=None)
+    @given(qon_cases())
+    def test_advance_chain_bit_identical(self, case):
+        """Accepted-move state updates track the reference exactly."""
+        instance, base, moves = case
+        with use_cache(None):
+            evaluator = PrefixEvaluator(instance)
+            evaluator.rebase(base)
+            current = base
+            for move in moves:
+                current = move.apply(current)
+                evaluator.advance(move)
+                assert evaluator.base == current
+                _assert_identical(
+                    evaluator.total, total_cost(instance, current)
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(qon_cases(), st.integers(min_value=0, max_value=10_000))
+    def test_arbitrary_sequence_replay(self, case, seed):
+        """evaluate() (LCP replay) matches on far-away permutations."""
+        instance, base, _ = case
+        rng = make_rng(seed)
+        with use_cache(None):
+            evaluator = PrefixEvaluator(instance)
+            evaluator.rebase(base)
+            for _ in range(5):
+                sequence = _shuffled(instance.num_relations, rng)
+                _assert_identical(
+                    evaluator.evaluate(sequence),
+                    total_cost(instance, sequence),
+                )
+
+
+class TestQONLogDomainIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(qon_cases())
+    def test_lognumber_neighbors_bit_identical(self, case):
+        """Inexact kernels replay in reference order: float-exact match."""
+        exact_instance, base, moves = case
+        instance = exact_instance.to_log_domain()
+        with use_cache(None):
+            evaluator = PrefixEvaluator(instance)
+            assert not evaluator.kernel.exact
+            rebased = evaluator.rebase(base)
+            assert rebased.log2 == total_cost(instance, base).log2
+            for move, key, cost in evaluator.evaluate_neighbors(base, moves):
+                assert cost.log2 == total_cost(instance, key).log2
+
+    @settings(max_examples=25, deadline=None)
+    @given(qon_cases())
+    def test_lognumber_advance_chain(self, case):
+        exact_instance, base, moves = case
+        instance = exact_instance.to_log_domain()
+        with use_cache(None):
+            evaluator = PrefixEvaluator(instance)
+            evaluator.rebase(base)
+            current = base
+            for move in moves:
+                current = move.apply(current)
+                evaluator.advance(move)
+                assert evaluator.total.log2 == total_cost(
+                    instance, current
+                ).log2
+
+
+class TestCacheModes:
+    """Identity and exact counter parity in all three cache modes."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(qon_cases(), st.sampled_from(["none", "unbounded", "passthrough"]))
+    def test_identity_in_every_mode(self, case, mode):
+        instance, base, moves = case
+        reference = {}
+        with use_cache(None):
+            reference[base] = total_cost(instance, base)
+            for move in moves:
+                key = move.apply(base)
+                reference[key] = total_cost(instance, key)
+        cache = {
+            "none": None,
+            "unbounded": CostCache(),
+            "passthrough": CostCache(maxsize=0),
+        }[mode]
+        with use_cache(cache):
+            evaluator = PrefixEvaluator(instance)
+            _assert_identical(evaluator.rebase(base), reference[base])
+            for move, key, cost in evaluator.evaluate_neighbors(base, moves):
+                _assert_identical(cost, reference[key])
+
+    @settings(max_examples=30, deadline=None)
+    @given(qon_cases())
+    def test_kernel_and_reference_share_cache_entries(self, case):
+        """Same kind/key: whoever computes first, the other one hits."""
+        instance, base, moves = case
+        cache = CostCache()
+        with use_cache(cache):
+            seeded = total_cost(instance, base)
+            evaluator = PrefixEvaluator(instance)
+            assert cache.misses == 1
+            _assert_identical(evaluator.rebase(base), seeded)
+            assert cache.hits == 1  # rebase hit the reference's entry
+            for move, key, cost in evaluator.evaluate_neighbors(base, moves):
+                _assert_identical(cost, total_cost(instance, key))
+        # The reference re-evaluations were all served from kernel
+        # entries: one miss per distinct sequence, total.
+        distinct = {base} | {move.apply(base) for move in moves}
+        assert cache.misses == len(distinct)
+
+    @settings(max_examples=20, deadline=None)
+    @given(qon_cases())
+    def test_advance_produces_no_cache_traffic(self, case):
+        """Accepted moves are pure state updates, like the reference."""
+        instance, base, moves = case
+        cache = CostCache()
+        with use_cache(cache):
+            evaluator = PrefixEvaluator(instance)
+            evaluator.rebase(base)
+            stats_before = cache.stats()
+            for move in moves:
+                evaluator.advance(move)
+            stats_after = cache.stats()
+        assert stats_after.hits == stats_before.hits
+        assert stats_after.misses == stats_before.misses
+
+
+class TestPartialCosts:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_single_pass_matches_components(self, n, seed):
+        """partial_costs == (join_costs, intermediate_sizes), bit for bit."""
+        instance = random_query(n, rng=seed)
+        rng = make_rng(seed + 1)
+        for _ in range(4):
+            sequence = _shuffled(n, rng)
+            costs, sizes = partial_costs(instance, sequence)
+            expected_costs = join_costs(instance, sequence)
+            expected_sizes = intermediate_sizes(instance, sequence)
+            assert costs == expected_costs
+            assert sizes == expected_sizes
+            for a, b in zip(costs, expected_costs):
+                assert type(a) is type(b)
+            for a, b in zip(sizes, expected_sizes):
+                assert type(a) is type(b)
+            total = total_cost(instance, sequence)
+            assert sum(costs[1:], costs[0] * 0) + costs[0] == total or (
+                sum(costs) == total
+            )
+
+
+class TestQOHPlanIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(qoh_instances(), st.integers(min_value=0, max_value=10_000))
+    def test_best_plan_matches_reference_dp(self, instance, seed):
+        """Cost, breaks and ``explored`` all equal the reference DP."""
+        rng = make_rng(seed)
+        n = instance.num_relations
+        with use_cache(None):
+            evaluator = QOHEvaluator(instance)
+            for _ in range(6):
+                sequence = _shuffled(n, rng)
+                expected = best_decomposition(instance, sequence)
+                actual = evaluator.best_plan(sequence)
+                if expected is None:
+                    assert actual is None
+                    continue
+                assert actual is not None
+                assert actual.cost == expected.cost
+                assert type(actual.cost) is type(expected.cost)
+                assert actual.sequence == expected.sequence
+                assert actual.explored == expected.explored
+                assert actual.optimizer == expected.optimizer
+                assert actual.plan == expected.plan
+
+    @settings(max_examples=20, deadline=None)
+    @given(qoh_instances(), st.integers(min_value=0, max_value=10_000))
+    def test_best_plan_cache_parity(self, instance, seed):
+        """Kernel and reference share ("qoh-plan", sequence) entries."""
+        from repro.hashjoin.search import cached_best_decomposition
+
+        rng = make_rng(seed)
+        sequence = _shuffled(instance.num_relations, rng)
+        cache = CostCache()
+        with use_cache(cache):
+            reference = cached_best_decomposition(instance, sequence)
+            assert cache.misses == 1
+            evaluator = QOHEvaluator(instance)
+            actual = evaluator.best_plan(sequence)
+            assert cache.hits == 1
+            assert cache.misses == 1
+        if reference is None:
+            assert actual is None
+        else:
+            assert actual is not None
+            assert actual.cost == reference.cost
