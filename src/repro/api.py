@@ -33,11 +33,19 @@ from typing import (
 )
 
 from repro.core.results import PlanResult
+from repro.runtime.journal import read_journal
 from repro.runtime.metrics import (
     load_metrics,
     sweep_metrics,
     validate_metrics,
     write_metrics,
+)
+from repro.runtime.resilience import (
+    RetryPolicy,
+    run_resilient_sweep,
+)
+from repro.runtime.resilience import (
+    resume_sweep as _resume_sweep,
 )
 from repro.runtime.runner import (
     OPTIMIZERS,
@@ -196,6 +204,21 @@ def optimize(instance: Any, algorithm: str = "dp", **kwargs: Any) -> PlanResult:
 GridLike = Union[Sequence[SweepTask], Mapping]
 
 
+def _grid_to_tasks(grid: GridLike) -> List[SweepTask]:
+    if isinstance(grid, Mapping):
+        require(
+            "optimizers" in grid and "instances" in grid,
+            "grid mapping needs 'optimizers' and 'instances' keys",
+        )
+        return grid_tasks(
+            grid["optimizers"],
+            grid["instances"],
+            kwargs_for=grid.get("kwargs_for"),
+            timeout=grid.get("timeout"),
+        )
+    return list(grid)
+
+
 def sweep(
     grid: GridLike,
     workers: Optional[int] = None,
@@ -203,6 +226,11 @@ def sweep(
     cache_maxsize: Optional[int] = None,
     timeout: Optional[float] = None,
     trace: bool = False,
+    retries: int = 1,
+    backoff: float = 0.0,
+    journal: Optional[Any] = None,
+    resume: bool = False,
+    fault_plan: Optional[Any] = None,
 ) -> SweepResult:
     """Run an optimizer x instance grid through the instrumented runner.
 
@@ -214,31 +242,91 @@ def sweep(
     * ``"kwargs_for"`` — optional ``(name, label) -> dict`` hook,
 
     which is flattened with :func:`~repro.runtime.runner.grid_tasks`.
-    The remaining arguments mirror
+    The core arguments mirror
     :func:`~repro.runtime.runner.run_sweep`; with ``trace=True`` the
     result's :meth:`~repro.runtime.runner.SweepResult.trace_records`
     yields the merged ``repro.trace/1`` span tree.
+
+    The resilience arguments route the sweep through
+    :func:`~repro.runtime.resilience.run_resilient_sweep` instead:
+    ``retries`` tries per task with deterministic exponential
+    ``backoff``, an fsynced ``journal`` (``repro.journal/1``) of
+    completed tasks, and ``resume=True`` to skip tasks the journal
+    already holds (requires ``journal``).  ``fault_plan`` installs a
+    deterministic chaos schedule — test tooling only.  Any of these
+    set to a non-default engages the resilient runner, whose outcomes
+    are task-isolated (fresh cost cache per attempt).
     """
-    if isinstance(grid, Mapping):
-        require(
-            "optimizers" in grid and "instances" in grid,
-            "grid mapping needs 'optimizers' and 'instances' keys",
+    tasks = _grid_to_tasks(grid)
+    resilient = (
+        journal is not None or resume or retries > 1
+        or backoff > 0.0 or fault_plan is not None
+    )
+    if not resilient:
+        return run_sweep(
+            tasks,
+            workers=workers,
+            cache=cache,
+            cache_maxsize=cache_maxsize,
+            timeout=timeout,
+            trace=trace,
         )
-        tasks = grid_tasks(
-            grid["optimizers"],
-            grid["instances"],
-            kwargs_for=grid.get("kwargs_for"),
-            timeout=grid.get("timeout"),
+    retry = RetryPolicy(attempts=max(1, retries), backoff=backoff)
+    if resume:
+        require(journal is not None, "resume requires a journal path")
+        return _resume_sweep(
+            journal,
+            tasks,
+            workers=workers,
+            cache=cache,
+            cache_maxsize=cache_maxsize,
+            timeout=timeout,
+            trace=trace,
+            retry=retry,
+            fault_plan=fault_plan,
         )
-    else:
-        tasks = list(grid)
-    return run_sweep(
+    return run_resilient_sweep(
         tasks,
         workers=workers,
         cache=cache,
         cache_maxsize=cache_maxsize,
         timeout=timeout,
         trace=trace,
+        retry=retry,
+        fault_plan=fault_plan,
+        journal=journal,
+    )
+
+
+def resume_sweep(
+    journal: Any,
+    grid: GridLike,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    cache_maxsize: Optional[int] = None,
+    timeout: Optional[float] = None,
+    trace: bool = False,
+    retries: int = 1,
+    backoff: float = 0.0,
+) -> SweepResult:
+    """Resume a journaled sweep; equivalent to ``sweep(resume=True)``.
+
+    Tasks whose fingerprint already has a completed record in
+    ``journal`` are restored bit-identically; the rest run and are
+    appended to the same journal.  The merged result's ``resumed``
+    counter says how many tasks were restored.
+    """
+    return sweep(
+        grid,
+        workers=workers,
+        cache=cache,
+        cache_maxsize=cache_maxsize,
+        timeout=timeout,
+        trace=trace,
+        retries=retries,
+        backoff=backoff,
+        journal=journal,
+        resume=True,
     )
 
 
@@ -445,6 +533,7 @@ __all__ = [
     "FAMILIES",
     "ExecutionReport",
     "PlanResult",
+    "RetryPolicy",
     "SweepResult",
     "SweepTask",
     "bench_summary_lines",
@@ -460,8 +549,10 @@ __all__ = [
     "load_metrics",
     "optimize",
     "optimizer_names",
+    "read_journal",
     "reduce",
     "reduction_names",
+    "resume_sweep",
     "run_bench",
     "scorecard",
     "substrate_of",

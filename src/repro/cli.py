@@ -201,6 +201,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             return {"rng": seeds.get(label, 0)}
         return {}
 
+    if args.resume and args.journal is None:
+        print("--resume requires --journal PATH", file=sys.stderr)
+        return 2
+    if args.retries < 1:
+        print("--retries must be >= 1", file=sys.stderr)
+        return 2
+
     tasks = api.grid_tasks(names, instances, kwargs_for=kwargs_for)
     result = api.sweep(
         tasks,
@@ -209,6 +216,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_maxsize=args.cache_maxsize,
         timeout=args.timeout,
         trace=args.trace_out is not None,
+        retries=args.retries,
+        backoff=args.backoff,
+        journal=args.journal,
+        resume=args.resume,
     )
 
     header = (
@@ -218,7 +229,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(header)
     print("-" * len(header))
     for outcome in result:
-        if outcome.timed_out:
+        if outcome.failure == "cancelled":
+            shown = "CANCELLED"
+        elif outcome.failure == "worker-died":
+            shown = "DIED"
+        elif outcome.timed_out:
             shown = "TIMEOUT"
         elif outcome.error:
             shown = "ERROR"
@@ -239,6 +254,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"(hit rate {totals.hit_rate:.1%}) | "
         f"peak subproblems: {totals.peak_size}"
     )
+    if result.retries or result.recovered_workers or result.resumed:
+        print(
+            f"resilience: {result.resumed} tasks resumed from journal | "
+            f"{result.retries} retries | "
+            f"{result.recovered_workers} worker pools respawned"
+        )
+    if args.journal is not None:
+        print(f"journal at {args.journal}")
 
     metrics_out = args.metrics_out
     if metrics_out is None:
@@ -493,6 +516,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--trace-out", default=None,
         help="also record a repro.trace/1 span tree (JSONL) at this path",
+    )
+    sweep.add_argument(
+        "--journal", default=None,
+        help="append an fsynced repro.journal/1 record per completed "
+        "task at this path (enables crash-safe resumption)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip tasks already completed in --journal and merge "
+        "their stored outcomes bit-identically",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=1,
+        help="total attempts per task (default 1 = no retries)",
+    )
+    sweep.add_argument(
+        "--backoff", type=float, default=0.0,
+        help="base seconds between attempts, doubling per retry "
+        "(deterministic, no jitter)",
     )
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -633,3 +633,45 @@ def _check_perf_kernels(
                 f"{CACHE_HOME}; kernel evaluations must flow through "
                 "the active CostCache so sweep metrics stay exact"
             )
+
+
+# ---------------------------------------------------------------------
+# RPR010 — fault injection is confined to the chaos layer
+# ---------------------------------------------------------------------
+
+#: The one module allowed to construct FaultPlan.  Tests construct
+#: plans freely (the linter does not run over tests/), but production
+#: code wiring a chaos schedule into a sweep would silently corrupt
+#: experiment results — every such wiring point must live behind the
+#: resilience module's API.
+FAULT_PLAN_HOME = "runtime.resilience"
+
+
+@register(
+    "RPR010",
+    "fault-plan-confined",
+    "only repro.runtime.resilience may construct FaultPlan; production "
+    "sweeps must never run with a chaos schedule installed",
+)
+def _check_fault_plan_confined(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if file.module == FAULT_PLAN_HOME:
+        return
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name == "FaultPlan":
+            line, col = _loc(node)
+            yield line, col, (
+                "FaultPlan constructed outside repro.runtime.resilience; "
+                "fault injection is a chaos-testing tool and must never "
+                "be wired into production sweeps (pass plans built by "
+                "test code through the resilience API instead)"
+            )

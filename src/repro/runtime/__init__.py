@@ -7,12 +7,16 @@ Three layers:
 * :mod:`repro.runtime.runner` — the parallel sweep runner
   (``run_sweep`` / ``SweepTask`` / ``grid_tasks``);
 * :mod:`repro.runtime.metrics` — the JSON instrumentation schema
-  (``sweep_metrics`` / ``validate_metrics`` / ``write_metrics``).
+  (``sweep_metrics`` / ``validate_metrics`` / ``write_metrics``);
+* :mod:`repro.runtime.resilience` — fault-tolerant sweeps: retries,
+  worker-death recovery, deterministic fault injection
+  (``run_resilient_sweep`` / ``resume_sweep`` / ``RetryPolicy``);
+* :mod:`repro.runtime.journal` — the crash-safe JSONL task journal
+  behind resumability (``repro.journal/1``).
 
-The cache symbols are imported eagerly; the runner and metrics layers
-load lazily on first attribute access because the cost model itself
-imports :mod:`repro.runtime.costcache` (PEP 562 keeps that import
-acyclic).
+The cache symbols are imported eagerly; the other layers load lazily
+on first attribute access because the cost model itself imports
+:mod:`repro.runtime.costcache` (PEP 562 keeps that import acyclic).
 """
 
 from repro.runtime.costcache import (
@@ -43,15 +47,29 @@ __all__ = [
     "validate_metrics",
     "write_metrics",
     "load_metrics",
+    "RetryPolicy",
+    "run_resilient_sweep",
+    "resume_sweep",
+    "read_journal",
+    "task_fingerprint",
 ]
 
 _RUNNER_NAMES = {
     "OPTIMIZERS", "SweepTask", "TaskOutcome", "SweepResult",
     "run_sweep", "grid_tasks", "default_workers", "SweepTimeout",
+    "WorkerDied",
 }
 _METRICS_NAMES = {
     "sweep_metrics", "validate_metrics", "write_metrics", "load_metrics",
-    "SCHEMA",
+    "SCHEMA", "FAILURE_KINDS",
+}
+_RESILIENCE_NAMES = {
+    "FaultInjection", "FaultPlan", "RetryPolicy",
+    "run_resilient_sweep", "resume_sweep", "FaultInjected",
+}
+_JOURNAL_NAMES = {
+    "JournalWriter", "read_journal", "task_fingerprint",
+    "completed_by_fingerprint",
 }
 
 
@@ -64,4 +82,12 @@ def __getattr__(name: str) -> object:
         from repro.runtime import metrics
 
         return getattr(metrics, name)
+    if name in _RESILIENCE_NAMES:
+        from repro.runtime import resilience
+
+        return getattr(resilience, name)
+    if name in _JOURNAL_NAMES:
+        from repro.runtime import journal
+
+        return getattr(journal, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

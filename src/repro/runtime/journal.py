@@ -1,0 +1,320 @@
+"""Crash-safe task journal for resumable sweeps (``repro.journal/1``).
+
+A journal is an append-only JSONL file: a header line identifying the
+schema, then exactly one record per *completed* task.  Each record is
+flushed and fsynced before the runner moves on, so after a hard kill
+(SIGKILL, OOM, power loss) the journal holds every task that finished
+and at most one torn trailing line — which :func:`read_journal`
+detects and drops.
+
+Records carry the full :class:`~repro.runtime.runner.TaskOutcome`,
+including the optimizer result itself (pickled, base64-armored), so a
+resumed sweep reconstructs outcomes *bit-identically* — costs stay
+``int``/``Fraction``, ``explored`` and cache counters are exact.
+
+Tasks are matched across processes by :func:`task_fingerprint`, a
+content hash over the task's position, optimizer, label, kwargs and
+instance statistics.  Any change to the task list produces different
+fingerprints, so a journal can never silently satisfy a different
+sweep.  Records whose ``failure`` is ``"cancelled"`` are *not*
+treated as completed: a resume re-runs exactly the tasks an interrupt
+cut short.
+
+File layout::
+
+    {"schema": "repro.journal/1", "meta": {...}}
+    {"record": "task", "fingerprint": "...", "index": 0, ...}
+    {"record": "task", "fingerprint": "...", "index": 1, ...}
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.runtime.costcache import CacheStats
+from repro.runtime.costcache import fingerprint as instance_fingerprint
+from repro.runtime.metrics import FAILURE_KINDS
+from repro.runtime.runner import SweepTask, TaskOutcome
+from repro.utils.validation import ValidationError, require
+
+SCHEMA = "repro.journal/1"
+
+PathLike = Union[str, Path]
+
+
+def task_fingerprint(index: int, task: SweepTask) -> str:
+    """A stable content hash identifying one task slot of a sweep.
+
+    Covers the slot index, the optimizer name, the label, the kwargs,
+    the timeout and the instance statistics (via the cost-cache
+    fingerprint when the instance exposes a graph, its ``repr``
+    otherwise — SQO-CP instances carry no graph but have a complete,
+    deterministic ``repr``).
+    """
+    digest = hashlib.sha1()
+    digest.update(
+        f"{index}|{task.optimizer_name}|{task.label}|"
+        f"{task.timeout}|{task.kwargs!r}|".encode()
+    )
+    instance = task.instance
+    if hasattr(instance, "graph"):
+        digest.update(instance_fingerprint(instance).encode())
+    else:
+        digest.update(repr(instance).encode())
+    return digest.hexdigest()
+
+
+def outcome_to_record(fingerprint: str, outcome: TaskOutcome) -> Dict[str, Any]:
+    """Serialize one completed outcome as a journal record."""
+    result_b64 = None
+    if outcome.result is not None:
+        result_b64 = base64.b64encode(pickle.dumps(outcome.result)).decode(
+            "ascii"
+        )
+    return {
+        "record": "task",
+        "fingerprint": fingerprint,
+        "index": outcome.index,
+        "optimizer": outcome.optimizer,
+        "label": outcome.label,
+        "ok": outcome.ok,
+        "timed_out": outcome.timed_out,
+        "error": outcome.error,
+        "failure": outcome.failure,
+        "attempts": outcome.attempts,
+        "wall_time_s": outcome.wall_time,
+        "explored": outcome.explored,
+        "cache": outcome.cache.to_dict(),
+        "result_b64": result_b64,
+        "trace": (
+            [dict(span) for span in outcome.trace]
+            if outcome.trace is not None else None
+        ),
+    }
+
+
+def record_to_outcome(record: Dict[str, Any]) -> TaskOutcome:
+    """Reconstruct the exact :class:`TaskOutcome` a record was made from."""
+    validate_record(record)
+    cache = record["cache"]
+    result = None
+    if record["result_b64"] is not None:
+        result = pickle.loads(base64.b64decode(record["result_b64"]))
+    trace: Optional[Tuple[dict, ...]] = None
+    if record["trace"] is not None:
+        trace = tuple(dict(span) for span in record["trace"])
+    return TaskOutcome(
+        index=record["index"],
+        optimizer=record["optimizer"],
+        label=record["label"],
+        result=result,
+        wall_time=record["wall_time_s"],
+        timed_out=record["timed_out"],
+        error=record["error"],
+        failure=record["failure"],
+        attempts=record["attempts"],
+        cache=CacheStats(
+            hits=cache["hits"],
+            misses=cache["misses"],
+            evictions=cache["evictions"],
+            size=cache["size"],
+            peak_size=cache["peak_size"],
+        ),
+        trace=trace,
+    )
+
+
+_RECORD_FIELDS: Dict[str, Union[type, Tuple[type, ...]]] = {
+    "fingerprint": str,
+    "index": int,
+    "optimizer": str,
+    "label": str,
+    "ok": bool,
+    "timed_out": bool,
+    "attempts": int,
+    "wall_time_s": (int, float),
+    "explored": int,
+}
+
+_CACHE_FIELDS: Dict[str, Union[type, Tuple[type, ...]]] = {
+    "hits": int,
+    "misses": int,
+    "evictions": int,
+    "size": int,
+    "peak_size": int,
+    "hit_rate": (int, float),
+}
+
+
+def validate_record(record: Dict[str, Any]) -> None:
+    """Raise :class:`ValidationError` unless ``record`` fits the schema."""
+    require(isinstance(record, dict), "journal record must be a dict")
+    require(
+        record.get("record") == "task",
+        f"journal record type must be 'task', got {record.get('record')!r}",
+    )
+    for name, kind in _RECORD_FIELDS.items():
+        require(name in record, f"journal record: missing field {name!r}")
+        value = record[name]
+        ok = isinstance(value, kind) and not (
+            kind is not bool and isinstance(value, bool)
+        )
+        require(
+            ok,
+            f"journal record.{name}: expected {kind}, "
+            f"got {type(value).__name__}",
+        )
+    require("error" in record, "journal record: missing field 'error'")
+    require(
+        record["error"] is None or isinstance(record["error"], str),
+        "journal record.error must be null or a string",
+    )
+    require("failure" in record, "journal record: missing field 'failure'")
+    failure = record["failure"]
+    require(
+        failure is None or failure in FAILURE_KINDS,
+        f"journal record.failure must be null or one of "
+        f"{list(FAILURE_KINDS)}, got {failure!r}",
+    )
+    require(record["attempts"] >= 0, "journal record.attempts must be >= 0")
+    require("cache" in record, "journal record: missing field 'cache'")
+    cache = record["cache"]
+    require(isinstance(cache, dict), "journal record.cache must be a dict")
+    for name, kind in _CACHE_FIELDS.items():
+        require(name in cache, f"journal record.cache: missing {name!r}")
+        value = cache[name]
+        require(
+            isinstance(value, kind) and not isinstance(value, bool),
+            f"journal record.cache.{name}: expected {kind}, "
+            f"got {type(value).__name__}",
+        )
+    require(
+        "result_b64" in record, "journal record: missing field 'result_b64'"
+    )
+    require(
+        record["result_b64"] is None
+        or isinstance(record["result_b64"], str),
+        "journal record.result_b64 must be null or a base64 string",
+    )
+    require("trace" in record, "journal record: missing field 'trace'")
+    require(
+        record["trace"] is None or isinstance(record["trace"], list),
+        "journal record.trace must be null or a list of span dicts",
+    )
+
+
+class JournalWriter:
+    """Append-only, per-record-fsynced journal of completed tasks.
+
+    Opening an empty or missing path writes the schema header first;
+    opening an existing journal appends to it (the resume path).
+    """
+
+    def __init__(
+        self, path: PathLike, meta: Optional[Dict[str, Any]] = None
+    ) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = (
+            not self._path.exists() or self._path.stat().st_size == 0
+        )
+        self._handle = self._path.open("a", encoding="utf-8")
+        if fresh:
+            self._write({"schema": SCHEMA, "meta": dict(meta or {})})
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _write(self, payload: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append(self, fingerprint: str, outcome: TaskOutcome) -> None:
+        """Durably record one completed task before the sweep moves on."""
+        record = outcome_to_record(fingerprint, outcome)
+        validate_record(record)
+        self._write(record)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+def read_journal(
+    path: PathLike,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a journal; returns ``(meta, records)``.
+
+    The header line must carry the ``repro.journal/1`` schema and every
+    record must validate.  A torn *final* line — the signature of a
+    process killed mid-write — is silently dropped; garbage anywhere
+    else raises :class:`ValidationError`.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    require(bool(lines), f"journal {path}: empty file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"journal {path}: unreadable header: {exc}")
+    require(isinstance(header, dict), f"journal {path}: header must be a dict")
+    require(
+        header.get("schema") == SCHEMA,
+        f"journal {path}: schema must be {SCHEMA!r}, "
+        f"got {header.get('schema')!r}",
+    )
+    meta = header.get("meta", {})
+    require(isinstance(meta, dict), f"journal {path}: meta must be a dict")
+    records: List[Dict[str, Any]] = []
+    last = len(lines) - 1
+    for position, line in enumerate(lines[1:], start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if position == last:
+                break  # torn tail from a crash mid-write: drop it
+            raise ValidationError(
+                f"journal {path}: corrupt record on line {position + 1}"
+            )
+        validate_record(record)
+        records.append(record)
+    return meta, records
+
+
+def completed_by_fingerprint(
+    records: Sequence[Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """Map fingerprint -> the latest *completed* record for that task.
+
+    Cancelled records don't count as completed — a resume re-runs
+    those tasks.  Later records win, so a journal appended to across
+    several sessions resolves to the most recent state.
+    """
+    completed: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record["failure"] == "cancelled":
+            completed.pop(record["fingerprint"], None)
+            continue
+        completed[record["fingerprint"]] = record
+    return completed

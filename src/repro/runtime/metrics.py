@@ -16,6 +16,8 @@ Payload layout::
       "tasks": [
         {"index": int, "optimizer": str, "label": str,
          "ok": bool, "timed_out": bool, "error": str | null,
+         "failure": str | null,        # taxonomy label, see FAILURE_KINDS
+         "attempts": int,              # tries consumed (0 = cancelled early)
          "wall_time_s": float, "explored": int,
          "cache": {"hits": int, "misses": int, "evictions": int,
                    "size": int, "peak_size": int, "hit_rate": float}},
@@ -28,9 +30,16 @@ Payload layout::
         "cost_evaluations": int,      # cache misses = work performed
         "cache_hits": int, "cache_hit_rate": float,
         "cache_evictions": int,
-        "peak_subproblems": int       # peak memoized-entry count
+        "peak_subproblems": int,      # peak memoized-entry count
+        "retries": int,               # attempts beyond each task's first
+        "recovered_workers": int,     # pools respawned after worker death
+        "resumed_tasks": int          # outcomes restored from a journal
       }
     }
+
+The resilience fields (``failure``/``attempts`` per task, the three
+counters in ``totals``) are validated when present but not required —
+payloads written before the resilience layer existed still validate.
 
 ``validate_metrics`` is the schema check the tests run against every
 emitted payload; it raises :class:`ValidationError` with the offending
@@ -50,6 +59,10 @@ if TYPE_CHECKING:  # circular at runtime: runner imports metrics
 
 SCHEMA = "repro.sweep/1"
 
+#: The failure taxonomy shared by the runner, the journal and this
+#: schema: a failed task is exactly one of these.
+FAILURE_KINDS = ("timeout", "error", "worker-died", "cancelled")
+
 PathLike = Union[str, Path]
 
 
@@ -67,6 +80,8 @@ def sweep_metrics(
                 "ok": outcome.ok,
                 "timed_out": outcome.timed_out,
                 "error": outcome.error,
+                "failure": outcome.failure,
+                "attempts": outcome.attempts,
                 "wall_time_s": outcome.wall_time,
                 "explored": outcome.explored,
                 "cache": outcome.cache.to_dict(),
@@ -95,6 +110,9 @@ def sweep_metrics(
             "cache_hit_rate": totals_cache.hit_rate,
             "cache_evictions": totals_cache.evictions,
             "peak_subproblems": totals_cache.peak_size,
+            "retries": result.retries,
+            "recovered_workers": result.recovered_workers,
+            "resumed_tasks": result.resumed,
         },
     }
     validate_metrics(payload)
@@ -173,6 +191,21 @@ def validate_metrics(payload: Dict[str, Any]) -> None:
             task["error"] is None or isinstance(task["error"], str),
             f"{where}.error must be null or a string",
         )
+        if "failure" in task:
+            failure = task["failure"]
+            require(
+                failure is None or failure in FAILURE_KINDS,
+                f"{where}.failure must be null or one of "
+                f"{list(FAILURE_KINDS)}, got {failure!r}",
+            )
+        if "attempts" in task:
+            attempts = task["attempts"]
+            require(
+                isinstance(attempts, int)
+                and not isinstance(attempts, bool)
+                and attempts >= 0,
+                f"{where}.attempts must be a non-negative int",
+            )
         require("cache" in task, f"{where}: missing field 'cache'")
         _check_fields(task["cache"], _CACHE_FIELDS, f"{where}.cache")
     totals = payload["totals"]
@@ -187,6 +220,15 @@ def validate_metrics(payload: Dict[str, Any]) -> None:
         0.0 <= hit_rate <= 1.0,
         f"metrics.totals.cache_hit_rate must lie in [0, 1], got {hit_rate}",
     )
+    for name in ("retries", "recovered_workers", "resumed_tasks"):
+        if name in totals:
+            value = totals[name]
+            require(
+                isinstance(value, int)
+                and not isinstance(value, bool)
+                and value >= 0,
+                f"metrics.totals.{name} must be a non-negative int",
+            )
 
 
 def write_metrics(payload: Dict[str, Any], path: PathLike) -> Path:

@@ -1,0 +1,601 @@
+"""Fault-tolerant, resumable sweep execution with deterministic chaos.
+
+Long gap-family sweeps (hundreds of optimizer x instance tasks, some
+with astronomically slow exact baselines) die for boring reasons: a
+worker segfaults, the box reboots, a task hits a transient error.
+This module makes such sweeps survivable three ways:
+
+* **Retries** — each task gets :class:`RetryPolicy.attempts` tries
+  with deterministic exponential backoff (no jitter: the schedule is
+  a pure function of the policy, which the chaos tests pin down).
+* **Worker-death recovery** — the parallel path runs on a
+  ``ProcessPoolExecutor``; when a worker dies the resulting
+  ``BrokenProcessPool`` is caught, the pool is respawned, and every
+  in-flight task is re-queued with a ``worker-died`` attempt charged
+  against its retry budget.
+* **Journaling + resume** — with a journal path every completed task
+  is durably recorded (:mod:`repro.runtime.journal`);
+  :func:`resume_sweep` skips journaled tasks by fingerprint and merges
+  their stored outcomes into the new :class:`SweepResult`.
+
+Determinism contract: unlike :func:`~repro.runtime.runner.run_sweep`,
+every attempt here runs against a **fresh** cost cache.  That forgoes
+cross-task cache reuse, but it makes each outcome a pure function of
+its task — independent of schedule, worker placement, or how many
+times the sweep was interrupted — which is exactly what makes a
+resumed sweep bit-identical (costs, ``explored``, cache counters) to
+an uninterrupted one.
+
+The chaos layer: a :class:`FaultPlan` schedules synthetic faults
+(``timeout`` / ``error`` / ``worker-kill``) at chosen ``(task index,
+attempt)`` coordinates, threaded through the same ``_execute`` path
+real work takes.  Constructing a ``FaultPlan`` outside this module or
+test code is a lint error (rule RPR010): production sweeps must never
+run with chaos installed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.runtime import journal as journal_mod
+from repro.runtime.costcache import CostCache
+from repro.runtime.runner import (
+    SweepResult,
+    SweepTask,
+    SweepTimeout,
+    TaskOutcome,
+    WorkerDied,
+    _execute,
+    default_workers,
+)
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require
+
+PathLike = Union[str, Path]
+
+#: Fault kinds a plan may inject (the fourth taxonomy label,
+#: ``cancelled``, is produced by interrupting the sweep, not by a
+#: synthetic fault).
+INJECTABLE_KINDS = ("timeout", "error", "worker-kill")
+
+
+class FaultInjected(RuntimeError):
+    """The synthetic exception an ``error`` injection raises."""
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """One scheduled fault: ``kind`` fires at ``(index, attempt)``."""
+
+    index: int
+    attempt: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of synthetic faults.
+
+    The plan is immutable, picklable (it rides to pool workers inside
+    task payloads) and a pure lookup table: the same plan injects the
+    same faults every run.  Lint rule RPR010 confines construction to
+    this module and to test code.
+    """
+
+    faults: Tuple[FaultInjection, ...] = ()
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            require(
+                fault.kind in INJECTABLE_KINDS,
+                f"unknown fault kind {fault.kind!r}; "
+                f"injectable: {list(INJECTABLE_KINDS)}",
+            )
+            require(
+                fault.index >= 0 and fault.attempt >= 0,
+                "fault coordinates must be non-negative",
+            )
+
+    def fault_for(self, index: int, attempt: int) -> Optional[str]:
+        """The fault kind scheduled at ``(index, attempt)``, if any."""
+        for fault in self.faults:
+            if fault.index == index and fault.attempt == attempt:
+                return fault.kind
+        return None
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: RngLike,
+        num_tasks: int,
+        kinds: Sequence[str] = INJECTABLE_KINDS,
+        faults_per_kind: int = 1,
+        max_attempt: int = 0,
+    ) -> "FaultPlan":
+        """A reproducible random plan: same seed, same faults.
+
+        Schedules ``faults_per_kind`` injections of every kind in
+        ``kinds`` at task indices drawn from ``range(num_tasks)`` and
+        attempts drawn from ``range(max_attempt + 1)``.
+        """
+        require(num_tasks > 0, "seeded plan needs at least one task")
+        rng = make_rng(seed)
+        injections = []
+        for kind in kinds:
+            for _ in range(faults_per_kind):
+                injections.append(
+                    FaultInjection(
+                        index=rng.randrange(num_tasks),
+                        attempt=rng.randrange(max_attempt + 1),
+                        kind=kind,
+                    )
+                )
+        ordered = sorted(
+            injections, key=lambda f: (f.index, f.attempt, f.kind)
+        )
+        return cls(faults=tuple(ordered))
+
+
+#: True inside a resilient pool worker (set by the pool initializer):
+#: decides whether an injected worker-kill dies for real or raises
+#: :class:`WorkerDied` for the serial loop to classify.
+_IN_POOL_WORKER = False
+
+
+def apply_fault(kind: str, index: int, attempt: int) -> None:
+    """Fire one injected fault from inside ``_execute``'s try block.
+
+    ``timeout`` raises :class:`SweepTimeout` (classified exactly like a
+    real alarm); ``error`` raises :class:`FaultInjected`; a
+    ``worker-kill`` exits a real pool worker with ``os._exit`` — the
+    parent sees ``BrokenProcessPool`` — and raises :class:`WorkerDied`
+    in serial mode so the recovery path is testable in-process.
+    """
+    if kind == "timeout":
+        raise SweepTimeout()
+    if kind == "error":
+        raise FaultInjected(
+            f"injected error at task {index}, attempt {attempt}"
+        )
+    if kind == "worker-kill":
+        if _IN_POOL_WORKER:  # pragma: no cover - dies before reporting
+            os._exit(1)
+        raise WorkerDied(
+            f"injected worker death at task {index}, attempt {attempt}"
+        )
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often to retry a failed task and how long to wait.
+
+    ``attempts`` is the *total* number of tries per task.  The wait
+    before retry ``k`` (1-based) is ``backoff * factor ** (k - 1)``,
+    capped at ``max_delay`` — deliberately jitter-free so the schedule
+    is deterministic and testable.
+    """
+
+    attempts: int = 1
+    backoff: float = 0.0
+    factor: float = 2.0
+    max_delay: float = 60.0
+
+    def __post_init__(self) -> None:
+        require(self.attempts >= 1, "RetryPolicy.attempts must be >= 1")
+        require(self.backoff >= 0.0, "RetryPolicy.backoff must be >= 0")
+        require(self.factor >= 1.0, "RetryPolicy.factor must be >= 1")
+        require(self.max_delay >= 0.0, "RetryPolicy.max_delay must be >= 0")
+
+    def delay(self, retry: int) -> float:
+        """Seconds to wait before retry number ``retry`` (1-based)."""
+        require(retry >= 1, "retry numbers are 1-based")
+        if self.backoff <= 0.0:
+            return 0.0
+        return min(self.backoff * self.factor ** (retry - 1), self.max_delay)
+
+    def delays(self) -> Tuple[float, ...]:
+        """The full backoff schedule for a task that fails every try."""
+        return tuple(self.delay(k) for k in range(1, self.attempts))
+
+
+@dataclass
+class _RunStats:
+    """Mutable counters shared by the serial/parallel loops."""
+
+    retries: int = 0
+    recovered: int = 0
+
+
+def _fresh_cache(cache: bool, cache_maxsize: Optional[int]) -> CostCache:
+    return (
+        CostCache(maxsize=cache_maxsize) if cache else CostCache(maxsize=0)
+    )
+
+
+def _failed_outcome(
+    index: int,
+    task: SweepTask,
+    attempts: int,
+    failure: str,
+    error: str,
+) -> TaskOutcome:
+    return TaskOutcome(
+        index=index,
+        optimizer=task.optimizer_name,
+        label=task.label,
+        result=None,
+        wall_time=0.0,
+        timed_out=failure == "timeout",
+        error=error,
+        failure=failure,
+        attempts=attempts,
+    )
+
+
+# -- resilient pool plumbing -------------------------------------------
+_WORKER_SETTINGS: Tuple[bool, Optional[int]] = (True, None)
+
+
+def _resilient_worker_init(
+    cache_enabled: bool, cache_maxsize: Optional[int]
+) -> None:
+    global _IN_POOL_WORKER, _WORKER_SETTINGS
+    _IN_POOL_WORKER = True
+    _WORKER_SETTINGS = (cache_enabled, cache_maxsize)
+
+
+def _resilient_worker_run(
+    payload: Tuple[int, SweepTask, Optional[float], bool, int,
+                   Optional[FaultPlan]]
+) -> TaskOutcome:
+    index, task, default_timeout, trace, attempt, fault_plan = payload
+    cache_enabled, cache_maxsize = _WORKER_SETTINGS
+    # A fresh cache per attempt: outcomes must not depend on which
+    # worker ran the task or what ran there before (see module doc).
+    cache = _fresh_cache(cache_enabled, cache_maxsize)
+    return _execute(
+        index, task, cache, default_timeout,
+        trace=trace, attempt=attempt, fault_plan=fault_plan,
+    )
+
+
+def _make_executor(
+    workers: int, cache_enabled: bool, cache_maxsize: Optional[int]
+) -> ProcessPoolExecutor:
+    """Create the pool (split out so tests can force creation failure)."""
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_resilient_worker_init,
+        initargs=(cache_enabled, cache_maxsize),
+    )
+
+
+def _run_serial(
+    tasks: Sequence[SweepTask],
+    pending: Sequence[int],
+    fingerprints: Sequence[str],
+    cache: bool,
+    cache_maxsize: Optional[int],
+    timeout: Optional[float],
+    trace: bool,
+    retry: RetryPolicy,
+    fault_plan: Optional[FaultPlan],
+    writer: Optional[journal_mod.JournalWriter],
+    sleep: Callable[[float], None],
+    stats: _RunStats,
+) -> Dict[int, TaskOutcome]:
+    outcomes: Dict[int, TaskOutcome] = {}
+    remaining: Deque[int] = deque(pending)
+    current: Optional[int] = None
+    try:
+        while remaining:
+            current = remaining.popleft()
+            task = tasks[current]
+            outcome: Optional[TaskOutcome] = None
+            for attempt in range(retry.attempts):
+                outcome = _execute(
+                    current, task,
+                    _fresh_cache(cache, cache_maxsize), timeout,
+                    trace=trace, attempt=attempt, fault_plan=fault_plan,
+                )
+                if outcome.ok or attempt + 1 >= retry.attempts:
+                    break
+                stats.retries += 1
+                delay = retry.delay(attempt + 1)
+                if delay > 0.0:
+                    sleep(delay)
+            assert outcome is not None  # attempts >= 1
+            outcomes[current] = outcome
+            if writer is not None:
+                writer.append(fingerprints[current], outcome)
+            current = None
+    except KeyboardInterrupt:
+        # The interrupted task and everything behind it become
+        # ``cancelled`` outcomes.  They are NOT journaled, so a resume
+        # re-runs exactly these tasks.
+        if current is not None:
+            outcomes[current] = _failed_outcome(
+                current, tasks[current], 1,
+                "cancelled", "cancelled by interrupt",
+            )
+        for index in remaining:
+            outcomes[index] = _failed_outcome(
+                index, tasks[index], 0,
+                "cancelled", "cancelled before execution",
+            )
+    return outcomes
+
+
+def _run_parallel(
+    tasks: Sequence[SweepTask],
+    pending: Sequence[int],
+    fingerprints: Sequence[str],
+    workers: int,
+    cache: bool,
+    cache_maxsize: Optional[int],
+    timeout: Optional[float],
+    trace: bool,
+    retry: RetryPolicy,
+    fault_plan: Optional[FaultPlan],
+    writer: Optional[journal_mod.JournalWriter],
+    sleep: Callable[[float], None],
+    stats: _RunStats,
+) -> Optional[Dict[int, TaskOutcome]]:
+    """Pool-backed loop; returns None when no pool can be created."""
+    try:
+        executor = _make_executor(workers, cache, cache_maxsize)
+    except Exception:  # no semaphores / sandboxed: degrade quietly
+        return None
+
+    outcomes: Dict[int, TaskOutcome] = {}
+    attempt_of: Dict[int, int] = {index: 0 for index in pending}
+    queue: Deque[int] = deque(pending)
+    futures: Dict["Future[TaskOutcome]", int] = {}
+
+    def finalize(index: int, outcome: TaskOutcome) -> None:
+        outcomes[index] = outcome
+        if writer is not None:
+            writer.append(fingerprints[index], outcome)
+
+    def handle_failure(index: int, outcome: TaskOutcome) -> None:
+        if attempt_of[index] + 1 < retry.attempts:
+            stats.retries += 1
+            delay = retry.delay(attempt_of[index] + 1)
+            if delay > 0.0:
+                sleep(delay)
+            attempt_of[index] += 1
+            queue.append(index)
+        else:
+            finalize(index, outcome)
+
+    try:
+        while queue or futures:
+            try:
+                while queue:
+                    index = queue.popleft()
+                    payload = (
+                        index, tasks[index], timeout, trace,
+                        attempt_of[index], fault_plan,
+                    )
+                    try:
+                        future = executor.submit(
+                            _resilient_worker_run, payload
+                        )
+                    except BrokenExecutor:
+                        queue.appendleft(index)  # recover below, unsubmitted
+                        raise
+                    futures[future] = index
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenExecutor:
+                        futures[future] = index  # recover below, in-flight
+                        raise
+                    except Exception as exc:  # noqa: BLE001
+                        outcome = _failed_outcome(
+                            index, tasks[index], attempt_of[index] + 1,
+                            "error", f"{type(exc).__name__}: {exc}",
+                        )
+                    if outcome.ok:
+                        finalize(index, outcome)
+                    else:
+                        handle_failure(index, outcome)
+            except BrokenExecutor:
+                # A worker died and took the pool with it.  Respawn,
+                # charge every in-flight task a worker-died attempt,
+                # and re-queue the ones with retry budget left.
+                stats.recovered += 1
+                inflight = sorted(futures.values())
+                futures.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                try:
+                    executor = _make_executor(workers, cache, cache_maxsize)
+                except Exception:
+                    # Can't respawn: everything unfinished is lost.
+                    for index in inflight + sorted(queue):
+                        finalize(index, _failed_outcome(
+                            index, tasks[index], attempt_of[index] + 1,
+                            "worker-died",
+                            "worker process died; pool respawn failed",
+                        ))
+                    queue.clear()
+                    return outcomes
+                for index in inflight:
+                    handle_failure(index, _failed_outcome(
+                        index, tasks[index], attempt_of[index] + 1,
+                        "worker-died", "worker process died mid-task",
+                    ))
+    except KeyboardInterrupt:
+        executor.shutdown(wait=False, cancel_futures=True)
+        for index in list(futures.values()) + list(queue):
+            outcomes[index] = _failed_outcome(
+                index, tasks[index], attempt_of[index],
+                "cancelled", "cancelled by interrupt",
+            )
+        return outcomes
+    executor.shutdown()
+    return outcomes
+
+
+def run_resilient_sweep(
+    tasks: Sequence[SweepTask],
+    workers: Optional[int] = None,
+    cache: bool = True,
+    cache_maxsize: Optional[int] = None,
+    timeout: Optional[float] = None,
+    trace: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    journal: Optional[PathLike] = None,
+    completed: Optional[Dict[int, TaskOutcome]] = None,
+    resumed: int = 0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> SweepResult:
+    """Run ``tasks`` with retries, journaling and optional chaos.
+
+    Semantics match :func:`~repro.runtime.runner.run_sweep` (same
+    outcome order, same serial fallback) except that every attempt
+    runs against a fresh cost cache — see the module docstring for why
+    that is the price of bit-identical resumability.
+
+    Args:
+        retry: attempts/backoff schedule; default is one attempt, no
+            backoff.
+        fault_plan: deterministic chaos schedule (tests only).
+        journal: path to append fsynced per-task records to.
+        completed: outcomes (by task index) already recovered from a
+            journal — these tasks are skipped.  Use
+            :func:`resume_sweep` rather than passing this directly.
+        resumed: how many of ``completed`` came from a journal; lands
+            in :attr:`SweepResult.resumed`.
+        sleep: backoff clock, injectable so tests assert the schedule
+            without waiting it out.
+    """
+    tasks = list(tasks)
+    retry = retry or RetryPolicy()
+    if workers is None:
+        workers = default_workers()
+    start = time.perf_counter()
+
+    fingerprints = [
+        journal_mod.task_fingerprint(index, task)
+        for index, task in enumerate(tasks)
+    ]
+    completed = dict(completed or {})
+    pending = [index for index in range(len(tasks)) if index not in completed]
+
+    writer = (
+        journal_mod.JournalWriter(
+            journal,
+            meta={"tasks": len(tasks), "resumed": resumed},
+        )
+        if journal is not None else None
+    )
+
+    outcomes: Dict[int, TaskOutcome] = dict(completed)
+    stats = _RunStats()
+    mode = "serial"
+    try:
+        fresh: Optional[Dict[int, TaskOutcome]] = None
+        if workers > 1 and len(pending) > 1:
+            fresh = _run_parallel(
+                tasks, pending, fingerprints, workers, cache,
+                cache_maxsize, timeout, trace, retry, fault_plan,
+                writer, sleep, stats,
+            )
+            if fresh is not None:
+                mode = "parallel"
+        if fresh is None:
+            fresh = _run_serial(
+                tasks, pending, fingerprints, cache, cache_maxsize,
+                timeout, trace, retry, fault_plan, writer, sleep, stats,
+            )
+        outcomes.update(fresh)
+    finally:
+        if writer is not None:
+            writer.close()
+
+    ordered = tuple(outcomes[index] for index in range(len(tasks)))
+    return SweepResult(
+        outcomes=ordered,
+        mode=mode,
+        workers=workers if mode == "parallel" else 1,
+        cache_enabled=cache,
+        wall_time=time.perf_counter() - start,
+        retries=stats.retries,
+        recovered_workers=stats.recovered,
+        resumed=resumed,
+    )
+
+
+def resume_sweep(
+    journal_path: PathLike,
+    tasks: Sequence[SweepTask],
+    workers: Optional[int] = None,
+    cache: bool = True,
+    cache_maxsize: Optional[int] = None,
+    timeout: Optional[float] = None,
+    trace: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> SweepResult:
+    """Resume a journaled sweep, merging stored and fresh outcomes.
+
+    Tasks whose fingerprint has a completed record in the journal are
+    restored verbatim (bit-identical result, ``explored``, cache
+    counters); the rest run through :func:`run_resilient_sweep`, which
+    appends their records to the same journal.  A missing or empty
+    journal file resumes nothing and behaves like a fresh journaled
+    sweep.
+    """
+    tasks = list(tasks)
+    path = Path(journal_path)
+    completed: Dict[int, TaskOutcome] = {}
+    if path.exists() and path.stat().st_size > 0:
+        _, records = journal_mod.read_journal(path)
+        by_fingerprint = journal_mod.completed_by_fingerprint(records)
+        for index, task in enumerate(tasks):
+            record = by_fingerprint.get(
+                journal_mod.task_fingerprint(index, task)
+            )
+            if record is not None:
+                completed[index] = journal_mod.record_to_outcome(record)
+    return run_resilient_sweep(
+        tasks,
+        workers=workers,
+        cache=cache,
+        cache_maxsize=cache_maxsize,
+        timeout=timeout,
+        trace=trace,
+        retry=retry,
+        fault_plan=fault_plan,
+        journal=path,
+        completed=completed,
+        resumed=len(completed),
+        sleep=sleep,
+    )

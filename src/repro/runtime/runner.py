@@ -29,6 +29,7 @@ import signal
 import time
 from dataclasses import dataclass, field, replace
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterator,
@@ -64,6 +65,9 @@ from repro.runtime.costcache import (
 from repro.starqo.dp import sqocp_dp
 from repro.starqo.optimizer import sqocp_optimal
 from repro.utils.validation import require
+
+if TYPE_CHECKING:  # runtime import would be circular: resilience uses _execute
+    from repro.runtime.resilience import FaultPlan
 
 #: Name -> callable registry shared with the CLI.  Values must be
 #: module-level functions so task specs pickle across processes.
@@ -122,6 +126,13 @@ class TaskOutcome:
     wall_time: float = 0.0
     timed_out: bool = False
     error: Optional[str] = None
+    #: Failure taxonomy: ``None`` on success, else one of
+    #: :data:`repro.runtime.metrics.FAILURE_KINDS` — ``"timeout"``,
+    #: ``"error"``, ``"worker-died"`` or ``"cancelled"``.
+    failure: Optional[str] = None
+    #: Attempts consumed to produce this outcome (``> 1`` after
+    #: retries; ``0`` for tasks cancelled before ever running).
+    attempts: int = 1
     cache: CacheStats = field(default_factory=CacheStats)
     #: Per-task span records (plain dicts, ids local to this task),
     #: present when the sweep ran with tracing enabled.
@@ -145,6 +156,14 @@ class SweepResult:
     workers: int
     cache_enabled: bool
     wall_time: float
+    #: Resilience counters — all zero for plain :func:`run_sweep` runs.
+    #: ``retries`` = extra attempts consumed beyond each task's first,
+    #: ``recovered_workers`` = worker pools respawned after a death,
+    #: ``resumed`` = outcomes restored from a journal by
+    #: :func:`repro.runtime.resilience.resume_sweep`.
+    retries: int = 0
+    recovered_workers: int = 0
+    resumed: int = 0
 
     def __iter__(self) -> Iterator[TaskOutcome]:
         return iter(self.outcomes)
@@ -159,6 +178,14 @@ class SweepResult:
             total = total.merged(outcome.cache)
         return total
 
+    def failure_counts(self) -> Dict[str, int]:
+        """Failed tasks bucketed by taxonomy label."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.failure is not None:
+                counts[outcome.failure] = counts.get(outcome.failure, 0) + 1
+        return counts
+
     def trace_records(self) -> List[dict]:
         """Per-task traces merged into one ``repro.trace/1`` span tree.
 
@@ -169,13 +196,21 @@ class SweepResult:
         worker-local ``start_s`` clocks; ``duration_s``, which is what
         the reports aggregate, is always comparable.
         """
+        counters: Dict[str, int] = {}
+        for name, value in (
+            ("retries", self.retries),
+            ("recovered_workers", self.recovered_workers),
+            ("resumed_tasks", self.resumed),
+        ):
+            if value:
+                counters[name] = value
         records: List[dict] = [{
             "id": 0,
             "parent": None,
             "name": "sweep",
             "start_s": 0.0,
             "duration_s": self.wall_time,
-            "counters": {},
+            "counters": counters,
             "attrs": {
                 "mode": self.mode,
                 "workers": self.workers,
@@ -215,6 +250,16 @@ class SweepTimeout(Exception):
     """Raised inside a task when its wall-clock budget expires."""
 
 
+class WorkerDied(Exception):
+    """A worker process died (or, in serial mode, pretended to).
+
+    The chaos layer raises this in serial mode so the worker-death
+    recovery path is exercisable without killing the test process; in
+    a pool worker an injected kill exits the process for real and the
+    parent sees ``BrokenProcessPool`` instead.
+    """
+
+
 def _raise_timeout(
     signum: int, frame: object
 ) -> None:  # pragma: no cover - signal plumbing
@@ -224,19 +269,34 @@ def _raise_timeout(
 def _call_with_timeout(
     run: Callable[[], object], timeout: Optional[float]
 ) -> object:
-    """Run ``run()`` under a real-time alarm when the platform has one."""
+    """Run ``run()`` under a real-time alarm when the platform has one.
+
+    Nesting-safe: the previous handler *and* any previously armed
+    itimer are restored in a ``finally`` — even when ``run()`` raises —
+    so an inner timed call re-arms the enclosing call's remaining
+    budget (minus the time the inner call consumed) instead of silently
+    cancelling the outer alarm.
+    """
     if not timeout or timeout <= 0 or not hasattr(signal, "setitimer"):
         return run()
     try:
         previous = signal.signal(signal.SIGALRM, _raise_timeout)
     except ValueError:  # not in the main thread: no alarm available
         return run()
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    start = time.monotonic()
+    prior_remaining, _ = signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         return run()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if prior_remaining > 0.0:
+            elapsed = time.monotonic() - start
+            # An outer budget that expired while we ran fires (almost)
+            # immediately under the restored handler.
+            signal.setitimer(
+                signal.ITIMER_REAL, max(prior_remaining - elapsed, 1e-6)
+            )
 
 
 def _resolve(task: SweepTask) -> Callable:
@@ -252,7 +312,9 @@ def _resolve(task: SweepTask) -> Callable:
 
 def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
              default_timeout: Optional[float],
-             trace: bool = False) -> TaskOutcome:
+             trace: bool = False,
+             attempt: int = 0,
+             fault_plan: Optional["FaultPlan"] = None) -> TaskOutcome:
     """Run one task against ``cache`` (may be None) and time it.
 
     With ``trace`` a per-task :class:`Tracer` is installed for the
@@ -260,6 +322,12 @@ def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
     merged sweep trace is identical in shape either way.  The tracer
     survives timeouts and optimizer errors: ``finish()`` force-closes
     whatever spans the exception left open.
+
+    ``attempt`` and ``fault_plan`` belong to the resilience layer: when
+    a :class:`~repro.runtime.resilience.FaultPlan` schedules a fault at
+    ``(index, attempt)``, it fires inside the same try block the real
+    failures use, so injected and organic failures are classified by
+    one code path.
     """
     run = _resolve(task)
     kwargs = dict(task.kwargs)
@@ -271,12 +339,22 @@ def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
             "optimizer": task.optimizer_name,
             "label": task.label,
         }
+        if attempt:
+            tracer.root["attrs"]["attempt"] = attempt
+    fault: Optional[str] = None
+    if fault_plan is not None:
+        fault = fault_plan.fault_for(index, attempt)
     before = cache.stats() if cache is not None else CacheStats()
     start = time.perf_counter()
     result = None
     timed_out = False
     error: Optional[str] = None
+    failure: Optional[str] = None
     try:
+        if fault is not None:
+            from repro.runtime.resilience import apply_fault
+
+            apply_fault(fault, index=index, attempt=attempt)
         with use_cache(cache):
             if tracer is not None:
                 with use_tracer(tracer):
@@ -289,8 +367,16 @@ def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
                 )
     except SweepTimeout:
         timed_out = True
-        error = f"timeout after {timeout}s"
+        failure = "timeout"
+        error = (
+            f"timeout injected at task {index}, attempt {attempt}"
+            if fault == "timeout" else f"timeout after {timeout}s"
+        )
+    except WorkerDied as exc:
+        failure = "worker-died"
+        error = f"WorkerDied: {exc}"
     except Exception as exc:  # noqa: BLE001 - outcomes report, not raise
+        failure = "error"
         error = f"{type(exc).__name__}: {exc}"
     wall = time.perf_counter() - start
     after = cache.stats() if cache is not None else CacheStats()
@@ -311,6 +397,8 @@ def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
         wall_time=wall,
         timed_out=timed_out,
         error=error,
+        failure=failure,
+        attempts=attempt + 1,
         cache=delta,
         trace=trace_records,
     )
@@ -331,10 +419,13 @@ def _worker_init(cache_enabled: bool, cache_maxsize: Optional[int]) -> None:
 
 
 def _worker_run(
-    payload: Tuple[int, SweepTask, Optional[float], bool]
+    payload: Tuple[int, SweepTask, Optional[float], bool, int, object]
 ) -> TaskOutcome:
-    index, task, default_timeout, trace = payload
-    return _execute(index, task, _WORKER_CACHE, default_timeout, trace=trace)
+    index, task, default_timeout, trace, attempt, fault_plan = payload
+    return _execute(
+        index, task, _WORKER_CACHE, default_timeout,
+        trace=trace, attempt=attempt, fault_plan=fault_plan,
+    )
 
 
 def _make_pool(workers: int, cache_enabled: bool,
@@ -386,7 +477,9 @@ def run_sweep(
     outcomes: Optional[List[TaskOutcome]] = None
     mode = "serial"
     if workers > 1 and len(tasks) > 1:
-        payloads = [(i, task, timeout, trace) for i, task in enumerate(tasks)]
+        payloads = [
+            (i, task, timeout, trace, 0, None) for i, task in enumerate(tasks)
+        ]
         try:
             pool = _make_pool(workers, cache, cache_maxsize)
         except Exception:  # no semaphores / sandboxed: degrade quietly

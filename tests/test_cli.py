@@ -192,3 +192,41 @@ class TestSweepCommand:
         payload = load_metrics(metrics_path)
         assert payload["totals"]["cache_hits"] == 0
         assert payload["totals"]["cost_evaluations"] > 0
+
+    def test_journal_then_resume_round_trip(self, tmp_path, capsys):
+        journal = tmp_path / "sweep-journal.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "sweep", "--n", "5", "--quick", "--workers", "1",
+            "--journal", str(journal), "--retries", "2",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        first = capsys.readouterr().out
+        assert "journal at" in first
+        assert journal.exists()
+
+        code = main([
+            "sweep", "--n", "5", "--quick", "--workers", "1",
+            "--journal", str(journal), "--resume",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        second = capsys.readouterr().out
+        assert "tasks resumed from journal" in second
+
+        from repro.runtime.metrics import load_metrics, validate_metrics
+
+        payload = load_metrics(metrics_path)
+        validate_metrics(payload)
+        totals = payload["totals"]
+        assert totals["resumed_tasks"] == totals["tasks"]
+        assert totals["ok"] == totals["tasks"]
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["sweep", "--n", "5", "--quick", "--resume"]) == 2
+        assert "journal" in capsys.readouterr().err
+
+    def test_rejects_nonpositive_retries(self, capsys):
+        code = main(["sweep", "--n", "5", "--quick", "--retries", "0"])
+        assert code == 2

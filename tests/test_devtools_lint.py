@@ -307,6 +307,51 @@ class TestRuleFixtures:
         })
         assert lint_paths([tree], select=["RPR009"]).ok
 
+    def test_rpr010_flags_fault_plan_outside_resilience(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/api.py": """\
+                from repro.runtime.resilience import FaultPlan
+
+                def chaos_sweep(tasks):
+                    return FaultPlan(faults=())
+            """,
+        })
+        report = lint_paths([tree], select=["RPR010"])
+        assert codes_of(report) == ["RPR010"]
+        assert "resilience" in report.diagnostics[0].message
+
+    def test_rpr010_flags_attribute_construction(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "benchmarks/test_bench_chaos.py": """\
+                from repro.runtime import resilience
+
+                PLAN = resilience.FaultPlan(faults=())
+            """,
+        })
+        report = lint_paths([tree], select=["RPR010"])
+        assert codes_of(report) == ["RPR010"]
+
+    def test_rpr010_allows_the_chaos_home(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/runtime/resilience.py": """\
+                class FaultPlan:
+                    pass
+
+                def seeded_plan():
+                    return FaultPlan()
+            """,
+        })
+        assert lint_paths([tree], select=["RPR010"]).ok
+
+    def test_rpr010_allows_passing_plans_through(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/api.py": """\
+                def sweep(tasks, fault_plan=None):
+                    return run_resilient_sweep(tasks, fault_plan=fault_plan)
+            """,
+        })
+        assert lint_paths([tree], select=["RPR010"]).ok
+
     def test_rpr000_parse_error_is_a_finding(self, tmp_path):
         tree = make_tree(tmp_path, {
             "src/repro/broken.py": "def oops(:\n",
@@ -319,7 +364,7 @@ class TestRuleFixtures:
         assert rule_codes() == [
             "RPR001", "RPR002", "RPR003", "RPR004",
             "RPR005", "RPR006", "RPR007", "RPR008",
-            "RPR009",
+            "RPR009", "RPR010",
         ]
         for code, rule in RULES.items():
             assert rule.code == code

@@ -1,0 +1,182 @@
+"""Property-level backfill for ``repro.engine`` (executor + hashsim).
+
+The executor is the library's ground truth: it materializes a
+synthetic database and *runs* the plan, so comparing its measured
+counters to the cost model's closed forms tests both layers at once.
+On harmonized instances the model is exact, which turns "roughly
+agrees" into "equals" — every assertion here is an equality, not a
+tolerance.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import permutations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import api
+from repro.engine import execute_sequence, generate_database
+from repro.engine.data import harmonize_sizes
+from repro.engine.hashsim import simulate_hash_join
+from repro.joinopt.cost import intermediate_sizes, join_costs
+from repro.utils.validation import ValidationError
+
+SMALL = dict(size_max=30, domain_max=8)
+FAMILIES = sorted(api.FAMILIES)
+
+
+def _instance(family, n, seed):
+    return api.generate(family, n, seed=seed, **SMALL)
+
+
+def _execute(instance, algorithm):
+    """Run the plan, skipping draws whose *harmonized* sizes blow the
+    executor's memory guards (harmonizing rounds sizes up to domain
+    products, which on dense graphs can explode)."""
+    try:
+        return api.execute_plan(instance, algorithm=algorithm, harmonize=True)
+    except ValidationError as exc:
+        assume("guard" not in str(exc))
+        raise
+
+
+class TestExecutePlanMatchesModel:
+    """``execute_plan`` measured counters == cost-model predictions."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        n=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=1_000),
+        algorithm=st.sampled_from(["dp", "greedy-cost", "bnb"]),
+    )
+    def test_output_rows_equal_predicted_sizes(
+        self, family, n, seed, algorithm
+    ):
+        if family == "cycle" and n < 3:
+            n = 3
+        report = _execute(_instance(family, n, seed), algorithm)
+        assert report.exact
+        measured = tuple(output for output, _probe in report.joins)
+        assert measured == report.predicted_sizes
+        assert report.result_rows == report.predicted_sizes[-1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        n=st.integers(min_value=3, max_value=5),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_probe_rows_dominate_output_rows(self, family, n, seed):
+        """Probing fetches at least every surviving row."""
+        report = _execute(_instance(family, n, seed), "dp")
+        for output_rows, probe_rows in report.joins:
+            assert probe_rows >= output_rows
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=5),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_predicted_costs_match_measured_probe_work(self, n, seed):
+        """Measured probe_rows equals the model's H_i exactly:
+        H_i counts only the chosen access path's probes, which is
+        precisely what the executor's hash-index fetch meters."""
+        report = _execute(_instance("random", n, seed), "dp")
+        measured = tuple(probe for _output, probe in report.joins)
+        assert measured == report.predicted_costs
+
+
+class TestAllPermutations:
+    """Exhaustive n<=4: every plan's reality matches its prediction."""
+
+    def test_every_permutation_matches_model(self):
+        for family in ("chain", "cycle", "clique", "random"):
+            for seed in range(3):
+                instance = harmonize_sizes(_instance(family, 4, seed))
+                database = generate_database(instance)
+                for sequence in permutations(range(4)):
+                    trace = execute_sequence(
+                        database, sequence, max_intermediate_rows=50_000_000
+                    )
+                    predicted = intermediate_sizes(instance, sequence)
+                    measured = [j.output_rows for j in trace.joins]
+                    assert measured == predicted, (family, seed, sequence)
+
+    def test_every_permutation_probe_work_matches_h(self):
+        for seed in range(3):
+            instance = harmonize_sizes(_instance("random", 4, seed))
+            database = generate_database(instance)
+            for sequence in permutations(range(4)):
+                trace = execute_sequence(
+                    database, sequence, max_intermediate_rows=50_000_000
+                )
+                predicted = join_costs(instance, sequence)
+                measured = [j.probe_rows for j in trace.joins]
+                assert measured == predicted, (seed, sequence)
+
+    def test_result_rows_are_plan_invariant(self):
+        instance = harmonize_sizes(_instance("random", 4, 7))
+        database = generate_database(instance)
+        results = {
+            execute_sequence(
+                database, sequence, max_intermediate_rows=50_000_000
+            ).result_rows
+            for sequence in permutations(range(4))
+        }
+        assert len(results) == 1
+
+
+class TestHashsimClosedForm:
+    """The mechanical I/O count equals its documented closed form."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        memory=st.integers(min_value=1, max_value=200),
+        outer=st.integers(min_value=1, max_value=500),
+        inner=st.integers(min_value=1, max_value=200),
+    )
+    def test_io_matches_closed_form(self, memory, outer, inner):
+        simulated = simulate_hash_join(memory, outer, inner)
+        m, b_r, b_s = Fraction(memory), Fraction(outer), Fraction(inner)
+        if m >= b_s:
+            assert simulated.total_io == b_s
+        else:
+            expected = b_s + 2 * (b_s - m) + 2 * b_r * (b_s - m) / b_s
+            assert simulated.total_io == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        memory=st.integers(min_value=1, max_value=199),
+        outer=st.integers(min_value=1, max_value=500),
+        inner=st.integers(min_value=2, max_value=200),
+    )
+    def test_io_monotone_nonincreasing_in_memory(self, memory, outer, inner):
+        more_memory = simulate_hash_join(memory + 1, outer, inner)
+        less_memory = simulate_hash_join(memory, outer, inner)
+        assert more_memory.total_io <= less_memory.total_io
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        outer=st.integers(min_value=1, max_value=500),
+        inner=st.integers(min_value=1, max_value=200),
+    )
+    def test_resident_endpoint(self, outer, inner):
+        """At m = b_S the join degenerates to one build scan."""
+        simulated = simulate_hash_join(inner, outer, inner)
+        assert simulated.total_io == inner
+        assert simulated.spill_writes == 0
+        assert simulated.spill_reads == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        memory=st.integers(min_value=1, max_value=200),
+        outer=st.integers(min_value=1, max_value=500),
+        inner=st.integers(min_value=1, max_value=200),
+    )
+    def test_writes_equal_reads_for_spilled_pages(self, memory, outer, inner):
+        """Every spilled page is written once and read back once."""
+        simulated = simulate_hash_join(memory, outer, inner)
+        assert simulated.spill_writes == simulated.spill_reads
+        assert simulated.build_reads == inner

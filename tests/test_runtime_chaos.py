@@ -1,0 +1,501 @@
+"""Chaos suite for the resilience layer (``repro.runtime.resilience``).
+
+Deterministic fault injection exercises every failure path without
+real crashes (plus one test with a *real* SIGKILL of a journaled
+sweep subprocess).  The load-bearing property throughout: a resilient
+sweep's outcomes are a pure function of its tasks — independent of
+schedule, worker placement, injected faults that were retried away,
+and how many times the sweep was interrupted — so resumed, retried
+and chaos-ridden sweeps are bit-identical to clean ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.journal import (
+    SCHEMA as JOURNAL_SCHEMA,
+    completed_by_fingerprint,
+    read_journal,
+    record_to_outcome,
+    task_fingerprint,
+)
+from repro.runtime.metrics import (
+    FAILURE_KINDS,
+    sweep_metrics,
+    validate_metrics,
+    write_metrics,
+)
+from repro.runtime.resilience import (
+    FaultInjected,
+    FaultInjection,
+    FaultPlan,
+    RetryPolicy,
+    apply_fault,
+    resume_sweep,
+    run_resilient_sweep,
+)
+from repro.runtime.runner import (
+    OPTIMIZERS,
+    SweepTask,
+    SweepTimeout,
+    WorkerDied,
+    grid_tasks,
+)
+from repro.utils.validation import ValidationError
+from repro.workloads.queries import random_query
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _tasks(optimizers=("dp", "greedy-cost"), seeds=2):
+    instances = [
+        (f"c-s{seed}", random_query(5, rng=seed)) for seed in range(seeds)
+    ]
+    return grid_tasks(list(optimizers), instances)
+
+
+def _no_sleep(_delay):
+    return None
+
+
+def assert_equivalent(actual, expected):
+    """Bit-identical outcomes: costs, sequences, explored, cache."""
+    assert len(actual) == len(expected)
+    for a, b in zip(actual, expected):
+        assert (a.index, a.optimizer, a.label) == (
+            b.index, b.optimizer, b.label,
+        )
+        assert a.ok and b.ok
+        assert a.result.cost == b.result.cost
+        assert type(a.result.cost) is type(b.result.cost)
+        assert a.result.sequence == b.result.sequence
+        assert a.explored == b.explored
+        assert a.cache == b.cache
+    assert actual.cache_totals() == expected.cache_totals()
+
+
+def plan_of(*faults):
+    return FaultPlan(faults=tuple(FaultInjection(*f) for f in faults))
+
+
+class TestFaultPlan:
+    def test_lookup_is_exact(self):
+        plan = plan_of((2, 1, "error"))
+        assert plan.fault_for(2, 1) == "error"
+        assert plan.fault_for(2, 0) is None
+        assert plan.fault_for(1, 1) is None
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            plan_of((0, 0, "meteor-strike"))
+
+    def test_seeded_is_reproducible(self):
+        a = FaultPlan.seeded(7, num_tasks=10, max_attempt=2)
+        b = FaultPlan.seeded(7, num_tasks=10, max_attempt=2)
+        assert a == b
+        kinds = {fault.kind for fault in a.faults}
+        assert kinds == {"timeout", "error", "worker-kill"}
+
+    def test_apply_fault_raises_the_right_exception(self):
+        with pytest.raises(SweepTimeout):
+            apply_fault("timeout", index=0, attempt=0)
+        with pytest.raises(FaultInjected):
+            apply_fault("error", index=0, attempt=0)
+        # Serial mode: worker-kill degrades to a catchable exception.
+        with pytest.raises(WorkerDied):
+            apply_fault("worker-kill", index=0, attempt=0)
+
+
+class TestRetry:
+    def test_retry_until_success(self):
+        tasks = _tasks()
+        chaotic = run_resilient_sweep(
+            tasks, workers=1, retry=RetryPolicy(attempts=2),
+            fault_plan=plan_of((0, 0, "error")), sleep=_no_sleep,
+        )
+        clean = run_resilient_sweep(tasks, workers=1)
+        assert chaotic.retries == 1
+        assert chaotic.outcomes[0].attempts == 2
+        assert all(o.attempts == 1 for o in chaotic.outcomes[1:])
+        assert_equivalent(chaotic, clean)
+
+    def test_retry_exhaustion_keeps_taxonomy(self):
+        tasks = _tasks()
+        result = run_resilient_sweep(
+            tasks, workers=1, retry=RetryPolicy(attempts=2),
+            fault_plan=plan_of((0, 0, "error"), (0, 1, "error")),
+            sleep=_no_sleep,
+        )
+        failed = result.outcomes[0]
+        assert not failed.ok
+        assert failed.failure == "error"
+        assert failed.attempts == 2
+        assert "FaultInjected" in failed.error
+        assert all(o.ok for o in result.outcomes[1:])
+        assert result.failure_counts() == {"error": 1}
+
+    def test_three_failure_kinds_surface_distinct_labels(self):
+        """Acceptance: >= 3 injected kinds, distinct taxonomy labels."""
+        tasks = _tasks()
+        plan = plan_of(
+            (0, 0, "timeout"), (0, 1, "timeout"),
+            (1, 0, "error"), (1, 1, "error"),
+            (2, 0, "worker-kill"), (2, 1, "worker-kill"),
+        )
+        result = run_resilient_sweep(
+            tasks, workers=1, retry=RetryPolicy(attempts=2),
+            fault_plan=plan, sleep=_no_sleep,
+        )
+        labels = [o.failure for o in result.outcomes]
+        assert labels == ["timeout", "error", "worker-died", None]
+        assert result.outcomes[0].timed_out
+        payload = sweep_metrics(result, grid={"purpose": "chaos"})
+        validate_metrics(payload)
+        recorded = [t["failure"] for t in payload["tasks"]]
+        assert recorded == labels
+        distinct = {label for label in recorded if label is not None}
+        assert len(distinct) == 3
+        assert distinct < set(FAILURE_KINDS)
+        assert payload["totals"]["retries"] == 3
+
+    def test_metrics_round_trip_with_failures(self, tmp_path):
+        result = run_resilient_sweep(
+            _tasks(), workers=1, retry=RetryPolicy(attempts=2),
+            fault_plan=plan_of((0, 0, "timeout")), sleep=_no_sleep,
+        )
+        payload = sweep_metrics(result, grid={})
+        path = write_metrics(payload, tmp_path / "chaos-metrics.json")
+        assert json.loads(path.read_text())["totals"]["retries"] == 1
+
+    def test_metrics_validation_rejects_bad_failure_label(self):
+        payload = sweep_metrics(
+            run_resilient_sweep(_tasks(), workers=1), grid={}
+        )
+        payload["tasks"][0]["failure"] = "gremlins"
+        with pytest.raises(ValidationError):
+            validate_metrics(payload)
+
+
+class TestBackoff:
+    def test_schedule_is_deterministic(self):
+        policy = RetryPolicy(attempts=4, backoff=0.5)
+        assert policy.delays() == (0.5, 1.0, 2.0)
+        assert policy.delays() == RetryPolicy(attempts=4, backoff=0.5).delays()
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(attempts=6, backoff=1.0, max_delay=3.0)
+        assert policy.delays() == (1.0, 2.0, 3.0, 3.0, 3.0)
+
+    def test_sweep_sleeps_exactly_the_schedule(self):
+        recorded = []
+        policy = RetryPolicy(attempts=3, backoff=0.25)
+        run_resilient_sweep(
+            _tasks(), workers=1, retry=policy,
+            fault_plan=plan_of((0, 0, "error"), (0, 1, "error")),
+            sleep=recorded.append,
+        )
+        assert recorded == [0.25, 0.5]
+        assert tuple(recorded) == policy.delays()
+
+    def test_policy_rejects_nonsense(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(factor=0.5)
+
+
+class TestWorkerKillRecovery:
+    def test_serial_simulation_recovers_via_retry(self):
+        tasks = _tasks()
+        result = run_resilient_sweep(
+            tasks, workers=1, retry=RetryPolicy(attempts=2),
+            fault_plan=plan_of((1, 0, "worker-kill")), sleep=_no_sleep,
+        )
+        assert result.retries == 1
+        assert result.outcomes[1].attempts == 2
+        assert_equivalent(result, run_resilient_sweep(tasks, workers=1))
+
+    def test_parallel_real_kill_respawns_pool(self):
+        tasks = _tasks()
+        result = run_resilient_sweep(
+            tasks, workers=2, retry=RetryPolicy(attempts=3),
+            fault_plan=plan_of((1, 0, "worker-kill")), sleep=_no_sleep,
+        )
+        if result.mode != "parallel":
+            pytest.skip("no process pool available here")
+        assert result.recovered_workers >= 1
+        assert all(o.ok for o in result)
+        # Task isolation makes parallel-with-chaos == clean-serial.
+        assert_equivalent(result, run_resilient_sweep(tasks, workers=1))
+        payload = sweep_metrics(result, grid={})
+        assert payload["totals"]["recovered_workers"] >= 1
+
+    def test_pool_creation_failure_falls_back_to_serial(self, monkeypatch):
+        from repro.runtime import resilience as resilience_mod
+
+        def explode(*_args, **_kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(resilience_mod, "_make_executor", explode)
+        result = run_resilient_sweep(_tasks(), workers=4)
+        assert result.mode == "serial"
+        assert all(o.ok for o in result)
+
+
+class TestJournal:
+    def test_journal_has_header_and_valid_records(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        tasks = _tasks()
+        run_resilient_sweep(tasks, workers=1, journal=journal)
+        meta, records = read_journal(journal)
+        assert meta["tasks"] == len(tasks)
+        assert len(records) == len(tasks)
+        header = json.loads(journal.read_text().splitlines()[0])
+        assert header["schema"] == JOURNAL_SCHEMA
+        fingerprints = {r["fingerprint"] for r in records}
+        assert fingerprints == {
+            task_fingerprint(i, t) for i, t in enumerate(tasks)
+        }
+
+    def test_records_round_trip_outcomes_exactly(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        tasks = _tasks()
+        result = run_resilient_sweep(tasks, workers=1, journal=journal)
+        _, records = read_journal(journal)
+        by_fp = completed_by_fingerprint(records)
+        for index, task in enumerate(tasks):
+            stored = record_to_outcome(by_fp[task_fingerprint(index, task)])
+            original = result.outcomes[index]
+            assert stored.result.cost == original.result.cost
+            assert stored.result.sequence == original.result.sequence
+            assert stored.explored == original.explored
+            assert stored.cache == original.cache
+            assert stored.attempts == original.attempts
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        tasks = _tasks()
+        run_resilient_sweep(tasks, workers=1, journal=journal)
+        with journal.open("a") as handle:
+            handle.write('{"record": "task", "finge')  # SIGKILL mid-write
+        _, records = read_journal(journal)
+        assert len(records) == len(tasks)
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_resilient_sweep(_tasks(), workers=1, journal=journal)
+        lines = journal.read_text().splitlines()
+        lines[2] = "not json at all"
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValidationError):
+            read_journal(journal)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        journal = tmp_path / "bogus.jsonl"
+        journal.write_text('{"schema": "repro.sweep/1", "meta": {}}\n')
+        with pytest.raises(ValidationError):
+            read_journal(journal)
+
+    def test_fingerprint_tracks_task_content(self):
+        tasks = _tasks()
+        base = task_fingerprint(0, tasks[0])
+        assert task_fingerprint(1, tasks[0]) != base
+        assert task_fingerprint(0, tasks[1]) != base
+        assert task_fingerprint(0, tasks[0].with_kwargs(rng=3)) != base
+        assert task_fingerprint(0, tasks[0]) == base
+
+
+class TestResume:
+    def test_crash_midway_then_resume_is_bit_identical_serial(self, tmp_path):
+        """The golden test: interrupted + resumed == uninterrupted."""
+        tasks = _tasks(optimizers=("dp", "bnb", "greedy-cost"), seeds=2)
+        uninterrupted = run_resilient_sweep(tasks, workers=1)
+
+        journal = tmp_path / "crashed.jsonl"
+        # Simulate dying after 3 of 6 tasks: journal only a prefix.
+        run_resilient_sweep(tasks[:3], workers=1, journal=journal)
+        resumed = run_resilient_sweep(
+            tasks, workers=1, journal=journal,
+            completed={
+                i: record_to_outcome(r)
+                for i, r in enumerate(read_journal(journal)[1])
+            },
+            resumed=3,
+        )
+        assert resumed.resumed == 3
+        assert_equivalent(resumed, uninterrupted)
+
+    def test_resume_sweep_skips_completed_tasks(self, tmp_path):
+        tasks = _tasks()
+        journal = tmp_path / "sweep.jsonl"
+        run_resilient_sweep(tasks[:2], workers=1, journal=journal)
+        resumed = resume_sweep(journal, tasks, workers=1)
+        assert resumed.resumed == 2
+        assert_equivalent(resumed, run_resilient_sweep(tasks, workers=1))
+        # The journal now covers everything: a second resume runs nothing.
+        again = resume_sweep(journal, tasks, workers=1)
+        assert again.resumed == len(tasks)
+        assert_equivalent(again, resumed)
+
+    def test_resume_parallel_matches_uninterrupted(self, tmp_path):
+        tasks = _tasks(optimizers=("dp", "bnb", "greedy-cost"), seeds=2)
+        journal = tmp_path / "crashed.jsonl"
+        run_resilient_sweep(tasks[:3], workers=1, journal=journal)
+        resumed = resume_sweep(journal, tasks, workers=2)
+        if resumed.mode != "parallel":
+            pytest.skip("no process pool available here")
+        assert resumed.resumed == 3
+        assert_equivalent(resumed, run_resilient_sweep(tasks, workers=1))
+
+    def test_resume_ignores_foreign_fingerprints(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_resilient_sweep(_tasks(), workers=1, journal=journal)
+        different = grid_tasks(
+            ["dp", "greedy-cost"],
+            [(f"c-s{seed}", random_query(5, rng=seed + 10))
+             for seed in range(2)],
+        )
+        resumed = resume_sweep(journal, different, workers=1)
+        assert resumed.resumed == 0
+        assert all(o.ok for o in resumed)
+
+    def test_resumed_metrics_validate(self, tmp_path):
+        tasks = _tasks()
+        journal = tmp_path / "sweep.jsonl"
+        run_resilient_sweep(tasks[:2], workers=1, journal=journal)
+        resumed = resume_sweep(journal, tasks, workers=1)
+        payload = sweep_metrics(resumed, grid={"resumed": True})
+        validate_metrics(payload)
+        assert payload["totals"]["resumed_tasks"] == 2
+
+
+def _interruptible(instance, flag="", **_kwargs):
+    if flag and os.path.exists(flag):
+        raise KeyboardInterrupt()
+    return OPTIMIZERS["greedy-cost"](instance)
+
+
+class TestCancellation:
+    def test_interrupt_cancels_rest_and_resume_reruns_them(self, tmp_path):
+        flag = tmp_path / "explode"
+        flag.write_text("boom")
+        instance = random_query(5, rng=0)
+        tasks = [
+            SweepTask(optimizer="dp", instance=instance, label="before"),
+            SweepTask(
+                optimizer=_interruptible, instance=instance, label="ki",
+                kwargs=(("flag", str(flag)),),
+            ),
+            SweepTask(optimizer="dp", instance=instance, label="after"),
+        ]
+        journal = tmp_path / "sweep.jsonl"
+        interrupted = run_resilient_sweep(tasks, workers=1, journal=journal)
+        assert interrupted.outcomes[0].ok
+        assert interrupted.outcomes[1].failure == "cancelled"
+        assert interrupted.outcomes[2].failure == "cancelled"
+        assert interrupted.outcomes[2].attempts == 0
+        assert not interrupted.outcomes[1].ok
+        # Only the completed task was journaled.
+        _, records = read_journal(journal)
+        assert len(records) == 1
+        # Clear the tripwire; resume re-runs exactly the cancelled tasks.
+        flag.unlink()
+        resumed = resume_sweep(journal, tasks, workers=1)
+        assert resumed.resumed == 1
+        assert all(o.ok for o in resumed)
+        clean = run_resilient_sweep(tasks, workers=1)
+        assert_equivalent(resumed, clean)
+
+    def test_cancelled_outcomes_validate_in_metrics(self, tmp_path):
+        flag = tmp_path / "explode"
+        flag.write_text("boom")
+        instance = random_query(5, rng=0)
+        tasks = [
+            SweepTask(
+                optimizer=_interruptible, instance=instance, label="ki",
+                kwargs=(("flag", str(flag)),),
+            ),
+            SweepTask(optimizer="dp", instance=instance, label="after"),
+        ]
+        result = run_resilient_sweep(tasks, workers=1)
+        payload = sweep_metrics(result, grid={})
+        validate_metrics(payload)
+        assert [t["failure"] for t in payload["tasks"]] == [
+            "cancelled", "cancelled",
+        ]
+
+
+def _sigkill_self(instance, **_kwargs):  # pragma: no cover - dies
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _crash_main(journal_path):  # pragma: no cover - run in a subprocess
+    """Entry point for the real-SIGKILL test: die on the third task."""
+    tasks = _tasks(optimizers=("dp", "bnb", "greedy-cost"), seeds=2)
+    tasks[2] = SweepTask(
+        optimizer=_sigkill_self,
+        instance=tasks[2].instance,
+        label=tasks[2].label,
+    )
+    run_resilient_sweep(tasks, workers=1, journal=journal_path)
+
+
+class TestRealSigkill:
+    def test_sigkilled_sweep_resumes_bit_identically(self, tmp_path):
+        """Acceptance: SIGKILL mid-sweep, resume, bit-identical result."""
+        journal = tmp_path / "sweep.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        )
+        process = subprocess.run(
+            [
+                sys.executable, "-c",
+                "from tests.test_runtime_chaos import _crash_main; "
+                f"_crash_main({str(journal)!r})",
+            ],
+            env=env, cwd=REPO_ROOT, capture_output=True, timeout=120,
+        )
+        assert process.returncode == -signal.SIGKILL, process.stderr.decode()
+        _, records = read_journal(journal)
+        assert len(records) == 2  # exactly the tasks that finished
+
+        tasks = _tasks(optimizers=("dp", "bnb", "greedy-cost"), seeds=2)
+        resumed = resume_sweep(journal, tasks, workers=1)
+        assert resumed.resumed == 2
+        assert_equivalent(resumed, run_resilient_sweep(tasks, workers=1))
+
+
+class TestTraceIntegration:
+    def test_resilience_counters_land_on_the_root_span(self):
+        result = run_resilient_sweep(
+            _tasks(), workers=1, trace=True,
+            retry=RetryPolicy(attempts=2),
+            fault_plan=plan_of((0, 0, "error")), sleep=_no_sleep,
+        )
+        root = result.trace_records()[0]
+        assert root["counters"]["retries"] == 1
+
+    def test_trace_validates_end_to_end(self, tmp_path):
+        from repro.observability import load_trace, write_trace
+
+        result = run_resilient_sweep(
+            _tasks(), workers=1, trace=True,
+            retry=RetryPolicy(attempts=2),
+            fault_plan=plan_of((0, 0, "timeout")), sleep=_no_sleep,
+        )
+        path = write_trace(
+            result.trace_records(), tmp_path / "chaos.jsonl", meta={}
+        )
+        trace = load_trace(path)
+        assert trace.records[0]["counters"]["retries"] == 1

@@ -26,6 +26,8 @@ from repro.runtime.metrics import (
 from repro.runtime.runner import (
     OPTIMIZERS,
     SweepTask,
+    SweepTimeout,
+    _call_with_timeout,
     default_workers,
     grid_tasks,
     run_sweep,
@@ -229,6 +231,41 @@ class TestTimeouts:
         assert result.outcomes[0].timed_out
         assert result.outcomes[1].ok
         assert result.outcomes[1].result.cost is not None
+
+    def test_nested_timed_calls_restore_the_outer_alarm(self):
+        """Regression: an inner timed call must not disarm the outer one.
+
+        Before the fix, the inner ``_call_with_timeout`` cleared the
+        SIGALRM itimer on exit, so the outer 0.3s budget was lost and
+        the trailing sleep ran its full 10 seconds.
+        """
+
+        def outer():
+            inner = _call_with_timeout(lambda: "inner-ok", 5.0)
+            assert inner == "inner-ok"
+            time.sleep(10)
+            return "never"
+
+        start = time.perf_counter()
+        with pytest.raises(SweepTimeout):
+            _call_with_timeout(outer, 0.3)
+        assert time.perf_counter() - start < 4.0
+
+    def test_inner_timeout_restores_handler_when_task_raises(self):
+        def outer():
+            with pytest.raises(RuntimeError):
+                _call_with_timeout(self._boom, 5.0)
+            time.sleep(10)
+            return "never"
+
+        start = time.perf_counter()
+        with pytest.raises(SweepTimeout):
+            _call_with_timeout(outer, 0.3)
+        assert time.perf_counter() - start < 4.0
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("task failed inside the inner timer")
 
 
 class TestCostCacheUnit:
