@@ -13,12 +13,27 @@ which subpackage implements what.
     sweep = api.sweep({"optimizers": ["dp", "greedy-cost"],
                        "instances": [("q0", instance)]}, trace=True)
 
+Since the service layer landed, the canonical way to describe work is
+a typed request object — :class:`OptimizeRequest` for one run,
+:class:`SweepSpec` for a grid — executed with :func:`execute_request`
+(or shipped to a ``repro serve`` daemon unchanged, since both
+round-trip through JSON exactly):
+
+    request = api.OptimizeRequest.build(instance, "dp")
+    result = api.execute_request(request)
+
+:func:`optimize` and :func:`sweep` accept request objects directly and
+keep their historical kwarg forms as shims that build the request
+internally (a one-time :class:`DeprecationWarning` fires when the old
+kwarg spellings are used).
+
 The deeper modules remain importable — the facade adds no state — but
 only the names exported here are covered by the compatibility promise.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -28,11 +43,20 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
 
+from repro.core.requests import (
+    REPLY_SCHEMA,
+    REQUEST_SCHEMA,
+    OptimizeRequest,
+    ServiceReply,
+    SweepSpec,
+)
 from repro.core.results import PlanResult
+from repro.runtime.costcache import CostCache, use_cache
 from repro.runtime.journal import read_journal
 from repro.runtime.metrics import (
     load_metrics,
@@ -72,6 +96,50 @@ FAMILIES: Dict[str, Callable] = {
     "clique": clique_query,
     "random": random_query,
 }
+
+#: Facade version, bumped whenever the request/reply surface changes.
+API_VERSION = "1.1"
+
+#: Every wire schema this facade (and the service daemon) speaks.
+RPC_SCHEMAS: Tuple[str, ...] = (
+    "repro.rpc/1",
+    REQUEST_SCHEMA,
+    REPLY_SCHEMA,
+    "repro.stats/1",
+)
+
+_warned: Set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=4)
+
+
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the warn-once latches (test helper)."""
+    _warned.clear()
+
+
+def capabilities() -> Dict[str, Any]:
+    """What this facade can do, as plain JSON-safe data.
+
+    The payload behind ``repro request --capabilities`` and the
+    service handshake: the facade version, the wire schemas, and every
+    family/optimizer/reduction name the request layer accepts.  Clients
+    should check ``rpc_schemas`` before sending requests rather than
+    pinning the facade version.
+    """
+    return {
+        "api_version": API_VERSION,
+        "rpc_schemas": list(RPC_SCHEMAS),
+        "request_types": ["optimize_request", "sweep_spec"],
+        "families": sorted(FAMILIES),
+        "optimizers": sorted(OPTIMIZERS),
+        "reductions": reduction_names(),
+    }
 
 
 def _reduction_registry() -> Dict[str, Callable]:
@@ -188,17 +256,109 @@ def reduce(chain: str, source: Any, **kwargs: Any) -> Any:
 def optimize(instance: Any, algorithm: str = "dp", **kwargs: Any) -> PlanResult:
     """Run one optimizer on one instance; returns a :class:`PlanResult`.
 
+    The canonical spelling passes an :class:`OptimizeRequest` as the
+    sole argument::
+
+        api.optimize(api.OptimizeRequest.build(instance, "dp"))
+
+    The historical form ``optimize(instance, algorithm, **kwargs)``
+    still works: it builds the request internally.  Passing
+    per-optimizer ``**kwargs`` positionally like that is deprecated
+    (one :class:`DeprecationWarning` per process) — put them in the
+    request instead, where they serialize and fingerprint.
+
     ``algorithm`` is a name from :func:`optimizer_names`; the instance
     type must match the algorithm's substrate (``qoh-*`` expect a
     :class:`~repro.hashjoin.instance.QOHInstance`, ``sqocp-*`` a
     :class:`~repro.starqo.instance.SQOCPInstance`, the rest a
     :class:`~repro.joinopt.instance.QONInstance`).
     """
+    if isinstance(instance, OptimizeRequest):
+        require(
+            algorithm == "dp" and not kwargs,
+            "optimize(request) takes no extra arguments; set the "
+            "algorithm and params on the OptimizeRequest",
+        )
+        request = instance
+    else:
+        if kwargs:
+            _warn_once(
+                "optimize-kwargs",
+                "passing optimizer kwargs to api.optimize() is "
+                "deprecated; build an api.OptimizeRequest instead",
+            )
+        request = OptimizeRequest.build(instance, algorithm, **kwargs)
+    return execute_request(request)
+
+
+def request_fingerprint(request: Union[OptimizeRequest, SweepSpec]) -> str:
+    """The stable content hash of a request (dedup/cache identity).
+
+    Identical work — same instance statistics, optimizer, params,
+    and (for sweeps) runner settings — yields the same fingerprint
+    regardless of when or where the request object was built; the
+    ``no_cache`` delivery flag is excluded.
+    """
     require(
-        algorithm in OPTIMIZERS,
-        f"unknown algorithm {algorithm!r}; known: {sorted(OPTIMIZERS)}",
+        isinstance(request, (OptimizeRequest, SweepSpec)),
+        f"expected OptimizeRequest or SweepSpec, got {type(request)!r}",
     )
-    return OPTIMIZERS[algorithm](instance, **kwargs)
+    return request.fingerprint()
+
+
+def execute_request(
+    request: Union[OptimizeRequest, SweepSpec],
+) -> Union[PlanResult, SweepResult]:
+    """Execute a typed request object locally.
+
+    The single entry point the service daemon is allowed to call (lint
+    rule RPR011): an :class:`OptimizeRequest` runs its optimizer and
+    returns a :class:`PlanResult`; a :class:`SweepSpec` runs its grid
+    through the instrumented runner (resilient when the spec sets
+    ``retries > 1`` or ``backoff > 0``) and returns a
+    :class:`SweepResult`.  Results are produced by the same code paths
+    as :func:`optimize` / :func:`sweep`, so a served reply decodes
+    bit-identically to a direct call.
+    """
+    if isinstance(request, OptimizeRequest):
+        require(
+            request.algorithm in OPTIMIZERS,
+            f"unknown algorithm {request.algorithm!r}; "
+            f"known: {sorted(OPTIMIZERS)}",
+        )
+        return OPTIMIZERS[request.algorithm](
+            request.instance, **request.kwargs()
+        )
+    require(
+        isinstance(request, SweepSpec),
+        f"expected OptimizeRequest or SweepSpec, got {type(request)!r}",
+    )
+    tasks = grid_tasks(
+        request.optimizers,
+        request.instances,
+        kwargs_for=request.kwargs_for,
+        timeout=request.timeout,
+    )
+    if request.retries > 1 or request.backoff > 0.0:
+        return run_resilient_sweep(
+            tasks,
+            workers=request.workers,
+            cache=request.cache,
+            cache_maxsize=request.cache_maxsize,
+            timeout=request.timeout,
+            trace=request.trace,
+            retry=RetryPolicy(
+                attempts=max(1, request.retries), backoff=request.backoff
+            ),
+        )
+    return run_sweep(
+        tasks,
+        workers=request.workers,
+        cache=request.cache,
+        cache_maxsize=request.cache_maxsize,
+        timeout=request.timeout,
+        trace=request.trace,
+    )
 
 
 GridLike = Union[Sequence[SweepTask], Mapping]
@@ -220,7 +380,7 @@ def _grid_to_tasks(grid: GridLike) -> List[SweepTask]:
 
 
 def sweep(
-    grid: GridLike,
+    grid: Union[SweepSpec, GridLike],
     workers: Optional[int] = None,
     cache: bool = True,
     cache_maxsize: Optional[int] = None,
@@ -234,18 +394,31 @@ def sweep(
 ) -> SweepResult:
     """Run an optimizer x instance grid through the instrumented runner.
 
-    ``grid`` is either a prepared sequence of
-    :class:`~repro.runtime.runner.SweepTask` or a mapping with
+    The canonical spelling passes a :class:`SweepSpec`, which carries
+    the grid *and* the runner settings as one serializable value::
+
+        spec = api.SweepSpec.build(["dp", "greedy-cost"],
+                                   [("q0", instance)], workers=1)
+        result = api.sweep(spec)
+
+    Only the host-local operational arguments — ``journal``,
+    ``resume``, ``fault_plan`` — may accompany a spec; they are
+    deliberately not part of the spec (a spec must be safe to accept
+    over a socket).
+
+    The historical form still works: ``grid`` as a prepared sequence
+    of :class:`~repro.runtime.runner.SweepTask` or a mapping with
 
     * ``"optimizers"`` — algorithm names (or callables),
     * ``"instances"`` — ``(label, instance)`` pairs,
     * ``"kwargs_for"`` — optional ``(name, label) -> dict`` hook,
 
-    which is flattened with :func:`~repro.runtime.runner.grid_tasks`.
-    The core arguments mirror
-    :func:`~repro.runtime.runner.run_sweep`; with ``trace=True`` the
-    result's :meth:`~repro.runtime.runner.SweepResult.trace_records`
-    yields the merged ``repro.trace/1`` span tree.
+    flattened with :func:`~repro.runtime.runner.grid_tasks`.  Passing
+    the runner settings as keywords alongside an old-style grid is
+    deprecated (one :class:`DeprecationWarning` per process) — put
+    them on a :class:`SweepSpec`.  With ``trace=True`` the result's
+    :meth:`~repro.runtime.runner.SweepResult.trace_records` yields the
+    merged ``repro.trace/1`` span tree.
 
     The resilience arguments route the sweep through
     :func:`~repro.runtime.resilience.run_resilient_sweep` instead:
@@ -257,7 +430,44 @@ def sweep(
     set to a non-default engages the resilient runner, whose outcomes
     are task-isolated (fresh cost cache per attempt).
     """
-    tasks = _grid_to_tasks(grid)
+    if isinstance(grid, SweepSpec):
+        spec = grid
+        require(
+            workers is None and cache and cache_maxsize is None
+            and timeout is None and not trace and retries == 1
+            and backoff == 0.0,
+            "sweep(spec) takes runner settings on the SweepSpec itself; "
+            "only journal/resume/fault_plan may be passed alongside",
+        )
+        if journal is None and not resume and fault_plan is None:
+            result = execute_request(spec)
+            assert isinstance(result, SweepResult)
+            return result
+        workers = spec.workers
+        cache = spec.cache
+        cache_maxsize = spec.cache_maxsize
+        timeout = spec.timeout
+        trace = spec.trace
+        retries = spec.retries
+        backoff = spec.backoff
+        tasks = grid_tasks(
+            spec.optimizers,
+            spec.instances,
+            kwargs_for=spec.kwargs_for,
+            timeout=spec.timeout,
+        )
+    else:
+        if (
+            workers is not None or not cache or cache_maxsize is not None
+            or timeout is not None or trace or retries != 1
+            or backoff != 0.0
+        ):
+            _warn_once(
+                "sweep-kwargs",
+                "passing runner settings as api.sweep() keywords is "
+                "deprecated; build an api.SweepSpec instead",
+            )
+        tasks = _grid_to_tasks(grid)
     resilient = (
         journal is not None or resume or retries > 1
         or backoff > 0.0 or fault_plan is not None
@@ -530,15 +740,23 @@ def scorecard() -> Any:
 
 
 __all__ = [
+    "API_VERSION",
     "FAMILIES",
+    "RPC_SCHEMAS",
+    "CostCache",
     "ExecutionReport",
+    "OptimizeRequest",
     "PlanResult",
     "RetryPolicy",
+    "ServiceReply",
     "SweepResult",
+    "SweepSpec",
     "SweepTask",
     "bench_summary_lines",
+    "capabilities",
     "default_workers",
     "execute_plan",
+    "execute_request",
     "explain_plan",
     "gap_formula",
     "gap_pair",
@@ -552,12 +770,14 @@ __all__ = [
     "read_journal",
     "reduce",
     "reduction_names",
+    "request_fingerprint",
     "resume_sweep",
     "run_bench",
     "scorecard",
     "substrate_of",
     "sweep",
     "sweep_metrics",
+    "use_cache",
     "validate_bench",
     "validate_metrics",
     "write_bench",

@@ -60,7 +60,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     instance = io.load(args.instance)
     if not _require_qon(instance, "optimize"):
         return 2
-    result = api.optimize(instance, algorithm=args.algorithm)
+    request = api.OptimizeRequest.build(instance, args.algorithm)
+    result = api.optimize(request)
     print(f"algorithm:  {result.optimizer}")
     print(f"sequence:   {list(result.sequence)}")
     print(f"cost:       2^{log2_of(result.cost):.3f}")
@@ -196,11 +197,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     instances, seeds = _sweep_instances(args)
 
-    def kwargs_for(name: str, label: str) -> Dict[str, object]:
-        if name in _RANDOMIZED:
-            return {"rng": seeds.get(label, 0)}
-        return {}
-
     if args.resume and args.journal is None:
         print("--resume requires --journal PATH", file=sys.stderr)
         return 2
@@ -208,9 +204,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("--retries must be >= 1", file=sys.stderr)
         return 2
 
-    tasks = api.grid_tasks(names, instances, kwargs_for=kwargs_for)
-    result = api.sweep(
-        tasks,
+    spec = api.SweepSpec.build(
+        names,
+        instances,
+        params={
+            (name, label): {"rng": seeds.get(label, 0)}
+            for name in names if name in _RANDOMIZED
+            for label, _instance in instances
+        },
         workers=args.workers,
         cache=not args.no_cache,
         cache_maxsize=args.cache_maxsize,
@@ -218,9 +219,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         trace=args.trace_out is not None,
         retries=args.retries,
         backoff=args.backoff,
-        journal=args.journal,
-        resume=args.resume,
     )
+    result = api.sweep(spec, journal=args.journal, resume=args.resume)
 
     header = (
         f"{'instance':<16}{'algorithm':<14}{'log2 cost':>10}"
@@ -377,6 +377,114 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(report))
     return 0 if report.ok else 1
+
+
+def _parse_address(text: str) -> object:
+    """``host:port`` -> TCP tuple; anything else is an AF_UNIX path."""
+    if "/" not in text and ":" in text:
+        host, _colon, port = text.rpartition(":")
+        if host and port.isdigit():
+            return (host, int(port))
+    return text
+
+
+def _format_address(address: object) -> str:
+    if isinstance(address, str):
+        return address
+    host, port = address  # type: ignore[misc]
+    return f"{host}:{port}"
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import OptimizationServer, ServerConfig
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_queue < 1:
+        print("--max-queue must be >= 1", file=sys.stderr)
+        return 2
+    server = OptimizationServer(ServerConfig(
+        address=_parse_address(args.socket),  # type: ignore[arg-type]
+        workers=args.workers,
+        max_queue=args.max_queue,
+        retry_after_s=args.retry_after,
+        result_cache_size=args.cache_size,
+        instance_cache_size=args.instance_cache_size,
+        worker_cache_maxsize=args.cost_cache_maxsize,
+    ))
+    address = server.start()
+    print(
+        f"repro service (api {api.API_VERSION}) listening on "
+        f"{_format_address(address)} | {args.workers} worker"
+        f"{'s' if args.workers != 1 else ''}, queue {args.max_queue}",
+        flush=True,
+    )
+    final = server.serve_forever()
+    print(json.dumps(final, sort_keys=True))
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json
+
+    if args.capabilities:
+        if args.connect is None:
+            print(json.dumps(api.capabilities(), indent=2, sort_keys=True))
+            return 0
+        from repro.service import ServiceClient
+
+        with ServiceClient(_parse_address(args.connect)) as client:  # type: ignore[arg-type]
+            print(json.dumps(client.capabilities, indent=2, sort_keys=True))
+        return 0
+
+    if args.connect is None:
+        print("repro request needs --connect ADDRESS (or --capabilities)",
+              file=sys.stderr)
+        return 2
+    from repro.service import ServiceClient, ServiceUnavailable
+
+    with ServiceClient(_parse_address(args.connect)) as client:  # type: ignore[arg-type]
+        if args.stats:
+            from repro.service import validate_stats
+
+            stats = client.stats()
+            validate_stats(stats)
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        if args.instance is None:
+            print("repro request needs an instance file "
+                  "(or --stats / --capabilities)", file=sys.stderr)
+            return 2
+        instance = io.load(args.instance)
+        request = api.OptimizeRequest.build(
+            instance, args.algorithm, no_cache=args.no_cache
+        )
+        try:
+            reply = client.optimize(request, max_wait_s=args.max_wait)
+        except ServiceUnavailable as exc:
+            print(str(exc), file=sys.stderr)
+            return 3
+    if args.json:
+        print(reply.to_json())
+        return 0 if reply.ok else 1
+    if not reply.ok:
+        print(f"request failed: {reply.error}", file=sys.stderr)
+        return 1
+    result = reply.result
+    source = "cache" if reply.cached else (
+        "coalesced" if reply.coalesced else "computed"
+    )
+    print(f"algorithm:  {result.optimizer}")
+    print(f"sequence:   {list(result.sequence)}")
+    print(f"cost:       2^{log2_of(result.cost):.3f}")
+    print(f"exact:      {result.is_exact}")
+    print(f"explored:   {result.explored}")
+    print(f"served:     {source} in {reply.wall_time_s * 1e3:.1f} ms "
+          f"(fingerprint {(reply.fingerprint or '')[:12]})")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -580,6 +688,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered rules and exit",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the optimization service daemon (repro.rpc/1 over a "
+        "local socket) with request dedup, result caching and "
+        "admission control",
+    )
+    serve.add_argument(
+        "--socket", default="127.0.0.1:0",
+        help="where to listen: a unix socket path, or host:port "
+        "(port 0 picks a free port; default 127.0.0.1:0)",
+    )
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads = max in-flight computations")
+    serve.add_argument(
+        "--max-queue", type=int, default=32,
+        help="pending requests admitted beyond the in-flight ones; "
+        "beyond this, requests are rejected with a retry-after reply",
+    )
+    serve.add_argument("--retry-after", type=float, default=0.05,
+                       help="retry hint (seconds) on rejection replies")
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result-cache entries (0 disables result caching)",
+    )
+    serve.add_argument(
+        "--instance-cache-size", type=int, default=64,
+        help="decoded instances kept alive for compiled-kernel reuse",
+    )
+    serve.add_argument(
+        "--cost-cache-maxsize", type=int, default=None,
+        help="bound each worker's cost cache (LRU) at this many entries",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    request_cmd = subparsers.add_parser(
+        "request",
+        help="send one typed request to a running service daemon "
+        "(or print capabilities)",
+    )
+    request_cmd.add_argument(
+        "instance", nargs="?", default=None,
+        help="instance JSON file to optimize",
+    )
+    request_cmd.add_argument(
+        "--connect", default=None,
+        help="daemon address: unix socket path or host:port",
+    )
+    request_cmd.add_argument(
+        "--algorithm", choices=api.optimizer_names(), default="dp",
+    )
+    request_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the server's result cache for this request",
+    )
+    request_cmd.add_argument(
+        "--capabilities", action="store_true",
+        help="print the capability payload (the server's with "
+        "--connect, the local facade's otherwise) and exit",
+    )
+    request_cmd.add_argument(
+        "--stats", action="store_true",
+        help="print the server's repro.stats/1 snapshot and exit",
+    )
+    request_cmd.add_argument(
+        "--max-wait", type=float, default=60.0,
+        help="give up after being backpressured for this many seconds",
+    )
+    request_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the raw repro.reply/1 JSON instead of the summary",
+    )
+    request_cmd.set_defaults(func=_cmd_request)
 
     return parser
 

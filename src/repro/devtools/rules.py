@@ -423,6 +423,7 @@ CLI_ALLOWED_PREFIXES = (
     "repro.devtools",
     "repro.utils",
     "repro.observability",
+    "repro.service",  # serve/request subcommands drive the daemon
 )
 _CLI_ALLOWED_TOP_NAMES = tuple(
     prefix.split(".", 1)[1] for prefix in CLI_ALLOWED_PREFIXES
@@ -675,3 +676,77 @@ def _check_fault_plan_confined(
                 "be wired into production sweeps (pass plans built by "
                 "test code through the resilience API instead)"
             )
+
+
+# ---------------------------------------------------------------------
+# RPR011 — the service invokes optimization only through repro.api
+# ---------------------------------------------------------------------
+
+#: The daemon package.  Its replies must be bit-identical to direct
+#: ``repro.api`` calls, which only holds if every computation flows
+#: through the same facade entry points — so service modules may not
+#: import optimizers, reductions or the runner directly.
+SERVICE_PACKAGE = ("service",)
+
+#: What the service may import from the project: the facade (request
+#: objects and ``execute_request``), itself, serialization, utilities,
+#: and the observability layer for per-request span trees.
+SERVICE_ALLOWED_PREFIXES = (
+    "repro.api",
+    "repro.service",
+    "repro.io",
+    "repro.utils",
+    "repro.observability",
+)
+_SERVICE_ALLOWED_TOP_NAMES = tuple(
+    prefix.split(".", 1)[1] for prefix in SERVICE_ALLOWED_PREFIXES
+)
+
+
+@register(
+    "RPR011",
+    "service-bypasses-api",
+    "repro.service modules must invoke optimization through repro.api "
+    "request objects, never optimizer/runner internals",
+)
+def _check_service_routing(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if not module_matches(file.module, SERVICE_PACKAGE):
+        return
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or not alias.name.startswith(
+                    "repro."
+                ):
+                    continue
+                if not module_matches(
+                    alias.name, SERVICE_ALLOWED_PREFIXES
+                ):
+                    line, col = _loc(node)
+                    yield line, col, (
+                        f"service imports internal module "
+                        f"{alias.name!r}; route the computation through "
+                        "repro.api request objects instead"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "repro":
+                for alias in node.names:
+                    if alias.name not in _SERVICE_ALLOWED_TOP_NAMES:
+                        line, col = _loc(node)
+                        yield line, col, (
+                            f"service imports repro.{alias.name}; route "
+                            "the computation through repro.api request "
+                            "objects instead"
+                        )
+            elif module.startswith("repro.") and not module_matches(
+                module, SERVICE_ALLOWED_PREFIXES
+            ):
+                line, col = _loc(node)
+                yield line, col, (
+                    f"service imports internal module {module!r}; route "
+                    "the computation through repro.api request objects "
+                    "instead"
+                )

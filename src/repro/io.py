@@ -204,19 +204,33 @@ _DECODERS = {
 }
 
 
-def dumps(obj: Any) -> str:
-    """Serialize any supported instance to JSON text."""
+def to_dict(obj: Any) -> Dict[str, Any]:
+    """Serialize any supported instance to its plain-dict payload.
+
+    The dict form of :func:`dumps` — the building block the typed
+    request layer (:mod:`repro.core.requests`) embeds instances with.
+    """
     encoder = _ENCODERS.get(type(obj))
     require(encoder is not None, f"cannot serialize {type(obj)!r}")
-    return json.dumps(encoder(obj), indent=2, sort_keys=True)
+    return encoder(obj)
+
+
+def from_dict(payload: Dict[str, Any]) -> Any:
+    """Deserialize a payload produced by :func:`to_dict` (exactly)."""
+    require(isinstance(payload, dict), "instance payload must be a dict")
+    decoder = _DECODERS.get(payload.get("type"))
+    require(decoder is not None, f"unknown payload type {payload.get('type')!r}")
+    return decoder(payload)
+
+
+def dumps(obj: Any) -> str:
+    """Serialize any supported instance to JSON text."""
+    return json.dumps(to_dict(obj), indent=2, sort_keys=True)
 
 
 def loads(text: str) -> Any:
     """Deserialize JSON text produced by :func:`dumps`."""
-    payload = json.loads(text)
-    decoder = _DECODERS.get(payload.get("type"))
-    require(decoder is not None, f"unknown payload type {payload.get('type')!r}")
-    return decoder(payload)
+    return from_dict(json.loads(text))
 
 
 def save(obj: Any, path: PathLike) -> None:

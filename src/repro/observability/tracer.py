@@ -41,12 +41,24 @@ Span record layout (the in-memory form of one ``repro.trace/1`` line)::
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional
 
-#: The tracer instrumented code reports to; None means "tracing off".
-_ACTIVE: Optional["Tracer"] = None
+#: The process-wide tracer default (:func:`install_tracer`); None means
+#: "tracing off".  :func:`use_tracer` scopes a tracer to the *current
+#: thread's* dynamic extent on top of this default, so concurrent
+#: server worker threads can each trace their own request without
+#: clobbering each other.
+_INSTALLED: Optional["Tracer"] = None
+
+#: Per-thread dynamic-extent override; holds an entry only while the
+#: thread is inside a :func:`use_tracer` block (an explicit ``None``
+#: entry masks the process-wide default for that extent).
+_TLS = threading.local()
+
+_UNSET = object()
 
 
 class _NullSpan:
@@ -164,31 +176,47 @@ class Tracer:
 
 
 def active_tracer() -> Optional[Tracer]:
-    """The tracer instrumented code should report to, or None."""
-    return _ACTIVE
+    """The tracer instrumented code should report to, or None.
+
+    The current thread's :func:`use_tracer` extent wins; outside any
+    extent the process-wide :func:`install_tracer` default applies.
+    """
+    return _TLS.__dict__.get("tracer", _INSTALLED)
 
 
 def install_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
-    """Install ``tracer`` process-wide; returns the previous one."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = tracer
+    """Install ``tracer`` as the process-wide default; returns the
+    previous default.  Threads inside a :func:`use_tracer` extent keep
+    their scoped tracer."""
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = tracer
     return previous
 
 
 @contextmanager
 def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
-    """Install ``tracer`` for the dynamic extent of the ``with`` block."""
-    previous = install_tracer(tracer)
+    """Install ``tracer`` for the dynamic extent of the ``with`` block.
+
+    The installation is scoped to the current thread, so concurrent
+    extents in different threads (the service worker pool) each see
+    their own tracer; ``use_tracer(None)`` masks any process-wide
+    default within the block.
+    """
+    previous = _TLS.__dict__.get("tracer", _UNSET)
+    _TLS.tracer = tracer
     try:
         yield tracer
     finally:
-        install_tracer(previous)
+        if previous is _UNSET:
+            del _TLS.tracer
+        else:
+            _TLS.tracer = previous
 
 
 def span(name: str) -> object:
     """Open a span on the active tracer; no-op when tracing is off."""
-    tracer = _ACTIVE
+    tracer = _TLS.__dict__.get("tracer", _INSTALLED)
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name)
@@ -196,7 +224,7 @@ def span(name: str) -> object:
 
 def count(key: str, amount: int = 1) -> None:
     """Bump a counter on the active span; no-op when tracing is off."""
-    tracer = _ACTIVE
+    tracer = _TLS.__dict__.get("tracer", _INSTALLED)
     if tracer is not None:
         tracer.count(key, amount)
 
@@ -219,7 +247,7 @@ def traced(
     def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
         def wrapper(*args: object, **kwargs: object) -> object:
-            tracer = _ACTIVE
+            tracer = _TLS.__dict__.get("tracer", _INSTALLED)
             if tracer is None:
                 return fn(*args, **kwargs)
             with tracer.span(name):

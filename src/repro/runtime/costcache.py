@@ -41,6 +41,7 @@ and uncached runs are bit-identical — a property test enforces this.
 from __future__ import annotations
 
 import hashlib
+import threading
 import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -49,8 +50,18 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.observability.tracer import count as _trace_count
 
-#: The cache consulted by the optimizers; None means "memoization off".
-_ACTIVE: Optional["CostCache"] = None
+#: The process-wide cache default (:func:`install_cache`); None means
+#: "memoization off".  :func:`use_cache` scopes a cache to the current
+#: *thread's* dynamic extent on top of this default, so concurrent
+#: service worker threads each consult their own cache.
+_INSTALLED: Optional["CostCache"] = None
+
+#: Per-thread dynamic-extent override; holds an entry only while the
+#: thread is inside a :func:`use_cache` block (an explicit ``None``
+#: entry masks the process-wide default for that extent).
+_TLS = threading.local()
+
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -237,23 +248,39 @@ class CostCache:
 
 
 def active_cache() -> Optional[CostCache]:
-    """The cache the optimizers should consult, or None."""
-    return _ACTIVE
+    """The cache the optimizers should consult, or None.
+
+    The current thread's :func:`use_cache` extent wins; outside any
+    extent the process-wide :func:`install_cache` default applies.
+    """
+    return _TLS.__dict__.get("cache", _INSTALLED)
 
 
 def install_cache(cache: Optional[CostCache]) -> Optional[CostCache]:
-    """Install ``cache`` process-wide; returns the previous one."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = cache
+    """Install ``cache`` as the process-wide default; returns the
+    previous default.  Threads inside a :func:`use_cache` extent keep
+    their scoped cache."""
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = cache
     return previous
 
 
 @contextmanager
 def use_cache(cache: Optional[CostCache]) -> Iterator[Optional[CostCache]]:
-    """Install ``cache`` for the dynamic extent of the ``with`` block."""
-    previous = install_cache(cache)
+    """Install ``cache`` for the dynamic extent of the ``with`` block.
+
+    The installation is scoped to the current thread, so concurrent
+    extents in different threads (the service worker pool) each see
+    their own cache; ``use_cache(None)`` masks any process-wide
+    default within the block.
+    """
+    previous = _TLS.__dict__.get("cache", _UNSET)
+    _TLS.cache = cache
     try:
         yield cache
     finally:
-        install_cache(previous)
+        if previous is _UNSET:
+            del _TLS.cache
+        else:
+            _TLS.cache = previous

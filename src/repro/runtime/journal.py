@@ -49,25 +49,57 @@ SCHEMA = "repro.journal/1"
 PathLike = Union[str, Path]
 
 
+def instance_token(instance: object) -> str:
+    """The stable per-instance content token the fingerprints build on.
+
+    The cost-cache fingerprint when the instance exposes a graph, its
+    ``repr`` otherwise — SQO-CP instances carry no graph but have a
+    complete, deterministic ``repr``.
+    """
+    if hasattr(instance, "graph"):
+        return instance_fingerprint(instance)
+    return repr(instance)
+
+
 def task_fingerprint(index: int, task: SweepTask) -> str:
     """A stable content hash identifying one task slot of a sweep.
 
     Covers the slot index, the optimizer name, the label, the kwargs,
-    the timeout and the instance statistics (via the cost-cache
-    fingerprint when the instance exposes a graph, its ``repr``
-    otherwise — SQO-CP instances carry no graph but have a complete,
-    deterministic ``repr``).
+    the timeout and the instance statistics (via
+    :func:`instance_token`).
     """
     digest = hashlib.sha1()
     digest.update(
         f"{index}|{task.optimizer_name}|{task.label}|"
         f"{task.timeout}|{task.kwargs!r}|".encode()
     )
-    instance = task.instance
-    if hasattr(instance, "graph"):
-        digest.update(instance_fingerprint(instance).encode())
-    else:
-        digest.update(repr(instance).encode())
+    digest.update(instance_token(task.instance).encode())
+    return digest.hexdigest()
+
+
+def request_fingerprint(
+    kind: str,
+    instance: object,
+    optimizer: str = "",
+    label: str = "",
+    params: object = (),
+    extra: str = "",
+) -> str:
+    """A stable content hash identifying one service-layer request.
+
+    The same instance/optimizer identity the journal's
+    :func:`task_fingerprint` uses — :func:`instance_token` over the
+    instance statistics plus the optimizer name and kwargs — minus the
+    sweep-slot index, so the request dedup/result cache recognizes a
+    repeat regardless of when or from which connection it arrives.
+    ``extra`` folds in any request options that change the reply
+    (runner settings for sweep specs).
+    """
+    digest = hashlib.sha1()
+    digest.update(
+        f"{kind}|{optimizer}|{label}|{params!r}|{extra}|".encode()
+    )
+    digest.update(instance_token(instance).encode())
     return digest.hexdigest()
 
 

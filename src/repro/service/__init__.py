@@ -1,0 +1,35 @@
+"""Optimization service: a local daemon serving ``repro.api`` requests.
+
+``repro serve`` runs :class:`~repro.service.server.OptimizationServer`
+— a socket daemon with request deduplication, a bit-identical result
+cache, bounded-queue admission control and per-request span tracing —
+and :class:`~repro.service.client.ServiceClient` talks to it (as does
+``repro request``).  The wire protocol lives in
+:mod:`repro.service.protocol`, the ``repro.stats/1`` counters in
+:mod:`repro.service.stats`; see ``docs/service.md`` for the full
+protocol and lifecycle story.
+
+This package invokes optimization exclusively through
+:mod:`repro.api` request objects (lint rule RPR011) — it contains no
+optimizer logic of its own.
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+from repro.service.server import OptimizationServer, ServerConfig, serve
+from repro.service.stats import STATS_SCHEMA, ServerStats, validate_stats
+
+__all__ = [
+    "STATS_SCHEMA",
+    "OptimizationServer",
+    "ServerConfig",
+    "ServerStats",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "serve",
+    "validate_stats",
+]

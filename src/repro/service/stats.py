@@ -1,0 +1,155 @@
+"""Server-side counters and latency tracking (``repro.stats/1``).
+
+One :class:`ServerStats` instance per server, mutated under its own
+lock by the reader and worker threads; :meth:`ServerStats.snapshot`
+returns the JSON-safe payload the ``stats`` RPC serves.
+
+Counter semantics (all monotone):
+
+* ``received`` — compute requests that arrived (after frame
+  validation), regardless of how they were answered;
+* ``computed`` — requests answered by actually running the optimizer;
+* ``cache_hits`` — requests answered from the result cache;
+* ``coalesced`` — requests attached to an identical in-flight
+  computation (dedup);
+* ``rejected`` — requests refused by admission control (the client
+  got an explicit retry-after reply — rejection is never silent);
+* ``errors`` — computations that raised.
+
+``received == computed + cache_hits + coalesced + rejected + errors``
+holds at quiescence — the smoke test asserts it after a drain.
+
+Latency percentiles are computed over a bounded window of the most
+recent computed-request wall times, by sorted-rank interpolation
+(nearest-rank on the sorted window; deterministic, stdlib-only).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Tuple
+
+STATS_SCHEMA = "repro.stats/1"
+
+#: Percentile marks reported by :meth:`ServerStats.snapshot`.
+PERCENTILES: Tuple[int, ...] = (50, 90, 99)
+
+
+def percentile(sorted_values: Tuple[float, ...], mark: int) -> float:
+    """Nearest-rank percentile of an already-sorted tuple."""
+    if not sorted_values:
+        return 0.0
+    rank = max(
+        0,
+        min(
+            len(sorted_values) - 1,
+            -(-mark * len(sorted_values) // 100) - 1,
+        ),
+    )
+    return sorted_values[rank]
+
+
+class ServerStats:
+    """Thread-safe counters + latency window for one server."""
+
+    def __init__(self, latency_window: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self.received = 0
+        self.computed = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.errors = 0
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump one of the public counters."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one computed request's wall time."""
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def snapshot(
+        self, queue_depth: int, in_flight: int, workers: int
+    ) -> Dict[str, Any]:
+        """The ``repro.stats/1`` payload (JSON-safe)."""
+        with self._lock:
+            window = tuple(sorted(self._latencies))
+            counters = {
+                "received": self.received,
+                "computed": self.computed,
+                "cache_hits": self.cache_hits,
+                "coalesced": self.coalesced,
+                "rejected": self.rejected,
+                "errors": self.errors,
+            }
+        served = (
+            counters["computed"] + counters["cache_hits"]
+            + counters["coalesced"]
+        )
+        answered = served + counters["rejected"] + counters["errors"]
+        lookups = counters["computed"] + counters["cache_hits"]
+        return {
+            "schema": STATS_SCHEMA,
+            "queue_depth": queue_depth,
+            "in_flight": in_flight,
+            "workers": workers,
+            "counters": counters,
+            "served": served,
+            "answered": answered,
+            "cache_hit_rate": (
+                counters["cache_hits"] / lookups if lookups else 0.0
+            ),
+            "latency_s": {
+                "count": len(window),
+                "max": window[-1] if window else 0.0,
+                **{
+                    f"p{mark}": percentile(window, mark)
+                    for mark in PERCENTILES
+                },
+            },
+        }
+
+
+def validate_stats(payload: Dict[str, Any]) -> None:
+    """Schema-check a ``repro.stats/1`` payload (raises ValueError)."""
+    if not isinstance(payload, dict):
+        raise ValueError("stats payload must be a dict")
+    if payload.get("schema") != STATS_SCHEMA:
+        raise ValueError(
+            f"stats schema must be {STATS_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    for name in ("queue_depth", "in_flight", "workers", "served",
+                 "answered"):
+        value = payload.get(name)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"stats.{name} must be an int")
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        raise ValueError("stats.counters must be a dict")
+    for name in ("received", "computed", "cache_hits", "coalesced",
+                 "rejected", "errors"):
+        value = counters.get(name)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"stats.counters.{name} must be an int")
+    latency = payload.get("latency_s")
+    if not isinstance(latency, dict):
+        raise ValueError("stats.latency_s must be a dict")
+    for name in ("count", "max", *(f"p{mark}" for mark in PERCENTILES)):
+        value = latency.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"stats.latency_s.{name} must be a number")
+
+
+__all__ = [
+    "PERCENTILES",
+    "STATS_SCHEMA",
+    "ServerStats",
+    "percentile",
+    "validate_stats",
+]

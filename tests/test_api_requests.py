@@ -1,0 +1,378 @@
+"""Tests for the typed request layer (``repro.core.requests``).
+
+Covers, per ISSUE requirements:
+
+* exact JSON round-trips for ``OptimizeRequest`` / ``SweepSpec`` /
+  ``ServiceReply`` — including the value/type/repr bit-identity of a
+  decoded ``PlanResult`` on every substrate (int, Fraction and
+  LogNumber costs; pipeline and star plans);
+* schema validation errors with messages, not stack traces;
+* stable content fingerprints (``no_cache`` excluded from identity);
+* the deprecated kwarg shims on ``api.optimize`` / ``api.sweep``
+  (warn once per process, re-armable for tests);
+* ``api.capabilities()`` as plain JSON-safe data.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from fractions import Fraction
+
+import pytest
+
+from repro import api
+from repro.core.requests import (
+    REPLY_SCHEMA,
+    REQUEST_SCHEMA,
+    decode_cost,
+    decode_value,
+    encode_cost,
+    encode_value,
+    result_from_dict,
+    result_to_dict,
+    validate_reply,
+    validate_request,
+)
+from repro.core.results import PlanResult
+from repro.hashjoin.instance import HashJoinCostModel, QOHInstance
+from repro.joinopt.instance import Graph
+from repro.starqo.instance import SQOCPInstance
+from repro.utils.lognum import LogNumber
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def qon_instance():
+    return api.generate("chain", 5, seed=1)
+
+
+@pytest.fixture
+def qoh_instance():
+    graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    return QOHInstance(
+        graph,
+        [64, 32, 128, 16],
+        {(0, 1): Fraction(1, 8), (1, 2): Fraction(1, 16),
+         (2, 3): Fraction(1, 4)},
+        memory=64,
+        model=HashJoinCostModel(psi=Fraction(1, 3), g_scale=2),
+    )
+
+
+@pytest.fixture
+def sqocp_instance():
+    return SQOCPInstance(
+        num_satellites=2,
+        sort_passes=4,
+        page_size=8,
+        tuples=[10_000, 3, 5_000],
+        pages=[10_000, 1, 5_000],
+        sort_costs=[40_000, 4, 20_000],
+        selectivities=[Fraction(1, 10_000), Fraction(1, 5_000)],
+        satellite_access=[1, 1],
+        center_access=[1, 1],
+    )
+
+
+@pytest.fixture(autouse=True)
+def rearm_deprecation_warnings():
+    api._reset_deprecation_warnings()
+    yield
+    api._reset_deprecation_warnings()
+
+
+def assert_bit_identical(left, right):
+    """The service-cache contract: equal value, type AND repr."""
+    assert left == right
+    assert type(left) is type(right)
+    assert repr(left) == repr(right)
+
+
+# ---------------------------------------------------------------------
+# Value / cost codecs
+# ---------------------------------------------------------------------
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -7, 2 ** 200, 0.25, "beam",
+        Fraction(3, 7), (1, 2, 3), [1, Fraction(1, 3), "x"],
+        ("nested", (Fraction(-5, 9), None)),
+    ])
+    def test_value_round_trip_is_exact(self, value):
+        wire = json.loads(json.dumps(encode_value(value)))
+        assert_bit_identical(decode_value(wire), value)
+
+    def test_unserializable_value_is_rejected(self):
+        with pytest.raises(ValidationError, match="not\\s+JSON-serializable"):
+            encode_value(object())
+
+    @pytest.mark.parametrize("cost", [
+        0, 123, 2 ** 400,
+        Fraction(355, 113),
+        LogNumber.from_log2(1234.5678),
+        LogNumber.from_log2(float("-inf")),
+        2.5,
+    ])
+    def test_cost_round_trip_is_exact(self, cost):
+        wire = json.loads(json.dumps(encode_cost(cost)))
+        assert_bit_identical(decode_cost(wire), cost)
+
+    def test_bool_is_not_a_cost(self):
+        with pytest.raises(ValidationError):
+            encode_cost(True)
+
+
+# ---------------------------------------------------------------------
+# PlanResult round-trips per substrate
+# ---------------------------------------------------------------------
+
+
+class TestPlanResultRoundTrip:
+    def check(self, result):
+        wire = json.loads(json.dumps(result_to_dict(result)))
+        restored = result_from_dict(wire)
+        assert_bit_identical(restored.cost, result.cost)
+        assert_bit_identical(restored.plan, result.plan)
+        assert_bit_identical(restored, result)
+
+    def test_qon_int_cost(self, qon_instance):
+        self.check(api.optimize(qon_instance, "dp"))
+
+    def test_qoh_fraction_cost_and_pipelines(self, qoh_instance):
+        result = api.optimize(qoh_instance, "qoh-exhaustive")
+        assert result.plan is not None
+        self.check(result)
+
+    def test_sqocp_star_plan(self, sqocp_instance):
+        result = api.optimize(sqocp_instance, "sqocp-dp")
+        assert result.plan is not None
+        self.check(result)
+
+    def test_type_tag_is_checked(self):
+        with pytest.raises(ValidationError, match="plan_result"):
+            result_from_dict({"type": "mystery"})
+
+
+# ---------------------------------------------------------------------
+# OptimizeRequest
+# ---------------------------------------------------------------------
+
+
+class TestOptimizeRequest:
+    def test_json_round_trip(self, qon_instance):
+        request = api.OptimizeRequest.build(
+            qon_instance, "sampling", samples=50, rng=7,
+        )
+        restored = api.OptimizeRequest.from_json(request.to_json())
+        assert restored.algorithm == "sampling"
+        assert restored.params == request.params
+        assert restored.kwargs() == {"rng": 7, "samples": 50}
+        assert restored.to_json() == request.to_json()
+
+    def test_round_trip_executes_identically(self, qon_instance):
+        request = api.OptimizeRequest.build(qon_instance, "dp")
+        restored = api.OptimizeRequest.from_json(request.to_json())
+        assert_bit_identical(
+            api.execute_request(restored), api.execute_request(request)
+        )
+
+    def test_fingerprint_is_content_addressed(self, qon_instance):
+        request = api.OptimizeRequest.build(qon_instance, "dp")
+        rebuilt = api.OptimizeRequest.from_json(request.to_json())
+        assert api.request_fingerprint(rebuilt) == request.fingerprint()
+
+    def test_no_cache_is_not_identity(self, qon_instance):
+        plain = api.OptimizeRequest.build(qon_instance, "dp")
+        bypass = api.OptimizeRequest.build(qon_instance, "dp", no_cache=True)
+        assert plain.fingerprint() == bypass.fingerprint()
+
+    def test_params_are_identity(self, qon_instance):
+        narrow = api.OptimizeRequest.build(qon_instance, "sampling", samples=20)
+        wide = api.OptimizeRequest.build(qon_instance, "sampling", samples=80)
+        assert narrow.fingerprint() != wide.fingerprint()
+
+    def test_wrong_schema_is_rejected(self, qon_instance):
+        payload = api.OptimizeRequest.build(qon_instance).to_dict()
+        payload["schema"] = "repro.request/99"
+        with pytest.raises(ValidationError, match="schema"):
+            validate_request(payload)
+
+    def test_missing_field_is_rejected(self, qon_instance):
+        payload = api.OptimizeRequest.build(qon_instance).to_dict()
+        del payload["algorithm"]
+        with pytest.raises(ValidationError, match="algorithm"):
+            api.OptimizeRequest.from_dict(payload)
+
+    def test_wrong_field_type_is_rejected(self, qon_instance):
+        payload = api.OptimizeRequest.build(qon_instance).to_dict()
+        payload["no_cache"] = "yes"
+        with pytest.raises(ValidationError, match="no_cache"):
+            validate_request(payload)
+
+
+# ---------------------------------------------------------------------
+# SweepSpec
+# ---------------------------------------------------------------------
+
+
+class TestSweepSpec:
+    def make_spec(self, qon_instance):
+        return api.SweepSpec.build(
+            ["dp", "greedy"],
+            [("q5", qon_instance)],
+            params={("greedy", "q5"): {"rng": 3}},
+            workers=1,
+            timeout=30.0,
+            retries=2,
+            backoff=0.0,
+        )
+
+    def test_json_round_trip(self, qon_instance):
+        spec = self.make_spec(qon_instance)
+        restored = api.SweepSpec.from_json(spec.to_json())
+        assert restored.optimizers == ("dp", "greedy")
+        assert restored.kwargs_for("greedy", "q5") == {"rng": 3}
+        assert restored.kwargs_for("dp", "q5") == {}
+        assert restored.retries == 2
+        assert restored.to_json() == spec.to_json()
+
+    def test_fingerprint_covers_runner_settings(self, qon_instance):
+        spec = self.make_spec(qon_instance)
+        restored = api.SweepSpec.from_json(spec.to_json())
+        assert restored.fingerprint() == spec.fingerprint()
+        retuned = api.SweepSpec.build(
+            ["dp", "greedy"], [("q5", qon_instance)],
+            params={("greedy", "q5"): {"rng": 3}},
+            workers=1, timeout=30.0, retries=3, backoff=0.0,
+        )
+        assert retuned.fingerprint() != spec.fingerprint()
+
+    def test_execute_request_matches_direct_sweep(self, qon_instance):
+        spec = api.SweepSpec.build(["dp"], [("q5", qon_instance)], workers=1)
+        served = api.execute_request(
+            api.SweepSpec.from_json(spec.to_json())
+        )
+        direct = api.sweep(
+            {"optimizers": ["dp"], "instances": [("q5", qon_instance)]},
+            workers=1,
+        )
+        assert [o.result.cost for o in served] == [
+            o.result.cost for o in direct
+        ]
+
+    def test_missing_runner_field_is_rejected(self, qon_instance):
+        payload = self.make_spec(qon_instance).to_dict()
+        del payload["workers"]
+        with pytest.raises(ValidationError, match="workers"):
+            validate_request(payload)
+
+
+# ---------------------------------------------------------------------
+# ServiceReply
+# ---------------------------------------------------------------------
+
+
+class TestServiceReply:
+    def test_plan_result_reply_round_trip(self, qon_instance):
+        result = api.optimize(qon_instance, "dp")
+        reply = api.ServiceReply(
+            op="optimize", result=result, fingerprint="abc",
+            wall_time_s=0.25, counters=(("cache.hits", 3),),
+        )
+        restored = api.ServiceReply.from_json(reply.to_json())
+        assert restored.ok
+        assert_bit_identical(restored.result, result)
+        assert restored.counters == (("cache.hits", 3),)
+
+    def test_rejected_reply_round_trip(self):
+        reply = api.ServiceReply(
+            op="optimize", status="rejected", error="queue full",
+            retry_after=0.05,
+        )
+        restored = api.ServiceReply.from_json(reply.to_json())
+        assert restored.rejected
+        assert restored.retry_after == 0.05
+        assert restored.result is None
+
+    def test_bad_status_is_rejected(self):
+        payload = api.ServiceReply(op="optimize").to_dict()
+        payload["status"] = "maybe"
+        with pytest.raises(ValidationError, match="status"):
+            validate_reply(payload)
+
+    def test_non_ok_reply_cannot_carry_a_result(self, qon_instance):
+        payload = api.ServiceReply(
+            op="optimize", result=api.optimize(qon_instance, "dp"),
+        ).to_dict()
+        payload["status"] = "error"
+        payload["error"] = "boom"
+        with pytest.raises(ValidationError, match="non-ok"):
+            validate_reply(payload)
+
+
+# ---------------------------------------------------------------------
+# Deprecated kwarg shims
+# ---------------------------------------------------------------------
+
+
+class TestDeprecationShims:
+    def test_optimize_kwargs_warn_once(self, qon_instance):
+        with pytest.warns(DeprecationWarning, match="OptimizeRequest"):
+            api.optimize(qon_instance, "sampling", samples=20, rng=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            api.optimize(qon_instance, "sampling", samples=20, rng=1)
+
+    def test_optimize_without_kwargs_does_not_warn(self, qon_instance):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            api.optimize(qon_instance, "dp")
+            api.optimize(api.OptimizeRequest.build(qon_instance, "dp"))
+
+    def test_reset_rearms_the_warning(self, qon_instance):
+        with pytest.warns(DeprecationWarning):
+            api.optimize(qon_instance, "sampling", samples=20, rng=1)
+        api._reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            api.optimize(qon_instance, "sampling", samples=20, rng=1)
+
+    def test_sweep_runner_kwargs_warn_once(self, qon_instance):
+        grid = {"optimizers": ["dp"], "instances": [("q5", qon_instance)]}
+        with pytest.warns(DeprecationWarning, match="SweepSpec"):
+            api.sweep(grid, workers=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            api.sweep(grid, workers=1)
+
+    def test_spec_refuses_duplicate_runner_kwargs(self, qon_instance):
+        spec = api.SweepSpec.build(["dp"], [("q5", qon_instance)])
+        with pytest.raises(ValidationError, match="SweepSpec itself"):
+            api.sweep(spec, workers=2)
+
+    def test_request_shim_refuses_extra_arguments(self, qon_instance):
+        request = api.OptimizeRequest.build(qon_instance, "dp")
+        with pytest.raises(ValidationError, match="no extra arguments"):
+            api.optimize(request, "greedy")
+
+
+# ---------------------------------------------------------------------
+# Capabilities
+# ---------------------------------------------------------------------
+
+
+class TestCapabilities:
+    def test_payload_is_json_safe_and_complete(self):
+        payload = api.capabilities()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["api_version"] == api.API_VERSION
+        assert REQUEST_SCHEMA in payload["rpc_schemas"]
+        assert REPLY_SCHEMA in payload["rpc_schemas"]
+        assert "repro.rpc/1" in payload["rpc_schemas"]
+        assert payload["request_types"] == [
+            "optimize_request", "sweep_spec",
+        ]
+        assert "dp" in payload["optimizers"]
+        assert "qoh-exhaustive" in payload["optimizers"]
+        assert set(payload["families"]) == set(api.FAMILIES)

@@ -352,6 +352,39 @@ class TestRuleFixtures:
         })
         assert lint_paths([tree], select=["RPR010"]).ok
 
+    def test_rpr011_flags_service_importing_internals(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/service/bad.py": """\
+                import repro.runtime.runner
+                from repro import joinopt
+                from repro.joinopt.optimizers.exact import dp_optimal
+            """,
+        })
+        report = lint_paths([tree], select=["RPR011"])
+        assert codes_of(report) == ["RPR011"] * 3
+        messages = " ".join(d.message for d in report.diagnostics)
+        assert "repro.api request objects" in messages
+
+    def test_rpr011_allows_the_facade_and_friends(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/service/good.py": """\
+                from repro import api
+                from repro.service import protocol
+                from repro.observability.tracer import Tracer
+                from repro.utils.validation import require
+                import repro.io
+            """,
+        })
+        assert lint_paths([tree], select=["RPR011"]).ok
+
+    def test_rpr011_ignores_non_service_modules(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/engine/data.py": """\
+                import repro.runtime.runner
+            """,
+        })
+        assert lint_paths([tree], select=["RPR011"]).ok
+
     def test_rpr000_parse_error_is_a_finding(self, tmp_path):
         tree = make_tree(tmp_path, {
             "src/repro/broken.py": "def oops(:\n",
@@ -364,7 +397,7 @@ class TestRuleFixtures:
         assert rule_codes() == [
             "RPR001", "RPR002", "RPR003", "RPR004",
             "RPR005", "RPR006", "RPR007", "RPR008",
-            "RPR009", "RPR010",
+            "RPR009", "RPR010", "RPR011",
         ]
         for code, rule in RULES.items():
             assert rule.code == code
