@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro import api, io
@@ -379,6 +380,52 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+#: Default committed baseline file, used when it exists and no
+#: ``--baseline`` was given.
+_DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.devtools.analysis import (
+        analyze_paths,
+        load_baseline,
+        raw_findings,
+        render_analysis_json,
+        render_analysis_text,
+        render_pass_list,
+        write_baseline,
+    )
+
+    if args.list_passes:
+        print(render_pass_list())
+        return 0
+    paths = args.paths or ["src"]
+    baseline = args.baseline
+    if baseline is None and Path(_DEFAULT_BASELINE).is_file():
+        baseline = _DEFAULT_BASELINE
+    try:
+        if args.update_baseline:
+            target = baseline or _DEFAULT_BASELINE
+            previous = (
+                load_baseline(target) if Path(target).is_file() else ()
+            )
+            entries = write_baseline(
+                target, raw_findings(paths), previous
+            )
+            print(f"{target}: {len(entries)} baselined finding"
+                  f"{'s' if len(entries) != 1 else ''} written")
+            return 0
+        report = analyze_paths(paths, baseline=baseline)
+    except (FileNotFoundError, OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.output == "json":
+        print(render_analysis_json(report))
+    else:
+        print(render_analysis_text(report))
+    return 0 if report.ok else 1
+
+
 def _parse_address(text: str) -> object:
     """``host:port`` -> TCP tuple; anything else is an AF_UNIX path."""
     if "/" not in text and ":" in text:
@@ -688,6 +735,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered rules and exit",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="run the whole-program analyzer (exactness taint, lock "
+        "discipline, schema registry) over files/directories",
+    )
+    analyze.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: src)",
+    )
+    analyze.add_argument(
+        "--output", choices=("text", "json"), default="text",
+        help="report format (json follows the repro.analysis/1 schema)",
+    )
+    analyze.add_argument(
+        "--baseline", default=None,
+        help="baseline file of accepted findings (default: "
+        f"{_DEFAULT_BASELINE} when present)",
+    )
+    analyze.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings "
+        "(preserving reasons of kept entries) and exit 0",
+    )
+    analyze.add_argument(
+        "--list-passes", action="store_true",
+        help="list the analyzer finding codes and exit",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     serve = subparsers.add_parser(
         "serve",

@@ -12,24 +12,45 @@ CLI subcommand and enforced in CI alongside ``mypy --strict``.
 * :mod:`repro.devtools.project` — file classification and the
   cross-file facts rules need (the runtime optimizer registry);
 * :mod:`repro.devtools.rules` — the rule registry (``RPR001``...);
-* :mod:`repro.devtools.noqa` — ``# repro: noqa[RPRxxx]`` suppressions;
+* :mod:`repro.devtools.noqa` — ``# repro: noqa`` suppressions;
 * :mod:`repro.devtools.engine` — file collection and rule driving;
-* :mod:`repro.devtools.reporter` — text and JSON renderers.
+* :mod:`repro.devtools.reporter` — text and JSON renderers;
+* :mod:`repro.devtools.analysis` — the whole-program analyzer behind
+  ``repro analyze`` (exactness taint, lock discipline, schema
+  registry; ``ANA...`` codes, ``repro.analysis/1`` reports).
 """
 
+from repro.devtools.analysis import (
+    ANALYSIS_SCHEMA_VERSION,
+    AnalysisReport,
+    analysis_codes,
+    analyze_paths,
+    validate_analysis,
+)
 from repro.devtools.diagnostics import Diagnostic
 from repro.devtools.engine import LintReport, lint_paths
-from repro.devtools.reporter import JSON_SCHEMA_VERSION, render_json, render_text
+from repro.devtools.reporter import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+    validate_lint,
+)
 from repro.devtools.rules import RULES, Rule, rule_codes
 
 __all__ = [
+    "ANALYSIS_SCHEMA_VERSION",
+    "AnalysisReport",
     "Diagnostic",
     "JSON_SCHEMA_VERSION",
     "LintReport",
     "RULES",
     "Rule",
+    "analysis_codes",
+    "analyze_paths",
     "lint_paths",
     "render_json",
     "render_text",
     "rule_codes",
+    "validate_analysis",
+    "validate_lint",
 ]

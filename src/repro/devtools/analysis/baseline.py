@@ -1,0 +1,167 @@
+"""The committed baseline of accepted analyzer findings.
+
+A baseline entry matches findings by ``(code, path, message)`` —
+deliberately *not* by line number, so unrelated edits above a finding
+don't churn the file.  Every entry carries a human reason; entries
+that no longer match any finding are reported as ``ANA901`` so the
+baseline can only shrink deliberately, never rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.devtools.analysis.codes import STALE_BASELINE_CODE, rule_name
+from repro.devtools.diagnostics import Diagnostic
+
+PathLike = Union[str, Path]
+
+#: Schema tag of the baseline file.
+BASELINE_SCHEMA = "repro.analysis-baseline/1"
+
+_PLACEHOLDER_REASON = "TODO: justify this accepted finding"
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    code: str
+    path: str
+    message: str
+    reason: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.code, _normalize(self.path), self.message)
+
+
+def _normalize(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def load_baseline(path: PathLike) -> Tuple[BaselineEntry, ...]:
+    """Read a baseline file (``ValueError`` on schema mismatch)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"baseline {path}: payload must be an object")
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path}: schema must be {BASELINE_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    raw = payload.get("findings")
+    if not isinstance(raw, list):
+        raise ValueError(f"baseline {path}: 'findings' must be a list")
+    entries: List[BaselineEntry] = []
+    for item in raw:
+        if not isinstance(item, dict):
+            raise ValueError(f"baseline {path}: finding must be an object")
+        for field in ("code", "path", "message", "reason"):
+            if not isinstance(item.get(field), str):
+                raise ValueError(
+                    f"baseline {path}: finding field {field!r} must be "
+                    "a string"
+                )
+        entries.append(BaselineEntry(
+            code=item["code"],
+            path=item["path"],
+            message=item["message"],
+            reason=item["reason"],
+        ))
+    return tuple(entries)
+
+
+def write_baseline(
+    path: PathLike,
+    diagnostics: Sequence[Diagnostic],
+    previous: Sequence[BaselineEntry] = (),
+) -> Tuple[BaselineEntry, ...]:
+    """Write ``diagnostics`` as the new baseline.
+
+    Reasons of still-matching previous entries are preserved; new
+    entries get a placeholder reason the author must replace.
+    """
+    reasons: Dict[Tuple[str, str, str], str] = {
+        entry.key: entry.reason for entry in previous
+    }
+    entries = sorted({
+        BaselineEntry(
+            code=diagnostic.code,
+            path=_normalize(diagnostic.path),
+            message=diagnostic.message,
+            reason="",
+        )
+        for diagnostic in diagnostics
+    })
+    entries = [
+        BaselineEntry(
+            code=entry.code,
+            path=entry.path,
+            message=entry.message,
+            reason=reasons.get(entry.key, _PLACEHOLDER_REASON),
+        )
+        for entry in entries
+    ]
+    payload: Dict[str, Any] = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {
+                "code": entry.code,
+                "path": entry.path,
+                "message": entry.message,
+                "reason": entry.reason,
+            }
+            for entry in entries
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return tuple(entries)
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic],
+    entries: Sequence[BaselineEntry],
+    baseline_path: PathLike,
+) -> Tuple[Tuple[Diagnostic, ...], int]:
+    """Split findings into (reported, baselined-count).
+
+    Stale entries (matching nothing) are appended to the reported
+    findings as ``ANA901`` diagnostics anchored at the baseline file.
+    """
+    keys = {entry.key for entry in entries}
+    matched: set[Tuple[str, str, str]] = set()
+    reported: List[Diagnostic] = []
+    baselined = 0
+    for diagnostic in diagnostics:
+        key = (
+            diagnostic.code,
+            _normalize(diagnostic.path),
+            diagnostic.message,
+        )
+        if key in keys:
+            matched.add(key)
+            baselined += 1
+        else:
+            reported.append(diagnostic)
+    for entry in sorted(entries):
+        if entry.key not in matched:
+            reported.append(Diagnostic(
+                path=str(baseline_path),
+                line=1,
+                col=0,
+                code=STALE_BASELINE_CODE,
+                rule=rule_name(STALE_BASELINE_CODE),
+                message=(
+                    f"baseline entry ({entry.code} {entry.path!r} "
+                    f"{entry.message!r}) matched no finding; remove it "
+                    "or rerun with --update-baseline"
+                ),
+            ))
+    return tuple(reported), baselined

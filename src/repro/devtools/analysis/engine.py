@@ -1,0 +1,135 @@
+"""File collection, model building and pass driving for ``repro analyze``."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.devtools.analysis.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+)
+from repro.devtools.analysis.codes import MODEL_ERROR_CODE, rule_name
+from repro.devtools.analysis.locks import run_locks
+from repro.devtools.analysis.model import ProjectModel
+from repro.devtools.analysis.schemas import run_schemas
+from repro.devtools.analysis.taint import run_taint
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.engine import PathLike, collect_files
+from repro.devtools.noqa import is_suppressed, suppression_map
+from repro.devtools.project import SourceFile, classify
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything one ``repro analyze`` run produced."""
+
+    files_checked: int
+    diagnostics: Tuple[Diagnostic, ...]
+    baselined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def counts(self) -> Dict[str, int]:
+        """Diagnostic count per code, sorted by code."""
+        totals: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            totals[diagnostic.code] = totals.get(diagnostic.code, 0) + 1
+        return dict(sorted(totals.items()))
+
+
+def _parse_files(
+    paths: Sequence[PathLike],
+) -> Tuple[List[SourceFile], List[Diagnostic]]:
+    files: List[SourceFile] = []
+    errors: List[Diagnostic] = []
+    for path in collect_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            errors.append(Diagnostic(
+                path=str(path),
+                line=int(line),
+                col=0,
+                code=MODEL_ERROR_CODE,
+                rule=rule_name(MODEL_ERROR_CODE),
+                message=f"cannot analyze file: {exc}",
+            ))
+            continue
+        files.append(classify(path, source, tree))
+    return files, errors
+
+
+def _run_passes(files: Sequence[SourceFile]) -> List[Diagnostic]:
+    by_root: Dict[Path, List[SourceFile]] = {}
+    for file in files:
+        if file.package_root is not None:
+            by_root.setdefault(file.package_root, []).append(file)
+    diagnostics: List[Diagnostic] = []
+    for root in sorted(by_root):
+        model = ProjectModel(by_root[root])
+        diagnostics.extend(run_taint(model))
+        diagnostics.extend(run_locks(model))
+        diagnostics.extend(run_schemas(model))
+    return diagnostics
+
+
+def _apply_suppressions(
+    diagnostics: Sequence[Diagnostic], files: Sequence[SourceFile]
+) -> List[Diagnostic]:
+    maps: Dict[str, Dict[int, FrozenSet[str]]] = {
+        str(file.path): suppression_map(file.lines) for file in files
+    }
+    kept: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        suppressed = maps.get(diagnostic.path)
+        if suppressed is not None and is_suppressed(diagnostic, suppressed):
+            continue
+        kept.append(diagnostic)
+    return kept
+
+
+def analyze_paths(
+    paths: Sequence[PathLike],
+    baseline: Optional[PathLike] = None,
+) -> AnalysisReport:
+    """Analyze every Python file under ``paths`` with all three passes.
+
+    Files outside a ``repro`` package (benchmarks, examples, stray
+    scripts) are parsed but carry no program semantics, so only
+    package files enter the model.  ``baseline`` names a committed
+    baseline file whose entries are subtracted from the findings
+    (stale entries come back as ``ANA901``).  Unparsable files yield
+    ``ANA000``, which can be neither suppressed nor baselined.
+    """
+    entries: Tuple[BaselineEntry, ...] = ()
+    if baseline is not None:
+        entries = load_baseline(baseline)
+    files, errors = _parse_files(paths)
+    findings = _apply_suppressions(_run_passes(files), files)
+    baselined = 0
+    if baseline is not None:
+        reported, baselined = apply_baseline(findings, entries, baseline)
+        findings = list(reported)
+    return AnalysisReport(
+        files_checked=len(files) + len(errors),
+        diagnostics=tuple(sorted(findings + errors)),
+        baselined=baselined,
+    )
+
+
+def raw_findings(paths: Sequence[PathLike]) -> Tuple[Diagnostic, ...]:
+    """Suppression-filtered findings with no baseline applied.
+
+    This is what ``--update-baseline`` snapshots: parse errors are
+    excluded (an unparsable file must be fixed, not baselined).
+    """
+    files, _errors = _parse_files(paths)
+    return tuple(sorted(_apply_suppressions(_run_passes(files), files)))

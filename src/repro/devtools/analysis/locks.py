@@ -1,0 +1,215 @@
+"""Pass 3a: lock discipline for classes owning a ``_lock``.
+
+The service daemon keeps every piece of shared state consistent under
+one lock (``repro.service.server`` documents the discipline), but
+nothing machine-checked it.  This pass *learns* the discipline per
+class instead of hard-coding an attribute list: any ``self`` attribute
+that is ever written under ``with self._lock`` (or under a
+``threading.Condition(self._lock)`` alias, which acquires the same
+lock) in a non-``__init__`` method is considered lock-guarded, and
+every read or write of a guarded attribute outside a lock region is
+an ``ANA201`` finding.
+
+``__init__`` is excluded on both sides: construction happens before
+the object is shared, so init-time writes neither establish guarding
+nor violate it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.devtools.analysis.codes import rule_name
+from repro.devtools.analysis.model import ClassInfo, ProjectModel
+from repro.devtools.diagnostics import Diagnostic
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "move_to_end", "pop", "popleft", "popitem", "remove",
+        "setdefault", "update",
+    }
+)
+
+_EXCLUDED_METHODS = frozenset({"__init__"})
+
+
+@dataclass(frozen=True)
+class _Event:
+    """One ``self.<attr>`` access inside a method."""
+
+    attr: str
+    write: bool
+    under_lock: bool
+    method: str
+    line: int
+    col: int
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _locks_in_items(items: Sequence[ast.withitem], cls: ClassInfo) -> bool:
+    for item in items:
+        expr = item.context_expr
+        if _is_self_attr(expr):
+            assert isinstance(expr, ast.Attribute)
+            if expr.attr in cls.lock_attrs:
+                return True
+    return False
+
+
+def _expr_events(
+    expr: ast.AST, cls: ClassInfo, method: str, under: bool
+) -> List[_Event]:
+    events: List[_Event] = []
+    for node in ast.walk(expr):
+        if _is_self_attr(node):
+            assert isinstance(node, ast.Attribute)
+            write = isinstance(node.ctx, (ast.Store, ast.Del))
+            events.append(_Event(
+                attr=node.attr,
+                write=write,
+                under_lock=under,
+                method=method,
+                line=node.lineno,
+                col=node.col_offset,
+            ))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+                and _is_self_attr(func.value)
+            ):
+                receiver = func.value
+                assert isinstance(receiver, ast.Attribute)
+                events.append(_Event(
+                    attr=receiver.attr,
+                    write=True,
+                    under_lock=under,
+                    method=method,
+                    line=node.lineno,
+                    col=node.col_offset,
+                ))
+        elif isinstance(node, ast.Subscript):
+            if isinstance(node.ctx, (ast.Store, ast.Del)) and _is_self_attr(
+                node.value
+            ):
+                container = node.value
+                assert isinstance(container, ast.Attribute)
+                events.append(_Event(
+                    attr=container.attr,
+                    write=True,
+                    under_lock=under,
+                    method=method,
+                    line=node.lineno,
+                    col=node.col_offset,
+                ))
+    return events
+
+
+def _stmt_events(
+    stmt: ast.stmt, cls: ClassInfo, method: str, under: bool
+) -> List[_Event]:
+    events: List[_Event] = []
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        inner = under or _locks_in_items(stmt.items, cls)
+        for item in stmt.items:
+            events.extend(_expr_events(item.context_expr, cls, method, under))
+            if item.optional_vars is not None:
+                events.extend(
+                    _expr_events(item.optional_vars, cls, method, under)
+                )
+        for sub in stmt.body:
+            events.extend(_stmt_events(sub, cls, method, inner))
+        return events
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return events
+    compound_fields = {
+        "body", "orelse", "finalbody", "handlers", "cases",
+    }
+    is_compound = isinstance(
+        stmt, (ast.If, ast.For, ast.AsyncFor, ast.While, ast.Try, ast.Match)
+    )
+    if not is_compound:
+        return _expr_events(stmt, cls, method, under)
+    for name, value in ast.iter_fields(stmt):
+        if name in compound_fields and isinstance(value, list):
+            for child in value:
+                if isinstance(child, ast.stmt):
+                    events.extend(_stmt_events(child, cls, method, under))
+                elif isinstance(child, ast.ExceptHandler):
+                    for sub in child.body:
+                        events.extend(_stmt_events(sub, cls, method, under))
+                elif isinstance(child, ast.match_case):
+                    for sub in child.body:
+                        events.extend(_stmt_events(sub, cls, method, under))
+        elif isinstance(value, ast.expr):
+            events.extend(_expr_events(value, cls, method, under))
+    return events
+
+
+def _class_events(cls: ClassInfo) -> List[_Event]:
+    events: List[_Event] = []
+    for name, method in cls.methods.items():
+        if name in _EXCLUDED_METHODS:
+            continue
+        for stmt in method.node.body:
+            events.extend(_stmt_events(stmt, cls, name, under=False))
+    return events
+
+
+def run_locks(model: ProjectModel) -> List[Diagnostic]:
+    """Run the lock-discipline pass over one project model."""
+    diagnostics: List[Diagnostic] = []
+    for module in model.modules.values():
+        for cls in module.classes.values():
+            if not cls.lock_attrs:
+                continue
+            events = _class_events(cls)
+            guarded_locks: Dict[str, Set[str]] = {}
+            for event in events:
+                if (
+                    event.write
+                    and event.under_lock
+                    and event.attr not in cls.lock_attrs
+                ):
+                    guarded_locks.setdefault(event.attr, set())
+            if not guarded_locks:
+                continue
+            lock = (
+                "_lock" if "_lock" in cls.lock_attrs
+                else sorted(cls.lock_attrs)[0]
+            )
+            seen: Set[Tuple[str, int, int]] = set()
+            for event in events:
+                if event.attr not in guarded_locks or event.under_lock:
+                    continue
+                key = (event.attr, event.line, event.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                action = "written" if event.write else "read"
+                diagnostics.append(Diagnostic(
+                    path=str(cls.path),
+                    line=event.line,
+                    col=event.col,
+                    code="ANA201",
+                    rule=rule_name("ANA201"),
+                    message=(
+                        f"'self.{event.attr}' of class '{cls.name}' is "
+                        f"written under 'with self.{lock}' elsewhere but "
+                        f"{action} here (in '{event.method}') without "
+                        "holding the lock"
+                    ),
+                ))
+    return diagnostics

@@ -1,0 +1,111 @@
+"""Text and JSON renderers for analysis reports (``repro.analysis/1``)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.devtools.analysis.codes import ANALYSIS_CODES
+from repro.devtools.analysis.engine import AnalysisReport
+
+#: Schema tag of the JSON report (bump on incompatible change).
+ANALYSIS_SCHEMA_VERSION = "repro.analysis/1"
+
+
+def render_analysis_text(report: AnalysisReport) -> str:
+    """One ``path:line:col: CODE message`` line per finding + summary."""
+    lines = [diagnostic.render() for diagnostic in report.diagnostics]
+    baselined = (
+        f" ({report.baselined} baselined)" if report.baselined else ""
+    )
+    if report.ok:
+        lines.append(
+            f"{report.files_checked} files analyzed: "
+            f"no findings{baselined}"
+        )
+    else:
+        counts = ", ".join(
+            f"{code} x{count}" for code, count in report.counts().items()
+        )
+        lines.append(
+            f"{report.files_checked} files analyzed: "
+            f"{len(report.diagnostics)} finding"
+            f"{'s' if len(report.diagnostics) != 1 else ''} "
+            f"({counts}){baselined}"
+        )
+    return "\n".join(lines)
+
+
+def analysis_payload(report: AnalysisReport) -> Dict[str, Any]:
+    """The JSON report as a plain dict (``repro.analysis/1``)."""
+    return {
+        "version": ANALYSIS_SCHEMA_VERSION,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "baselined": report.baselined,
+        "counts": report.counts(),
+        "diagnostics": [
+            diagnostic.to_json() for diagnostic in report.diagnostics
+        ],
+    }
+
+
+def render_analysis_json(report: AnalysisReport) -> str:
+    """The JSON report, pretty-printed with stable key order."""
+    return json.dumps(analysis_payload(report), indent=2, sort_keys=False)
+
+
+def validate_analysis(payload: Dict[str, Any]) -> None:
+    """Check a ``repro.analysis/1`` payload (``ValueError`` on failure)."""
+    if not isinstance(payload, dict):
+        raise ValueError("analysis payload must be an object")
+    if payload.get("version") != ANALYSIS_SCHEMA_VERSION:
+        raise ValueError(
+            f"analysis payload version must be "
+            f"{ANALYSIS_SCHEMA_VERSION!r}, got {payload.get('version')!r}"
+        )
+    for field, kind in (
+        ("ok", bool),
+        ("files_checked", int),
+        ("baselined", int),
+        ("counts", dict),
+        ("diagnostics", list),
+    ):
+        if not isinstance(payload.get(field), kind):
+            raise ValueError(
+                f"analysis payload field {field!r} must be "
+                f"{kind.__name__}"
+            )
+    for code, count in payload["counts"].items():
+        if not isinstance(code, str) or not isinstance(count, int):
+            raise ValueError("analysis counts must map code -> int")
+    for item in payload["diagnostics"]:
+        if not isinstance(item, dict):
+            raise ValueError("analysis diagnostics must be objects")
+        for field, kind in (
+            ("path", str),
+            ("line", int),
+            ("col", int),
+            ("code", str),
+            ("rule", str),
+            ("message", str),
+        ):
+            if not isinstance(item.get(field), kind):
+                raise ValueError(
+                    f"analysis diagnostic field {field!r} must be "
+                    f"{kind.__name__}"
+                )
+    if payload["ok"] != (not payload["diagnostics"]):
+        raise ValueError(
+            "analysis payload 'ok' is inconsistent with 'diagnostics'"
+        )
+
+
+def render_pass_list() -> str:
+    """The ``--list-passes`` table: code, slug, one-line description."""
+    lines: List[str] = []
+    for code in sorted(ANALYSIS_CODES):
+        name, description = ANALYSIS_CODES[code]
+        lines.append(f"{code}  {name}")
+        lines.append(f"       {description}")
+    return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Pass 3b: schema-registry consistency for ``repro.<name>/<v>`` tags.
+
+Every persisted or wire payload in the project carries a version tag
+(``"repro.sweep/1"``, ``"repro.rpc/1"``, ...).  The convention only
+works while each tag has all three roles somewhere in the tree:
+
+* a **validator** — a reference inside a ``validate*`` / ``load*`` /
+  ``read*`` / ``check*`` / ``decode*`` / ``from_*`` function, i.e.
+  code able to reject a payload carrying the wrong tag;
+* an **emitter** — a reference as a dict value or tuple/list element,
+  i.e. code stamping the tag into a payload;
+* a **consumer** — a reference inside a comparison, i.e. code that
+  actually checks an incoming payload against the tag.
+
+A tag missing a role is an orphan: emitted but never validated means
+nothing rejects corrupt payloads; validated but never emitted means
+dead registry code.  References through module constants (``SCHEMA =
+"repro.sweep/1"``) and cross-module imports of those constants are
+followed; docstrings are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.devtools.analysis.codes import rule_name
+from repro.devtools.analysis.model import (
+    ModuleInfo,
+    ProjectModel,
+    attr_chain,
+)
+from repro.devtools.diagnostics import Diagnostic
+
+#: A full-string schema tag: ``repro.<name>/<version>``.
+SCHEMA_RE = re.compile(r"\Arepro\.[a-z][a-z0-9_-]*/[0-9]+\Z")
+
+_VALIDATORISH = re.compile(r"\A(validate|check|load|read|decode|from_)")
+
+#: Role -> (code, what's missing) for the findings.
+_ROLE_FINDINGS: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "validator",
+        "ANA301",
+        "no registered validator (no reference inside a "
+        "validate*/check*/load*/read*/decode*/from_* function)",
+    ),
+    (
+        "emitter",
+        "ANA302",
+        "never emitted (no payload dict value or tuple/list element "
+        "carries it)",
+    ),
+    (
+        "consumer",
+        "ANA303",
+        "never consumed (no code compares an incoming payload "
+        "against it)",
+    ),
+)
+
+
+@dataclass
+class _SchemaFacts:
+    roles: Set[str] = field(default_factory=set)
+    site: Optional[Tuple[Path, int, int]] = None
+    declaration: Optional[Tuple[Path, int, int]] = None
+
+
+def _docstring_ids(tree: ast.Module) -> Set[int]:
+    """ids of every Constant node that is a docstring."""
+    out: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+        ):
+            body = node.body
+            if body and isinstance(body[0], ast.Expr):
+                value = body[0].value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    out.add(id(value))
+    return out
+
+
+def _parent_map(tree: ast.Module) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _function_spans(tree: ast.Module) -> List[Tuple[int, int, str]]:
+    """(first line, last line, name) of every def, innermost resolvable."""
+    spans: List[Tuple[int, int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            spans.append((node.lineno, node.end_lineno or node.lineno, node.name))
+    return spans
+
+
+def _enclosing_function(
+    spans: List[Tuple[int, int, str]], line: int
+) -> Optional[str]:
+    best: Optional[Tuple[int, int, str]] = None
+    for span in spans:
+        if span[0] <= line <= span[1]:
+            if best is None or span[0] > best[0]:
+                best = span
+    return best[2] if best is not None else None
+
+
+def _schema_of_reference(
+    model: ProjectModel, module: ModuleInfo, node: ast.expr
+) -> Optional[str]:
+    """The schema tag a Name/Attribute reference resolves to, if any."""
+    name: Optional[str] = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        chain = attr_chain(node)
+        if chain is None or chain[0] == "self":
+            return None
+        head = chain[0]
+        if head not in module.imports:
+            return None
+        base = module.imports[head]
+        tail = chain[1:]
+        dotted = ".".join([base] + tail) if base else ".".join(tail)
+        target = model.resolve_dotted(dotted)
+        if target.kind != "constant":
+            return None
+        return _constant_schema(model, target.module_name, target.attr)
+    if name is None:
+        return None
+    if name in module.constants:
+        return _constant_schema(model, module.name, name)
+    if name in module.imports:
+        target = model.resolve_dotted(module.imports[name])
+        if target.kind == "constant":
+            return _constant_schema(model, target.module_name, target.attr)
+    return None
+
+
+def _constant_schema(
+    model: ProjectModel, module_name: str, const: str
+) -> Optional[str]:
+    module = model.modules.get(module_name)
+    if module is None:
+        return None
+    value = module.constants.get(const)
+    if (
+        isinstance(value, ast.Constant)
+        and isinstance(value.value, str)
+        and SCHEMA_RE.match(value.value)
+    ):
+        return value.value
+    return None
+
+
+def _occurrence_roles(
+    node: ast.expr,
+    parents: Dict[int, ast.AST],
+    enclosing: Optional[str],
+) -> Tuple[Set[str], bool]:
+    """(roles, is-module-level-declaration) for one reference site."""
+    roles: Set[str] = set()
+    if enclosing is not None and _VALIDATORISH.match(enclosing):
+        roles.add("validator")
+    declaration = False
+    cur: ast.AST = node
+    while True:
+        parent = parents.get(id(cur))
+        if parent is None:
+            break
+        if isinstance(parent, ast.Dict) and any(
+            value is cur for value in parent.values
+        ):
+            roles.add("emitter")
+        elif isinstance(parent, (ast.Tuple, ast.List)) and any(
+            element is cur for element in parent.elts
+        ):
+            roles.add("emitter")
+        elif isinstance(parent, ast.Compare):
+            roles.add("consumer")
+        elif isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            if enclosing is None:
+                declaration = True
+        if isinstance(parent, ast.stmt):
+            break
+        cur = parent
+    return roles, declaration
+
+
+def run_schemas(model: ProjectModel) -> List[Diagnostic]:
+    """Run the schema-registry pass over one project model."""
+    facts: Dict[str, _SchemaFacts] = {}
+    for module in model.modules.values():
+        tree = module.file.tree
+        docstrings = _docstring_ids(tree)
+        parents = _parent_map(tree)
+        spans = _function_spans(tree)
+        for node in ast.walk(tree):
+            schema: Optional[str] = None
+            if isinstance(node, ast.Constant):
+                if id(node) in docstrings:
+                    continue
+                if isinstance(node.value, str) and SCHEMA_RE.match(node.value):
+                    schema = node.value
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                if isinstance(node, ast.Attribute) and not isinstance(
+                    node.ctx, ast.Load
+                ):
+                    continue
+                schema = _schema_of_reference(model, module, node)
+            if schema is None:
+                continue
+            enclosing = _enclosing_function(spans, node.lineno)
+            roles, declaration = _occurrence_roles(node, parents, enclosing)
+            entry = facts.setdefault(schema, _SchemaFacts())
+            entry.roles |= roles
+            site = (module.file.path, node.lineno, node.col_offset)
+            if declaration and entry.declaration is None:
+                entry.declaration = site
+            if entry.site is None:
+                entry.site = site
+    diagnostics: List[Diagnostic] = []
+    for schema in sorted(facts):
+        entry = facts[schema]
+        site = entry.declaration or entry.site
+        assert site is not None
+        path, line, col = site
+        for role, code, missing in _ROLE_FINDINGS:
+            if role not in entry.roles:
+                diagnostics.append(Diagnostic(
+                    path=str(path),
+                    line=line,
+                    col=col,
+                    code=code,
+                    rule=rule_name(code),
+                    message=f"schema '{schema}' has {missing}",
+                ))
+    return diagnostics

@@ -16,7 +16,7 @@ violation.
 from __future__ import annotations
 
 import re
-from typing import Dict, FrozenSet, Sequence
+from typing import Dict, FrozenSet, Iterator, Sequence, Tuple
 
 from repro.devtools.diagnostics import Diagnostic
 
@@ -54,6 +54,27 @@ def suppression_map(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
             if listed:
                 suppressed[number] = listed
     return suppressed
+
+
+def listed_suppressions(
+    lines: Sequence[str],
+) -> Iterator[Tuple[int, int, str]]:
+    """``(line, col, CODE)`` for every bracketed suppression id.
+
+    Rule ``RPR012`` validates these against the known RPR + ANA codes:
+    a typo'd id (``noqa[RPR02]``) used to be silently ignored, leaving
+    the author convinced a finding was suppressed when it was not.
+    """
+    for number, text in enumerate(lines, start=1):
+        if "noqa" not in text:  # cheap pre-filter
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None or match.group("codes") is None:
+            continue
+        for part in match.group("codes").split(","):
+            code = part.strip().upper()
+            if code:
+                yield number, match.start(), code
 
 
 def is_suppressed(

@@ -59,6 +59,49 @@ def render_json(report: LintReport) -> str:
     return json.dumps(report_payload(report), indent=2, sort_keys=False)
 
 
+def validate_lint(payload: Dict[str, Any]) -> None:
+    """Check a ``repro.lint/1`` payload (``ValueError`` on failure).
+
+    CI consumes the uploaded report artifact; this is the gate that
+    rejects a corrupt or incompatibly-versioned one.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("lint payload must be an object")
+    if payload.get("version") != JSON_SCHEMA_VERSION:
+        raise ValueError(
+            f"lint payload version must be {JSON_SCHEMA_VERSION!r}, "
+            f"got {payload.get('version')!r}"
+        )
+    for field, kind in (
+        ("ok", bool),
+        ("files_checked", int),
+        ("counts", dict),
+        ("diagnostics", list),
+    ):
+        if not isinstance(payload.get(field), kind):
+            raise ValueError(
+                f"lint payload field {field!r} must be {kind.__name__}"
+            )
+    for item in payload["diagnostics"]:
+        if not isinstance(item, dict):
+            raise ValueError("lint diagnostics must be objects")
+        for field, kind in (
+            ("path", str),
+            ("line", int),
+            ("col", int),
+            ("code", str),
+            ("rule", str),
+            ("message", str),
+        ):
+            if not isinstance(item.get(field), kind):
+                raise ValueError(
+                    f"lint diagnostic field {field!r} must be "
+                    f"{kind.__name__}"
+                )
+    if payload["ok"] != (not payload["diagnostics"]):
+        raise ValueError("lint payload 'ok' is inconsistent with 'diagnostics'")
+
+
 def render_rule_list() -> str:
     """The ``--list-rules`` table: code, slug, one-line description."""
     lines: List[str] = []

@@ -750,3 +750,36 @@ def _check_service_routing(
                     "the computation through repro.api request objects "
                     "instead"
                 )
+
+
+# ---------------------------------------------------------------------
+# RPR012 — suppression comments must name real rules
+# ---------------------------------------------------------------------
+
+
+@register(
+    "RPR012",
+    "unknown-suppression-code",
+    "# repro: noqa[...] must list known RPR/ANA rule codes",
+)
+def _check_unknown_suppression(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    """A typo'd suppression id is worse than none: the author walks
+    away convinced a finding is silenced while the real code keeps
+    firing (or, for a not-yet-triggered rule, *would* fire unseen).
+    Validate every bracketed id against the union of the lint (RPR)
+    and analyzer (ANA) catalogues."""
+    from repro.devtools.analysis.codes import ANALYSIS_CODES
+    from repro.devtools.diagnostics import PARSE_ERROR_CODE
+    from repro.devtools.noqa import listed_suppressions
+
+    known = set(RULES) | set(ANALYSIS_CODES) | {PARSE_ERROR_CODE}
+    for line, col, code in listed_suppressions(file.lines):
+        if code not in known:
+            yield line, col, (
+                f"unknown rule code {code!r} in a '# repro: noqa[...]' "
+                "suppression; known codes are the RPR rules "
+                "(repro lint --list-rules) and the ANA analyzer codes "
+                "(repro analyze --list-passes)"
+            )

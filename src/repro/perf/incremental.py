@@ -101,7 +101,7 @@ def sample_moves(n: int, rng: Random, count: int) -> List[Move]:
     moves: List[Move] = []
     for _ in range(count):
         # The historical one-coin draw; not cost arithmetic.
-        if rng.random() < 0.5:  # repro: noqa[RPR009]
+        if rng.random() < 0.5:  # repro: noqa[RPR009,ANA101]
             moves.append(AdjacentSwap(rng.randrange(n - 1)))
         else:
             source = rng.randrange(n)
@@ -112,7 +112,7 @@ def sample_moves(n: int, rng: Random, count: int) -> List[Move]:
     return moves
 
 
-def _exact_divide(
+def _exact_divide(  # repro: boundary[exactness]
     numerator: object, divisor: object, frac_remaining: int
 ) -> object:
     """``numerator / divisor`` with reference-faithful result types.

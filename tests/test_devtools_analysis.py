@@ -1,0 +1,581 @@
+"""Tests for the whole-program analyzer (``repro analyze``).
+
+Covers, per ISSUE requirements:
+
+* per-pass fixture packages: tainted vs clean call chains, locked vs
+  unlocked attribute access, orphan vs fully-registered schemas;
+* interprocedural taint through two call hops, with exact file, line
+  and rule-id assertions for a seeded taint bug and a seeded
+  unguarded lock access;
+* ``# repro: boundary[exactness]`` annotations and ``# repro: noqa``
+  suppressions of ANA codes;
+* baseline add/expire behavior (including ``--update-baseline``);
+* the ``repro.analysis/1`` JSON reporter schema;
+* the ``repro analyze`` CLI (exit codes 0 clean / 1 findings /
+  2 usage);
+* the clean-tree assertion: the real ``src`` tree analyzes to zero
+  unsuppressed findings against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools import analyze_paths, validate_analysis
+from repro.devtools.analysis import (
+    ANALYSIS_CODES,
+    ANALYSIS_SCHEMA_VERSION,
+    analysis_codes,
+    analysis_payload,
+    load_baseline,
+    render_analysis_json,
+    render_analysis_text,
+    render_pass_list,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def make_tree(root: Path, files: dict) -> Path:
+    """Materialize ``{relative path: source}`` under ``root``."""
+    for relative, content in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    return root
+
+
+def codes_of(report) -> list:
+    return [diagnostic.code for diagnostic in report.diagnostics]
+
+
+# ---------------------------------------------------------------------
+# Exactness-taint pass (ANA101 / ANA102)
+# ---------------------------------------------------------------------
+
+
+class TestTaintPass:
+    def test_two_hop_interprocedural_taint_into_sink(self, tmp_path):
+        """A float source two calls away from the sink is still found,
+        with the exact file, line and rule id."""
+        tree = make_tree(tmp_path, {
+            "src/repro/helpers.py": """\
+                import time
+
+                def leak():
+                    return time.time()
+
+                def relay():
+                    return leak()
+            """,
+            "src/repro/joinopt/cost.py": """\
+                from repro.helpers import relay
+
+                def total_cost(x):
+                    return relay() + x
+            """,
+        })
+        report = analyze_paths([tree])
+        assert codes_of(report) == ["ANA101"]
+        finding = report.diagnostics[0]
+        assert finding.path.endswith("cost.py")
+        assert finding.line == 4
+        assert finding.rule == "tainted-value-in-exact-sink"
+        assert "float-tainted" in finding.message
+
+    def test_tainted_argument_into_sink(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/joinopt/cost.py": """\
+                def total_cost(x):
+                    return x
+            """,
+            "src/repro/driver.py": """\
+                from repro.joinopt.cost import total_cost
+
+                def run():
+                    scale = 1.5
+                    return total_cost(scale)
+            """,
+        })
+        report = analyze_paths([tree])
+        assert codes_of(report) == ["ANA102"]
+        finding = report.diagnostics[0]
+        assert finding.path.endswith("driver.py")
+        assert finding.line == 5
+        assert finding.rule == "tainted-argument-to-exact-sink"
+        assert "'x'" in finding.message
+
+    def test_division_in_sink_is_a_float_source(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/starqo/cost.py": """\
+                def probe_cost(pages, span):
+                    return pages / span
+            """,
+        })
+        report = analyze_paths([tree])
+        assert codes_of(report) == ["ANA101"]
+        assert "true division" in report.diagnostics[0].message
+
+    def test_fraction_division_is_exact(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/starqo/cost.py": """\
+                from fractions import Fraction
+
+                def probe_cost(pages, span):
+                    return Fraction(pages) / span
+            """,
+        })
+        assert analyze_paths([tree]).ok
+
+    def test_fraction_annotated_parameter_is_exact(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/starqo/cost.py": """\
+                from fractions import Fraction
+
+                def probe_cost(pages: Fraction, span: int):
+                    return pages / span
+            """,
+        })
+        assert analyze_paths([tree]).ok
+
+    def test_boundary_annotation_declares_the_function_clean(
+        self, tmp_path
+    ):
+        tree = make_tree(tmp_path, {
+            "src/repro/perf/kernels.py": """\
+                def ratio(a, b):  # repro: boundary[exactness]
+                    return a / b
+
+                def evaluate(a, b):
+                    return ratio(a, b)
+            """,
+        })
+        assert analyze_paths([tree]).ok
+
+    def test_clean_exact_chain_has_no_findings(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/helpers.py": """\
+                from fractions import Fraction
+
+                def scale(x):
+                    return Fraction(3, 2) * x
+            """,
+            "src/repro/joinopt/cost.py": """\
+                from repro.helpers import scale
+
+                def total_cost(x):
+                    return scale(x) + 1
+            """,
+        })
+        assert analyze_paths([tree]).ok
+
+    def test_noqa_suppresses_taint_finding(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/joinopt/cost.py": """\
+                import time
+
+                def total_cost(x):
+                    return time.time() + x  # repro: noqa[ANA101]
+            """,
+        })
+        assert analyze_paths([tree]).ok
+
+
+# ---------------------------------------------------------------------
+# Lock-discipline pass (ANA201)
+# ---------------------------------------------------------------------
+
+_LOCKED_CLASS = """\
+    import threading
+
+    class Server:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._ready = threading.Condition(self._lock)
+            self._pending = []
+            self._count = 0
+
+        def add(self, item):
+            with self._lock:
+                self._pending.append(item)
+                self._count += 1
+
+        def drain(self):
+            with self._ready:
+                self._pending.clear()
+
+        def peek(self):
+            return len(self._pending)
+"""
+
+
+class TestLockPass:
+    def test_seeded_unguarded_read_is_found(self, tmp_path):
+        """The seeded unguarded access is reported with the exact
+        file, line and rule id; the Condition alias write counts as
+        guarded."""
+        tree = make_tree(tmp_path, {
+            "src/repro/service/server.py": _LOCKED_CLASS,
+        })
+        report = analyze_paths([tree])
+        assert codes_of(report) == ["ANA201"]
+        finding = report.diagnostics[0]
+        assert finding.path.endswith("server.py")
+        assert finding.line == 20
+        assert finding.rule == "unguarded-attribute-access"
+        assert "'self._pending'" in finding.message
+        assert "'peek'" in finding.message
+
+    def test_unguarded_write_is_found(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/service/server.py": """\
+                import threading
+
+                class Server:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def reset(self):
+                        self._count = 0
+            """,
+        })
+        report = analyze_paths([tree])
+        assert codes_of(report) == ["ANA201"]
+        assert "written here" in report.diagnostics[0].message
+
+    def test_fully_locked_class_is_clean(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/service/server.py": """\
+                import threading
+
+                class Server:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._pending = []
+
+                    def add(self, item):
+                        with self._lock:
+                            self._pending.append(item)
+
+                    def size(self):
+                        with self._lock:
+                            return len(self._pending)
+            """,
+        })
+        assert analyze_paths([tree]).ok
+
+    def test_unlocked_class_is_out_of_scope(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/service/state.py": """\
+                class Bag:
+                    def __init__(self):
+                        self.items = []
+
+                    def add(self, item):
+                        self.items.append(item)
+            """,
+        })
+        assert analyze_paths([tree]).ok
+
+    def test_init_writes_do_not_establish_guarding(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/service/server.py": """\
+                import threading
+
+                class Server:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._name = "srv"
+
+                    def name(self):
+                        return self._name
+            """,
+        })
+        assert analyze_paths([tree]).ok
+
+    def test_noqa_suppresses_lock_finding(self, tmp_path):
+        source = _LOCKED_CLASS.replace(
+            "return len(self._pending)",
+            "return len(self._pending)  # repro: noqa[ANA201]",
+        )
+        tree = make_tree(tmp_path, {
+            "src/repro/service/server.py": source,
+        })
+        assert analyze_paths([tree]).ok
+
+
+# ---------------------------------------------------------------------
+# Schema-registry pass (ANA301-ANA303)
+# ---------------------------------------------------------------------
+
+
+class TestSchemaPass:
+    def test_orphan_schema_missing_validator_and_consumer(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/metrics.py": """\
+                SCHEMA = "repro.orphan/1"
+
+                def snapshot():
+                    return {"schema": SCHEMA, "n": 1}
+            """,
+        })
+        report = analyze_paths([tree])
+        assert codes_of(report) == ["ANA301", "ANA303"]
+        assert all("'repro.orphan/1'" in d.message
+                   for d in report.diagnostics)
+        assert report.diagnostics[0].line == 1
+
+    def test_declared_but_unused_schema_misses_every_role(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/metrics.py": 'DEAD = "repro.dead/1"\n',
+        })
+        report = analyze_paths([tree])
+        assert codes_of(report) == ["ANA301", "ANA302", "ANA303"]
+
+    def test_fully_registered_schema_is_clean(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/metrics.py": """\
+                SCHEMA = "repro.sweep/1"
+
+                def snapshot():
+                    return {"schema": SCHEMA}
+
+                def validate_snapshot(payload):
+                    if payload.get("schema") != SCHEMA:
+                        raise ValueError("bad schema")
+            """,
+        })
+        assert analyze_paths([tree]).ok
+
+    def test_roles_aggregate_across_modules(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/metrics.py": """\
+                SCHEMA = "repro.sweep/1"
+
+                def snapshot():
+                    return {"schema": SCHEMA}
+            """,
+            "src/repro/checks.py": """\
+                from repro.metrics import SCHEMA
+
+                def validate_payload(payload):
+                    if payload.get("schema") != SCHEMA:
+                        raise ValueError("bad schema")
+            """,
+        })
+        assert analyze_paths([tree]).ok
+
+    def test_docstring_mentions_are_ignored(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/notes.py": '"""About repro.ghost/1 payloads."""\n',
+        })
+        assert analyze_paths([tree]).ok
+
+
+# ---------------------------------------------------------------------
+# Engine: parse errors, baseline add/expire
+# ---------------------------------------------------------------------
+
+
+class TestEngineAndBaseline:
+    def test_parse_error_is_an_ana000_finding(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/broken.py": "def oops(:\n",
+        })
+        report = analyze_paths([tree])
+        assert codes_of(report) == ["ANA000"]
+        assert not report.ok
+
+    def _seeded_tree(self, tmp_path):
+        return make_tree(tmp_path, {
+            "src/repro/joinopt/cost.py": """\
+                import time
+
+                def total_cost(x):
+                    return time.time() + x
+            """,
+        })
+
+    def test_baseline_add_then_expire(self, tmp_path):
+        tree = self._seeded_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        first = analyze_paths([tree])
+        assert codes_of(first) == ["ANA101"]
+
+        entries = write_baseline(baseline, first.diagnostics)
+        assert len(entries) == 1
+        assert load_baseline(baseline) == entries
+
+        # Added: the finding is absorbed by the baseline.
+        second = analyze_paths([tree], baseline=baseline)
+        assert second.ok
+        assert second.baselined == 1
+
+        # Expired: fixing the code turns the entry stale (ANA901).
+        (tree / "src/repro/joinopt/cost.py").write_text(
+            "def total_cost(x):\n    return x\n", encoding="utf-8"
+        )
+        third = analyze_paths([tree], baseline=baseline)
+        assert codes_of(third) == ["ANA901"]
+        assert third.baselined == 0
+        assert "matched no finding" in third.diagnostics[0].message
+
+    def test_update_baseline_preserves_reasons(self, tmp_path):
+        tree = self._seeded_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        first = analyze_paths([tree])
+        write_baseline(baseline, first.diagnostics)
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        payload["findings"][0]["reason"] = "deliberate test boundary"
+        baseline.write_text(json.dumps(payload), encoding="utf-8")
+
+        entries = write_baseline(
+            baseline, first.diagnostics, load_baseline(baseline)
+        )
+        assert entries[0].reason == "deliberate test boundary"
+
+    def test_baseline_schema_is_checked(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"schema": "nope", "findings": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(bad)
+
+
+# ---------------------------------------------------------------------
+# repro.analysis/1 JSON schema
+# ---------------------------------------------------------------------
+
+
+class TestAnalysisSchema:
+    def test_payload_round_trips_and_validates(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/joinopt/cost.py": """\
+                import time
+
+                def total_cost(x):
+                    return time.time() + x
+            """,
+        })
+        report = analyze_paths([tree])
+        payload = json.loads(render_analysis_json(report))
+        validate_analysis(payload)
+        assert payload["version"] == ANALYSIS_SCHEMA_VERSION
+        assert payload["ok"] is False
+        assert payload["counts"] == {"ANA101": 1}
+        diagnostic = payload["diagnostics"][0]
+        assert diagnostic["code"] == "ANA101"
+        assert diagnostic["rule"] == "tainted-value-in-exact-sink"
+
+    def test_validate_rejects_corrupt_payloads(self, tmp_path):
+        tree = make_tree(tmp_path, {"src/repro/ok.py": "X = 1\n"})
+        payload = analysis_payload(analyze_paths([tree]))
+        for mutate in (
+            lambda p: p.update(version="repro.analysis/0"),
+            lambda p: p.update(ok="yes"),
+            lambda p: p.update(counts=[1]),
+            lambda p: p.update(diagnostics=[{"path": 3}]),
+            lambda p: p.update(ok=False),
+        ):
+            broken = json.loads(json.dumps(payload))
+            mutate(broken)
+            with pytest.raises(ValueError):
+                validate_analysis(broken)
+
+    def test_text_report_mentions_counts(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/starqo/cost.py": """\
+                def probe_cost(pages, span):
+                    return pages / span
+            """,
+        })
+        text = render_analysis_text(analyze_paths([tree]))
+        assert "ANA101 x1" in text
+        assert "1 finding" in text
+
+    def test_every_code_has_a_catalogue_entry(self):
+        assert analysis_codes() == sorted(ANALYSIS_CODES)
+        listing = render_pass_list()
+        for code in analysis_codes():
+            assert code in listing
+
+
+# ---------------------------------------------------------------------
+# CLI: exit codes and the clean real tree
+# ---------------------------------------------------------------------
+
+
+class TestAnalyzeCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        make_tree(tmp_path, {"src/repro/ok.py": "X = 1\n"})
+        assert main(["analyze", str(tmp_path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        make_tree(tmp_path, {
+            "src/repro/joinopt/cost.py": """\
+                import time
+
+                def total_cost(x):
+                    return time.time() + x
+            """,
+        })
+        assert main(["analyze", str(tmp_path)]) == 1
+        assert "ANA101" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_explicit_baseline(self, tmp_path, capsys):
+        make_tree(tmp_path, {"src/repro/ok.py": "X = 1\n"})
+        assert main([
+            "analyze", str(tmp_path),
+            "--baseline", str(tmp_path / "missing.json"),
+        ]) == 2
+
+    def test_json_output_validates(self, tmp_path, capsys):
+        make_tree(tmp_path, {"src/repro/ok.py": "X = 1\n"})
+        assert main(["analyze", str(tmp_path), "--output", "json"]) == 0
+        validate_analysis(json.loads(capsys.readouterr().out))
+
+    def test_list_passes(self, capsys):
+        assert main(["analyze", "--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for code in analysis_codes():
+            assert code in out
+
+    def test_update_baseline_flow(self, tmp_path, capsys):
+        tree = make_tree(tmp_path, {
+            "src/repro/joinopt/cost.py": """\
+                import time
+
+                def total_cost(x):
+                    return time.time() + x
+            """,
+        })
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "analyze", str(tree),
+            "--baseline", str(baseline), "--update-baseline",
+        ]) == 0
+        assert "1 baselined finding" in capsys.readouterr().out
+        assert main([
+            "analyze", str(tree), "--baseline", str(baseline),
+        ]) == 0
+
+    def test_real_tree_is_clean_against_committed_baseline(self):
+        assert main([
+            "analyze", str(REPO_ROOT / "src"),
+            "--baseline", str(REPO_ROOT / "analysis-baseline.json"),
+        ]) == 0

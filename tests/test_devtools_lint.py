@@ -397,7 +397,7 @@ class TestRuleFixtures:
         assert rule_codes() == [
             "RPR001", "RPR002", "RPR003", "RPR004",
             "RPR005", "RPR006", "RPR007", "RPR008",
-            "RPR009", "RPR010", "RPR011",
+            "RPR009", "RPR010", "RPR011", "RPR012",
         ]
         for code, rule in RULES.items():
             assert rule.code == code
@@ -438,6 +438,29 @@ class TestNoqa:
         })
         report = lint_paths([tree])
         assert codes_of(report) == ["RPR002"]
+
+    def test_multiple_codes_in_one_suppression(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/joinopt/cost.py":
+                "import random  # repro: noqa[RPR002,RPR001]\n",
+        })
+        assert lint_paths([tree]).ok
+
+    def test_rpr012_flags_unknown_suppression_code(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py":
+                "import random  # repro: noqa[RPR002,RPR02]\n",
+        })
+        report = lint_paths([tree])
+        assert codes_of(report) == ["RPR012"]
+        assert "'RPR02'" in report.diagnostics[0].message
+
+    def test_rpr012_accepts_analyzer_codes(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/workloads.py":
+                "X = 1  # repro: noqa[ANA101]\n",
+        })
+        assert lint_paths([tree]).ok
 
 
 # ---------------------------------------------------------------------
