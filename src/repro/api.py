@@ -57,6 +57,7 @@ from repro.core.requests import (
 )
 from repro.core.results import PlanResult
 from repro.runtime.costcache import CostCache, use_cache
+from repro.runtime.registry import InstanceRegistry, RegistryStats, instance_key
 from repro.runtime.journal import read_journal
 from repro.runtime.metrics import (
     load_metrics,
@@ -391,6 +392,8 @@ def sweep(
     journal: Optional[Any] = None,
     resume: bool = False,
     fault_plan: Optional[Any] = None,
+    chunksize: Optional[int] = None,
+    registry_maxsize: Optional[int] = None,
 ) -> SweepResult:
     """Run an optimizer x instance grid through the instrumented runner.
 
@@ -402,9 +405,11 @@ def sweep(
         result = api.sweep(spec)
 
     Only the host-local operational arguments — ``journal``,
-    ``resume``, ``fault_plan`` — may accompany a spec; they are
-    deliberately not part of the spec (a spec must be safe to accept
-    over a socket).
+    ``resume``, ``fault_plan``, ``chunksize``, ``registry_maxsize`` —
+    may accompany a spec; they are deliberately not part of the spec
+    (a spec must be safe to accept over a socket, and the executor
+    knobs never change results — only throughput — so they stay out
+    of request fingerprints).
 
     The historical form still works: ``grid`` as a prepared sequence
     of :class:`~repro.runtime.runner.SweepTask` or a mapping with
@@ -429,6 +434,11 @@ def sweep(
     deterministic chaos schedule — test tooling only.  Any of these
     set to a non-default engages the resilient runner, whose outcomes
     are task-isolated (fresh cost cache per attempt).
+
+    ``chunksize`` / ``registry_maxsize`` tune the parallel executor:
+    tasks per dispatched chunk (``None`` auto-heuristic, ``0`` legacy
+    per-task dispatch) and the per-worker bound on live decoded
+    instances.  See :mod:`repro.runtime.registry`.
     """
     if isinstance(grid, SweepSpec):
         spec = grid
@@ -437,9 +447,11 @@ def sweep(
             and timeout is None and not trace and retries == 1
             and backoff == 0.0,
             "sweep(spec) takes runner settings on the SweepSpec itself; "
-            "only journal/resume/fault_plan may be passed alongside",
+            "only journal/resume/fault_plan/chunksize/registry_maxsize "
+            "may be passed alongside",
         )
-        if journal is None and not resume and fault_plan is None:
+        if (journal is None and not resume and fault_plan is None
+                and chunksize is None and registry_maxsize is None):
             result = execute_request(spec)
             assert isinstance(result, SweepResult)
             return result
@@ -480,6 +492,8 @@ def sweep(
             cache_maxsize=cache_maxsize,
             timeout=timeout,
             trace=trace,
+            chunksize=chunksize,
+            registry_maxsize=registry_maxsize,
         )
     retry = RetryPolicy(attempts=max(1, retries), backoff=backoff)
     if resume:
@@ -494,6 +508,8 @@ def sweep(
             trace=trace,
             retry=retry,
             fault_plan=fault_plan,
+            chunksize=chunksize,
+            registry_maxsize=registry_maxsize,
         )
     return run_resilient_sweep(
         tasks,
@@ -505,6 +521,8 @@ def sweep(
         retry=retry,
         fault_plan=fault_plan,
         journal=journal,
+        chunksize=chunksize,
+        registry_maxsize=registry_maxsize,
     )
 
 
@@ -686,17 +704,28 @@ def execute_plan(
 
 
 def run_bench(
-    smoke: bool = False, seed: int = 0, out: Optional[Any] = None
+    smoke: bool = False, seed: int = 0, out: Optional[Any] = None,
+    suite: str = "gap-families",
 ) -> Dict[str, Any]:
-    """Run the pinned perf microbenchmark suite (``repro.bench/1``).
+    """Run a pinned perf benchmark suite (``repro.bench/1``).
 
-    Measures the compiled/incremental evaluation layer against the
-    reference cost path on the Theorem-9/15 gap families; see
-    :mod:`repro.perf.bench`.  With ``out`` the validated payload is also
-    written as JSON.
+    ``suite="gap-families"`` (default) measures the compiled /
+    incremental evaluation layer against the reference cost path on
+    the Theorem-9/15 gap families; ``suite="executor"`` measures sweep
+    executor throughput — serial vs parallel, chunked+registry vs
+    legacy per-task dispatch — on a Theorem-9 grid with repeated
+    instances.  See :mod:`repro.perf.bench`.  With ``out`` the
+    validated payload is also written as JSON.
     """
     from repro.perf.bench import run_bench as _run_bench
+    from repro.perf.bench import run_executor_bench as _run_executor
 
+    if suite == "executor":
+        return _run_executor(smoke=smoke, seed=seed, out=out)
+    require(
+        suite == "gap-families",
+        f"unknown bench suite {suite!r}; known: gap-families, executor",
+    )
     return _run_bench(smoke=smoke, seed=seed, out=out)
 
 
@@ -745,8 +774,10 @@ __all__ = [
     "RPC_SCHEMAS",
     "CostCache",
     "ExecutionReport",
+    "InstanceRegistry",
     "OptimizeRequest",
     "PlanResult",
+    "RegistryStats",
     "RetryPolicy",
     "ServiceReply",
     "SweepResult",
@@ -763,6 +794,7 @@ __all__ = [
     "gap_report_numbers",
     "generate",
     "grid_tasks",
+    "instance_key",
     "load_bench",
     "load_metrics",
     "optimize",

@@ -314,19 +314,23 @@ def sweep_result_to_dict(result: Any) -> Dict[str, Any]:
         "retries": result.retries,
         "recovered_workers": result.recovered_workers,
         "resumed": result.resumed,
+        "executor": result.executor.to_dict(),
         "outcomes": [outcome_to_dict(outcome) for outcome in result],
     }
 
 
 def sweep_result_from_dict(payload: Dict[str, Any]) -> Any:
     """Decode into a real :class:`SweepResult` (traces stay remote)."""
-    from repro.runtime.runner import SweepResult
+    from repro.runtime.runner import ExecutorStats, SweepResult
 
     require(
         payload.get("type") == "sweep_result",
         f"sweep payload type must be 'sweep_result', "
         f"got {payload.get('type')!r}",
     )
+    # Additive: payloads encoded before executor stats existed decode
+    # to all-zero counters.
+    executor = payload.get("executor") or {}
     return SweepResult(
         outcomes=tuple(
             outcome_from_dict(entry) for entry in payload["outcomes"]
@@ -338,6 +342,12 @@ def sweep_result_from_dict(payload: Dict[str, Any]) -> Any:
         retries=payload["retries"],
         recovered_workers=payload["recovered_workers"],
         resumed=payload["resumed"],
+        executor=ExecutorStats(
+            ship_bytes=executor.get("ship_bytes", 0),
+            registry_hits=executor.get("registry_hits", 0),
+            kernels_compiled=executor.get("kernels_compiled", 0),
+            chunks=executor.get("chunks", 0),
+        ),
     )
 
 

@@ -783,3 +783,54 @@ def _check_unknown_suppression(
                 "(repro lint --list-rules) and the ANA analyzer codes "
                 "(repro analyze --list-passes)"
             )
+
+
+# ---------------------------------------------------------------------
+# RPR013 — instance registries are executor machinery
+# ---------------------------------------------------------------------
+
+#: The packages allowed to construct InstanceRegistry: the sweep
+#: executor (pool initializers, serial fallbacks) and the service
+#: daemon's keep-alive LRU.  Anywhere else, a private registry would
+#: fork the content-addressed store the executor reasons about —
+#: ship-bytes accounting, eviction bounds and journal-fingerprint
+#: agreement all assume one registry per worker/daemon, owned by the
+#: runtime.  Callers hold :class:`InstanceRef` keys, not registries.
+REGISTRY_HOMES = ("runtime", "service")
+
+
+@register(
+    "RPR013",
+    "registry-outside-runtime",
+    "only repro.runtime and repro.service may construct "
+    "InstanceRegistry; other code must pass InstanceRef keys through "
+    "the executor API",
+)
+def _check_registry_confined(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if module_matches(file.module, REGISTRY_HOMES):
+        return
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        # Catch classmethod constructors too: InstanceRegistry.from_payloads(...)
+        constructs = name == "InstanceRegistry" or (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "InstanceRegistry"
+        )
+        if constructs:
+            line, col = _loc(node)
+            yield line, col, (
+                "InstanceRegistry constructed outside repro.runtime / "
+                "repro.service; the executor owns instance registries "
+                "(ship InstanceRef keys through run_sweep / the service "
+                "daemon instead of building a private store)"
+            )

@@ -15,13 +15,20 @@ on every instance (a property test in the suite enforces it).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.joinopt.instance import QONInstance
 from repro.core.results import PlanResult
 from repro.runtime.costcache import active_cache
 from repro.utils.validation import require
 from repro.observability.tracer import traced
+
+
+def _next_same_popcount(mask: int) -> int:
+    """The next-larger integer with the same popcount (Gosper's hack)."""
+    low = mask & -mask
+    ripple = mask + low
+    return ripple | ((mask ^ ripple) >> (low.bit_length() + 1))
 
 
 @traced("optimize.dp")
@@ -47,13 +54,17 @@ def dp_optimal(
     full = (1 << n) - 1
     cache = active_cache()
 
-    # best_cost[mask] -> cost; parent[mask] -> (previous mask, joined relation)
-    best_cost: Dict[int, object] = {}
-    parent: Dict[int, Tuple[int, int]] = {}
-    # prefix_size[mask] = N(relations in mask); order-independent, so
-    # the entries are shared through the cost cache (key: the bitmask)
-    # with branch-and-bound and the pruned exhaustive search.
-    prefix_size: Dict[int, object] = {}
+    # Pre-sized mask-indexed tables: the hot loop indexes lists instead
+    # of hashing dict keys.  ``best_cost[mask]`` is ``None`` until the
+    # mask is reached; ``parent[mask]`` -> (previous mask, joined
+    # relation); ``prefix_size[mask]`` = N(relations in mask) —
+    # order-independent, so the entries are shared through the cost
+    # cache (key: the bitmask) with branch-and-bound and the pruned
+    # exhaustive search.
+    table = 1 << n
+    best_cost: List[Optional[object]] = [None] * table
+    parent: List[Tuple[int, int]] = [(0, -1)] * table
+    prefix_size: List[Optional[object]] = [None] * table
 
     for first in range(n):
         mask = 1 << first
@@ -62,49 +73,59 @@ def dp_optimal(
         parent[mask] = (0, first)
 
     explored = n
-    # Iterate masks in increasing popcount order; increasing numeric
-    # order suffices because a subset is numerically smaller than any
-    # of its supersets.
-    for mask in range(1, full + 1):
-        if mask not in best_cost:
-            continue
-        base_cost = best_cost[mask]
-        base_size = prefix_size[mask]
-        members = [k for k in range(n) if mask >> k & 1]
-        for j in range(n):
-            if mask >> j & 1:
+    # Iterate source masks one popcount layer at a time; Gosper's hack
+    # enumerates each layer in increasing numeric order.  Every
+    # predecessor of a popcount-p mask sits in layer p-1 and is
+    # numerically smaller than the mask, so relaxations into any given
+    # mask arrive in exactly the order the old full numeric scan
+    # produced — winners, tie-breaks, ``explored`` and the
+    # reconstructed sequence are bit-identical (pinned by the
+    # dp-vs-exhaustive property test).
+    for layer in range(1, n):
+        mask = (1 << layer) - 1
+        while mask <= full:
+            if best_cost[mask] is None:
+                mask = _next_same_popcount(mask)
                 continue
-            connected = any(graph.has_edge(k, j) for k in members)
-            if not allow_cartesian and not connected:
-                continue
-            probe = min(instance.access_cost(k, j) for k in members)
-            new_cost = base_cost + base_size * probe
-            new_mask = mask | (1 << j)
-            explored += 1
-            if new_mask not in best_cost or new_cost < best_cost[new_mask]:
-                best_cost[new_mask] = new_cost
-                parent[new_mask] = (mask, j)
-                if new_mask not in prefix_size:
-                    def extend_size(
-                        base: object = base_size,
-                        j: int = j,
-                        members: List[int] = members,
-                    ) -> object:
-                        size = base * instance.size(j)
-                        for k in members:
-                            selectivity = instance.selectivity(k, j)
-                            if selectivity != 1:
-                                size = size * selectivity
-                        return size
+            base_cost = best_cost[mask]
+            base_size = prefix_size[mask]
+            members = [k for k in range(n) if mask >> k & 1]
+            for j in range(n):
+                if mask >> j & 1:
+                    continue
+                connected = any(graph.has_edge(k, j) for k in members)
+                if not allow_cartesian and not connected:
+                    continue
+                probe = min(instance.access_cost(k, j) for k in members)
+                new_cost = base_cost + base_size * probe
+                new_mask = mask | (1 << j)
+                explored += 1
+                current = best_cost[new_mask]
+                if current is None or new_cost < current:
+                    best_cost[new_mask] = new_cost
+                    parent[new_mask] = (mask, j)
+                    if prefix_size[new_mask] is None:
+                        def extend_size(
+                            base: object = base_size,
+                            j: int = j,
+                            members: List[int] = members,
+                        ) -> object:
+                            size = base * instance.size(j)
+                            for k in members:
+                                selectivity = instance.selectivity(k, j)
+                                if selectivity != 1:
+                                    size = size * selectivity
+                            return size
 
-                    if cache is not None:
-                        prefix_size[new_mask] = cache.get_or_compute(
-                            instance, "qon-size", new_mask, extend_size
-                        )
-                    else:
-                        prefix_size[new_mask] = extend_size()
+                        if cache is not None:
+                            prefix_size[new_mask] = cache.get_or_compute(
+                                instance, "qon-size", new_mask, extend_size
+                            )
+                        else:
+                            prefix_size[new_mask] = extend_size()
+            mask = _next_same_popcount(mask)
 
-    if full not in best_cost:
+    if best_cost[full] is None:
         # Disconnected graph with cartesian products forbidden.
         require(
             allow_cartesian is False,

@@ -29,8 +29,17 @@ only takes algebraic shortcuts when it is True.
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
 from fractions import Fraction
-from typing import TYPE_CHECKING, Iterator, List, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.utils.validation import require
 
@@ -209,24 +218,91 @@ _QOH_CACHE: "weakref.WeakValueDictionary[int, CompiledQOH]" = (
     weakref.WeakValueDictionary()
 )
 
+#: Monotone count of kernel constructions in this process.  The sweep
+#: executor reads deltas of this to report ``kernels_compiled`` — the
+#: direct measure of how well worker-persistent instances (the runtime
+#: registry's live tier) are amortizing compilation.
+_COMPILES = 0
+
+# The weak memo alone cannot make kernels persist *across* tasks: the
+# evaluator is the only strong reference, so when a task's evaluator
+# dies the kernel is collected and the next task recompiles it even if
+# the instance object itself lived on.  The pin tier fixes that: a
+# bounded strong LRU of recently compiled kernels, enabled by the sweep
+# executor (workers pin while a registry keeps decoded instances live;
+# the serial loop pins for the duration of a sweep).  Pinning is pure
+# retention — lookups still go through the weak memo with its identity
+# check — so it can never change which kernel a caller sees, only how
+# long one stays warm.
+_PINNED: "OrderedDict[int, Union[CompiledQON, CompiledQOH]]" = OrderedDict()
+_PIN_LIMIT = 0
+
+
+def compiles_total() -> int:
+    """Kernels actually constructed so far (memo hits don't count)."""
+    return _COMPILES
+
+
+def pin_kernels(limit: int) -> None:
+    """Strongly retain up to ``limit`` most-recently-used kernels.
+
+    ``0`` (the default) disables pinning and releases every pinned
+    kernel.  A pinned kernel keeps its instance alive, so callers
+    should bound ``limit`` by how many distinct instances they expect
+    live at once (the executor uses the registry's live-tier bound).
+    """
+    global _PIN_LIMIT
+    require(limit >= 0, "kernel pin limit must be >= 0")
+    _PIN_LIMIT = limit
+    if limit == 0:
+        _PINNED.clear()
+    while len(_PINNED) > limit:
+        _PINNED.popitem(last=False)
+
+
+@contextmanager
+def pinned_kernels(limit: int) -> Iterator[None]:
+    """Scoped :func:`pin_kernels`: restores the previous limit on exit."""
+    previous = _PIN_LIMIT
+    pin_kernels(limit)
+    try:
+        yield
+    finally:
+        pin_kernels(previous)
+
+
+def _pin(key: int, kernel: Union[CompiledQON, CompiledQOH]) -> None:
+    if _PIN_LIMIT == 0:
+        return
+    _PINNED[key] = kernel
+    _PINNED.move_to_end(key)
+    while len(_PINNED) > _PIN_LIMIT:
+        _PINNED.popitem(last=False)
+
 
 def compile_qon(instance: "QONInstance") -> CompiledQON:
     """The compiled kernel for ``instance`` (memoized per live object)."""
+    global _COMPILES
     if isinstance(instance, CompiledQON):
         return instance
     kernel = _QON_CACHE.get(id(instance))
     if kernel is None or kernel.instance is not instance:
         kernel = CompiledQON(instance)
         _QON_CACHE[id(instance)] = kernel
+        _COMPILES += 1
+    _pin(id(instance), kernel)
     return kernel
 
 
 def compile_qoh(instance: "QOHInstance") -> CompiledQOH:
     """The compiled kernel for ``instance`` (memoized per live object)."""
+    global _COMPILES
     if isinstance(instance, CompiledQOH):
         return instance
     kernel = _QOH_CACHE.get(id(instance))
     if kernel is None or kernel.instance is not instance:
         kernel = CompiledQOH(instance)
         _QOH_CACHE[id(instance)] = kernel
+        _COMPILES += 1
+    _pin(id(instance), kernel)
     return kernel

@@ -12,7 +12,10 @@ Three layers:
   worker-death recovery, deterministic fault injection
   (``run_resilient_sweep`` / ``resume_sweep`` / ``RetryPolicy``);
 * :mod:`repro.runtime.journal` — the crash-safe JSONL task journal
-  behind resumability (``repro.journal/1``).
+  behind resumability (``repro.journal/1``);
+* :mod:`repro.runtime.registry` — the content-addressed instance
+  store behind chunked dispatch and the service daemon's keep-alive
+  LRU (``InstanceRegistry`` / ``instance_key``).
 
 The cache symbols are imported eagerly; the other layers load lazily
 on first attribute access because the cost model itself imports
@@ -52,12 +55,15 @@ __all__ = [
     "resume_sweep",
     "read_journal",
     "task_fingerprint",
+    "InstanceRegistry",
+    "RegistryStats",
+    "instance_key",
 ]
 
 _RUNNER_NAMES = {
     "OPTIMIZERS", "SweepTask", "TaskOutcome", "SweepResult",
     "run_sweep", "grid_tasks", "default_workers", "SweepTimeout",
-    "WorkerDied",
+    "WorkerDied", "ExecutorStats", "auto_chunksize",
 }
 _METRICS_NAMES = {
     "sweep_metrics", "validate_metrics", "write_metrics", "load_metrics",
@@ -70,6 +76,9 @@ _RESILIENCE_NAMES = {
 _JOURNAL_NAMES = {
     "JournalWriter", "read_journal", "task_fingerprint",
     "completed_by_fingerprint",
+}
+_REGISTRY_NAMES = {
+    "InstanceRegistry", "InstanceRef", "RegistryStats", "instance_key",
 }
 
 
@@ -90,4 +99,8 @@ def __getattr__(name: str) -> object:
         from repro.runtime import journal
 
         return getattr(journal, name)
+    if name in _REGISTRY_NAMES:
+        from repro.runtime import registry
+
+        return getattr(registry, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -39,8 +39,8 @@ from types import TracebackType
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.runtime.costcache import CacheStats
-from repro.runtime.costcache import fingerprint as instance_fingerprint
 from repro.runtime.metrics import FAILURE_KINDS
+from repro.runtime.registry import instance_key
 from repro.runtime.runner import SweepTask, TaskOutcome
 from repro.utils.validation import ValidationError, require
 
@@ -52,13 +52,12 @@ PathLike = Union[str, Path]
 def instance_token(instance: object) -> str:
     """The stable per-instance content token the fingerprints build on.
 
-    The cost-cache fingerprint when the instance exposes a graph, its
-    ``repr`` otherwise — SQO-CP instances carry no graph but have a
-    complete, deterministic ``repr``.
+    Delegates to :func:`repro.runtime.registry.instance_key`: journal
+    fingerprints and registry content addresses agree about instance
+    identity by construction, which is what keeps chunked/registry
+    dispatch from perturbing resume fingerprints.
     """
-    if hasattr(instance, "graph"):
-        return instance_fingerprint(instance)
-    return repr(instance)
+    return instance_key(instance)
 
 
 def task_fingerprint(index: int, task: SweepTask) -> str:

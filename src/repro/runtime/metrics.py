@@ -33,13 +33,20 @@ Payload layout::
         "peak_subproblems": int,      # peak memoized-entry count
         "retries": int,               # attempts beyond each task's first
         "recovered_workers": int,     # pools respawned after worker death
-        "resumed_tasks": int          # outcomes restored from a journal
+        "resumed_tasks": int,         # outcomes restored from a journal
+        "ship_bytes": int,            # pickled instance bytes shipped
+        "registry_hits": int,         # worker-side live-instance reuses
+        "kernels_compiled": int,      # actual kernel constructions
+        "chunks": int                 # chunk payloads dispatched
       }
     }
 
 The resilience fields (``failure``/``attempts`` per task, the three
-counters in ``totals``) are validated when present but not required —
-payloads written before the resilience layer existed still validate.
+counters in ``totals``) and the executor fields (the last four totals,
+from :class:`~repro.runtime.runner.ExecutorStats`) are validated when
+present but not required — payloads written before those layers
+existed still validate.  Executor fields describe scheduling, not
+results: they are excluded from every bit-identity contract.
 
 ``validate_metrics`` is the schema check the tests run against every
 emitted payload; it raises :class:`ValidationError` with the offending
@@ -113,6 +120,10 @@ def sweep_metrics(
             "retries": result.retries,
             "recovered_workers": result.recovered_workers,
             "resumed_tasks": result.resumed,
+            "ship_bytes": result.executor.ship_bytes,
+            "registry_hits": result.executor.registry_hits,
+            "kernels_compiled": result.executor.kernels_compiled,
+            "chunks": result.executor.chunks,
         },
     }
     validate_metrics(payload)
@@ -220,7 +231,9 @@ def validate_metrics(payload: Dict[str, Any]) -> None:
         0.0 <= hit_rate <= 1.0,
         f"metrics.totals.cache_hit_rate must lie in [0, 1], got {hit_rate}",
     )
-    for name in ("retries", "recovered_workers", "resumed_tasks"):
+    for name in ("retries", "recovered_workers", "resumed_tasks",
+                 "ship_bytes", "registry_hits", "kernels_compiled",
+                 "chunks"):
         if name in totals:
             value = totals[name]
             require(

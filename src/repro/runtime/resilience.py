@@ -46,7 +46,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import (
     Callable,
@@ -60,13 +60,16 @@ from typing import (
 
 from repro.runtime import journal as journal_mod
 from repro.runtime.costcache import CostCache
+from repro.runtime.registry import InstanceRef, InstanceRegistry
 from repro.runtime.runner import (
+    ExecutorStats,
     SweepResult,
     SweepTask,
     SweepTimeout,
     TaskOutcome,
     WorkerDied,
     _execute,
+    auto_chunksize,
     default_workers,
 )
 from repro.utils.rng import RngLike, make_rng
@@ -226,6 +229,18 @@ class _RunStats:
 
     retries: int = 0
     recovered: int = 0
+    ship_bytes: int = 0
+    registry_hits: int = 0
+    kernels_compiled: int = 0
+    chunks: int = 0
+
+    def executor(self) -> ExecutorStats:
+        return ExecutorStats(
+            ship_bytes=self.ship_bytes,
+            registry_hits=self.registry_hits,
+            kernels_compiled=self.kernels_compiled,
+            chunks=self.chunks,
+        )
 
 
 def _fresh_cache(cache: bool, cache_maxsize: Optional[int]) -> CostCache:
@@ -256,39 +271,99 @@ def _failed_outcome(
 
 # -- resilient pool plumbing -------------------------------------------
 _WORKER_SETTINGS: Tuple[bool, Optional[int]] = (True, None)
+#: Worker-side registry rebuilt from the shipped payload map; None in
+#: legacy per-task mode (``chunksize=0``).
+_WORKER_REGISTRY: Optional[InstanceRegistry] = None
+
+#: One dispatched chunk: ``(index, task, attempt)`` triples plus the
+#: sweep-wide timeout/trace/chaos settings.  In registry mode each
+#: task's ``instance`` slot holds an :class:`InstanceRef`.
+_ChunkPayload = Tuple[
+    Tuple[Tuple[int, SweepTask, int], ...],
+    Optional[float], bool, Optional[FaultPlan],
+]
+_ChunkResult = Tuple[Tuple[TaskOutcome, ...], int, int]
 
 
 def _resilient_worker_init(
-    cache_enabled: bool, cache_maxsize: Optional[int]
+    cache_enabled: bool,
+    cache_maxsize: Optional[int],
+    payloads: Optional[Dict[str, bytes]] = None,
+    registry_max_live: Optional[int] = None,
 ) -> None:
-    global _IN_POOL_WORKER, _WORKER_SETTINGS
+    global _IN_POOL_WORKER, _WORKER_SETTINGS, _WORKER_REGISTRY
     _IN_POOL_WORKER = True
     _WORKER_SETTINGS = (cache_enabled, cache_maxsize)
-
-
-def _resilient_worker_run(
-    payload: Tuple[int, SweepTask, Optional[float], bool, int,
-                   Optional[FaultPlan]]
-) -> TaskOutcome:
-    index, task, default_timeout, trace, attempt, fault_plan = payload
-    cache_enabled, cache_maxsize = _WORKER_SETTINGS
-    # A fresh cache per attempt: outcomes must not depend on which
-    # worker ran the task or what ran there before (see module doc).
-    cache = _fresh_cache(cache_enabled, cache_maxsize)
-    return _execute(
-        index, task, cache, default_timeout,
-        trace=trace, attempt=attempt, fault_plan=fault_plan,
+    _WORKER_REGISTRY = (
+        InstanceRegistry.from_payloads(payloads, max_live=registry_max_live)
+        if payloads is not None else None
     )
+    if payloads is not None:
+        # Worker-persistent kernels, bounded by the registry live tier
+        # (see runner._worker_init for the rationale).
+        from repro.perf.kernels import pin_kernels
+
+        pin_kernels(
+            registry_max_live if registry_max_live is not None
+            else len(payloads)
+        )
+
+
+def _materialize(task: SweepTask) -> SweepTask:
+    """Swap a shipped :class:`InstanceRef` back for its live instance."""
+    if not isinstance(task.instance, InstanceRef):
+        return task
+    registry = _WORKER_REGISTRY
+    require(
+        registry is not None,
+        "task references the instance registry but this worker has none",
+    )
+    assert registry is not None  # for the type checker; require() raised
+    return replace(task, instance=registry.get(task.instance.key))
+
+
+def _resilient_worker_run_chunk(payload: _ChunkPayload) -> _ChunkResult:
+    """Run one chunk of tasks, each attempt against a fresh cache.
+
+    Decoded instances and compiled kernels persist across the chunk
+    (and, via the worker registry, across chunks) — they are pure
+    functions of instance content.  The cost *cache* stays
+    per-attempt: outcomes must not depend on which worker ran the task
+    or what ran there before (see module doc).
+    """
+    from repro.perf.kernels import compiles_total
+
+    entries, default_timeout, trace, fault_plan = payload
+    cache_enabled, cache_maxsize = _WORKER_SETTINGS
+    registry = _WORKER_REGISTRY
+    hits_before = registry.stats().hits if registry is not None else 0
+    compiled_before = compiles_total()
+    outcomes = tuple(
+        _execute(
+            index, _materialize(task),
+            _fresh_cache(cache_enabled, cache_maxsize), default_timeout,
+            trace=trace, attempt=attempt, fault_plan=fault_plan,
+        )
+        for index, task, attempt in entries
+    )
+    hits_delta = (
+        registry.stats().hits - hits_before if registry is not None else 0
+    )
+    return outcomes, hits_delta, compiles_total() - compiled_before
 
 
 def _make_executor(
-    workers: int, cache_enabled: bool, cache_maxsize: Optional[int]
+    workers: int,
+    cache_enabled: bool,
+    cache_maxsize: Optional[int],
+    payloads: Optional[Dict[str, bytes]] = None,
+    registry_max_live: Optional[int] = None,
 ) -> ProcessPoolExecutor:
     """Create the pool (split out so tests can force creation failure)."""
     return ProcessPoolExecutor(
         max_workers=workers,
         initializer=_resilient_worker_init,
-        initargs=(cache_enabled, cache_maxsize),
+        initargs=(cache_enabled, cache_maxsize, payloads, registry_max_live),
     )
 
 
@@ -362,17 +437,59 @@ def _run_parallel(
     writer: Optional[journal_mod.JournalWriter],
     sleep: Callable[[float], None],
     stats: _RunStats,
+    chunksize: Optional[int] = None,
+    registry_maxsize: Optional[int] = None,
 ) -> Optional[Dict[int, TaskOutcome]]:
-    """Pool-backed loop; returns None when no pool can be created."""
+    """Pool-backed loop; returns None when no pool can be created.
+
+    Dispatch is chunked (``chunksize``; ``None`` applies
+    :func:`~repro.runtime.runner.auto_chunksize`, ``0`` the legacy
+    per-task submission), but recovery stays at *task* granularity:
+    retry accounting, journal records and resume fingerprints are all
+    per task, and a chunk lost to a worker death re-queues each of its
+    tasks individually with one ``worker-died`` attempt charged.
+    """
+    resolved = (
+        auto_chunksize(len(pending), workers) if chunksize is None
+        else chunksize
+    )
+    registry = InstanceRegistry()
+    payload_map: Dict[int, str] = {
+        index: registry.register(tasks[index].instance) for index in pending
+    }
+    blobs: Dict[str, bytes] = registry.payloads()
+    if resolved > 0:
+        ship_tasks: Dict[int, SweepTask] = {
+            index: replace(
+                tasks[index], instance=InstanceRef(payload_map[index])
+            )
+            for index in pending
+        }
+        pool_payloads: Optional[Dict[str, bytes]] = blobs
+        ship_per_pool = registry.payload_bytes() * workers
+        per_chunk = resolved
+    else:
+        ship_tasks = {index: tasks[index] for index in pending}
+        ship_per_pool = 0
+        per_chunk = 1
+        pool_payloads = None
+
+    def spawn() -> ProcessPoolExecutor:
+        pool = _make_executor(
+            workers, cache, cache_maxsize, pool_payloads, registry_maxsize
+        )
+        stats.ship_bytes += ship_per_pool
+        return pool
+
     try:
-        executor = _make_executor(workers, cache, cache_maxsize)
+        executor = spawn()
     except Exception:  # no semaphores / sandboxed: degrade quietly
         return None
 
     outcomes: Dict[int, TaskOutcome] = {}
     attempt_of: Dict[int, int] = {index: 0 for index in pending}
     queue: Deque[int] = deque(pending)
-    futures: Dict["Future[TaskOutcome]", int] = {}
+    futures: Dict["Future[_ChunkResult]", Tuple[int, ...]] = {}
 
     def finalize(index: int, outcome: TaskOutcome) -> None:
         outcomes[index] = outcome
@@ -394,46 +511,70 @@ def _run_parallel(
         while queue or futures:
             try:
                 while queue:
-                    index = queue.popleft()
-                    payload = (
-                        index, tasks[index], timeout, trace,
-                        attempt_of[index], fault_plan,
+                    entries = []
+                    while queue and len(entries) < per_chunk:
+                        index = queue.popleft()
+                        entries.append(
+                            (index, ship_tasks[index], attempt_of[index])
+                        )
+                    payload: _ChunkPayload = (
+                        tuple(entries), timeout, trace, fault_plan,
                     )
                     try:
                         future = executor.submit(
-                            _resilient_worker_run, payload
+                            _resilient_worker_run_chunk, payload
                         )
                     except BrokenExecutor:
-                        queue.appendleft(index)  # recover below, unsubmitted
+                        for entry in reversed(entries):
+                            queue.appendleft(entry[0])  # unsubmitted
                         raise
-                    futures[future] = index
+                    futures[future] = tuple(entry[0] for entry in entries)
+                    if resolved > 0:
+                        stats.chunks += 1
+                    else:
+                        # Legacy accounting: every submission ships its
+                        # task's own pickled instance copy.
+                        for entry in entries:
+                            stats.ship_bytes += len(
+                                blobs[payload_map[entry[0]]]
+                            )
                 done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
                 for future in done:
-                    index = futures.pop(future)
+                    indices = futures.pop(future)
                     try:
-                        outcome = future.result()
+                        chunk_outcomes, hits, compiled = future.result()
                     except BrokenExecutor:
-                        futures[future] = index  # recover below, in-flight
+                        futures[future] = indices  # recover below, in-flight
                         raise
                     except Exception as exc:  # noqa: BLE001
-                        outcome = _failed_outcome(
-                            index, tasks[index], attempt_of[index] + 1,
-                            "error", f"{type(exc).__name__}: {exc}",
-                        )
-                    if outcome.ok:
-                        finalize(index, outcome)
-                    else:
-                        handle_failure(index, outcome)
+                        for index in indices:
+                            handle_failure(index, _failed_outcome(
+                                index, tasks[index], attempt_of[index] + 1,
+                                "error", f"{type(exc).__name__}: {exc}",
+                            ))
+                        continue
+                    stats.registry_hits += hits
+                    stats.kernels_compiled += compiled
+                    for outcome in chunk_outcomes:
+                        if outcome.ok:
+                            finalize(outcome.index, outcome)
+                        else:
+                            handle_failure(outcome.index, outcome)
             except BrokenExecutor:
                 # A worker died and took the pool with it.  Respawn,
                 # charge every in-flight task a worker-died attempt,
-                # and re-queue the ones with retry budget left.
+                # and re-queue the ones with retry budget left — task
+                # by task, even when they were dispatched as a chunk.
                 stats.recovered += 1
-                inflight = sorted(futures.values())
+                inflight = sorted(
+                    index
+                    for indices in futures.values()
+                    for index in indices
+                )
                 futures.clear()
                 executor.shutdown(wait=False, cancel_futures=True)
                 try:
-                    executor = _make_executor(workers, cache, cache_maxsize)
+                    executor = spawn()
                 except Exception:
                     # Can't respawn: everything unfinished is lost.
                     for index in inflight + sorted(queue):
@@ -451,7 +592,10 @@ def _run_parallel(
                     ))
     except KeyboardInterrupt:
         executor.shutdown(wait=False, cancel_futures=True)
-        for index in list(futures.values()) + list(queue):
+        inflight = [
+            index for indices in futures.values() for index in indices
+        ]
+        for index in inflight + list(queue):
             outcomes[index] = _failed_outcome(
                 index, tasks[index], attempt_of[index],
                 "cancelled", "cancelled by interrupt",
@@ -474,6 +618,8 @@ def run_resilient_sweep(
     completed: Optional[Dict[int, TaskOutcome]] = None,
     resumed: int = 0,
     sleep: Callable[[float], None] = time.sleep,
+    chunksize: Optional[int] = None,
+    registry_maxsize: Optional[int] = None,
 ) -> SweepResult:
     """Run ``tasks`` with retries, journaling and optional chaos.
 
@@ -494,6 +640,12 @@ def run_resilient_sweep(
             in :attr:`SweepResult.resumed`.
         sleep: backoff clock, injectable so tests assert the schedule
             without waiting it out.
+        chunksize: tasks per dispatched chunk in the parallel path
+            (``None`` auto, ``0`` legacy per-task dispatch).  Purely a
+            throughput knob: journal records, resume fingerprints and
+            outcomes are identical for every setting.
+        registry_maxsize: bound on each worker's live decoded
+            instances; ``None`` is unbounded.
     """
     tasks = list(tasks)
     retry = retry or RetryPolicy()
@@ -526,14 +678,23 @@ def run_resilient_sweep(
                 tasks, pending, fingerprints, workers, cache,
                 cache_maxsize, timeout, trace, retry, fault_plan,
                 writer, sleep, stats,
+                chunksize=chunksize, registry_maxsize=registry_maxsize,
             )
             if fresh is not None:
                 mode = "parallel"
         if fresh is None:
-            fresh = _run_serial(
-                tasks, pending, fingerprints, cache, cache_maxsize,
-                timeout, trace, retry, fault_plan, writer, sleep, stats,
-            )
+            from repro.perf.kernels import compiles_total, pinned_kernels
+
+            compiled_before = compiles_total()
+            # Same worker-persistence the pool gets: live instances are
+            # shared across tasks, so pin their kernels for the sweep.
+            distinct = len({id(task.instance) for task in tasks})
+            with pinned_kernels(distinct):
+                fresh = _run_serial(
+                    tasks, pending, fingerprints, cache, cache_maxsize,
+                    timeout, trace, retry, fault_plan, writer, sleep, stats,
+                )
+            stats.kernels_compiled += compiles_total() - compiled_before
         outcomes.update(fresh)
     finally:
         if writer is not None:
@@ -549,6 +710,7 @@ def run_resilient_sweep(
         retries=stats.retries,
         recovered_workers=stats.recovered,
         resumed=resumed,
+        executor=stats.executor(),
     )
 
 
@@ -563,6 +725,8 @@ def resume_sweep(
     retry: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
     sleep: Callable[[float], None] = time.sleep,
+    chunksize: Optional[int] = None,
+    registry_maxsize: Optional[int] = None,
 ) -> SweepResult:
     """Resume a journaled sweep, merging stored and fresh outcomes.
 
@@ -598,4 +762,6 @@ def resume_sweep(
         completed=completed,
         resumed=len(completed),
         sleep=sleep,
+        chunksize=chunksize,
+        registry_maxsize=registry_maxsize,
     )

@@ -4,10 +4,22 @@ The gap-family experiments (Theorems 9/15/16/17) are verified by
 sweeping many reduction instances through many optimizers.  This module
 turns such a grid into a list of :class:`SweepTask` and executes it
 
-* over a ``multiprocessing`` pool when one is available (results come
-  back in deterministic task order regardless of completion order),
-* serially — with identical semantics — when ``workers <= 1``, the
-  platform cannot fork, or pool creation fails for any reason,
+* over a ``multiprocessing`` pool when one is available.  Dispatch is
+  *chunked* (``chunksize`` knob, deterministic :func:`auto_chunksize`
+  heuristic) and instances travel through the content-addressed
+  :class:`~repro.runtime.registry.InstanceRegistry`: each *distinct*
+  instance payload is shipped to each worker exactly once in the pool
+  initializer, tasks carry lightweight
+  :class:`~repro.runtime.registry.InstanceRef` markers, and workers
+  keep decoded instances (and therefore the per-instance compiled
+  kernels of :mod:`repro.perf.kernels`) live across tasks.  Chunks
+  complete in arbitrary order; :func:`_reassemble` restores exact
+  submission order by sorting on the per-outcome task index, which is
+  the deterministic-task-order guarantee tests pin.  ``chunksize=0``
+  selects the legacy per-task dispatch (full instance pickled with
+  every task, no registry) — kept as the benchmark comparator;
+* serially — with identical outcome semantics — when ``workers <= 1``,
+  the platform cannot fork, or pool creation fails for any reason,
 
 with per-task wall-clock timeouts (SIGALRM-based, so a stuck optimizer
 returns a *marked* partial outcome instead of hanging the sweep) and a
@@ -17,9 +29,19 @@ cross-task reuse (e.g. three exact optimizers walking the same subset
 lattice) is captured; in parallel mode each worker process holds its
 own cache and per-task counter deltas are aggregated at the end.
 
+Worker-persistent state never changes results: instances are decoded
+once per worker but every decode of one payload is structurally equal,
+optimizers are pure functions of instance content, and the cost cache
+keys on the content fingerprint — so chunked, legacy-parallel and
+serial runs produce bit-identical outcomes (value, type, ``repr``),
+which the differential tests in ``tests/test_runtime_registry.py``
+enforce across ``chunksize``/``workers`` schedules.
+
 Every outcome carries wall time, plans explored, and the cache-counter
 movement attributable to that task — the raw material for
-:mod:`repro.runtime.metrics`.
+:mod:`repro.runtime.metrics`; the sweep-level :class:`ExecutorStats`
+(``ship_bytes``, ``registry_hits``, ``kernels_compiled``, ``chunks``)
+reports what the executor itself did to move the work.
 """
 
 from __future__ import annotations
@@ -32,6 +54,7 @@ from typing import (
     TYPE_CHECKING,
     Callable,
     Dict,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -62,6 +85,7 @@ from repro.runtime.costcache import (
     install_cache,
     use_cache,
 )
+from repro.runtime.registry import InstanceRef, InstanceRegistry
 from repro.starqo.dp import sqocp_dp
 from repro.starqo.optimizer import sqocp_optimal
 from repro.utils.validation import require
@@ -148,6 +172,46 @@ class TaskOutcome:
 
 
 @dataclass(frozen=True)
+class ExecutorStats:
+    """What the executor did to move the work (not what tasks computed).
+
+    ``ship_bytes`` — pickled instance bytes shipped to workers: with
+    the registry path each distinct payload travels once per worker;
+    in legacy per-task mode every task carries its own copy.
+    ``registry_hits`` — worker-side live-tier hits (a decoded instance
+    was reused across tasks).  ``kernels_compiled`` — actual
+    :mod:`repro.perf.kernels` constructions, summed over workers (or
+    over the serial loop).  ``chunks`` — chunk payloads dispatched;
+    ``0`` in serial and legacy per-task modes.
+
+    All fields are additive and deliberately *excluded* from journal
+    records and bit-identity contracts: they describe scheduling, not
+    results.
+    """
+
+    ship_bytes: int = 0
+    registry_hits: int = 0
+    kernels_compiled: int = 0
+    chunks: int = 0
+
+    def merged(self, other: "ExecutorStats") -> "ExecutorStats":
+        return ExecutorStats(
+            ship_bytes=self.ship_bytes + other.ship_bytes,
+            registry_hits=self.registry_hits + other.registry_hits,
+            kernels_compiled=self.kernels_compiled + other.kernels_compiled,
+            chunks=self.chunks + other.chunks,
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "ship_bytes": self.ship_bytes,
+            "registry_hits": self.registry_hits,
+            "kernels_compiled": self.kernels_compiled,
+            "chunks": self.chunks,
+        }
+
+
+@dataclass(frozen=True)
 class SweepResult:
     """All outcomes of one sweep, in task order."""
 
@@ -164,6 +228,8 @@ class SweepResult:
     retries: int = 0
     recovered_workers: int = 0
     resumed: int = 0
+    #: Executor-level movement counters (see :class:`ExecutorStats`).
+    executor: ExecutorStats = field(default_factory=ExecutorStats)
 
     def __iter__(self) -> Iterator[TaskOutcome]:
         return iter(self.outcomes)
@@ -201,6 +267,10 @@ class SweepResult:
             ("retries", self.retries),
             ("recovered_workers", self.recovered_workers),
             ("resumed_tasks", self.resumed),
+            ("ship_bytes", self.executor.ship_bytes),
+            ("registry_hits", self.executor.registry_hits),
+            ("kernels_compiled", self.executor.kernels_compiled),
+            ("chunks", self.executor.chunks),
         ):
             if value:
                 counters[name] = value
@@ -407,42 +477,235 @@ def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
 # -- parallel plumbing -------------------------------------------------
 #: Per-worker-process cache, installed by the pool initializer.
 _WORKER_CACHE: Optional[CostCache] = None
+#: Per-worker-process instance registry, built from the payload map
+#: shipped by the pool initializer.  None in legacy per-task mode,
+#: where tasks still carry full instances.
+_WORKER_REGISTRY: Optional[InstanceRegistry] = None
+
+#: One dispatched chunk: ``(index, task)`` pairs plus the sweep-wide
+#: timeout/trace settings.  In registry mode each task's ``instance``
+#: slot holds an :class:`InstanceRef`.
+_ChunkPayload = Tuple[
+    Tuple[Tuple[int, SweepTask], ...], Optional[float], bool
+]
+#: What a chunk sends back: its outcomes plus the worker-side deltas
+#: of registry live-tier hits and kernel compilations.
+_ChunkResult = Tuple[Tuple[TaskOutcome, ...], int, int]
 
 
-def _worker_init(cache_enabled: bool, cache_maxsize: Optional[int]) -> None:
-    global _WORKER_CACHE
+def _worker_init(
+    cache_enabled: bool,
+    cache_maxsize: Optional[int],
+    payloads: Optional[Dict[str, bytes]] = None,
+    registry_max_live: Optional[int] = None,
+) -> None:
+    global _WORKER_CACHE, _WORKER_REGISTRY
     _WORKER_CACHE = (
         CostCache(maxsize=cache_maxsize) if cache_enabled
         else CostCache(maxsize=0)
     )
+    _WORKER_REGISTRY = (
+        InstanceRegistry.from_payloads(payloads, max_live=registry_max_live)
+        if payloads is not None else None
+    )
+    if payloads is not None:
+        # Worker-persistent kernels: while the registry keeps a decoded
+        # instance live, keep its compiled kernel alive too.  Bounded
+        # by the live tier so pinning cannot outgrow the registry.
+        from repro.perf.kernels import pin_kernels
+
+        pin_kernels(
+            registry_max_live if registry_max_live is not None
+            else len(payloads)
+        )
     install_cache(None)  # tasks install it per-call via _execute
 
 
-def _worker_run(
-    payload: Tuple[int, SweepTask, Optional[float], bool, int, object]
-) -> TaskOutcome:
-    index, task, default_timeout, trace, attempt, fault_plan = payload
-    return _execute(
-        index, task, _WORKER_CACHE, default_timeout,
-        trace=trace, attempt=attempt, fault_plan=fault_plan,
+def _materialize(
+    task: SweepTask, registry: Optional[InstanceRegistry]
+) -> SweepTask:
+    """Swap a shipped :class:`InstanceRef` back for its live instance."""
+    if not isinstance(task.instance, InstanceRef):
+        return task
+    require(
+        registry is not None,
+        "task references the instance registry but this worker has none",
     )
+    assert registry is not None  # for the type checker; require() raised
+    return replace(task, instance=registry.get(task.instance.key))
 
 
-def _make_pool(workers: int, cache_enabled: bool,
-               cache_maxsize: Optional[int]) -> object:
+def _worker_run_chunk(payload: _ChunkPayload) -> _ChunkResult:
+    """Run one chunk of tasks inside a pool worker.
+
+    The registry hands every task of a repeated instance the *same*
+    decoded object, so the per-instance kernel memo in
+    :mod:`repro.perf.kernels` survives across tasks; the returned
+    deltas report how much reuse actually happened in this chunk.
+    """
+    from repro.perf.kernels import compiles_total
+
+    items, default_timeout, trace = payload
+    registry = _WORKER_REGISTRY
+    hits_before = registry.stats().hits if registry is not None else 0
+    compiled_before = compiles_total()
+    outcomes = tuple(
+        _execute(
+            index, _materialize(task, registry), _WORKER_CACHE,
+            default_timeout, trace=trace,
+        )
+        for index, task in items
+    )
+    hits_delta = (
+        registry.stats().hits - hits_before if registry is not None else 0
+    )
+    return outcomes, hits_delta, compiles_total() - compiled_before
+
+
+def _make_pool(
+    workers: int,
+    cache_enabled: bool,
+    cache_maxsize: Optional[int],
+    payloads: Optional[Dict[str, bytes]] = None,
+    registry_max_live: Optional[int] = None,
+) -> object:
     """Create the worker pool (split out so tests can force failure)."""
     import multiprocessing
 
     return multiprocessing.get_context().Pool(
         processes=workers,
         initializer=_worker_init,
-        initargs=(cache_enabled, cache_maxsize),
+        initargs=(cache_enabled, cache_maxsize, payloads, registry_max_live),
     )
 
 
 def default_workers() -> int:
     count = os.cpu_count() or 1
     return max(1, min(count - 1, 8))
+
+
+def auto_chunksize(num_tasks: int, workers: int) -> int:
+    """Deterministic chunk-size heuristic for ``chunksize=None``.
+
+    Aims for about four chunks per worker — enough slack for the pool
+    to balance stragglers — while capping chunks at 32 tasks so one
+    slow chunk cannot serialize a large sweep.  A pure function of its
+    arguments: the same grid always dispatches the same chunks.
+    """
+    require(num_tasks >= 0, "num_tasks must be >= 0")
+    require(workers >= 1, "workers must be >= 1")
+    if num_tasks == 0:
+        return 1
+    return max(1, min(32, -(-num_tasks // (workers * 4))))
+
+
+def _chunked(
+    items: Sequence[Tuple[int, SweepTask]], size: int
+) -> List[Tuple[Tuple[int, SweepTask], ...]]:
+    require(size >= 1, "chunk size must be >= 1")
+    return [
+        tuple(items[start:start + size])
+        for start in range(0, len(items), size)
+    ]
+
+
+def _reassemble(
+    outcomes: Iterable[TaskOutcome], expected: int
+) -> List[TaskOutcome]:
+    """Restore submission order after unordered chunk completion.
+
+    ``imap_unordered`` yields chunk results in *completion* order —
+    whichever worker finishes first.  Every outcome carries the task
+    index it was dispatched with, so sorting on that index restores
+    the exact submission order.  This sort is the deterministic
+    task-order guarantee the module docstring makes; it is pinned by
+    ``tests/test_runtime_registry.py``.
+    """
+    ordered = sorted(outcomes, key=lambda outcome: outcome.index)
+    require(
+        len(ordered) == expected
+        and all(o.index == i for i, o in enumerate(ordered)),
+        "executor returned an inconsistent outcome set",
+    )
+    return ordered
+
+
+def _run_pool(
+    tasks: Sequence[SweepTask],
+    workers: int,
+    cache: bool,
+    cache_maxsize: Optional[int],
+    timeout: Optional[float],
+    trace: bool,
+    chunksize: Optional[int],
+    registry_maxsize: Optional[int],
+) -> Tuple[Optional[List[TaskOutcome]], ExecutorStats]:
+    """The parallel path; ``(None, ...)`` means "fall back to serial".
+
+    ``chunksize > 0`` (or ``None`` → :func:`auto_chunksize`) dispatches
+    registry-backed chunks; ``chunksize == 0`` reproduces the legacy
+    per-task dispatch — full instance pickled with every task, fresh
+    decode and kernel compile per task — kept as the executor-bench
+    comparator.
+    """
+    resolved = (
+        auto_chunksize(len(tasks), workers) if chunksize is None
+        else chunksize
+    )
+    registry = InstanceRegistry()
+    if resolved > 0:
+        indexed = [
+            (
+                index,
+                replace(
+                    task,
+                    instance=InstanceRef(registry.register(task.instance)),
+                ),
+            )
+            for index, task in enumerate(tasks)
+        ]
+        chunks = _chunked(indexed, resolved)
+        ship_bytes = registry.payload_bytes() * workers
+        pool_payloads: Optional[Dict[str, bytes]] = registry.payloads()
+    else:
+        # Legacy accounting: the registry is only used parent-side to
+        # price what per-task shipping costs (one pickled copy of the
+        # instance per task).
+        keys = [registry.register(task.instance) for task in tasks]
+        payload_map = registry.payloads()
+        ship_bytes = sum(len(payload_map[key]) for key in keys)
+        chunks = _chunked(list(enumerate(tasks)), 1)
+        pool_payloads = None
+    try:
+        pool = _make_pool(
+            workers, cache, cache_maxsize, pool_payloads, registry_maxsize
+        )
+    except Exception:  # no semaphores / sandboxed: degrade quietly
+        return None, ExecutorStats()
+    try:
+        with pool:
+            raw: List[_ChunkResult] = list(
+                pool.imap_unordered(
+                    _worker_run_chunk,
+                    [(chunk, timeout, trace) for chunk in chunks],
+                )
+            )
+    except Exception:
+        return None, ExecutorStats()  # fall back to serial
+    collected: List[TaskOutcome] = []
+    registry_hits = 0
+    kernels_compiled = 0
+    for chunk_outcomes, hits_delta, compiled_delta in raw:
+        collected.extend(chunk_outcomes)
+        registry_hits += hits_delta
+        kernels_compiled += compiled_delta
+    outcomes = _reassemble(collected, len(tasks))
+    return outcomes, ExecutorStats(
+        ship_bytes=ship_bytes,
+        registry_hits=registry_hits,
+        kernels_compiled=kernels_compiled,
+        chunks=len(chunks) if resolved > 0 else 0,
+    )
 
 
 def run_sweep(
@@ -452,6 +715,8 @@ def run_sweep(
     cache_maxsize: Optional[int] = None,
     timeout: Optional[float] = None,
     trace: bool = False,
+    chunksize: Optional[int] = None,
+    registry_maxsize: Optional[int] = None,
 ) -> SweepResult:
     """Run every task and return outcomes in task order.
 
@@ -468,39 +733,54 @@ def run_sweep(
             (``SweepTask.timeout`` overrides per task).
         trace: record a per-task span tree on every outcome; merge the
             lot with :meth:`SweepResult.trace_records`.
+        chunksize: tasks per dispatched chunk.  ``None`` applies the
+            deterministic :func:`auto_chunksize` heuristic; ``0``
+            selects the legacy per-task dispatch (no registry, full
+            instance shipped with every task).  Never affects results,
+            only throughput — pinned by schedule-independence tests.
+        registry_maxsize: bound on each worker's *live* decoded
+            instances (the payload tier keeps everything, so eviction
+            only costs a re-decode).  ``None`` is unbounded.
     """
     tasks = list(tasks)
     if workers is None:
         workers = default_workers()
+    require(
+        chunksize is None or chunksize >= 0,
+        "chunksize must be None (auto) or >= 0",
+    )
     start = time.perf_counter()
 
     outcomes: Optional[List[TaskOutcome]] = None
+    executor = ExecutorStats()
     mode = "serial"
     if workers > 1 and len(tasks) > 1:
-        payloads = [
-            (i, task, timeout, trace, 0, None) for i, task in enumerate(tasks)
-        ]
-        try:
-            pool = _make_pool(workers, cache, cache_maxsize)
-        except Exception:  # no semaphores / sandboxed: degrade quietly
-            pool = None
-        if pool is not None:
-            try:
-                with pool:
-                    outcomes = list(pool.imap_unordered(_worker_run, payloads))
-                outcomes.sort(key=lambda outcome: outcome.index)
-                mode = "parallel"
-            except Exception:
-                outcomes = None  # fall back to serial below
+        outcomes, executor = _run_pool(
+            tasks, workers, cache, cache_maxsize, timeout, trace,
+            chunksize, registry_maxsize,
+        )
+        if outcomes is not None:
+            mode = "parallel"
 
     if outcomes is None:
+        from repro.perf.kernels import compiles_total, pinned_kernels
+
+        compiled_before = compiles_total()
         shared = (
             CostCache(maxsize=cache_maxsize) if cache else CostCache(maxsize=0)
         )
-        outcomes = [
-            _execute(index, task, shared, timeout, trace=trace)
-            for index, task in enumerate(tasks)
-        ]
+        # In-process tasks already share live instances; pin their
+        # kernels for the duration of the sweep so compilation is
+        # per-instance, matching what a registry worker would see.
+        distinct = len({id(task.instance) for task in tasks})
+        with pinned_kernels(distinct):
+            outcomes = [
+                _execute(index, task, shared, timeout, trace=trace)
+                for index, task in enumerate(tasks)
+            ]
+        executor = ExecutorStats(
+            kernels_compiled=compiles_total() - compiled_before
+        )
 
     return SweepResult(
         outcomes=tuple(outcomes),
@@ -508,6 +788,7 @@ def run_sweep(
         workers=workers if mode == "parallel" else 1,
         cache_enabled=cache,
         wall_time=time.perf_counter() - start,
+        executor=executor,
     )
 
 

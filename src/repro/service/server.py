@@ -159,7 +159,12 @@ class OptimizationServer:
         self._inflight: Dict[str, _Job] = {}
         self._running_count = 0
         self._results: "OrderedDict[str, api.ServiceReply]" = OrderedDict()
-        self._instances: "OrderedDict[str, Any]" = OrderedDict()
+        # Keep-alive instance LRU, shared machinery with the sweep
+        # runner: the live tier of the runtime's content-addressed
+        # registry (internally locked; max_live=0 is pass-through).
+        self._registry = api.InstanceRegistry(
+            max_live=max(self.config.instance_cache_size, 0)
+        )
         self._connections: List[_Connection] = []
         self._threads: List[threading.Thread] = []
         self._listener: Optional[socket.socket] = None
@@ -386,20 +391,15 @@ class OptimizationServer:
         The compiled cost kernels are memoized per live instance, so
         serving repeated requests from the same decoded object makes
         every request after the first reuse the compiled kernel
-        instead of recompiling it.
+        instead of recompiling it.  The LRU itself lives in
+        :mod:`repro.runtime.registry` (via the :mod:`repro.api`
+        facade) — the same live tier the chunked sweep runner's
+        workers use — keyed here by the canonical request JSON.
         """
         if self.config.instance_cache_size <= 0:
             return decoded
         key = json.dumps(encoded, sort_keys=True)
-        with self._lock:
-            cached = self._instances.get(key)
-            if cached is not None:
-                self._instances.move_to_end(key)
-                return cached
-            self._instances[key] = decoded
-            while len(self._instances) > self.config.instance_cache_size:
-                self._instances.popitem(last=False)
-        return decoded
+        return self._registry.canonical(key, decoded)
 
     def _admit(
         self,

@@ -385,6 +385,58 @@ class TestRuleFixtures:
         })
         assert lint_paths([tree], select=["RPR011"]).ok
 
+    def test_rpr013_flags_registry_outside_runtime(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/api.py": """\
+                from repro.runtime.registry import InstanceRegistry
+
+                def private_store():
+                    return InstanceRegistry(max_live=4)
+            """,
+        })
+        report = lint_paths([tree], select=["RPR013"])
+        assert codes_of(report) == ["RPR013"]
+        assert "InstanceRef" in report.diagnostics[0].message
+
+    def test_rpr013_flags_classmethod_construction(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "benchmarks/bench_registry.py": """\
+                from repro.runtime.registry import InstanceRegistry
+
+                STORE = InstanceRegistry.from_payloads({})
+            """,
+        })
+        report = lint_paths([tree], select=["RPR013"])
+        assert codes_of(report) == ["RPR013"]
+
+    def test_rpr013_allows_runtime_and_service(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/runtime/runner.py": """\
+                from repro.runtime.registry import InstanceRegistry
+
+                def _make_pool():
+                    return InstanceRegistry()
+            """,
+            "src/repro/service/server.py": """\
+                from repro import api
+
+                def build(config):
+                    return api.InstanceRegistry(max_live=8)
+            """,
+        })
+        assert lint_paths([tree], select=["RPR013"]).ok
+
+    def test_rpr013_allows_passing_refs_through(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/api.py": """\
+                from repro.runtime.registry import InstanceRef
+
+                def resolve(ref: InstanceRef):
+                    return ref.key
+            """,
+        })
+        assert lint_paths([tree], select=["RPR013"]).ok
+
     def test_rpr000_parse_error_is_a_finding(self, tmp_path):
         tree = make_tree(tmp_path, {
             "src/repro/broken.py": "def oops(:\n",
@@ -398,6 +450,7 @@ class TestRuleFixtures:
             "RPR001", "RPR002", "RPR003", "RPR004",
             "RPR005", "RPR006", "RPR007", "RPR008",
             "RPR009", "RPR010", "RPR011", "RPR012",
+            "RPR013",
         ]
         for code, rule in RULES.items():
             assert rule.code == code

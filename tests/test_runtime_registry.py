@@ -1,0 +1,412 @@
+"""Tests for the content-addressed registry and the chunked executor.
+
+Four contracts, per ISSUE requirements:
+
+* registry semantics — content-keyed dedup, live-tier object identity,
+  eviction followed by transparent *refetch* (re-decode) from the
+  payload tier, pass-through mode, counters;
+* golden bit-identity — a chunked + registry parallel sweep produces
+  outcome-for-outcome identical results (cost value, type and
+  ``repr``, sequence, ``explored``, exact cache counters) to the
+  serial runner, with ``cache=False`` so counters are
+  schedule-independent;
+* deterministic reassembly — ``imap_unordered`` completion order never
+  leaks into outcome order (the module-docstring guarantee), and an
+  inconsistent outcome set is rejected rather than silently returned;
+* resilience under chunking — a worker killed mid-chunk re-queues at
+  *task* granularity and the recovered sweep stays bit-identical.
+
+Executor stats (``ship_bytes``/``registry_hits``/``kernels_compiled``/
+``chunks``) describe scheduling, not results: the tests assert they
+move in the right direction but never fold them into the bit-identity
+comparison.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.journal import instance_token, task_fingerprint
+from repro.runtime.metrics import sweep_metrics, validate_metrics
+from repro.runtime.registry import (
+    InstanceRef,
+    InstanceRegistry,
+    RegistryStats,
+    instance_key,
+)
+from repro.runtime.resilience import (
+    FaultInjection,
+    FaultPlan,
+    RetryPolicy,
+    run_resilient_sweep,
+)
+from repro.runtime.runner import (
+    ExecutorStats,
+    TaskOutcome,
+    auto_chunksize,
+    grid_tasks,
+    run_sweep,
+    _reassemble,
+)
+from repro.utils.validation import ValidationError
+from repro.workloads.queries import random_query
+
+
+def _tasks(optimizers=("dp", "greedy-cost", "iterative"), seeds=2, n=5):
+    """A grid that *repeats* instances across optimizers — the shape
+    the registry dedups."""
+    instances = [
+        (f"reg-s{seed}", random_query(n, rng=seed)) for seed in range(seeds)
+    ]
+    kwargs = {
+        (name, label): {
+            "rng": 0, "restarts": 1, "neighborhood_samples": 4,
+            "max_rounds": 2,
+        }
+        for name in optimizers if name == "iterative"
+        for label, _ in instances
+    }
+    return grid_tasks(
+        list(optimizers), instances,
+        kwargs_for=lambda name, label: kwargs.get((name, label), {}),
+    )
+
+
+def assert_bit_identical(actual, expected):
+    """Value, type AND repr of every cost; sequence, explored, exact
+    cache counters.  Executor stats are deliberately excluded."""
+    assert len(actual) == len(expected)
+    for a, b in zip(actual, expected):
+        assert (a.index, a.optimizer, a.label, a.ok) == (
+            b.index, b.optimizer, b.label, b.ok,
+        )
+        assert a.result.cost == b.result.cost
+        assert type(a.result.cost) is type(b.result.cost)
+        assert repr(a.result.cost) == repr(b.result.cost)
+        assert a.result.sequence == b.result.sequence
+        assert a.explored == b.explored
+        assert a.cache == b.cache
+    assert actual.cache_totals() == expected.cache_totals()
+
+
+# ---------------------------------------------------------------------
+# instance_key / registry semantics
+# ---------------------------------------------------------------------
+
+
+class TestInstanceKey:
+    def test_equal_content_distinct_objects_share_a_key(self):
+        a = random_query(5, rng=3)
+        b = pickle.loads(pickle.dumps(a))
+        assert a is not b
+        assert instance_key(a) == instance_key(b)
+
+    def test_distinct_content_distinct_keys(self):
+        assert instance_key(random_query(5, rng=0)) != instance_key(
+            random_query(5, rng=1)
+        )
+
+    def test_agrees_with_journal_instance_token(self):
+        instance = random_query(4, rng=7)
+        assert instance_key(instance) == instance_token(instance)
+
+    def test_graphless_instances_key_on_repr(self):
+        assert instance_key((1, 2, "x")) == repr((1, 2, "x"))
+
+
+class TestRegistry:
+    def test_register_dedups_by_content(self):
+        registry = InstanceRegistry()
+        a = random_query(5, rng=0)
+        b = pickle.loads(pickle.dumps(a))
+        key_a = registry.register(a)
+        key_b = registry.register(b)
+        assert key_a == key_b
+        assert len(registry) == 1
+        assert registry.payload_bytes() == sum(
+            len(blob) for blob in registry.payloads().values()
+        )
+
+    def test_live_hit_returns_the_same_object(self):
+        registry = InstanceRegistry()
+        instance = random_query(5, rng=0)
+        key = registry.register(instance)
+        assert registry.get(key) is instance
+        assert registry.get(key) is instance
+        stats = registry.stats()
+        assert stats.hits == 2
+        assert stats.decodes == 0
+
+    def test_unregistered_key_raises(self):
+        with pytest.raises(KeyError):
+            InstanceRegistry().get("no-such-key")
+
+    def test_eviction_then_refetch(self):
+        """An evicted instance is transparently re-decoded from its
+        payload — eviction is a memory/speed trade, never a loss."""
+        registry = InstanceRegistry(max_live=1)
+        first = random_query(5, rng=0)
+        second = random_query(5, rng=1)
+        key_first = registry.register(first)
+        registry.register(second)  # evicts `first` from the live tier
+        assert registry.stats().evictions == 1
+        refetched = registry.get(key_first)
+        assert refetched is not first  # decoded copy, not the original
+        assert instance_key(refetched) == key_first  # same content
+        assert registry.stats().decodes == 1
+        # The refetched object is now live: next get is an identity hit.
+        assert registry.get(key_first) is refetched
+
+    def test_max_live_zero_is_pass_through(self):
+        registry = InstanceRegistry(max_live=0)
+        instance = random_query(5, rng=0)
+        key = registry.register(instance)
+        assert registry.canonical(key, instance) is instance
+        first = registry.get(key)
+        second = registry.get(key)
+        assert first is not second  # nothing kept live: decode per get
+        assert registry.stats().live == 0
+
+    def test_canonical_dedups_decoded_instances(self):
+        registry = InstanceRegistry(max_live=4)
+        original = random_query(5, rng=0)
+        copy = pickle.loads(pickle.dumps(original))
+        assert registry.canonical("k", original) is original
+        assert registry.canonical("k", copy) is original
+        stats = registry.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.stored == 0  # canonical never touches payloads
+
+    def test_from_payloads_round_trip(self):
+        parent = InstanceRegistry()
+        instance = random_query(5, rng=2)
+        key = parent.register(instance)
+        worker = InstanceRegistry.from_payloads(parent.payloads())
+        decoded = worker.get(key)
+        assert decoded is not instance
+        assert instance_key(decoded) == key
+
+    def test_rejects_negative_max_live(self):
+        with pytest.raises(ValidationError):
+            InstanceRegistry(max_live=-1)
+
+    def test_stats_delta(self):
+        registry = InstanceRegistry()
+        key = registry.register(random_query(4, rng=0))
+        before = registry.stats()
+        registry.get(key)
+        movement = registry.stats().delta(before)
+        assert movement.hits == 1
+        assert movement.misses == 0
+
+
+# ---------------------------------------------------------------------
+# Deterministic reassembly (the docstring's task-order guarantee)
+# ---------------------------------------------------------------------
+
+
+def _outcome(index):
+    return TaskOutcome(index=index, optimizer="dp", label=f"t{index}")
+
+
+class TestReassembly:
+    def test_restores_submission_order_from_any_completion_order(self):
+        shuffled = [_outcome(i) for i in (3, 0, 4, 1, 2)]
+        ordered = _reassemble(shuffled, expected=5)
+        assert [o.index for o in ordered] == [0, 1, 2, 3, 4]
+
+    def test_rejects_missing_outcomes(self):
+        with pytest.raises(ValidationError):
+            _reassemble([_outcome(0), _outcome(2)], expected=3)
+
+    def test_rejects_duplicate_outcomes(self):
+        with pytest.raises(ValidationError):
+            _reassemble([_outcome(0), _outcome(0)], expected=2)
+
+    def test_sweep_outcomes_are_in_task_order(self):
+        tasks = _tasks(seeds=2)
+        result = run_sweep(tasks, workers=2, cache=False, chunksize=2)
+        assert [o.index for o in result] == list(range(len(tasks)))
+        assert [o.optimizer for o in result] == [
+            t.optimizer if isinstance(t.optimizer, str) else "?"
+            for t in tasks
+        ]
+
+
+# ---------------------------------------------------------------------
+# Golden bit-identity: chunked + registry parallel vs serial
+# ---------------------------------------------------------------------
+
+
+class TestChunkedBitIdentity:
+    def test_chunked_parallel_matches_serial(self):
+        tasks = _tasks()
+        serial = run_sweep(tasks, workers=1, cache=False)
+        chunked = run_sweep(tasks, workers=2, cache=False, chunksize=2)
+        if chunked.mode != "parallel":
+            pytest.skip("no process pool available here")
+        assert_bit_identical(chunked, serial)
+        executor = chunked.executor
+        assert executor.chunks > 0
+        assert executor.ship_bytes > 0
+        # 3 optimizers per instance in one worker set: reuse must show.
+        assert executor.registry_hits > 0
+
+    def test_legacy_chunksize_zero_matches_serial(self):
+        tasks = _tasks()
+        serial = run_sweep(tasks, workers=1, cache=False)
+        legacy = run_sweep(tasks, workers=2, cache=False, chunksize=0)
+        if legacy.mode != "parallel":
+            pytest.skip("no process pool available here")
+        assert_bit_identical(legacy, serial)
+        assert legacy.executor.chunks == 0
+        assert legacy.executor.registry_hits == 0
+        # Per-task shipping costs strictly more than per-distinct-payload.
+        chunked = run_sweep(tasks, workers=2, cache=False, chunksize=2)
+        if chunked.mode == "parallel":
+            assert legacy.executor.ship_bytes > chunked.executor.ship_bytes
+
+    def test_bounded_registry_evicts_and_stays_identical(self):
+        """registry_maxsize=1 forces eviction-then-refetch inside the
+        sweep; outcomes must not notice."""
+        tasks = _tasks(seeds=3)
+        serial = run_sweep(tasks, workers=1, cache=False)
+        bounded = run_sweep(
+            tasks, workers=2, cache=False, chunksize=2, registry_maxsize=1,
+        )
+        if bounded.mode != "parallel":
+            pytest.skip("no process pool available here")
+        assert_bit_identical(bounded, serial)
+
+    def test_executor_stats_flow_into_metrics(self):
+        tasks = _tasks(seeds=2)
+        result = run_sweep(tasks, workers=2, cache=False, chunksize=2)
+        payload = sweep_metrics(result, grid={"purpose": "registry-test"})
+        validate_metrics(payload)
+        totals = payload["totals"]
+        for name in (
+            "ship_bytes", "registry_hits", "kernels_compiled", "chunks"
+        ):
+            assert isinstance(totals[name], int)
+            assert totals[name] >= 0
+        if result.mode == "parallel":
+            assert totals["ship_bytes"] == result.executor.ship_bytes
+
+    def test_refs_do_not_perturb_journal_fingerprints(self):
+        """Registry addressing and journal identity agree: fingerprints
+        computed from the original tasks match what a resumed sweep
+        recomputes, chunked dispatch or not."""
+        tasks = _tasks(seeds=2)
+        before = [
+            task_fingerprint(index, task)
+            for index, task in enumerate(tasks)
+        ]
+        run_sweep(tasks, workers=2, cache=False, chunksize=2)
+        after = [
+            task_fingerprint(index, task)
+            for index, task in enumerate(tasks)
+        ]
+        assert before == after
+
+    def test_serial_executor_stats_count_kernels(self):
+        tasks = _tasks()
+        result = run_sweep(tasks, workers=1, cache=False)
+        assert result.executor.ship_bytes == 0
+        assert result.executor.chunks == 0
+        assert result.executor.kernels_compiled >= 0
+
+
+# ---------------------------------------------------------------------
+# Schedule independence (Hypothesis): chunksize/workers never matter
+# ---------------------------------------------------------------------
+
+
+class TestScheduleIndependence:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        chunksize=st.integers(min_value=0, max_value=5),
+        workers=st.integers(min_value=1, max_value=2),
+    )
+    def test_outcomes_independent_of_chunking(self, chunksize, workers):
+        tasks = _tasks(optimizers=("dp", "greedy-cost"), seeds=2, n=4)
+        reference = run_sweep(tasks, workers=1, cache=False)
+        result = run_sweep(
+            tasks, workers=workers, cache=False, chunksize=chunksize,
+        )
+        assert_bit_identical(result, reference)
+
+    def test_auto_chunksize_is_deterministic_and_bounded(self):
+        assert auto_chunksize(0, 4) == 1
+        assert auto_chunksize(1, 1) == 1
+        assert auto_chunksize(200, 4) == auto_chunksize(200, 4)
+        for tasks_n in (1, 7, 33, 200, 4096):
+            for workers in (1, 2, 8):
+                size = auto_chunksize(tasks_n, workers)
+                assert 1 <= size <= 32
+        with pytest.raises(ValidationError):
+            auto_chunksize(-1, 2)
+        with pytest.raises(ValidationError):
+            auto_chunksize(4, 0)
+
+
+# ---------------------------------------------------------------------
+# Worker death mid-chunk: task-granular recovery
+# ---------------------------------------------------------------------
+
+
+class TestWorkerDeathMidChunk:
+    def test_kill_mid_chunk_requeues_tasks_and_stays_identical(self):
+        tasks = _tasks(optimizers=("dp", "greedy-cost"), seeds=3, n=4)
+        plan = FaultPlan(
+            faults=(FaultInjection(index=2, attempt=0, kind="worker-kill"),)
+        )
+        result = run_resilient_sweep(
+            tasks, workers=2, cache=False, chunksize=3,
+            retry=RetryPolicy(attempts=3), fault_plan=plan,
+            sleep=lambda _delay: None,
+        )
+        if result.mode != "parallel":
+            pytest.skip("no process pool available here")
+        assert result.recovered_workers >= 1
+        assert all(o.ok for o in result)
+        # The killed task burned at least one attempt before recovery.
+        assert result.outcomes[2].attempts >= 2
+        clean = run_resilient_sweep(tasks, workers=1, cache=False)
+        assert_bit_identical(result, clean)
+
+    def test_resilient_chunked_clean_run_matches_serial(self):
+        tasks = _tasks(seeds=2)
+        serial = run_resilient_sweep(tasks, workers=1, cache=False)
+        chunked = run_resilient_sweep(
+            tasks, workers=2, cache=False, chunksize=2,
+        )
+        if chunked.mode != "parallel":
+            pytest.skip("no process pool available here")
+        assert_bit_identical(chunked, serial)
+        assert chunked.executor.chunks > 0
+
+    def test_executor_stats_default_and_merge(self):
+        base = ExecutorStats()
+        assert (base.ship_bytes, base.registry_hits) == (0, 0)
+        merged = base.merged(
+            ExecutorStats(
+                ship_bytes=5, registry_hits=2, kernels_compiled=1, chunks=3,
+            )
+        )
+        assert merged == ExecutorStats(
+            ship_bytes=5, registry_hits=2, kernels_compiled=1, chunks=3,
+        )
+        assert merged.to_dict() == {
+            "ship_bytes": 5,
+            "registry_hits": 2,
+            "kernels_compiled": 1,
+            "chunks": 3,
+        }

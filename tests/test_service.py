@@ -194,8 +194,13 @@ class TestResultCache:
         with ServiceClient(address) as client:
             assert client.optimize(sampling).ok
             assert client.optimize(greedy).ok
-        # One distinct wire payload -> one live decoded instance.
-        assert len(server._instances) == 1
+        # One distinct wire payload -> one live decoded instance in the
+        # daemon's registry live tier (repro.runtime.registry).
+        registry_stats = server._registry.stats()
+        assert registry_stats.live == 1
+        # The second request reused the first decode instead of
+        # retaining a duplicate object.
+        assert registry_stats.hits >= 1
 
 
 # ---------------------------------------------------------------------
