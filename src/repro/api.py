@@ -56,6 +56,8 @@ from repro.core.requests import (
     SweepSpec,
 )
 from repro.core.results import PlanResult
+from repro.observability.events import EVENTS_SCHEMA
+from repro.observability.metrics import METRICS_SCHEMA
 from repro.runtime.costcache import CostCache, use_cache
 from repro.runtime.registry import InstanceRegistry, RegistryStats, instance_key
 from repro.runtime.journal import read_journal
@@ -107,6 +109,8 @@ RPC_SCHEMAS: Tuple[str, ...] = (
     REQUEST_SCHEMA,
     REPLY_SCHEMA,
     "repro.stats/1",
+    METRICS_SCHEMA,
+    EVENTS_SCHEMA,
 )
 
 _warned: Set[str] = set()
@@ -770,7 +774,9 @@ def scorecard() -> Any:
 
 __all__ = [
     "API_VERSION",
+    "EVENTS_SCHEMA",
     "FAMILIES",
+    "METRICS_SCHEMA",
     "RPC_SCHEMAS",
     "CostCache",
     "ExecutionReport",

@@ -478,6 +478,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.max_queue < 1:
         print("--max-queue must be >= 1", file=sys.stderr)
         return 2
+    if args.metrics_interval <= 0:
+        print("--metrics-interval must be > 0", file=sys.stderr)
+        return 2
+    if args.slow_ms is not None and args.slow_ms < 0:
+        print("--slow-ms must be >= 0", file=sys.stderr)
+        return 2
     server = OptimizationServer(ServerConfig(
         address=_parse_address(args.socket),  # type: ignore[arg-type]
         workers=args.workers,
@@ -486,6 +492,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         result_cache_size=args.cache_size,
         instance_cache_size=args.instance_cache_size,
         worker_cache_maxsize=args.cost_cache_maxsize,
+        metrics_out=args.metrics_out,
+        metrics_interval_s=args.metrics_interval,
+        events_out=args.events_out,
+        slow_ms=args.slow_ms,
     ))
     address = server.start()
     print(
@@ -556,6 +566,160 @@ def _cmd_request(args: argparse.Namespace) -> int:
     print(f"explored:   {result.explored}")
     print(f"served:     {source} in {reply.wall_time_s * 1e3:.1f} ms "
           f"(fingerprint {(reply.fingerprint or '')[:12]})")
+    return 0
+
+
+def _top_lines(snapshot: Dict[str, object],
+               previous: Optional[Dict[str, object]]) -> List[str]:
+    """Render one ``repro top`` frame from a metrics snapshot.
+
+    ``previous`` (the prior poll) turns counter totals into rates;
+    the first frame shows totals only.
+    """
+    from repro.observability import snapshot_percentile
+
+    counters = snapshot.get("counters")
+    gauges = snapshot.get("gauges")
+    histograms = snapshot.get("histograms")
+    assert isinstance(counters, dict)
+    assert isinstance(gauges, dict)
+    assert isinstance(histograms, dict)
+
+    def rate(name: str) -> str:
+        if previous is None:
+            return ""
+        prev_counters = previous.get("counters")
+        assert isinstance(prev_counters, dict)
+        span_s = float(snapshot["ts"]) - float(previous["ts"])  # type: ignore[arg-type]
+        if span_s <= 0:
+            return ""
+        delta = int(counters.get(name, 0)) - int(prev_counters.get(name, 0))
+        return f" ({delta / span_s:.1f}/s)"
+
+    received = int(counters.get("service.received", 0))
+    lines = [
+        f"repro top | uptime {float(snapshot['uptime_s']):.1f}s "  # type: ignore[arg-type]
+        f"| seq {snapshot['seq']}",
+        f"queue {int(gauges.get('service.queue_depth', 0))} "
+        f"| in-flight {int(gauges.get('service.in_flight', 0))} "
+        f"| workers {int(gauges.get('service.workers', 0))}",
+        f"received  {received}{rate('service.received')}",
+    ]
+    for name in ("computed", "cache_hits", "coalesced", "rejected",
+                 "errors"):
+        total = int(counters.get(f"service.{name}", 0))
+        share = f" {100.0 * total / received:.0f}%" if received else ""
+        lines.append(f"  {name:<10} {total}{share}"
+                     f"{rate(f'service.{name}')}")
+    latency = histograms.get("service.latency_ms")
+    if isinstance(latency, dict) and int(latency.get("count", 0)) > 0:
+        p50 = snapshot_percentile(latency, 50)
+        p99 = snapshot_percentile(latency, 99)
+        lines.append(
+            f"latency   p50<={p50:.0f}ms p99<={p99:.0f}ms "
+            f"over {int(latency['count'])} requests"
+        )
+    runtime = {
+        name.split(".", 1)[1]: value
+        for name, value in counters.items()
+        if isinstance(name, str) and name.startswith("runtime.")
+    }
+    if runtime:
+        lines.append("runtime   " + " ".join(
+            f"{key}={value}" for key, value in sorted(runtime.items())
+        ))
+    compiles = int(counters.get("perf.kernel_compiles", 0))
+    if compiles:
+        lines.append(f"kernels   compiles={compiles}"
+                     f"{rate('perf.kernel_compiles')}")
+    if "service.events_logged" in gauges:
+        logged = int(gauges["service.events_logged"])  # type: ignore[arg-type]
+        per_s = ""
+        if previous is not None:
+            prev_gauges = previous.get("gauges")
+            assert isinstance(prev_gauges, dict)
+            span_s = float(snapshot["ts"]) - float(previous["ts"])  # type: ignore[arg-type]
+            if span_s > 0:
+                delta = logged - int(prev_gauges.get("service.events_logged", 0))
+                per_s = f" ({delta / span_s:.1f}/s)"
+        lines.append(f"events    logged={logged}{per_s}")
+    return lines
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.observability import validate_metrics
+    from repro.service import ServiceClient, ServiceError
+
+    if args.interval <= 0:
+        print("--interval must be > 0", file=sys.stderr)
+        return 2
+    iterations = 1 if args.once else args.iterations
+    if iterations < 0:
+        print("--iterations must be >= 0 (0 = forever)", file=sys.stderr)
+        return 2
+    try:
+        client = ServiceClient(_parse_address(args.connect))  # type: ignore[arg-type]
+    except (OSError, ServiceError) as exc:
+        print(f"cannot reach daemon at {args.connect}: {exc}",
+              file=sys.stderr)
+        return 3
+    previous: Optional[Dict[str, object]] = None
+    shown = 0
+    try:
+        while True:
+            try:
+                snapshot = client.metrics()
+            except (OSError, ServiceError) as exc:
+                print(f"metrics poll failed: {exc}", file=sys.stderr)
+                return 3
+            problems = validate_metrics(snapshot)
+            if problems:
+                for problem in problems:
+                    print(f"invalid snapshot: {problem}", file=sys.stderr)
+                return 1
+            for line in _top_lines(snapshot, previous):
+                print(line)
+            previous = snapshot
+            shown += 1
+            if iterations and shown >= iterations:
+                return 0
+            print(flush=True)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        diff_metrics,
+        load_metrics_file,
+        summarize_metrics,
+    )
+
+    try:
+        snapshots = load_metrics_file(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.file}: {exc}", file=sys.stderr)
+        return 1
+    if args.diff is not None:
+        try:
+            others = load_metrics_file(args.diff)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load {args.diff}: {exc}", file=sys.stderr)
+            return 1
+        try:
+            deltas = diff_metrics(snapshots[-1], others[-1])
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        for name in sorted(deltas):
+            print(f"{name} +{deltas[name]}")
+        return 0
+    print(summarize_metrics(snapshots))
     return 0
 
 
@@ -842,6 +1006,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--cost-cache-maxsize", type=int, default=None,
         help="bound each worker's cost cache (LRU) at this many entries",
     )
+    serve.add_argument(
+        "--metrics-out", default=None,
+        help="append repro.metrics/1 snapshot lines to this file "
+        "while serving (final snapshot written on shutdown)",
+    )
+    serve.add_argument(
+        "--metrics-interval", type=float, default=1.0,
+        help="seconds between exported metrics snapshots",
+    )
+    serve.add_argument(
+        "--events-out", default=None,
+        help="append repro.events/1 operational events to this file",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=None,
+        help="emit a sampled service.slow_request event for requests "
+        "at or above this wall time",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     request_cmd = subparsers.add_parser(
@@ -882,6 +1064,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw repro.reply/1 JSON instead of the summary",
     )
     request_cmd.set_defaults(func=_cmd_request)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live daemon telemetry: poll a running server's metrics "
+        "op and render queue depth, throughput and latency",
+    )
+    top.add_argument(
+        "--connect", required=True,
+        help="daemon address: unix socket path or host:port",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after this many frames (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (same as --iterations 1)",
+    )
+    top.set_defaults(func=_cmd_top)
+
+    metrics_cmd = subparsers.add_parser(
+        "metrics",
+        help="validate and summarize an exported repro.metrics/1 "
+        "snapshot file, or diff two of them",
+    )
+    metrics_cmd.add_argument(
+        "file", help="metrics JSONL file written by repro serve "
+        "--metrics-out (or a TelemetryExporter)",
+    )
+    metrics_cmd.add_argument(
+        "--diff", default=None, metavar="LATER_FILE",
+        help="print counter movement from FILE's last snapshot to "
+        "LATER_FILE's last snapshot",
+    )
+    metrics_cmd.set_defaults(func=_cmd_metrics)
 
     return parser
 

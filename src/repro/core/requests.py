@@ -367,12 +367,21 @@ class OptimizeRequest:
     :meth:`build` to normalize kwargs.  ``no_cache`` asks the service
     to bypass its result cache for this delivery — it is *not* part of
     the request's identity (:meth:`fingerprint`).
+
+    ``trace_id``/``parent_span`` carry the caller's trace context
+    across the RPC boundary: the daemon stitches its server-side span
+    subtree under ``parent_span`` of the distributed trace named by
+    ``trace_id``.  Like ``no_cache`` they are delivery metadata,
+    excluded from the fingerprint — tracing a request must not change
+    what it *is* (or which cache entry answers it).
     """
 
     instance: Any
     algorithm: str = "dp"
     params: Params = ()
     no_cache: bool = False
+    trace_id: Optional[str] = None
+    parent_span: Optional[int] = None
 
     @classmethod
     def build(
@@ -380,6 +389,8 @@ class OptimizeRequest:
         instance: Any,
         algorithm: str = "dp",
         no_cache: bool = False,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[int] = None,
         **kwargs: Any,
     ) -> "OptimizeRequest":
         """Normalize an old-style kwarg call into a request object."""
@@ -388,6 +399,8 @@ class OptimizeRequest:
             algorithm=algorithm,
             params=tuple(sorted(kwargs.items())),
             no_cache=no_cache,
+            trace_id=trace_id,
+            parent_span=parent_span,
         )
 
     def kwargs(self) -> Dict[str, Any]:
@@ -416,6 +429,8 @@ class OptimizeRequest:
                 [name, encode_value(value)] for name, value in self.params
             ],
             "no_cache": self.no_cache,
+            "trace_id": self.trace_id,
+            "parent_span": self.parent_span,
         }
 
     def to_json(self) -> str:
@@ -437,6 +452,10 @@ class OptimizeRequest:
                 for name, value in payload["params"]
             ),
             no_cache=payload["no_cache"],
+            # Additive: payloads encoded before trace contexts existed
+            # decode to an untraced request.
+            trace_id=payload.get("trace_id"),
+            parent_span=payload.get("parent_span"),
         )
 
     @classmethod
@@ -640,6 +659,21 @@ def validate_request(payload: Dict[str, Any]) -> None:
             ok,
             f"request.{name}: expected {expected}, "
             f"got {type(value).__name__}",
+        )
+    if kind == "optimize_request":
+        # Optional trace-context delivery metadata (additive fields).
+        trace_id = payload.get("trace_id")
+        require(
+            trace_id is None or isinstance(trace_id, str),
+            "request.trace_id must be null or a string",
+        )
+        parent_span = payload.get("parent_span")
+        require(
+            parent_span is None
+            or (isinstance(parent_span, int)
+                and not isinstance(parent_span, bool)
+                and parent_span >= 0),
+            "request.parent_span must be null or a non-negative int",
         )
     if kind == "sweep_spec":
         for name in ("workers", "cache_maxsize"):

@@ -481,7 +481,12 @@ def _check_cli_routing(
 #: Process-wide installers; benchmarks must use the scoped ``use_*``
 #: context managers instead so EXP tables cannot leak state into each
 #: other within one pytest process.
-_GLOBAL_INSTALLERS = ("install_cache", "install_tracer")
+_GLOBAL_INSTALLERS = (
+    "install_cache",
+    "install_tracer",
+    "install_metrics",
+    "install_event_log",
+)
 
 
 @register(
@@ -550,7 +555,8 @@ def _check_benchmark_globals(
                 line, col = _loc(node)
                 yield line, col, (
                     f"benchmark calls process-wide {name}(); use the "
-                    "scoped use_cache/use_tracer context managers"
+                    "scoped use_cache/use_tracer/use_metrics/"
+                    "use_event_log context managers"
                 )
 
 
@@ -833,4 +839,91 @@ def _check_registry_confined(
                 "repro.service; the executor owns instance registries "
                 "(ship InstanceRef keys through run_sweep / the service "
                 "daemon instead of building a private store)"
+            )
+
+
+# ---------------------------------------------------------------------
+# RPR014 — telemetry goes through the observability API
+# ---------------------------------------------------------------------
+
+#: The instrumented layers.  Operational counters there must be
+#: emitted through :mod:`repro.observability.metrics` (and events
+#: through the event log), not accumulated in ad-hoc module globals —
+#: a private ``_N_THINGS += 1`` is invisible to ``repro top``, the
+#: exporter, and the service's counter-identity check.
+TELEMETRY_MODULES = ("runtime", "service", "perf")
+
+#: Pre-registry counters kept for API compatibility: each is exposed
+#: through a documented accessor and mirrored into the metrics
+#: registry at its increment site.  New counters must not join this
+#: list — emit through the metrics API instead.
+_COUNTER_GRANDFATHERS = (("perf.kernels", "_COMPILES"),)
+
+
+@register(
+    "RPR014",
+    "ad-hoc-telemetry-counter",
+    "runtime/service/perf code must emit operational counters through "
+    "the MetricsRegistry / event-log API, not module-level globals",
+)
+def _check_adhoc_counters(
+    file: SourceFile, project: Project
+) -> Iterator[Finding]:
+    if not module_matches(file.module, TELEMETRY_MODULES):
+        return
+    # Names bound at module level to an int literal: counter candidates.
+    module_ints: Set[str] = set()
+    for stmt in file.tree.body:
+        targets: Sequence[ast.expr] = ()
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = (stmt.target,)
+            value = stmt.value
+        else:
+            continue
+        if not (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, int)
+            and not isinstance(value.value, bool)
+        ):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                module_ints.add(target.id)
+    if not module_ints:
+        return
+    grandfathered = {
+        name
+        for module, name in _COUNTER_GRANDFATHERS
+        if module == file.module
+    }
+    for node in ast.walk(file.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        declared: Set[str] = set()
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Global):
+                declared.update(inner.names)
+        if not (declared & module_ints):
+            continue
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.AugAssign):
+                continue
+            target = inner.target
+            if not (
+                isinstance(target, ast.Name)
+                and target.id in declared
+                and target.id in module_ints
+            ):
+                continue
+            if target.id in grandfathered:
+                continue
+            line, col = _loc(inner)
+            yield line, col, (
+                f"module-level counter {target.id!r} incremented in "
+                f"{node.name}(); emit through the metrics registry "
+                "(repro.observability.metrics.inc) so the counter is "
+                "visible to repro top and the telemetry exporter"
             )

@@ -27,6 +27,38 @@ _SHOWN_COUNTERS = (
 )
 
 
+def trace_origins(records: Sequence[dict]) -> List[str]:
+    """Distinct worker-local clock origins tagged on merged subtrees.
+
+    Cross-process merges (:meth:`SweepResult.trace_records`, the
+    service client's distributed-trace stitching) tag each grafted
+    subtree root with an ``origin`` attr.  Spans under different
+    origins have ``start_s`` offsets measured from *different* clocks,
+    so their absolute positions are not comparable — only durations
+    and counters are.  Returns the sorted distinct origin labels
+    (empty for a single-origin trace).
+    """
+    origins = {
+        str(record["attrs"]["origin"])
+        for record in records
+        if isinstance(record.get("attrs"), dict)
+        and record["attrs"].get("origin") is not None
+    }
+    return sorted(origins)
+
+
+def _origin_header(records: Sequence[dict]) -> List[str]:
+    """Header lines warning when spans from several clocks are mixed."""
+    origins = trace_origins(records)
+    if len(origins) <= 1:
+        return []
+    shown = ", ".join(origins[:6]) + (", ..." if len(origins) > 6 else "")
+    return [
+        f"origins: {len(origins)} worker clock origins merged ({shown});"
+        " start offsets are origin-local, durations/counters exact"
+    ]
+
+
 def _self_times(records: Sequence[dict]) -> Dict[int, float]:
     """duration minus the direct children's durations, per span id."""
     own = {r["id"]: r["duration_s"] for r in records}
@@ -101,7 +133,7 @@ def summary_table(records: Sequence[dict], top: Optional[int] = None) -> str:
         f"{'span':<{width}}  {'calls':>6}  {'total s':>9}  {'self s':>9}"
         "  counters"
     )
-    lines = [header, "-" * len(header)]
+    lines = _origin_header(records) + [header, "-" * len(header)]
     for row in rows:
         lines.append(
             f"{row['name']:<{width}}  {row['calls']:>6}  "
@@ -125,7 +157,7 @@ def flame_report(records: Sequence[dict], max_depth: Optional[int] = None,
     roots = by_parent.get(None, [])
     wall = sum(r["duration_s"] for r in roots) or 1.0
 
-    lines: List[str] = []
+    lines: List[str] = _origin_header(records)
 
     def render(group: List[dict], depth: int) -> None:
         if max_depth is not None and depth > max_depth:

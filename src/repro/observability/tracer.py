@@ -160,6 +160,47 @@ class Tracer:
         """The root span record (valid before and after finish)."""
         return self._records[0]
 
+    @property
+    def current_span_id(self) -> int:
+        """Id of the innermost open span (the root when none is)."""
+        target = self._stack[-1] if self._stack else self._records[0]
+        return int(target["id"])
+
+    def graft(
+        self, records: List[dict], origin: Optional[str] = None
+    ) -> None:
+        """Adopt a finished span subtree under the innermost open span.
+
+        ``records`` must be topologically sorted (every parent precedes
+        its children — any finished trace is).  They are renumbered
+        into this tracer's id space; roots become children of the
+        current span.  This is how a server-side trace returned over
+        RPC is stitched into the client's trace.  ``origin``, when
+        given, tags each grafted root's attrs so reports can flag the
+        clock-domain boundary (grafted ``start_s`` offsets are local to
+        the remote origin; durations and counters are exact).
+        """
+        if not records:
+            return
+        parent_id = self.current_span_id
+        id_map: Dict[int, int] = {}
+        for record in records:
+            merged = dict(record)
+            new_id = self._next_id
+            self._next_id += 1
+            id_map[record["id"]] = new_id
+            merged["id"] = new_id
+            old_parent = record["parent"]
+            if old_parent is None or old_parent not in id_map:
+                merged["parent"] = parent_id
+                if origin is not None:
+                    attrs = dict(merged.get("attrs", {}))
+                    attrs["origin"] = origin
+                    merged["attrs"] = attrs
+            else:
+                merged["parent"] = id_map[old_parent]
+            self._records.append(merged)
+
     def finish(self) -> List[dict]:
         """Close every open span (root included); return the records.
 

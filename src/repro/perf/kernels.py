@@ -41,6 +41,7 @@ from typing import (
     Union,
 )
 
+from repro.observability.metrics import inc as _metric_inc
 from repro.utils.validation import require
 
 if TYPE_CHECKING:  # instance classes only for annotations (import cycle)
@@ -290,6 +291,7 @@ def compile_qon(instance: "QONInstance") -> CompiledQON:
         kernel = CompiledQON(instance)
         _QON_CACHE[id(instance)] = kernel
         _COMPILES += 1
+        _metric_inc("perf.kernel_compiles")
     _pin(id(instance), kernel)
     return kernel
 
@@ -304,5 +306,6 @@ def compile_qoh(instance: "QOHInstance") -> CompiledQOH:
         kernel = CompiledQOH(instance)
         _QOH_CACHE[id(instance)] = kernel
         _COMPILES += 1
+        _metric_inc("perf.kernel_compiles")
     _pin(id(instance), kernel)
     return kernel

@@ -48,6 +48,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
+from repro.observability.metrics import inc as _metric_inc
 from repro.runtime.costcache import fingerprint as _instance_fingerprint
 from repro.utils.validation import require
 
@@ -226,16 +227,20 @@ class InstanceRegistry:
             if key in self._live:
                 self._hits += 1
                 self._live.move_to_end(key)
+                _metric_inc("runtime.registry_hits")
                 return self._live[key]
             self._misses += 1
+            _metric_inc("runtime.registry_misses")
             blob = self._payloads.get(key)
             if blob is None:
                 raise KeyError(f"instance key not registered: {key!r}")
             instance = pickle.loads(blob)
             self._decodes += 1
-            self._evictions += _lru_store(
-                self._live, self._max_live, key, instance
-            )
+            _metric_inc("runtime.registry_decodes")
+            evicted = _lru_store(self._live, self._max_live, key, instance)
+            self._evictions += evicted
+            if evicted:
+                _metric_inc("runtime.registry_evictions", evicted)
             return instance
 
     def canonical(self, key: str, instance: object) -> object:
@@ -257,11 +262,14 @@ class InstanceRegistry:
             if key in self._live:
                 self._hits += 1
                 self._live.move_to_end(key)
+                _metric_inc("runtime.registry_hits")
                 return self._live[key]
             self._misses += 1
-            self._evictions += _lru_store(
-                self._live, self._max_live, key, instance
-            )
+            _metric_inc("runtime.registry_misses")
+            evicted = _lru_store(self._live, self._max_live, key, instance)
+            self._evictions += evicted
+            if evicted:
+                _metric_inc("runtime.registry_evictions", evicted)
             return instance
 
     # -- introspection -------------------------------------------------

@@ -58,6 +58,8 @@ from typing import (
     Union,
 )
 
+from repro.observability.events import active_event_log
+from repro.observability.events import emit as _emit_event
 from repro.runtime import journal as journal_mod
 from repro.runtime.costcache import CostCache
 from repro.runtime.registry import InstanceRef, InstanceRegistry
@@ -71,6 +73,7 @@ from repro.runtime.runner import (
     _execute,
     auto_chunksize,
     default_workers,
+    publish_sweep_telemetry,
 )
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require
@@ -398,6 +401,13 @@ def _run_serial(
                 if outcome.ok or attempt + 1 >= retry.attempts:
                     break
                 stats.retries += 1
+                if active_event_log() is not None:
+                    _emit_event(
+                        "task.retry",
+                        index=current,
+                        attempt=attempt + 1,
+                        failure=outcome.failure,
+                    )
                 delay = retry.delay(attempt + 1)
                 if delay > 0.0:
                     sleep(delay)
@@ -499,6 +509,13 @@ def _run_parallel(
     def handle_failure(index: int, outcome: TaskOutcome) -> None:
         if attempt_of[index] + 1 < retry.attempts:
             stats.retries += 1
+            if active_event_log() is not None:
+                _emit_event(
+                    "task.retry",
+                    index=index,
+                    attempt=attempt_of[index] + 1,
+                    failure=outcome.failure,
+                )
             delay = retry.delay(attempt_of[index] + 1)
             if delay > 0.0:
                 sleep(delay)
@@ -571,6 +588,12 @@ def _run_parallel(
                     for indices in futures.values()
                     for index in indices
                 )
+                if active_event_log() is not None:
+                    _emit_event(
+                        "task.worker_death",
+                        inflight=inflight,
+                        recovery=stats.recovered,
+                    )
                 futures.clear()
                 executor.shutdown(wait=False, cancel_futures=True)
                 try:
@@ -701,7 +724,7 @@ def run_resilient_sweep(
             writer.close()
 
     ordered = tuple(outcomes[index] for index in range(len(tasks)))
-    return SweepResult(
+    return publish_sweep_telemetry(SweepResult(
         outcomes=ordered,
         mode=mode,
         workers=workers if mode == "parallel" else 1,
@@ -711,7 +734,7 @@ def run_resilient_sweep(
         recovered_workers=stats.recovered,
         resumed=resumed,
         executor=stats.executor(),
-    )
+    ))
 
 
 def resume_sweep(

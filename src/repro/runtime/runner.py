@@ -78,6 +78,9 @@ from repro.joinopt.optimizers import (
     random_sampling,
     simulated_annealing,
 )
+from repro.observability.events import active_event_log
+from repro.observability.events import emit as _emit_event
+from repro.observability.metrics import active_metrics
 from repro.observability.tracer import Tracer, use_tracer
 from repro.runtime.costcache import (
     CacheStats,
@@ -301,6 +304,14 @@ class SweepResult:
                     0 if record["parent"] is None
                     else record["parent"] + offset
                 )
+                if record["parent"] is None:
+                    # Each task tracer measures start_s from its own
+                    # (possibly worker-local) clock; tag the grafted
+                    # subtree so reports can surface that its offsets
+                    # are not comparable with its siblings'.
+                    attrs = dict(merged.get("attrs", {}))
+                    attrs["origin"] = f"task-{outcome.index}"
+                    merged["attrs"] = attrs
                 top = max(top, merged["id"])
                 records.append(merged)
             next_id = top + 1
@@ -402,6 +413,14 @@ def _execute(index: int, task: SweepTask, cache: Optional[CostCache],
     run = _resolve(task)
     kwargs = dict(task.kwargs)
     timeout = task.timeout if task.timeout is not None else default_timeout
+    if active_event_log() is not None:
+        _emit_event(
+            "task.start",
+            index=index,
+            optimizer=task.optimizer_name,
+            label=task.label,
+            attempt=attempt,
+        )
     tracer = Tracer("task") if trace else None
     if tracer is not None:
         tracer.root["attrs"] = {
@@ -708,6 +727,51 @@ def _run_pool(
     )
 
 
+def publish_sweep_telemetry(result: SweepResult) -> SweepResult:
+    """Publish a finished sweep's movement into the live telemetry.
+
+    One call per sweep, parent-side.  Counters the parent's in-process
+    instrumentation already emitted live (serial cost evaluations,
+    daemon-side registry hits, serial kernel compiles) are *not*
+    re-published; only worker-side movement — which happened in other
+    processes, invisible to this process's registry — is folded in.
+    With no registry and no event log installed this is two global
+    reads.  Returns ``result`` unchanged, for call-site chaining.
+    """
+    registry = active_metrics()
+    if registry is not None:
+        ok = sum(1 for outcome in result.outcomes if outcome.ok)
+        registry.inc("runtime.tasks_completed", ok)
+        registry.inc("runtime.tasks_failed", len(result.outcomes) - ok)
+        registry.inc("runtime.task_retries", result.retries)
+        registry.inc("runtime.worker_recoveries", result.recovered_workers)
+        registry.inc("runtime.sweep_chunks", result.executor.chunks)
+        registry.inc("runtime.ship_bytes", result.executor.ship_bytes)
+        if result.mode == "parallel":
+            totals = result.cache_totals()
+            registry.inc("runtime.cost_evaluations", totals.misses)
+            registry.inc("runtime.cache_hits", totals.hits)
+            registry.inc(
+                "runtime.registry_hits", result.executor.registry_hits
+            )
+            registry.inc(
+                "perf.kernel_compiles", result.executor.kernels_compiled
+            )
+    if active_event_log() is not None:
+        for outcome in result.outcomes:
+            _emit_event(
+                "task.finish",
+                index=outcome.index,
+                optimizer=outcome.optimizer,
+                label=outcome.label,
+                ok=outcome.ok,
+                failure=outcome.failure,
+                attempts=outcome.attempts,
+                wall_ms=outcome.wall_time * 1000.0,
+            )
+    return result
+
+
 def run_sweep(
     tasks: Sequence[SweepTask],
     workers: Optional[int] = None,
@@ -782,14 +846,14 @@ def run_sweep(
             kernels_compiled=compiles_total() - compiled_before
         )
 
-    return SweepResult(
+    return publish_sweep_telemetry(SweepResult(
         outcomes=tuple(outcomes),
         mode=mode,
         workers=workers if mode == "parallel" else 1,
         cache_enabled=cache,
         wall_time=time.perf_counter() - start,
         executor=executor,
-    )
+    ))
 
 
 def grid_tasks(

@@ -20,11 +20,14 @@ happily serves many connections).
 
 from __future__ import annotations
 
+import dataclasses
 import socket
 import time
+import uuid
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro import api
+from repro.observability.tracer import active_tracer
 from repro.service import protocol
 from repro.utils.validation import ValidationError, require
 
@@ -136,14 +139,41 @@ class ServiceClient:
         wait: bool = True,
         max_wait_s: float = 60.0,
     ) -> "api.ServiceReply":
-        """Submit one optimize request; blocks for the reply."""
+        """Submit one optimize request; blocks for the reply.
+
+        When the calling thread has an active tracer and the request
+        carries no trace context yet, the call participates in
+        distributed tracing: a ``service.optimize`` client span is
+        opened, a fresh ``trace_id`` plus that span's id travel with
+        the request, and the server-side span subtree returned in the
+        reply is grafted under the client span — one stitched trace
+        whose counters equal the server's work exactly.
+        """
         require(
             isinstance(request, api.OptimizeRequest),
             f"expected an OptimizeRequest, got {type(request)!r}",
         )
-        return self._submit(
-            "optimize", request.to_dict(), wait, max_wait_s
-        )
+        tracer = active_tracer()
+        if tracer is None or request.trace_id is not None:
+            return self._submit(
+                "optimize", request.to_dict(), wait, max_wait_s
+            )
+        trace_id = uuid.uuid4().hex
+        with tracer.span("service.optimize"):
+            traced = dataclasses.replace(
+                request,
+                trace_id=trace_id,
+                parent_span=tracer.current_span_id,
+            )
+            reply = self._submit(
+                "optimize", traced.to_dict(), wait, max_wait_s
+            )
+            if reply.trace_records:
+                tracer.graft(
+                    list(reply.trace_records),
+                    origin=f"service-{trace_id[:8]}",
+                )
+            return reply
 
     def sweep(
         self,
@@ -163,6 +193,13 @@ class ServiceClient:
         reply = self.call("stats")
         if not reply.ok or not isinstance(reply.result, dict):
             raise ServiceError(f"stats call failed: {reply.error}")
+        return reply.result
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's live ``repro.metrics/1`` telemetry snapshot."""
+        reply = self.call("metrics")
+        if not reply.ok or not isinstance(reply.result, dict):
+            raise ServiceError(f"metrics call failed: {reply.error}")
         return reply.result
 
     def shutdown_server(self) -> "api.ServiceReply":

@@ -21,6 +21,8 @@ Operations:
 * ``optimize`` — payload is a ``repro.request/1`` optimize_request.
 * ``sweep`` — payload is a ``repro.request/1`` sweep_spec.
 * ``stats`` — replies with the ``repro.stats/1`` counter snapshot.
+* ``metrics`` — replies with the live ``repro.metrics/1`` snapshot of
+  the daemon's telemetry registry (``repro top`` polls this).
 * ``shutdown`` — ask the server to drain and exit (same as SIGTERM).
 
 Framing errors (non-JSON line, wrong schema, unknown op) produce an
@@ -38,7 +40,9 @@ from repro.utils.validation import ValidationError, require
 RPC_SCHEMA = "repro.rpc/1"
 
 #: Every operation a request frame may carry.
-OPS: Tuple[str, ...] = ("hello", "optimize", "sweep", "stats", "shutdown")
+OPS: Tuple[str, ...] = (
+    "hello", "optimize", "sweep", "stats", "metrics", "shutdown"
+)
 
 #: Operations that enqueue a computation (admission-controlled); the
 #: rest are answered inline by the connection reader.

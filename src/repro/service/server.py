@@ -56,6 +56,9 @@ from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 from repro import api
+from repro.observability.events import EventLog, use_event_log
+from repro.observability.export import TelemetryExporter
+from repro.observability.metrics import MetricsRegistry, use_metrics
 from repro.observability.tracer import Tracer, counter_totals, use_tracer
 from repro.service import protocol
 from repro.service.stats import ServerStats
@@ -83,6 +86,13 @@ class ServerConfig:
     compiled-kernel reuse.
     ``worker_cache_maxsize`` — per-worker :class:`~repro.api.CostCache`
     bound (None = unbounded).
+    ``metrics_out`` — append ``repro.metrics/1`` snapshot lines here
+    every ``metrics_interval_s`` seconds (None disables the exporter;
+    the live registry and the ``metrics`` RPC op work either way).
+    ``events_out`` — append ``repro.events/1`` lines here (None
+    disables the event log).
+    ``slow_ms`` — requests slower than this emit a sampled
+    ``service.slow_request`` event (requires ``events_out``).
     """
 
     address: Address = ("127.0.0.1", 0)
@@ -92,6 +102,10 @@ class ServerConfig:
     result_cache_size: int = 256
     instance_cache_size: int = 64
     worker_cache_maxsize: Optional[int] = None
+    metrics_out: Optional[str] = None
+    metrics_interval_s: float = 1.0
+    events_out: Optional[str] = None
+    slow_ms: Optional[float] = None
 
 
 class _Job:
@@ -153,6 +167,17 @@ class OptimizationServer:
         require(self.config.workers >= 1, "need at least one worker")
         require(self.config.max_queue >= 1, "need a queue of at least 1")
         self.stats = ServerStats()
+        # Live telemetry: one registry per server lifetime.  The
+        # counters below mirror ServerStats exactly (same names, same
+        # increment sites), so the ``received == computed + cache_hits
+        # + coalesced + rejected + errors`` identity holds in every
+        # exported snapshot too.
+        self.metrics = MetricsRegistry()
+        self._event_log: Optional[EventLog] = (
+            EventLog(self.config.events_out, slow_ms=self.config.slow_ms)
+            if self.config.events_out is not None else None
+        )
+        self._exporter: Optional[TelemetryExporter] = None
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._pending: Deque[_Job] = deque()
@@ -201,6 +226,13 @@ class OptimizationServer:
             self._address = listener.getsockname()[:2]
         listener.listen(128)
         self._listener = listener
+        if self.config.metrics_out is not None:
+            self._exporter = TelemetryExporter(
+                self.metrics,
+                self.config.metrics_out,
+                interval_s=self.config.metrics_interval_s,
+            )
+            self._exporter.start()
         accept = threading.Thread(
             target=self._accept_loop, name="repro-accept", daemon=True
         )
@@ -257,6 +289,12 @@ class OptimizationServer:
                 os.unlink(self._unix_path)
             except OSError:
                 pass
+        if self._exporter is not None:
+            # Final snapshot line: drained counters, settled identity.
+            self._exporter.stop()
+            self._exporter = None
+        if self._event_log is not None:
+            self._event_log.close()
         return self.stats_snapshot()
 
     def serve_forever(self) -> Dict[str, Any]:
@@ -283,6 +321,30 @@ class OptimizationServer:
             in_flight=in_flight,
             workers=self.config.workers,
         )
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The current ``repro.metrics/1`` payload (the ``metrics`` op,
+        which ``repro top`` polls)."""
+        with self._lock:
+            queue_depth = len(self._pending)
+            in_flight = self._running_count
+        self.metrics.set_gauge("service.queue_depth", queue_depth)
+        self.metrics.set_gauge("service.in_flight", in_flight)
+        self.metrics.set_gauge("service.workers", self.config.workers)
+        if self._event_log is not None:
+            self.metrics.set_gauge(
+                "service.events_logged", float(self._event_log.emitted)
+            )
+        return self.metrics.snapshot()
+
+    def _count(self, name: str) -> None:
+        """One admission-control counter, in both sinks at once.
+
+        ``ServerStats`` (the ``repro.stats/1`` snapshot) and the live
+        registry must never disagree, so every count goes through here.
+        """
+        self.stats.count(name)
+        self.metrics.inc(f"service.{name}")
 
     # -- accept / read ------------------------------------------------
 
@@ -352,6 +414,13 @@ class OptimizationServer:
                 connection, frame_id,
                 api.ServiceReply(op="stats", result=self.stats_snapshot()),
             )
+        elif op == "metrics":
+            self._send_reply(
+                connection, frame_id,
+                api.ServiceReply(
+                    op="metrics", result=self.metrics_snapshot()
+                ),
+            )
         elif op == "shutdown":
             self._send_reply(
                 connection, frame_id, api.ServiceReply(op="shutdown")
@@ -408,12 +477,12 @@ class OptimizationServer:
         op: str,
         payload: Dict[str, Any],
     ) -> None:
-        self.stats.count("received")
+        self._count("received")
         try:
             request = self._decode_request(op, payload)
             fingerprint = request.fingerprint()
         except (ValidationError, KeyError, TypeError, ValueError) as exc:
-            self.stats.count("errors")
+            self._count("errors")
             self._send_reply(
                 connection, frame_id,
                 api.ServiceReply(op=op, status="error", error=str(exc)),
@@ -421,12 +490,13 @@ class OptimizationServer:
             return
         bypass = bool(request.no_cache)
         reply: Optional[api.ServiceReply] = None
+        decision = "admit"
         with self._lock:
             if not bypass:
                 cached = self._results.get(fingerprint)
                 if cached is not None:
                     self._results.move_to_end(fingerprint)
-                    self.stats.count("cache_hits")
+                    self._count("cache_hits")
                     reply = dataclasses.replace(cached, cached=True)
                 else:
                     running = self._inflight.get(fingerprint)
@@ -434,14 +504,15 @@ class OptimizationServer:
                         running.waiters.append(
                             (connection, frame_id, True)
                         )
-                        self.stats.count("coalesced")
-                        return
-            if reply is None:
+                        self._count("coalesced")
+                        decision = "coalesce"
+            if reply is None and decision == "admit":
                 if (
                     self._stop_event.is_set()
                     or len(self._pending) >= self.config.max_queue
                 ):
-                    self.stats.count("rejected")
+                    self._count("rejected")
+                    decision = "reject"
                     reply = api.ServiceReply(
                         op=op,
                         status="rejected",
@@ -459,9 +530,21 @@ class OptimizationServer:
                     if not bypass:
                         self._inflight[fingerprint] = job
                     self._pending.append(job)
+                    self.metrics.set_gauge(
+                        "service.queue_depth", len(self._pending)
+                    )
                     self._work_ready.notify()
-                    return
-        self._send_reply(connection, frame_id, reply)
+        # Event I/O stays outside the admission lock.
+        if self._event_log is not None and decision != "admit":
+            self._event_log.emit(
+                f"service.{decision}", op=op, fingerprint=fingerprint
+            )
+        elif self._event_log is not None and reply is None:
+            self._event_log.emit(
+                "service.admit", op=op, fingerprint=fingerprint
+            )
+        if reply is not None:
+            self._send_reply(connection, frame_id, reply)
 
     # -- workers ------------------------------------------------------
 
@@ -476,10 +559,14 @@ class OptimizationServer:
                 if self._closed and not self._pending:
                     return
                 job = self._pending.popleft()
+                self.metrics.set_gauge(
+                    "service.queue_depth", len(self._pending)
+                )
                 self._running_count += 1
             # _run_job handles every exception itself, so the
             # bookkeeping below always runs with a reply in hand.
             reply = self._run_job(job, worker_cache)
+            evicted: List[str] = []
             with self._lock:
                 self._running_count -= 1
                 job.done = True
@@ -493,10 +580,18 @@ class OptimizationServer:
                     while (
                         len(self._results) > self.config.result_cache_size
                     ):
-                        self._results.popitem(last=False)
+                        dropped, _ = self._results.popitem(last=False)
+                        evicted.append(dropped)
                 waiters = list(job.waiters)
                 if not self._pending and not self._running_count:
                     self._drained.notify_all()
+            if evicted:
+                self.metrics.inc("service.result_evictions", len(evicted))
+                if self._event_log is not None:
+                    for dropped in evicted:
+                        self._event_log.emit(
+                            "service.evict", fingerprint=dropped
+                        )
             for connection, frame_id, coalesced in waiters:
                 self._send_reply(
                     connection, frame_id,
@@ -506,15 +601,33 @@ class OptimizationServer:
     def _run_job(
         self, job: _Job, worker_cache: "api.CostCache"
     ) -> api.ServiceReply:
-        wants_trace = bool(getattr(job.request, "trace", False))
+        trace_id = getattr(job.request, "trace_id", None)
+        # A request-supplied trace context implies the caller is
+        # reconstructing a distributed trace, so the server-side spans
+        # always travel back with the reply in that case.
+        wants_trace = (
+            bool(getattr(job.request, "trace", False))
+            or trace_id is not None
+        )
         tracer = Tracer(root_name=f"service.{job.op}")
+        if trace_id is not None:
+            tracer.root["attrs"] = {
+                "trace_id": trace_id,
+                "parent_span": getattr(job.request, "parent_span", None),
+            }
         started = time.perf_counter()
         try:
-            with use_tracer(tracer), api.use_cache(worker_cache):
+            # The worker thread's dynamic extent reports into the
+            # server's registry: cost evaluations/cache hits emitted by
+            # the cost cache during this request land in the same
+            # ``runtime.*`` counters the exporter snapshots.
+            with use_metrics(self.metrics), \
+                    use_event_log(self._event_log), \
+                    use_tracer(tracer), api.use_cache(worker_cache):
                 with tracer.span(f"execute.{job.fingerprint[:12]}"):
                     result = api.execute_request(job.request)
         except Exception as exc:
-            self.stats.count("errors")
+            self._count("errors")
             records = tracer.finish()
             return api.ServiceReply(
                 op=job.op,
@@ -527,9 +640,14 @@ class OptimizationServer:
                     tuple(records) if wants_trace else None
                 ),
             )
-        self.stats.count("computed")
+        self._count("computed")
         elapsed = time.perf_counter() - started
         self.stats.observe_latency(elapsed)
+        self.metrics.observe("service.latency_ms", elapsed * 1000.0)
+        if self._event_log is not None:
+            self._event_log.observe_latency(
+                elapsed, op=job.op, fingerprint=job.fingerprint
+            )
         records = tracer.finish()
         return api.ServiceReply(
             op=job.op,

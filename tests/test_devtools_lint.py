@@ -437,6 +437,62 @@ class TestRuleFixtures:
         })
         assert lint_paths([tree], select=["RPR013"]).ok
 
+    def test_rpr014_flags_adhoc_module_counter(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/runtime/widgets.py": """\
+                _CALLS = 0
+
+                def frob():
+                    global _CALLS
+                    _CALLS += 1
+            """,
+        })
+        report = lint_paths([tree], select=["RPR014"])
+        assert codes_of(report) == ["RPR014"]
+        assert "metrics registry" in report.diagnostics[0].message
+
+    def test_rpr014_ignores_non_telemetry_packages(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/joinopt/search.py": """\
+                _CALLS = 0
+
+                def frob():
+                    global _CALLS
+                    _CALLS += 1
+            """,
+        })
+        assert lint_paths([tree], select=["RPR014"]).ok
+
+    def test_rpr014_ignores_non_counter_globals(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/service/config.py": """\
+                _LIMIT = 0
+                _MODE = None
+
+                def set_limit(value):
+                    global _LIMIT
+                    _LIMIT = value
+
+                def set_mode(mode):
+                    global _MODE
+                    _MODE = mode
+            """,
+        })
+        assert lint_paths([tree], select=["RPR014"]).ok
+
+    def test_rpr014_grandfathers_kernel_compile_counter(self, tmp_path):
+        tree = make_tree(tmp_path, {
+            "src/repro/perf/kernels.py": """\
+                _COMPILES = 0
+
+                def compile_qon(instance):
+                    global _COMPILES
+                    _COMPILES += 1
+                    return instance
+            """,
+        })
+        assert lint_paths([tree], select=["RPR014"]).ok
+
     def test_rpr000_parse_error_is_a_finding(self, tmp_path):
         tree = make_tree(tmp_path, {
             "src/repro/broken.py": "def oops(:\n",
@@ -450,7 +506,7 @@ class TestRuleFixtures:
             "RPR001", "RPR002", "RPR003", "RPR004",
             "RPR005", "RPR006", "RPR007", "RPR008",
             "RPR009", "RPR010", "RPR011", "RPR012",
-            "RPR013",
+            "RPR013", "RPR014",
         ]
         for code, rule in RULES.items():
             assert rule.code == code
